@@ -1,0 +1,141 @@
+// Command bwsweep regenerates the paper's bandwidth sweeps (Figures 3-5):
+// data bus utilisation as a function of sequential stride size and the
+// number of banks targeted, for the event-based controller and the
+// cycle-based (DRAMSim2-style) baseline side by side.
+//
+// Usage:
+//
+//	bwsweep -figure 3            # open page, 100% reads (Fig. 3)
+//	bwsweep -figure 4            # open page, 1:1 mix    (Fig. 4)
+//	bwsweep -figure 5            # closed page, writes   (Fig. 5)
+//	bwsweep -ablation pagepolicy # design-choice studies
+//	bwsweep -ablation all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	figure := flag.Int("figure", 3, "paper figure to regenerate (3, 4 or 5)")
+	requests := flag.Uint64("requests", 4000, "requests per measurement point")
+	ablation := flag.String("ablation", "", "run a design ablation instead: pagepolicy, mapping, scheduler, writedrain, xaw, refresh, xorhash, prefetch, all")
+	flag.Parse()
+
+	if *ablation != "" {
+		if err := runAblation(*ablation, *requests); err != nil {
+			fmt.Fprintln(os.Stderr, "bwsweep:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	var spec experiments.SweepSpec
+	switch *figure {
+	case 3:
+		spec = experiments.Fig3Spec(*requests)
+	case 4:
+		spec = experiments.Fig4Spec(*requests)
+	case 5:
+		spec = experiments.Fig5Spec(*requests)
+	default:
+		fmt.Fprintf(os.Stderr, "bwsweep: figure %d not a bandwidth sweep (want 3, 4 or 5)\n", *figure)
+		os.Exit(1)
+	}
+
+	res, err := experiments.RunSweep(spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bwsweep:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("%s\n", spec.Name)
+	fmt.Printf("memory: %s, mapping: %s, page: %s, reads: %d%%, %d requests/point\n\n",
+		spec.Spec.Name, spec.Mapping, pageName(spec.ClosedPage), spec.ReadPct, spec.Requests)
+	fmt.Printf("%-8s", "stride")
+	for _, b := range spec.Banks {
+		fmt.Printf("  %13s", fmt.Sprintf("banks=%d ev/cy", b))
+	}
+	fmt.Println()
+	for _, stride := range spec.Strides {
+		fmt.Printf("%-8d", stride)
+		for _, b := range spec.Banks {
+			for _, row := range res.Rows {
+				if row.StrideBursts == stride && row.Banks == b {
+					fmt.Printf("  %6.3f/%6.3f", row.EventUtil, row.CycleUtil)
+				}
+			}
+		}
+		fmt.Println()
+	}
+}
+
+func pageName(closed bool) string {
+	if closed {
+		return "closed"
+	}
+	return "open"
+}
+
+func runAblation(name string, requests uint64) error {
+	var results []*experiments.AblationResult
+	var err error
+	switch name {
+	case "pagepolicy":
+		var r *experiments.AblationResult
+		r, err = experiments.PagePolicyAblation(requests)
+		results = append(results, r)
+	case "mapping":
+		var r *experiments.AblationResult
+		r, err = experiments.MappingAblation(requests)
+		results = append(results, r)
+	case "scheduler":
+		var r *experiments.AblationResult
+		r, err = experiments.SchedulerAblation(requests)
+		results = append(results, r)
+	case "writedrain":
+		var r *experiments.AblationResult
+		r, err = experiments.WriteDrainAblation(requests)
+		results = append(results, r)
+	case "xaw":
+		var r *experiments.AblationResult
+		r, err = experiments.ActivationWindowAblation(requests)
+		results = append(results, r)
+	case "refresh":
+		var r *experiments.AblationResult
+		r, err = experiments.RefreshAblation(requests)
+		results = append(results, r)
+	case "xorhash":
+		var r *experiments.AblationResult
+		r, err = experiments.XORHashAblation(requests)
+		results = append(results, r)
+	case "prefetch":
+		var r *experiments.AblationResult
+		r, err = experiments.PrefetchAblation(requests)
+		results = append(results, r)
+	case "all":
+		results, err = experiments.AllAblations(requests)
+	default:
+		return fmt.Errorf("unknown ablation %q", name)
+	}
+	if err != nil {
+		return err
+	}
+	for _, res := range results {
+		fmt.Printf("\nAblation: %s (workload: %s)\n", res.Name, res.Workload)
+		fmt.Printf("%-20s %10s %14s %12s %12s\n", "config", "bus util", "read lat (ns)", "p99 (ns)", "row hits")
+		for _, row := range res.Rows {
+			p99 := "-"
+			if row.P99Ns > 0 {
+				p99 = fmt.Sprintf("%.1f", row.P99Ns)
+			}
+			fmt.Printf("%-20s %10.3f %14.1f %12s %12.3f\n",
+				row.Config, row.BusUtil, row.AvgReadLatNs, p99, row.RowHitRate)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,327 @@
+// Command dramctrl is the general-purpose runner: it assembles a traffic
+// source (synthetic pattern or trace file) over one DRAM controller (event-
+// or cycle-based) with every policy knob exposed as a flag, runs to
+// completion, and reports bandwidth, latency, power and (optionally) the
+// full statistics dump — the repository's equivalent of driving a gem5
+// memory configuration from the command line.
+//
+// Examples:
+//
+//	dramctrl -spec DDR3-1600-x64 -pattern linear -requests 50000
+//	dramctrl -spec WideIO-200-x128 -pattern dramaware -stride 4 -banks 4 -reads 67
+//	dramctrl -model cycle -pattern random -reads 50 -stats
+//	dramctrl -trace-in capture.txt
+//	dramctrl -pattern random -trace-out capture.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/cyclesim"
+	"repro/internal/dram"
+	"repro/internal/mem"
+	"repro/internal/power"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trafficgen"
+)
+
+func main() {
+	var (
+		specName  = flag.String("spec", "DDR3-1600-x64", "memory spec name (see -list)")
+		list      = flag.Bool("list", false, "list available memory specs and exit")
+		model     = flag.String("model", "event", "controller model: event or cycle")
+		mappingS  = flag.String("mapping", "RoRaBaCoCh", "address mapping: RoRaBaCoCh, RoRaBaChCo, RoCoRaBaCh")
+		pageS     = flag.String("page", "open", "page policy: open, open-adaptive, closed, closed-adaptive")
+		schedS    = flag.String("sched", "frfcfs", "scheduler: fcfs or frfcfs")
+		pattern   = flag.String("pattern", "linear", "traffic: linear, random, dramaware")
+		reads     = flag.Int("reads", 100, "read percentage (0-100)")
+		requests  = flag.Uint64("requests", 10000, "number of requests")
+		reqBytes  = flag.Uint64("bytes", 64, "request size in bytes")
+		outst     = flag.Int("outstanding", 32, "max outstanding requests")
+		itt       = flag.Int64("itt", 0, "inter-transaction time in ns (0 = saturate)")
+		stride    = flag.Uint64("stride", 4, "dramaware: stride in bursts")
+		banks     = flag.Int("banks", 4, "dramaware: banks targeted")
+		seed      = flag.Int64("seed", 1, "pattern seed")
+		powerDown = flag.Int64("powerdown", 0, "power-down idle threshold in ns (0 = off, event model only)")
+		dumpStats = flag.Bool("stats", false, "dump the full statistics registry")
+		jsonStats = flag.String("json", "", "write the statistics registry as JSON to this file")
+		traceIn   = flag.String("trace-in", "", "replay this trace file instead of a synthetic pattern")
+		traceOut  = flag.String("trace-out", "", "capture the request stream to this trace file")
+		interval  = flag.Int64("interval", 0, "print a bandwidth sample every N ns of simulated time (0 = off)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, s := range dram.AllSpecs() {
+			fmt.Printf("%-18s %3d-bit, BL%d, %d banks x %d ranks, %g GB/s peak\n",
+				s.Name, s.Org.BusWidthBits, s.Org.BurstLength,
+				s.Org.BanksPerRank, s.Org.RanksPerChannel, s.PeakBandwidth()/1e9)
+		}
+		return
+	}
+	if err := run(cfgFromFlags{
+		specName: *specName, model: *model, mapping: *mappingS, page: *pageS,
+		sched: *schedS, pattern: *pattern, reads: *reads, requests: *requests,
+		reqBytes: *reqBytes, outstanding: *outst, ittNs: *itt,
+		stride: *stride, banks: *banks, seed: *seed, powerDownNs: *powerDown,
+		dumpStats: *dumpStats, jsonStats: *jsonStats, traceIn: *traceIn, traceOut: *traceOut,
+		intervalNs: *interval,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "dramctrl:", err)
+		os.Exit(1)
+	}
+}
+
+type cfgFromFlags struct {
+	specName, model, mapping, page, sched, pattern string
+	reads                                          int
+	requests, reqBytes                             uint64
+	outstanding                                    int
+	ittNs                                          int64
+	stride                                         uint64
+	banks                                          int
+	seed, powerDownNs                              int64
+	dumpStats                                      bool
+	jsonStats                                      string
+	traceIn, traceOut                              string
+	intervalNs                                     int64
+}
+
+// controller abstracts over the two models for this tool.
+type controller interface {
+	Port() *mem.ResponsePort
+	Quiescent() bool
+	Bandwidth() float64
+	BusUtilisation() float64
+	RowHitRate() float64
+	AvgReadLatencyNs() float64
+	PowerStats() power.Activity
+}
+
+func run(f cfgFromFlags) error {
+	spec, err := findSpec(f.specName)
+	if err != nil {
+		return err
+	}
+	mapping, err := dram.ParseMapping(f.mapping)
+	if err != nil {
+		return err
+	}
+
+	k := sim.NewKernel()
+	reg := stats.NewRegistry("dramctrl")
+
+	var ctrl controller
+	var drain func()
+	switch f.model {
+	case "event":
+		cfg := core.DefaultConfig(spec)
+		cfg.Mapping = mapping
+		cfg.PowerDownIdle = sim.Tick(f.powerDownNs) * sim.Nanosecond
+		switch f.page {
+		case "open":
+			cfg.Page = core.Open
+		case "open-adaptive":
+			cfg.Page = core.OpenAdaptive
+		case "closed":
+			cfg.Page = core.Closed
+		case "closed-adaptive":
+			cfg.Page = core.ClosedAdaptive
+		default:
+			return fmt.Errorf("unknown page policy %q", f.page)
+		}
+		if f.sched == "fcfs" {
+			cfg.Scheduling = core.FCFS
+		}
+		c, err := core.NewController(k, cfg, reg, "mc")
+		if err != nil {
+			return err
+		}
+		ctrl, drain = c, c.Drain
+	case "cycle":
+		cfg := cyclesim.DefaultConfig(spec)
+		cfg.Mapping = mapping
+		if strings.HasPrefix(f.page, "closed") {
+			cfg.Page = cyclesim.ClosedPage
+		}
+		if f.sched == "fcfs" {
+			cfg.Scheduling = cyclesim.FCFS
+		}
+		c, err := cyclesim.NewController(k, cfg, reg, "mc")
+		if err != nil {
+			return err
+		}
+		ctrl, drain = c, func() {}
+	default:
+		return fmt.Errorf("unknown model %q", f.model)
+	}
+
+	// Optional capture monitor in front of the controller.
+	sink := ctrl.Port()
+	var mon *trafficgen.Monitor
+	if f.traceOut != "" {
+		mon = trafficgen.NewMonitor(k, reg, "mon")
+		mem.Connect(mon.MemPort(), ctrl.Port())
+		sink = mon.CPUPort()
+	}
+
+	// Optional bandwidth time series (paper §II-E: statistics at arbitrary
+	// points in time).
+	var series *stats.Series
+	if f.intervalNs > 0 {
+		var err error
+		series, err = stats.NewSeries(k, sim.Tick(f.intervalNs)*sim.Nanosecond,
+			func() float64 {
+				a := ctrl.PowerStats()
+				return float64(a.ReadBursts+a.WriteBursts) * float64(spec.Org.BurstBytes())
+			}, true)
+		if err != nil {
+			return err
+		}
+		series.Start()
+	}
+
+	done := func() bool { return false }
+	if f.traceIn != "" {
+		file, err := os.Open(f.traceIn)
+		if err != nil {
+			return err
+		}
+		recs, err := trafficgen.ParseTrace(file)
+		file.Close()
+		if err != nil {
+			return err
+		}
+		player := trafficgen.NewTracePlayer(k, recs, 0)
+		mem.Connect(player.Port(), sink)
+		player.Start()
+		done = player.Done
+		fmt.Printf("replaying %d trace records from %s\n", len(recs), f.traceIn)
+	} else {
+		pat, err := buildPattern(f, spec, mapping)
+		if err != nil {
+			return err
+		}
+		gen, err := trafficgen.New(k, trafficgen.Config{
+			RequestBytes:     f.reqBytes,
+			MaxOutstanding:   f.outstanding,
+			Count:            f.requests,
+			InterTransaction: sim.Tick(f.ittNs) * sim.Nanosecond,
+		}, pat, reg, "gen")
+		if err != nil {
+			return err
+		}
+		mem.Connect(gen.Port(), sink)
+		gen.Start()
+		done = gen.Done
+		defer func() {
+			fmt.Printf("mean read latency (generator): %.1f ns (p99 %.1f ns, %d samples)\n",
+				gen.ReadLatency().Mean(), gen.ReadLatency().Percentile(99), gen.ReadLatency().Count())
+		}()
+	}
+
+	deadline := 100 * sim.Second
+	for k.Now() < deadline {
+		k.RunUntil(k.Now() + 10*sim.Microsecond)
+		if done() {
+			if !ctrl.Quiescent() {
+				drain()
+				continue
+			}
+			break
+		}
+	}
+	if !done() {
+		return fmt.Errorf("simulation did not complete within %s", deadline)
+	}
+
+	fmt.Printf("spec %s, model %s, mapping %s, page %s\n", spec.Name, f.model, mapping, f.page)
+	fmt.Printf("simulated %s in %d events\n", k.Now(), k.EventsExecuted())
+	fmt.Printf("bandwidth %.2f GB/s (%.1f%% bus utilisation), row hit rate %.1f%%\n",
+		ctrl.Bandwidth()/1e9, ctrl.BusUtilisation()*100, ctrl.RowHitRate()*100)
+	act := ctrl.PowerStats()
+	fmt.Printf("DRAM power: %s\n", power.Compute(spec, act))
+	if act.PowerDownTime > 0 {
+		fmt.Printf("power-down time: %s (%.1f%% of run)\n", act.PowerDownTime,
+			float64(act.PowerDownTime)/float64(act.Elapsed)*100)
+	}
+
+	if series != nil {
+		fmt.Println("\nbandwidth over time:")
+		intervalSec := float64(f.intervalNs) * 1e-9
+		for _, pt := range series.Points() {
+			gbs := pt.Value / intervalSec / 1e9
+			fmt.Printf("  %10s %8.2f GB/s\n", pt.At, gbs)
+		}
+	}
+	if mon != nil {
+		out, err := os.Create(f.traceOut)
+		if err != nil {
+			return err
+		}
+		defer out.Close()
+		if err := trafficgen.FormatTrace(out, mon.Trace()); err != nil {
+			return err
+		}
+		fmt.Printf("captured %d records to %s\n", len(mon.Trace()), f.traceOut)
+	}
+	if f.jsonStats != "" {
+		out, err := os.Create(f.jsonStats)
+		if err != nil {
+			return err
+		}
+		defer out.Close()
+		if err := reg.DumpJSON(out); err != nil {
+			return err
+		}
+		fmt.Printf("statistics written to %s\n", f.jsonStats)
+	}
+	if f.dumpStats {
+		fmt.Println("\nstatistics:")
+		return reg.Dump(os.Stdout)
+	}
+	return nil
+}
+
+func findSpec(name string) (dram.Spec, error) {
+	for _, s := range dram.AllSpecs() {
+		if strings.EqualFold(s.Name, name) {
+			return s, nil
+		}
+	}
+	return dram.Spec{}, fmt.Errorf("unknown spec %q (use -list)", name)
+}
+
+func buildPattern(f cfgFromFlags, spec dram.Spec, mapping dram.Mapping) (trafficgen.Pattern, error) {
+	switch f.pattern {
+	case "linear":
+		return &trafficgen.Linear{
+			Start: 0, End: 1 << 28, Step: f.reqBytes,
+			ReadPercent: f.reads, Seed: f.seed,
+		}, nil
+	case "random":
+		return &trafficgen.Random{
+			Start: 0, End: 1 << 28, Align: f.reqBytes,
+			ReadPercent: f.reads, Seed: f.seed,
+		}, nil
+	case "dramaware":
+		dec, err := dram.NewDecoder(spec.Org, mapping, 1)
+		if err != nil {
+			return nil, err
+		}
+		p := &trafficgen.DRAMAware{
+			Decoder: dec, StrideBursts: f.stride, Banks: f.banks,
+			ReadPercent: f.reads, Seed: f.seed,
+		}
+		if err := p.Validate(); err != nil {
+			return nil, err
+		}
+		return p, nil
+	}
+	return nil, fmt.Errorf("unknown pattern %q", f.pattern)
+}

@@ -1,0 +1,44 @@
+// Command explore regenerates the paper's §IV-B future-system exploration
+// (Figure 9, Tables II-IV): a 16-core canneal-like workload with a shared
+// LLC in front of three memory systems that all offer 12.8 GB/s — 1x 64-bit
+// DDR3, 2x 32-bit LPDDR3 and 4x 128-bit WideIO — showing IPC sensitivity,
+// the read-latency breakdown, and DRAM power.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	memOps := flag.Uint64("memops", 3000, "memory operations per core")
+	cores := flag.Int("cores", 16, "number of cores")
+	flag.Parse()
+
+	res, err := experiments.RunFig9(*memOps, *cores)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "explore:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("Memory technology exploration (Figure 9): %d-core canneal, shared 8 MB LLC\n", *cores)
+	fmt.Println("all three memory systems offer 12.8 GB/s aggregate (Table IV)")
+	fmt.Println()
+	fmt.Printf("%-8s %8s %9s %10s %9s %10s %10s\n",
+		"memory", "IPC", "IPC/DDR3", "rd lat ns", "row hits", "BW GB/s", "power mW")
+	for _, row := range res.Rows {
+		fmt.Printf("%-8s %8.3f %9.2f %10.1f %9.3f %10.2f %10.1f\n",
+			row.Name, row.IPC, row.NormIPC, row.AvgReadLatencyNs,
+			row.RowHitRate, row.BandwidthGBs, row.PowerMW)
+	}
+	fmt.Println("\nread latency breakdown (ns):")
+	fmt.Printf("%-8s %8s %8s %8s %8s\n", "memory", "queue", "bank", "bus", "static")
+	for _, row := range res.Rows {
+		b := row.Breakdown
+		fmt.Printf("%-8s %8.1f %8.1f %8.1f %8.1f\n",
+			row.Name, b.QueueNs, b.BankNs, b.BusNs, b.StaticNs)
+	}
+}

@@ -1,0 +1,147 @@
+// Command protocheck replays a request stream (a trace file or a synthetic
+// pattern) through the event-based controller under an arbitrary
+// configuration, captures the DRAM command stream the controller issues,
+// and verifies every timing constraint with the independent protocol
+// checker — a configuration linter: if a policy combination ever produced
+// an illegal command schedule, this is the tool that would catch it.
+//
+//	protocheck -spec DDR3-1600-x64 -page closed -requests 50000
+//	protocheck -trace-in capture.txt -spec LPDDR3-1600-x32
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/dram"
+	"repro/internal/mem"
+	"repro/internal/power"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trafficgen"
+)
+
+func main() {
+	var (
+		specName = flag.String("spec", "DDR3-1600-x64", "memory spec name")
+		pageS    = flag.String("page", "open", "page policy: open, open-adaptive, closed, closed-adaptive")
+		mappingS = flag.String("mapping", "RoRaBaCoCh", "address mapping")
+		requests = flag.Uint64("requests", 20000, "synthetic requests (ignored with -trace-in)")
+		reads    = flag.Int("reads", 67, "read percentage for synthetic traffic")
+		seed     = flag.Int64("seed", 1, "synthetic traffic seed")
+		traceIn  = flag.String("trace-in", "", "replay this trace file instead")
+		maxShow  = flag.Int("show", 10, "maximum violations to print")
+	)
+	flag.Parse()
+	if err := run(*specName, *pageS, *mappingS, *requests, *reads, *seed, *traceIn, *maxShow); err != nil {
+		fmt.Fprintln(os.Stderr, "protocheck:", err)
+		os.Exit(1)
+	}
+}
+
+func run(specName, pageS, mappingS string, requests uint64, reads int, seed int64, traceIn string, maxShow int) error {
+	var spec dram.Spec
+	found := false
+	for _, s := range dram.AllSpecs() {
+		if strings.EqualFold(s.Name, specName) {
+			spec, found = s, true
+		}
+	}
+	if !found {
+		return fmt.Errorf("unknown spec %q", specName)
+	}
+	mapping, err := dram.ParseMapping(mappingS)
+	if err != nil {
+		return err
+	}
+
+	k := sim.NewKernel()
+	reg := stats.NewRegistry("protocheck")
+	var trace power.CommandTrace
+	cfg := core.DefaultConfig(spec)
+	cfg.Mapping = mapping
+	cfg.CommandListener = trace.Record
+	switch pageS {
+	case "open":
+		cfg.Page = core.Open
+	case "open-adaptive":
+		cfg.Page = core.OpenAdaptive
+	case "closed":
+		cfg.Page = core.Closed
+	case "closed-adaptive":
+		cfg.Page = core.ClosedAdaptive
+	default:
+		return fmt.Errorf("unknown page policy %q", pageS)
+	}
+	ctrl, err := core.NewController(k, cfg, reg, "mc")
+	if err != nil {
+		return err
+	}
+
+	done := func() bool { return false }
+	if traceIn != "" {
+		f, err := os.Open(traceIn)
+		if err != nil {
+			return err
+		}
+		recs, err := trafficgen.ParseTrace(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		player := trafficgen.NewTracePlayer(k, recs, 0)
+		mem.Connect(player.Port(), ctrl.Port())
+		player.Start()
+		done = player.Done
+		fmt.Printf("replaying %d records from %s\n", len(recs), traceIn)
+	} else {
+		gen, err := trafficgen.New(k, trafficgen.Config{
+			RequestBytes:   64,
+			MaxOutstanding: 32,
+			Count:          requests,
+		}, &trafficgen.Random{
+			Start: 0, End: 1 << 28, Align: 64, ReadPercent: reads, Seed: seed,
+		}, reg, "gen")
+		if err != nil {
+			return err
+		}
+		mem.Connect(gen.Port(), ctrl.Port())
+		gen.Start()
+		done = gen.Done
+	}
+
+	for k.Now() < 100*sim.Second {
+		k.RunUntil(k.Now() + 10*sim.Microsecond)
+		if done() {
+			if !ctrl.Quiescent() {
+				ctrl.Drain()
+				continue
+			}
+			break
+		}
+	}
+	if !done() {
+		return fmt.Errorf("simulation did not complete")
+	}
+
+	violations := power.CheckTiming(spec, trace.Commands())
+	fmt.Printf("checked %d DRAM commands against %s (%s page, %s)\n",
+		trace.Len(), spec.Name, pageS, mapping)
+	if len(violations) == 0 {
+		fmt.Println("protocol clean: no timing violations")
+		return nil
+	}
+	fmt.Printf("%d violations:\n", len(violations))
+	for i, v := range violations {
+		if i >= maxShow {
+			fmt.Printf("  ... and %d more\n", len(violations)-maxShow)
+			break
+		}
+		fmt.Printf("  %s\n", v)
+	}
+	os.Exit(1)
+	return nil
+}

@@ -1,0 +1,159 @@
+// Command validate runs a reduced version of every paper experiment and
+// checks the result against the expected qualitative bands, printing a
+// pass/fail table — the one-command artefact-evaluation entry point.
+//
+//	go run ./cmd/validate          # ~a minute
+//	go run ./cmd/validate -full    # full-size experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+// check is one named assertion about an experiment outcome.
+type check struct {
+	name   string
+	detail string
+	pass   bool
+}
+
+func main() {
+	full := flag.Bool("full", false, "run full-size experiments (slower)")
+	flag.Parse()
+
+	sweepReq, latReq, powerReq, speedReq := uint64(1500), uint64(6000), uint64(1500), uint64(20000)
+	memOps := uint64(1000)
+	cores := 8
+	if *full {
+		sweepReq, latReq, powerReq, speedReq = 4000, 20000, 5000, 100000
+		memOps = 5000
+		cores = 16
+	}
+
+	var checks []check
+	add := func(name string, pass bool, detail string, args ...any) {
+		checks = append(checks, check{name: name, pass: pass, detail: fmt.Sprintf(detail, args...)})
+	}
+
+	// Figure 3: open-page reads reach ~90%+, models agree.
+	f3 := experiments.Fig3Spec(sweepReq)
+	f3.Strides = []uint64{1, 16, 128}
+	f3.Banks = []int{1, 8}
+	if res, err := experiments.RunSweep(f3); err == nil {
+		rows := res.RowsForBanks(8)
+		last := rows[len(rows)-1]
+		add("Fig3 peak utilisation", last.EventUtil > 0.85, "event %.3f at full stride", last.EventUtil)
+		maxDiff := 0.0
+		for _, r := range res.Rows {
+			if d := abs(r.EventUtil - r.CycleUtil); d > maxDiff {
+				maxDiff = d
+			}
+		}
+		add("Fig3 model agreement", maxDiff < 0.15, "max divergence %.3f", maxDiff)
+	} else {
+		add("Fig3", false, "error: %v", err)
+	}
+
+	// Figure 5: closed-page writes fall with stride.
+	f5 := experiments.Fig5Spec(sweepReq)
+	f5.Strides = []uint64{1, 128}
+	f5.Banks = []int{8}
+	if res, err := experiments.RunSweep(f5); err == nil {
+		rows := res.RowsForBanks(8)
+		add("Fig5 stride pathology", rows[1].EventUtil < rows[0].EventUtil,
+			"util %.3f -> %.3f as stride grows", rows[0].EventUtil, rows[1].EventUtil)
+	} else {
+		add("Fig5", false, "error: %v", err)
+	}
+
+	// Figure 6: latency means within 15%.
+	if res, err := experiments.RunLatency(experiments.Fig6Spec(latReq)); err == nil {
+		ratio := res.Event.MeanNs / res.Cycle.MeanNs
+		add("Fig6 latency correlation", ratio > 0.85 && ratio < 1.15,
+			"mean ratio %.3f (ev %.1f / cy %.1f ns)", ratio, res.Event.MeanNs, res.Cycle.MeanNs)
+	} else {
+		add("Fig6", false, "error: %v", err)
+	}
+
+	// Figure 7: event model bimodal, baseline not.
+	if res, err := experiments.RunLatency(experiments.Fig7Spec(latReq)); err == nil {
+		add("Fig7 bimodality", res.Event.Bimodal(50) && !res.Cycle.Bimodal(50),
+			"event modes %v, cycle modes %v",
+			res.Event.CoarseModes(25, 0.05), res.Cycle.CoarseModes(25, 0.05))
+	} else {
+		add("Fig7", false, "error: %v", err)
+	}
+
+	// §III-C3: power within 25% max (paper 8%).
+	if res, err := experiments.RunPowerComparison(powerReq); err == nil {
+		add("Power comparison", res.AvgDiffPct < 10 && res.MaxDiffPct < 25,
+			"avg %.1f%%, max %.1f%% (paper: 3%%/8%%)", res.AvgDiffPct, res.MaxDiffPct)
+	} else {
+		add("Power", false, "error: %v", err)
+	}
+
+	// §III-D: event model faster on average, and fastest on the HMC case.
+	if res, err := experiments.RunSpeedup(speedReq); err == nil {
+		add("Speedup", res.AvgSpeedup > 1.5,
+			"avg %.2fx, max %.2fx (paper: 7x/10x vs DRAMSim2)", res.AvgSpeedup, res.MaxSpeedup)
+	} else {
+		add("Speedup", false, "error: %v", err)
+	}
+
+	// Figure 8: cache-friendly ratios near 1, event model faster overall.
+	if res, err := experiments.RunFig8(memOps); err == nil {
+		ok := res.AvgSimTimeReduction > 0
+		for _, row := range res.Rows {
+			if row.Workload == "blackscholes" && (row.IPCRatio < 0.9 || row.IPCRatio > 1.1) {
+				ok = false
+			}
+		}
+		add("Fig8 full system", ok, "sim time reduction %.0f%% (paper: 13%%)",
+			res.AvgSimTimeReduction*100)
+	} else {
+		add("Fig8", false, "error: %v", err)
+	}
+
+	// Figure 9: three technologies run; LPDDR3's chopped fills hit rows.
+	if res, err := experiments.RunFig9(memOps, cores); err == nil {
+		var lp experiments.Fig9Row
+		for _, row := range res.Rows {
+			if row.Name == "LPDDR3" {
+				lp = row
+			}
+		}
+		add("Fig9 exploration", lp.RowHitRate > 0.45 && lp.RowHitRate < 0.55,
+			"LPDDR3 row-hit rate %.3f (paper effect: exactly 0.5 from 2-burst fills)", lp.RowHitRate)
+	} else {
+		add("Fig9", false, "error: %v", err)
+	}
+
+	fmt.Println("paper validation summary:")
+	fmt.Println()
+	failed := 0
+	for _, c := range checks {
+		status := "PASS"
+		if !c.pass {
+			status = "FAIL"
+			failed++
+		}
+		fmt.Printf("  [%s] %-24s %s\n", status, c.name, c.detail)
+	}
+	fmt.Println()
+	if failed > 0 {
+		fmt.Printf("%d of %d checks failed\n", failed, len(checks))
+		os.Exit(1)
+	}
+	fmt.Printf("all %d checks passed\n", len(checks))
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,15 @@
+// Package repro is a from-scratch Go reproduction of "Simulating DRAM
+// controllers for future system architecture exploration" (Hansson, Agarwal,
+// Kolli, Wenisch, Udipi — ISPASS 2014), the paper behind gem5's classic
+// event-based DRAM controller model.
+//
+// The library lives under internal/: the discrete-event kernel (sim), the
+// packet/port layer (mem), the event-based controller itself (core), the
+// cycle-based DRAMSim2-style baseline (cyclesim), DRAM organisations and
+// timings (dram), traffic generation (trafficgen), the interleaving crossbar
+// (xbar), caches (cache), synthetic cores (cpu), the Micron power model
+// (power), system assembly (system) and the paper's evaluation harness
+// (experiments). The cmd/ tools regenerate every figure and table; see
+// DESIGN.md for the complete map and EXPERIMENTS.md for paper-vs-measured
+// results.
+package repro

@@ -1,0 +1,67 @@
+// HMC: the paper's §II-F claim made concrete — "a model of HMC is only a
+// matter of combining the crossbar model with 16 instances of our controller
+// model". This example builds a 16-vault Hybrid-Memory-Cube-like stack
+// behind an interleaving crossbar, drives it with four mixed-traffic
+// generators, and reports per-vault utilisation and the aggregate bandwidth.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/dram"
+	"repro/internal/sim"
+	"repro/internal/system"
+	"repro/internal/trafficgen"
+	"repro/internal/xbar"
+)
+
+func main() {
+	const (
+		vaults     = 16
+		generators = 4
+		requests   = 20000
+	)
+	spec := dram.HMCVault()
+
+	var gens []trafficgen.Config
+	var patterns []trafficgen.Pattern
+	for i := 0; i < generators; i++ {
+		gens = append(gens, trafficgen.Config{
+			RequestBytes:   64,
+			MaxOutstanding: 32,
+			Count:          requests / generators,
+			RequestorID:    i,
+		})
+		patterns = append(patterns, &trafficgen.Random{
+			Start: 0, End: 1 << 30, Align: 64,
+			ReadPercent: 70, Seed: int64(i) + 1,
+		})
+	}
+
+	rig, err := system.NewMultiChannelRig(system.MultiChannelConfig{
+		Kind:     system.EventBased,
+		Spec:     spec,
+		Mapping:  dram.RoCoRaBaCh, // burst-granular interleave across vaults
+		Channels: vaults,
+		Xbar:     xbar.Config{Latency: 4 * sim.Nanosecond, QueueDepth: 64},
+		Gens:     gens,
+		Patterns: patterns,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !rig.Run(sim.Second) {
+		log.Fatal("hmc: run did not complete")
+	}
+
+	fmt.Printf("16-vault HMC-like stack, %d generators, %d requests total\n\n", generators, requests)
+	fmt.Printf("%-8s %10s %10s %10s\n", "vault", "util", "GB/s", "row hits")
+	for i, c := range rig.Ctrls {
+		fmt.Printf("vault%-3d %9.1f%% %10.2f %9.1f%%\n",
+			i, c.BusUtilisation()*100, c.Bandwidth()/1e9, c.RowHitRate()*100)
+	}
+	fmt.Printf("\naggregate bandwidth: %.2f GB/s over %s simulated (%d kernel events)\n",
+		rig.AggregateBandwidth()/1e9, rig.K.Now(), rig.K.EventsExecuted())
+	fmt.Println("even with 16 channels the event-based model executes only when something changes (§II-F)")
+}

@@ -1,0 +1,58 @@
+// Loadlatency: the classic memory-characterisation curve — sweep the
+// offered load from a trickle to saturation and plot achieved bandwidth
+// against read latency. The knee of this curve is what architects read off
+// first for any memory system; producing it takes a dozen lines with this
+// library, one run per load point.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/internal/dram"
+	"repro/internal/sim"
+	"repro/internal/system"
+	"repro/internal/trafficgen"
+)
+
+func main() {
+	spec := dram.DDR3_1600_x64()
+	peak := spec.PeakBandwidth()
+
+	fmt.Printf("load-latency curve: %s, random 64 B reads\n\n", spec.Name)
+	fmt.Printf("%10s %12s %12s  %s\n", "offered", "achieved", "read lat", "")
+	fmt.Printf("%10s %12s %12s\n", "(GB/s)", "(GB/s)", "(ns)")
+
+	for _, frac := range []float64{0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 1.0} {
+		offered := peak * frac
+		// Inter-transaction time that produces the offered bandwidth.
+		itt := sim.Tick(float64(64) / offered * float64(sim.Second))
+		rig, err := system.NewTrafficRig(system.RigConfig{
+			Kind:    system.EventBased,
+			Spec:    spec,
+			Mapping: dram.RoRaBaCoCh,
+			Gen: trafficgen.Config{
+				RequestBytes:     64,
+				MaxOutstanding:   32,
+				Count:            8000,
+				InterTransaction: itt,
+			},
+			Pattern: &trafficgen.Random{
+				Start: 0, End: 1 << 28, Align: 64,
+				ReadPercent: 100, Seed: 7,
+			},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !rig.Run(sim.Second) {
+			log.Fatal("run did not complete")
+		}
+		achieved := rig.Ctrl.Bandwidth() / 1e9
+		lat := rig.Gen.ReadLatency().Mean()
+		bar := strings.Repeat("#", int(lat/8))
+		fmt.Printf("%10.2f %12.2f %12.1f  %s\n", offered/1e9, achieved, lat, bar)
+	}
+	fmt.Println("\nthe latency knee marks the sustainable bandwidth of the channel")
+}

@@ -1,0 +1,254 @@
+// Package cache implements a set-associative, write-back/write-allocate
+// timing cache with a bounded number of MSHRs. It is the cache substrate for
+// the paper's full-system-style case studies (§IV): gem5's cache hierarchy
+// is what sits between the cores and the DRAM controllers there, and its
+// blocking behaviour (finite MSHRs) is what closes the feedback loop between
+// memory latency and request arrival that traces cannot capture.
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Config shapes one cache instance.
+type Config struct {
+	// SizeBytes is the total capacity.
+	SizeBytes uint64
+	// Assoc is the set associativity.
+	Assoc int
+	// LineBytes is the cache line size.
+	LineBytes uint64
+	// HitLatency is the lookup/response latency.
+	HitLatency sim.Tick
+	// MSHRs bounds outstanding misses; when exhausted the cache refuses
+	// requests (back pressure toward the core).
+	MSHRs int
+	// WriteBufferDepth bounds queued writebacks.
+	WriteBufferDepth int
+	// Prefetch selects the prefetcher (extension; see prefetch.go).
+	Prefetch PrefetchPolicy
+	// PrefetchDegree is how many lines ahead the stride prefetcher runs
+	// (0 means the default of 2).
+	PrefetchDegree int
+}
+
+// Validate checks structural sanity.
+func (c Config) Validate() error {
+	switch {
+	case c.SizeBytes == 0 || c.LineBytes == 0:
+		return fmt.Errorf("cache: zero size or line")
+	case c.LineBytes&(c.LineBytes-1) != 0:
+		return fmt.Errorf("cache: line size %d not a power of two", c.LineBytes)
+	case c.Assoc <= 0:
+		return fmt.Errorf("cache: associativity must be positive")
+	case c.SizeBytes%(c.LineBytes*uint64(c.Assoc)) != 0:
+		return fmt.Errorf("cache: size %d not divisible by way size", c.SizeBytes)
+	case c.HitLatency < 0:
+		return fmt.Errorf("cache: negative hit latency")
+	case c.MSHRs <= 0:
+		return fmt.Errorf("cache: MSHRs must be positive")
+	case c.WriteBufferDepth <= 0:
+		return fmt.Errorf("cache: write buffer depth must be positive")
+	case c.PrefetchDegree < 0:
+		return fmt.Errorf("cache: negative prefetch degree")
+	case c.Prefetch != PrefetchNone && c.MSHRs < 2:
+		return fmt.Errorf("cache: prefetching needs at least 2 MSHRs")
+	}
+	switch c.Prefetch {
+	case PrefetchNone, PrefetchNextLine, PrefetchStride:
+	default:
+		return fmt.Errorf("cache: unknown prefetch policy %d", c.Prefetch)
+	}
+	return nil
+}
+
+// line is one tag-store entry.
+type line struct {
+	tag     uint64
+	valid   bool
+	dirty   bool
+	lastUse uint64
+	// prefetched marks lines brought in by the prefetcher and not yet
+	// touched by demand traffic (for accuracy accounting).
+	prefetched bool
+}
+
+// mshr tracks one outstanding line fill and the requests waiting on it.
+type mshr struct {
+	lineAddr mem.Addr
+	waiters  []*mem.Packet
+	issued   sim.Tick
+	// fill is the line-sized read sent downstream.
+	fill *mem.Packet
+	// prefetch marks speculative fills with no demand waiter yet.
+	prefetch bool
+}
+
+// Cache is a single cache level with a CPU-side response port and a
+// memory-side request port.
+type Cache struct {
+	name string
+	cfg  Config
+	k    *sim.Kernel
+
+	cpuPort *mem.ResponsePort
+	memPort *mem.RequestPort
+
+	sets    [][]line
+	setMask uint64
+	useTick uint64
+
+	mshrs map[mem.Addr]*mshr
+	// strides tracks per-requestor stride detection state.
+	strides map[int]*strideState
+	// wbQueue holds writebacks (and the blocked fill, if any) awaiting the
+	// memory port.
+	wbQueue    []*mem.Packet
+	memBlocked bool
+
+	// respQueue delays hit responses by HitLatency.
+	respQueue []respEntry
+	respEvent *sim.Event
+	retryResp bool
+	retryReq  bool
+
+	st cacheStats
+}
+
+type respEntry struct {
+	pkt    *mem.Packet
+	sendAt sim.Tick
+}
+
+type cacheStats struct {
+	hits, misses     *stats.Scalar
+	readHits         *stats.Scalar
+	writeHits        *stats.Scalar
+	writebacks       *stats.Scalar
+	mshrMerges       *stats.Scalar
+	evictions        *stats.Scalar
+	missLatency      *stats.Average
+	blockedOnMSHRs   *stats.Scalar
+	prefetches       *stats.Scalar
+	usefulPrefetches *stats.Scalar
+}
+
+// New builds a cache registering statistics under name.
+func New(k *sim.Kernel, cfg Config, reg *stats.Registry, name string) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	numSets := cfg.SizeBytes / cfg.LineBytes / uint64(cfg.Assoc)
+	if numSets&(numSets-1) != 0 {
+		return nil, fmt.Errorf("cache: set count %d not a power of two", numSets)
+	}
+	c := &Cache{
+		name:    name,
+		cfg:     cfg,
+		k:       k,
+		sets:    make([][]line, numSets),
+		setMask: numSets - 1,
+		mshrs:   make(map[mem.Addr]*mshr),
+		strides: make(map[int]*strideState),
+	}
+	for i := range c.sets {
+		c.sets[i] = make([]line, cfg.Assoc)
+	}
+	c.cpuPort = mem.NewResponsePort(name+".cpu", (*cacheCPUSide)(c))
+	c.memPort = mem.NewRequestPort(name+".mem", (*cacheMemSide)(c))
+	c.respEvent = sim.NewEvent(name+".resp", c.processResponses)
+	r := reg.Child(name)
+	c.st = cacheStats{
+		hits:             r.NewScalar("hits", "demand hits"),
+		misses:           r.NewScalar("misses", "demand misses"),
+		readHits:         r.NewScalar("readHits", "read hits"),
+		writeHits:        r.NewScalar("writeHits", "write hits"),
+		writebacks:       r.NewScalar("writebacks", "dirty lines written back"),
+		mshrMerges:       r.NewScalar("mshrMerges", "misses merged into in-flight fills"),
+		evictions:        r.NewScalar("evictions", "lines evicted"),
+		missLatency:      r.NewAverage("missLatency", "miss (fill) latency (ns)"),
+		blockedOnMSHRs:   r.NewScalar("blockedOnMSHRs", "requests refused with MSHRs full"),
+		prefetches:       r.NewScalar("prefetches", "prefetch fills issued"),
+		usefulPrefetches: r.NewScalar("usefulPrefetches", "prefetched lines used by demand"),
+	}
+	return c, nil
+}
+
+// CPUPort returns the core-facing response port.
+func (c *Cache) CPUPort() *mem.ResponsePort { return c.cpuPort }
+
+// MemPort returns the memory-facing request port.
+func (c *Cache) MemPort() *mem.RequestPort { return c.memPort }
+
+// Name returns the instance name.
+func (c *Cache) Name() string { return c.name }
+
+// HitRate returns hits/(hits+misses).
+func (c *Cache) HitRate() float64 {
+	total := c.st.hits.Value() + c.st.misses.Value()
+	if total == 0 {
+		return 0
+	}
+	return c.st.hits.Value() / total
+}
+
+// AvgMissLatencyNs returns the mean fill latency — the "L2 miss latency"
+// metric of the paper's Figure 8.
+func (c *Cache) AvgMissLatencyNs() float64 { return c.st.missLatency.Mean() }
+
+// Misses returns the demand miss count.
+func (c *Cache) Misses() uint64 { return uint64(c.st.misses.Value()) }
+
+// Quiescent reports whether no fills or queued work are outstanding.
+func (c *Cache) Quiescent() bool {
+	return len(c.mshrs) == 0 && len(c.wbQueue) == 0 && len(c.respQueue) == 0
+}
+
+func (c *Cache) indexOf(lineAddr mem.Addr) (set uint64, tag uint64) {
+	l := uint64(lineAddr) / c.cfg.LineBytes
+	return l & c.setMask, l >> popcount(c.setMask)
+}
+
+func popcount(mask uint64) uint {
+	n := uint(0)
+	for mask != 0 {
+		n += uint(mask & 1)
+		mask >>= 1
+	}
+	return n
+}
+
+// lookup finds the way holding tag in set, or -1.
+func (c *Cache) lookup(set, tag uint64) int {
+	for i := range c.sets[set] {
+		if c.sets[set][i].valid && c.sets[set][i].tag == tag {
+			return i
+		}
+	}
+	return -1
+}
+
+// victim picks the LRU way in a set.
+func (c *Cache) victim(set uint64) int {
+	best, bestUse := 0, ^uint64(0)
+	for i := range c.sets[set] {
+		w := &c.sets[set][i]
+		if !w.valid {
+			return i
+		}
+		if w.lastUse < bestUse {
+			best, bestUse = i, w.lastUse
+		}
+	}
+	return best
+}
+
+// touch refreshes LRU state.
+func (c *Cache) touch(set uint64, way int) {
+	c.useTick++
+	c.sets[set][way].lastUse = c.useTick
+}

@@ -1,0 +1,190 @@
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// cacheCPUSide and cacheMemSide give the two ports distinct method sets on
+// the same underlying cache.
+type cacheCPUSide Cache
+
+type cacheMemSide Cache
+
+// RecvTimingReq implements mem.Responder on the CPU side.
+func (cs *cacheCPUSide) RecvTimingReq(pkt *mem.Packet) bool {
+	return (*Cache)(cs).access(pkt)
+}
+
+// RecvRespRetry implements mem.Responder on the CPU side.
+func (cs *cacheCPUSide) RecvRespRetry() {
+	c := (*Cache)(cs)
+	c.retryResp = false
+	c.processResponses()
+}
+
+// RecvTimingResp implements mem.Requestor on the memory side (a line fill
+// returned, or a writeback acknowledgement).
+func (ms *cacheMemSide) RecvTimingResp(pkt *mem.Packet) bool {
+	return (*Cache)(ms).fillOrAck(pkt)
+}
+
+// RecvReqRetry implements mem.Requestor on the memory side.
+func (ms *cacheMemSide) RecvReqRetry() {
+	c := (*Cache)(ms)
+	c.memBlocked = false
+	c.drainMemQueue()
+}
+
+// access handles a demand request from the core.
+func (c *Cache) access(pkt *mem.Packet) bool {
+	if pkt.Size == 0 || pkt.Size > c.cfg.LineBytes {
+		panic(fmt.Sprintf("cache: %s request of %d bytes exceeds line size %d",
+			c.name, pkt.Size, c.cfg.LineBytes))
+	}
+	lineAddr := pkt.Addr.AlignDown(c.cfg.LineBytes)
+	if pkt.End() > lineAddr+mem.Addr(c.cfg.LineBytes) {
+		panic(fmt.Sprintf("cache: %s request %s straddles a line", c.name, pkt))
+	}
+	set, tag := c.indexOf(lineAddr)
+	if way := c.lookup(set, tag); way >= 0 {
+		// Hit: touch, mark dirty on writes, respond after the hit latency.
+		c.touch(set, way)
+		l := &c.sets[set][way]
+		if l.prefetched {
+			// Tagged prefetching: the first demand touch of a prefetched
+			// line confirms the stream and triggers the next prefetch,
+			// keeping it alive without further misses.
+			l.prefetched = false
+			c.st.usefulPrefetches.Inc()
+			c.maybePrefetch(lineAddr, pkt.RequestorID)
+		}
+		if pkt.Cmd.IsWrite() {
+			l.dirty = true
+			c.st.writeHits.Inc()
+		} else {
+			c.st.readHits.Inc()
+		}
+		c.st.hits.Inc()
+		c.queueResponse(pkt)
+		return true
+	}
+	// Miss: merge into an in-flight fill when one exists.
+	if m, ok := c.mshrs[lineAddr]; ok {
+		c.st.misses.Inc()
+		c.st.mshrMerges.Inc()
+		m.waiters = append(m.waiters, pkt)
+		if m.prefetch {
+			// A demand access caught up with a speculative fill.
+			m.prefetch = false
+			c.st.usefulPrefetches.Inc()
+		}
+		return true
+	}
+	if len(c.mshrs) >= c.cfg.MSHRs {
+		c.st.blockedOnMSHRs.Inc()
+		c.retryReq = true
+		return false
+	}
+	c.st.misses.Inc()
+	fill := mem.NewRead(lineAddr, c.cfg.LineBytes, pkt.RequestorID, c.k.Now())
+	m := &mshr{lineAddr: lineAddr, waiters: []*mem.Packet{pkt}, issued: c.k.Now(), fill: fill}
+	c.mshrs[lineAddr] = m
+	c.sendToMem(fill)
+	c.maybePrefetch(lineAddr, pkt.RequestorID)
+	return true
+}
+
+// fillOrAck handles packets returning from memory.
+func (c *Cache) fillOrAck(pkt *mem.Packet) bool {
+	if pkt.Cmd == mem.WriteResp {
+		// Writeback acknowledged; nothing to do (fire and forget).
+		return true
+	}
+	lineAddr := pkt.Addr
+	m, ok := c.mshrs[lineAddr]
+	if !ok || m.fill != pkt {
+		panic(fmt.Sprintf("cache: %s fill for unknown line %s", c.name, pkt))
+	}
+	delete(c.mshrs, lineAddr)
+	if !m.prefetch {
+		c.st.missLatency.Sample((c.k.Now() - m.issued).Nanoseconds())
+	}
+
+	// Install the line, evicting the LRU victim (writeback if dirty).
+	set, tag := c.indexOf(lineAddr)
+	way := c.victim(set)
+	v := &c.sets[set][way]
+	if v.valid {
+		c.st.evictions.Inc()
+		if v.dirty {
+			victimAddr := mem.Addr((v.tag<<popcount(c.setMask) | set) * c.cfg.LineBytes) //nolint:gocritic // explicit reconstruction
+			wb := mem.NewWrite(victimAddr, c.cfg.LineBytes, pkt.RequestorID, c.k.Now())
+			c.st.writebacks.Inc()
+			c.sendToMem(wb)
+		}
+	}
+	v.tag = tag
+	v.valid = true
+	v.dirty = false
+	v.prefetched = m.prefetch
+	c.touch(set, way)
+
+	// Answer every waiter; writes dirty the fresh line.
+	for _, w := range m.waiters {
+		if w.Cmd.IsWrite() {
+			v.dirty = true
+		}
+		c.queueResponse(w)
+	}
+	// MSHR freed: the core may retry.
+	if c.retryReq {
+		c.retryReq = false
+		c.cpuPort.SendReqRetry()
+	}
+	return true
+}
+
+// sendToMem forwards a packet downstream, queueing it when the memory port
+// is blocked or a queue already exists (order is preserved).
+func (c *Cache) sendToMem(pkt *mem.Packet) {
+	c.wbQueue = append(c.wbQueue, pkt)
+	c.drainMemQueue()
+}
+
+func (c *Cache) drainMemQueue() {
+	for !c.memBlocked && len(c.wbQueue) > 0 {
+		if !c.memPort.SendTimingReq(c.wbQueue[0]) {
+			c.memBlocked = true
+			return
+		}
+		c.wbQueue = c.wbQueue[1:]
+	}
+}
+
+// queueResponse schedules a response for pkt after the hit latency.
+func (c *Cache) queueResponse(pkt *mem.Packet) {
+	c.respQueue = append(c.respQueue, respEntry{pkt: pkt, sendAt: c.k.Now() + c.cfg.HitLatency})
+	if !c.respEvent.Scheduled() && !c.retryResp {
+		c.k.Schedule(c.respEvent, c.respQueue[0].sendAt)
+	}
+}
+
+func (c *Cache) processResponses() {
+	now := c.k.Now()
+	for len(c.respQueue) > 0 && c.respQueue[0].sendAt <= now {
+		e := c.respQueue[0]
+		if e.pkt.Cmd.IsRequest() {
+			e.pkt.MakeResponse()
+		}
+		if !c.cpuPort.SendTimingResp(e.pkt) {
+			c.retryResp = true
+			return
+		}
+		c.respQueue = c.respQueue[1:]
+	}
+	if len(c.respQueue) > 0 && !c.respEvent.Scheduled() {
+		c.k.Schedule(c.respEvent, c.respQueue[0].sendAt)
+	}
+}

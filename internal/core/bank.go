@@ -1,0 +1,96 @@
+package core
+
+import (
+	"repro/internal/dram"
+	"repro/internal/sim"
+)
+
+// rowClosed marks a bank with no open row.
+const rowClosed = -1
+
+// bank is the controller's view of one DRAM bank: exactly the simplified
+// state machine the paper describes — an open row plus the earliest ticks at
+// which the next activate, precharge and column access may occur.
+type bank struct {
+	// openRow is the currently open row, or rowClosed.
+	openRow int64
+	// actAllowedAt is the earliest tick for the next activate (advanced by
+	// precharge completion and refresh).
+	actAllowedAt sim.Tick
+	// preAllowedAt is the earliest tick for the next precharge (advanced by
+	// tRAS after activate, tRTP after reads, tWR after write data).
+	preAllowedAt sim.Tick
+	// colAllowedAt is the earliest tick for a column access (tRCD after the
+	// activate that opened the row).
+	colAllowedAt sim.Tick
+	// rowAccesses counts column accesses to the currently open row, for the
+	// optional MaxAccessesPerRow cap.
+	rowAccesses int
+	// bytesAccessed accumulates data moved for the open row, feeding the
+	// bytes-per-activate statistic.
+	bytesAccessed uint64
+}
+
+// rank groups the banks sharing activation-window and turnaround
+// constraints. With the single-rank organisations of the paper this is also
+// effectively the channel.
+type rank struct {
+	banks []bank
+	// lastActAt is the most recent activate, enforcing tRRD.
+	lastActAt sim.Tick
+	// actWindow holds the ticks of the last ActivationLimit activates,
+	// enforcing tXAW.
+	actWindow []sim.Tick
+	// rdAllowedAt is the earliest tick for a read column command, advanced
+	// by tWTR after write data.
+	rdAllowedAt sim.Tick
+	// wrAllowedAt is the earliest tick for a write column command, advanced
+	// by tRTW after read data.
+	wrAllowedAt sim.Tick
+	// nextRefreshBank round-robins per-bank refresh.
+	nextRefreshBank int
+}
+
+// neverTick is far enough in the past that adding any timing constraint to
+// it still predates the simulation start; it marks "has not happened yet".
+const neverTick = -sim.Second
+
+func newRank(org dram.Organization) *rank {
+	r := &rank{banks: make([]bank, org.BanksPerRank), lastActAt: neverTick}
+	for i := range r.banks {
+		r.banks[i].openRow = rowClosed
+	}
+	return r
+}
+
+// earliestActByWindow returns the earliest tick a new activate may issue
+// given the tXAW rolling-window constraint.
+func (r *rank) earliestActByWindow(limit int, txaw sim.Tick) sim.Tick {
+	if limit <= 0 || txaw <= 0 || len(r.actWindow) < limit {
+		return 0
+	}
+	// The oldest of the last `limit` activates gates the next one.
+	return r.actWindow[len(r.actWindow)-limit] + txaw
+}
+
+// recordAct notes an activate for tRRD/tXAW accounting.
+func (r *rank) recordAct(at sim.Tick, limit int) {
+	r.lastActAt = at
+	if limit <= 0 {
+		return
+	}
+	r.actWindow = append(r.actWindow, at)
+	if len(r.actWindow) > limit {
+		r.actWindow = r.actWindow[len(r.actWindow)-limit:]
+	}
+}
+
+func maxTick(ts ...sim.Tick) sim.Tick {
+	m := ts[0]
+	for _, t := range ts[1:] {
+		if t > m {
+			m = t
+		}
+	}
+	return m
+}

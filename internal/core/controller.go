@@ -1,0 +1,864 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dram"
+	"repro/internal/mem"
+	"repro/internal/power"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// busState tracks the current transfer direction of the shared data bus.
+type busState int
+
+const (
+	busRead busState = iota
+	busWrite
+)
+
+// Controller is the event-based DRAM controller model. It owns one memory
+// channel: a set of ranks and banks behind shared data/address busses, with
+// per-controller split read/write queues (paper §II-A). It attaches to the
+// rest of the system through a response port with retry-based flow control.
+//
+// The model executes only on events: request arrival, the "next request"
+// scheduling event, response dispatch, and per-rank refresh. DRAM behaviour
+// is captured purely as bank/bus state transitions with the timing subset of
+// §II-B; no per-cycle work happens anywhere.
+type Controller struct {
+	name string
+	cfg  Config
+	k    *sim.Kernel
+	dec  dram.Decoder
+	port *mem.ResponsePort
+	// tim and org cache cfg.Spec fields: they are read on every scheduling
+	// decision and copying the structs there is measurable.
+	tim dram.Timing
+	org dram.Organization
+
+	readQueue  []*dramPacket
+	writeQueue []*dramPacket
+	respQueue  []respEntry
+	// inWriteQueue counts write-queue entries per burst address, enabling
+	// O(1) read-forwarding and merge checks.
+	inWriteQueue map[mem.Addr]int
+	// readEntries counts occupied read-buffer slots: queued bursts plus
+	// bursts serviced but not yet responded.
+	readEntries int
+
+	state          busState
+	writesThisTime int
+	readsThisTime  int
+	draining       bool
+
+	ranks        []*rank
+	busBusyUntil sim.Tick
+
+	retryReq  bool
+	retryResp bool
+
+	nextReqEvent  *sim.Event
+	respondEvent  *sim.Event
+	refreshEvents []*sim.Event
+
+	refreshDue []sim.Tick
+
+	// All-banks-precharged accounting for the power model.
+	openBankCount      int
+	allPrechargedSince sim.Tick
+	prechargeAllTime   sim.Tick
+	startTick          sim.Tick
+
+	// Power-down state (extension, see powerdown.go).
+	powerDownEvent *sim.Event
+	poweredDown    bool
+	powerDownSince sim.Tick
+	powerDownTime  sim.Tick
+
+	// Self-refresh state (extension, see selfrefresh.go).
+	selfRefreshEvent *sim.Event
+	selfRefreshing   bool
+	selfRefreshSince sim.Tick
+	selfRefreshTime  sim.Tick
+
+	st ctrlStats
+}
+
+// ctrlStats bundles the controller's registered statistics.
+type ctrlStats struct {
+	readReqs, writeReqs         *stats.Scalar
+	readBursts, writeBursts     *stats.Scalar
+	servicedByWrQ               *stats.Scalar
+	mergedWrBursts              *stats.Scalar
+	readRowHits, writeRowHits   *stats.Scalar
+	activations                 *stats.Scalar
+	precharges                  *stats.Scalar
+	refreshes                   *stats.Scalar
+	bytesRead, bytesWritten     *stats.Scalar
+	rdQLat, wrQLat              *stats.Average
+	memAccLat                   *stats.Average
+	bytesPerActivate            *stats.Average
+	readQueueLen, writeQueueLen *stats.Average
+	rdWrTurnarounds             *stats.Scalar
+	powerDowns                  *stats.Scalar
+	selfRefreshes               *stats.Scalar
+}
+
+// NewController validates the configuration and builds a controller wired to
+// the given kernel, registering statistics under name in reg.
+func NewController(k *sim.Kernel, cfg Config, reg *stats.Registry, name string) (*Controller, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	dec, err := dram.NewDecoder(cfg.Spec.Org, cfg.Mapping, cfg.Channels)
+	if err != nil {
+		return nil, err
+	}
+	dec.XORBankRow = cfg.XORBankHash
+	c := &Controller{
+		name:         name,
+		cfg:          cfg,
+		k:            k,
+		dec:          dec,
+		inWriteQueue: make(map[mem.Addr]int),
+		startTick:    k.Now(),
+		tim:          cfg.Spec.Timing,
+		org:          cfg.Spec.Org,
+	}
+	c.port = mem.NewResponsePort(name+".port", c)
+	c.ranks = make([]*rank, cfg.Spec.Org.RanksPerChannel)
+	c.refreshDue = make([]sim.Tick, len(c.ranks))
+	for i := range c.ranks {
+		c.ranks[i] = newRank(cfg.Spec.Org)
+	}
+	c.allPrechargedSince = k.Now()
+	c.nextReqEvent = sim.NewEvent(name+".nextReq", c.processNextReqEvent)
+	c.respondEvent = sim.NewEvent(name+".respond", c.processRespondEvent)
+	c.powerDownEvent = sim.NewEvent(name+".powerDown", c.processPowerDown)
+	if cfg.PowerDownIdle > 0 {
+		k.Schedule(c.powerDownEvent, k.Now()+cfg.PowerDownIdle)
+	}
+	c.selfRefreshEvent = sim.NewEvent(name+".selfRefresh", c.processSelfRefresh)
+	if cfg.SelfRefreshIdle > 0 {
+		k.Schedule(c.selfRefreshEvent, k.Now()+cfg.SelfRefreshIdle)
+	}
+	for i := range c.ranks {
+		i := i
+		// Stagger rank refreshes across the interval so multi-rank systems
+		// never stall every rank at once.
+		interval := cfg.Spec.Timing.TREFI
+		if cfg.Refresh == RefreshPerBank {
+			interval /= sim.Tick(cfg.Spec.Org.BanksPerRank)
+		}
+		due := k.Now() + interval + interval*sim.Tick(i)/sim.Tick(len(c.ranks))
+		c.refreshDue[i] = due
+		ev := sim.NewEvent(fmt.Sprintf("%s.refresh%d", name, i), func() { c.processRefresh(i) })
+		c.refreshEvents = append(c.refreshEvents, ev)
+		k.Schedule(ev, due)
+	}
+	r := reg.Child(name)
+	c.st = ctrlStats{
+		readReqs:         r.NewScalar("readReqs", "read requests accepted"),
+		writeReqs:        r.NewScalar("writeReqs", "write requests accepted"),
+		readBursts:       r.NewScalar("readBursts", "read bursts (after chopping)"),
+		writeBursts:      r.NewScalar("writeBursts", "write bursts entering the write queue"),
+		servicedByWrQ:    r.NewScalar("servicedByWrQ", "read bursts forwarded from the write queue"),
+		mergedWrBursts:   r.NewScalar("mergedWrBursts", "write bursts merged into existing entries"),
+		readRowHits:      r.NewScalar("readRowHits", "read bursts hitting an open row"),
+		writeRowHits:     r.NewScalar("writeRowHits", "write bursts hitting an open row"),
+		activations:      r.NewScalar("activations", "row activate commands"),
+		precharges:       r.NewScalar("precharges", "precharge commands"),
+		refreshes:        r.NewScalar("refreshes", "refresh commands"),
+		bytesRead:        r.NewScalar("bytesRead", "bytes read from DRAM"),
+		bytesWritten:     r.NewScalar("bytesWritten", "bytes written to DRAM"),
+		rdQLat:           r.NewAverage("rdQLat", "read burst queue+service latency (ns)"),
+		wrQLat:           r.NewAverage("wrQLat", "write burst queue latency (ns)"),
+		memAccLat:        r.NewAverage("memAccLat", "read memory access latency incl. static (ns)"),
+		bytesPerActivate: r.NewAverage("bytesPerActivate", "bytes accessed per row activation"),
+		readQueueLen:     r.NewAverage("readQueueLen", "read queue length at arrival"),
+		writeQueueLen:    r.NewAverage("writeQueueLen", "write queue length at arrival"),
+		rdWrTurnarounds:  r.NewScalar("rdWrTurnarounds", "bus direction switches"),
+		powerDowns:       r.NewScalar("powerDowns", "power-down entries"),
+		selfRefreshes:    r.NewScalar("selfRefreshes", "self-refresh entries"),
+	}
+	return c, nil
+}
+
+// Port returns the system-facing response port.
+func (c *Controller) Port() *mem.ResponsePort { return c.port }
+
+// Name returns the controller instance name.
+func (c *Controller) Name() string { return c.name }
+
+// Config returns the controller configuration.
+func (c *Controller) Config() Config { return c.cfg }
+
+// Quiescent reports whether no work is queued or in flight.
+func (c *Controller) Quiescent() bool {
+	return len(c.readQueue) == 0 && len(c.writeQueue) == 0 && len(c.respQueue) == 0
+}
+
+// Drain puts the controller in drain mode: buffered writes are written back
+// regardless of the low watermark. Used at the end of closed experiments.
+func (c *Controller) Drain() {
+	c.draining = true
+	c.kickScheduler()
+}
+
+// RecvTimingReq implements mem.Responder.
+func (c *Controller) RecvTimingReq(pkt *mem.Packet) bool {
+	// Any arriving request wakes a powered-down or self-refreshing channel.
+	c.exitSelfRefresh()
+	c.exitPowerDown()
+	switch pkt.Cmd {
+	case mem.ReadReq:
+		return c.addToReadQueue(pkt)
+	case mem.WriteReq:
+		return c.addToWriteQueue(pkt)
+	default:
+		panic(fmt.Sprintf("core: %s received %s", c.name, pkt.Cmd))
+	}
+}
+
+// RecvRespRetry implements mem.Responder: the requestor can take responses
+// again.
+func (c *Controller) RecvRespRetry() {
+	if !c.retryResp {
+		return
+	}
+	c.retryResp = false
+	c.processRespondEvent()
+}
+
+// burstRange iterates the burst-aligned pieces of a request, calling fn with
+// each piece's burst address and the byte range it covers.
+func (c *Controller) burstRange(pkt *mem.Packet, fn func(burstAddr, lo mem.Addr, size uint64)) int {
+	burst := c.cfg.Spec.Org.BurstBytes()
+	count := 0
+	addr := pkt.Addr
+	remaining := pkt.Size
+	for remaining > 0 {
+		burstAddr := addr.AlignDown(burst)
+		chunk := uint64(burstAddr) + burst - uint64(addr)
+		if chunk > remaining {
+			chunk = remaining
+		}
+		fn(burstAddr, addr, chunk)
+		addr += mem.Addr(chunk)
+		remaining -= chunk
+		count++
+	}
+	return count
+}
+
+// burstCount returns how many DRAM bursts a request spans.
+func (c *Controller) burstCount(pkt *mem.Packet) int {
+	return c.burstRange(pkt, func(mem.Addr, mem.Addr, uint64) {})
+}
+
+func (c *Controller) addToReadQueue(pkt *mem.Packet) bool {
+	now := c.k.Now()
+	// First pass: how many bursts need a DRAM access vs. forwarding?
+	needed := 0
+	c.burstRange(pkt, func(burstAddr, lo mem.Addr, size uint64) {
+		if !c.canForwardFromWriteQueue(burstAddr, lo, size) {
+			needed++
+		}
+	})
+	if c.readEntries+needed > c.cfg.ReadBufferSize {
+		c.retryReq = true
+		return false
+	}
+	c.st.readReqs.Inc()
+	c.st.readQueueLen.Sample(float64(len(c.readQueue)))
+	tr := &transaction{pkt: pkt, remaining: needed, entries: needed}
+	c.burstRange(pkt, func(burstAddr, lo mem.Addr, size uint64) {
+		c.st.readBursts.Inc()
+		if c.canForwardFromWriteQueue(burstAddr, lo, size) {
+			c.st.servicedByWrQ.Inc()
+			return
+		}
+		dp := &dramPacket{
+			isRead:    true,
+			coord:     c.dec.Decode(burstAddr),
+			burstAddr: burstAddr,
+			addr:      lo,
+			size:      size,
+			parent:    tr,
+			priority:  c.priorityOf(pkt.RequestorID),
+			entryTime: now,
+		}
+		c.readQueue = append(c.readQueue, dp)
+	})
+	c.readEntries += needed
+	if needed == 0 {
+		// Entirely satisfied by the write queue: only the static frontend
+		// latency applies.
+		c.queueResponse(pkt, now+c.cfg.FrontendLatency, 0)
+	} else {
+		c.kickScheduler()
+	}
+	return true
+}
+
+func (c *Controller) addToWriteQueue(pkt *mem.Packet) bool {
+	now := c.k.Now()
+	// Conservative capacity check before any mutation (merging could make
+	// the true need smaller, but a refused packet must leave no trace).
+	count := c.burstCount(pkt)
+	if len(c.writeQueue)+count > c.cfg.WriteBufferSize {
+		c.retryReq = true
+		return false
+	}
+	c.st.writeReqs.Inc()
+	c.st.writeQueueLen.Sample(float64(len(c.writeQueue)))
+	c.burstRange(pkt, func(burstAddr, lo mem.Addr, size uint64) {
+		if c.inWriteQueue[burstAddr] > 0 && c.tryMergeWrite(burstAddr, lo, size) {
+			c.st.mergedWrBursts.Inc()
+			return
+		}
+		dp := &dramPacket{
+			isRead:    false,
+			coord:     c.dec.Decode(burstAddr),
+			burstAddr: burstAddr,
+			addr:      lo,
+			size:      size,
+			priority:  c.priorityOf(pkt.RequestorID),
+			entryTime: now,
+		}
+		c.writeQueue = append(c.writeQueue, dp)
+		c.inWriteQueue[burstAddr]++
+		c.st.writeBursts.Inc()
+	})
+	// Early write response (§II-A): respond as soon as the request is
+	// buffered; the DRAM access happens later without system-visible cost.
+	c.queueResponse(pkt, now+c.cfg.FrontendLatency, 0)
+	c.kickScheduler()
+	return true
+}
+
+// canForwardFromWriteQueue reports whether a queued write fully covers the
+// read byte range [lo, lo+size).
+func (c *Controller) canForwardFromWriteQueue(burstAddr, lo mem.Addr, size uint64) bool {
+	if c.inWriteQueue[burstAddr] == 0 {
+		return false
+	}
+	for _, w := range c.writeQueue {
+		if w.burstAddr == burstAddr && w.addr <= lo && lo+mem.Addr(size) <= w.addr+mem.Addr(w.size) {
+			return true
+		}
+	}
+	return false
+}
+
+// tryMergeWrite merges a new write piece into an existing same-burst entry
+// when their byte ranges overlap or touch; it reports success.
+func (c *Controller) tryMergeWrite(burstAddr, lo mem.Addr, size uint64) bool {
+	hi := lo + mem.Addr(size)
+	for _, w := range c.writeQueue {
+		if w.burstAddr != burstAddr {
+			continue
+		}
+		wHi := w.addr + mem.Addr(w.size)
+		if lo <= wHi && w.addr <= hi {
+			if lo < w.addr {
+				w.addr = lo
+			}
+			if hi > wHi {
+				wHi = hi
+			}
+			w.size = uint64(wHi - w.addr)
+			return true
+		}
+	}
+	return false
+}
+
+// queueResponse arranges for pkt to be sent back at sendAt, releasing
+// that many read-buffer entries once it leaves.
+func (c *Controller) queueResponse(pkt *mem.Packet, sendAt sim.Tick, release int) {
+	c.respQueue = insertResp(c.respQueue, respEntry{pkt: pkt, sendAt: sendAt, release: release})
+	first := c.respQueue[0].sendAt
+	if c.respondEvent.Scheduled() {
+		if c.respondEvent.When() > first {
+			c.k.Reschedule(c.respondEvent, first)
+		}
+	} else if !c.retryResp {
+		c.k.Schedule(c.respondEvent, first)
+	}
+}
+
+func (c *Controller) processRespondEvent() {
+	now := c.k.Now()
+	for len(c.respQueue) > 0 && c.respQueue[0].sendAt <= now {
+		e := c.respQueue[0]
+		if e.pkt.Cmd.IsRequest() {
+			e.pkt.MakeResponse()
+		}
+		if !c.port.SendTimingResp(e.pkt) {
+			c.retryResp = true
+			return
+		}
+		c.respQueue = c.respQueue[1:]
+		if e.release > 0 {
+			c.readEntries -= e.release
+			c.maybeSendReqRetry()
+		}
+	}
+	if len(c.respQueue) > 0 && !c.respondEvent.Scheduled() {
+		c.k.Schedule(c.respondEvent, c.respQueue[0].sendAt)
+	}
+	c.schedulePowerDownCheck()
+	c.scheduleSelfRefreshCheck()
+}
+
+// maybeSendReqRetry wakes a requestor blocked on a full queue.
+func (c *Controller) maybeSendReqRetry() {
+	if c.retryReq {
+		c.retryReq = false
+		c.port.SendReqRetry()
+	}
+}
+
+// kickScheduler makes sure the next-request event is pending.
+func (c *Controller) kickScheduler() {
+	if !c.nextReqEvent.Scheduled() {
+		c.k.Schedule(c.nextReqEvent, c.k.Now())
+	}
+}
+
+// processNextReqEvent is the scheduling core (paper §II-C): it picks the bus
+// direction with the write-drain watermarks, selects a request with
+// FCFS/FR-FCFS, performs the access, and re-arms itself just early enough
+// that the next decision happens close to issue time.
+func (c *Controller) processNextReqEvent() {
+	switch c.state {
+	case busRead:
+		switchToWrites := false
+		if len(c.readQueue) == 0 {
+			// No reads: drain writes once past the low watermark (or when
+			// draining for the end of a run).
+			if len(c.writeQueue) == 0 ||
+				(len(c.writeQueue) <= c.cfg.writeLowMark() && !c.draining) {
+				c.schedulePowerDownCheck()
+				c.scheduleSelfRefreshCheck()
+				return // idle until a new request arrives
+			}
+			switchToWrites = true
+		} else {
+			idx := c.chooseNext(c.readQueue)
+			dp := c.readQueue[idx]
+			c.readQueue = append(c.readQueue[:idx], c.readQueue[idx+1:]...)
+			c.doDRAMAccess(dp)
+			c.readsThisTime++
+			tr := dp.parent
+			tr.remaining--
+			if dp.readyTime > tr.lastReady {
+				tr.lastReady = dp.readyTime
+			}
+			if tr.remaining == 0 {
+				release := c.transactionEntries(tr)
+				c.queueResponse(tr.pkt, tr.lastReady+c.cfg.FrontendLatency+c.cfg.BackendLatency, release)
+			}
+			// Forced switch at the high watermark.
+			if len(c.writeQueue) >= c.cfg.writeHighMark() {
+				switchToWrites = true
+			}
+		}
+		if switchToWrites {
+			c.state = busWrite
+			c.writesThisTime = 0
+			c.st.rdWrTurnarounds.Inc()
+		}
+	case busWrite:
+		if len(c.writeQueue) > 0 {
+			idx := c.chooseNext(c.writeQueue)
+			dp := c.writeQueue[idx]
+			c.writeQueue = append(c.writeQueue[:idx], c.writeQueue[idx+1:]...)
+			c.inWriteQueue[dp.burstAddr]--
+			if c.inWriteQueue[dp.burstAddr] == 0 {
+				delete(c.inWriteQueue, dp.burstAddr)
+			}
+			c.doDRAMAccess(dp)
+			c.writesThisTime++
+			c.maybeSendReqRetry()
+		}
+		// Switch back to reads when the write queue is empty, when we are
+		// comfortably below the low watermark, or when reads are waiting
+		// and the minimum write burst has been drained (gem5's hysteresis).
+		if len(c.writeQueue) == 0 ||
+			(len(c.writeQueue)+c.cfg.MinWritesPerSwitch < c.cfg.writeLowMark() && !c.draining) ||
+			(len(c.readQueue) > 0 && c.writesThisTime >= c.cfg.MinWritesPerSwitch) {
+			c.state = busRead
+			c.readsThisTime = 0
+			c.st.rdWrTurnarounds.Inc()
+		}
+	}
+	if len(c.readQueue) > 0 || len(c.writeQueue) > 0 {
+		t := &c.tim
+		headroom := t.TRP + t.TRCD + t.TCL
+		next := c.k.Now()
+		if c.busBusyUntil > headroom && c.busBusyUntil-headroom > next {
+			next = c.busBusyUntil - headroom
+		}
+		if !c.nextReqEvent.Scheduled() {
+			c.k.Schedule(c.nextReqEvent, next)
+		}
+	}
+}
+
+// transactionEntries returns how many read-buffer entries tr occupies.
+func (c *Controller) transactionEntries(tr *transaction) int {
+	// Entries were reserved for the non-forwarded bursts only; remaining
+	// hit zero exactly when all of them were serviced.
+	return tr.entries
+}
+
+// priorityOf maps a requestor to its QoS level (0 when QoS is disabled).
+func (c *Controller) priorityOf(requestorID int) int {
+	if c.cfg.QoSPriority == nil {
+		return 0
+	}
+	return c.cfg.QoSPriority(requestorID)
+}
+
+// chooseNext returns the queue index to service next. FCFS takes the head;
+// FR-FCFS takes the first queued row hit (first-ready, as in gem5), and
+// with no hits available the request whose bank is ready first (paper
+// §II-C). With QoS enabled, only the highest priority level present in the
+// queue competes.
+func (c *Controller) chooseNext(q []*dramPacket) int {
+	if c.cfg.Scheduling == FCFS || len(q) == 1 {
+		return 0
+	}
+	minPri := 0
+	if c.cfg.QoSPriority != nil {
+		minPri = q[0].priority
+		for _, p := range q[1:] {
+			if p.priority > minPri {
+				minPri = p.priority
+			}
+		}
+	}
+	for i, p := range q {
+		if p.priority < minPri {
+			continue
+		}
+		b := &c.ranks[p.coord.Rank].banks[p.coord.Bank]
+		if b.openRow == int64(p.coord.Row) {
+			return i
+		}
+	}
+	best := -1
+	bestAt := sim.MaxTick
+	for i, p := range q {
+		if p.priority < minPri {
+			continue
+		}
+		if at := c.estimateIssue(p); at < bestAt {
+			best, bestAt = i, at
+		}
+	}
+	return best
+}
+
+// estimateIssue computes the earliest column-command tick for p without
+// mutating any state; it is the cost function behind FR-FCFS.
+func (c *Controller) estimateIssue(p *dramPacket) sim.Tick {
+	t := &c.tim
+	now := c.k.Now()
+	rk := c.ranks[p.coord.Rank]
+	b := &rk.banks[p.coord.Bank]
+
+	colReady := b.colAllowedAt
+	if b.openRow != int64(p.coord.Row) {
+		actAt := maxTick(now, b.actAllowedAt,
+			rk.lastActAt+t.TRRD,
+			rk.earliestActByWindow(c.cfg.Spec.Org.ActivationLimit, t.TXAW))
+		if b.openRow != rowClosed {
+			actAt = maxTick(actAt, maxTick(now, b.preAllowedAt)+t.TRP)
+		}
+		colReady = actAt + t.TRCD
+	}
+	dirAllowed := rk.rdAllowedAt
+	if !p.isRead {
+		dirAllowed = rk.wrAllowedAt
+	}
+	return maxTick(now, colReady, dirAllowed)
+}
+
+// doDRAMAccess performs the chosen burst: it opens the row if needed
+// (respecting tRP, tRRD and the tXAW window), claims the data bus, applies
+// the direction-turnaround constraints, and lets the page policy decide
+// whether to precharge afterwards.
+func (c *Controller) doDRAMAccess(p *dramPacket) {
+	t := &c.tim
+	org := &c.org
+	now := c.k.Now()
+	rk := c.ranks[p.coord.Rank]
+	b := &rk.banks[p.coord.Bank]
+
+	row := int64(p.coord.Row)
+	if b.openRow == row {
+		if p.isRead {
+			c.st.readRowHits.Inc()
+		} else {
+			c.st.writeRowHits.Inc()
+		}
+	} else {
+		if b.openRow != rowClosed {
+			c.prechargeBank(rk, b, maxTick(now, b.preAllowedAt))
+		}
+		actAt := maxTick(now, b.actAllowedAt,
+			rk.lastActAt+t.TRRD,
+			rk.earliestActByWindow(org.ActivationLimit, t.TXAW))
+		c.activateBank(rk, b, actAt, row)
+	}
+
+	dirAllowed := rk.rdAllowedAt
+	if !p.isRead {
+		dirAllowed = rk.wrAllowedAt
+	}
+	cmdAt := maxTick(now, b.colAllowedAt, dirAllowed)
+	// The command may overlap in-flight data; only the data transfer itself
+	// serialises on the bus.
+	if cmdAt+t.TCL < c.busBusyUntil {
+		cmdAt = c.busBusyUntil - t.TCL
+	}
+	dataEnd := cmdAt + t.TCL + t.TBURST
+	c.busBusyUntil = dataEnd
+	p.readyTime = dataEnd
+	if c.cfg.CommandListener != nil {
+		kind := power.CmdWR
+		if p.isRead {
+			kind = power.CmdRD
+		}
+		c.emitCommand(kind, p.coord.Rank, p.coord.Bank, cmdAt)
+	}
+
+	burstBytes := org.BurstBytes()
+	if p.isRead {
+		b.preAllowedAt = maxTick(b.preAllowedAt, cmdAt+t.TRTP)
+		rk.wrAllowedAt = maxTick(rk.wrAllowedAt, dataEnd+t.TRTW)
+		c.st.bytesRead.Add(float64(burstBytes))
+		lat := (p.readyTime - p.entryTime).Nanoseconds()
+		c.st.rdQLat.Sample(lat)
+		c.st.memAccLat.Sample(lat + (c.cfg.FrontendLatency + c.cfg.BackendLatency).Nanoseconds())
+	} else {
+		b.preAllowedAt = maxTick(b.preAllowedAt, dataEnd+t.TWR)
+		rk.rdAllowedAt = maxTick(rk.rdAllowedAt, dataEnd+t.TWTR)
+		c.st.bytesWritten.Add(float64(burstBytes))
+		c.st.wrQLat.Sample((now - p.entryTime).Nanoseconds())
+	}
+	b.rowAccesses++
+	b.bytesAccessed += burstBytes
+
+	c.applyPagePolicy(rk, b, p)
+}
+
+// applyPagePolicy decides whether the row stays open after an access.
+func (c *Controller) applyPagePolicy(rk *rank, b *bank, p *dramPacket) {
+	switch c.cfg.Page {
+	case Closed:
+		c.prechargeBank(rk, b, b.preAllowedAt)
+	case ClosedAdaptive:
+		// Keep the row open only if more accesses to it are queued.
+		if !c.queuedRowHit(p.coord) {
+			c.prechargeBank(rk, b, b.preAllowedAt)
+		}
+	case OpenAdaptive:
+		// Close early if a conflicting access is queued and no hit is.
+		if c.queuedRowConflict(p.coord) && !c.queuedRowHit(p.coord) {
+			c.prechargeBank(rk, b, b.preAllowedAt)
+		}
+	case Open:
+		if c.cfg.MaxAccessesPerRow > 0 && b.rowAccesses >= c.cfg.MaxAccessesPerRow {
+			c.prechargeBank(rk, b, b.preAllowedAt)
+		}
+	}
+}
+
+// queuedRowHit reports whether any queued burst targets the open row of the
+// same bank.
+func (c *Controller) queuedRowHit(coord dram.Coord) bool {
+	for _, q := range [2][]*dramPacket{c.readQueue, c.writeQueue} {
+		for _, p := range q {
+			if p.coord.Rank == coord.Rank && p.coord.Bank == coord.Bank && p.coord.Row == coord.Row {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// queuedRowConflict reports whether any queued burst targets a different row
+// of the same bank.
+func (c *Controller) queuedRowConflict(coord dram.Coord) bool {
+	for _, q := range [2][]*dramPacket{c.readQueue, c.writeQueue} {
+		for _, p := range q {
+			if p.coord.Rank == coord.Rank && p.coord.Bank == coord.Bank && p.coord.Row != coord.Row {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// emitCommand forwards a DRAM command to the configured listener.
+func (c *Controller) emitCommand(kind power.CommandKind, rankIdx, bankIdx int, at sim.Tick) {
+	if c.cfg.CommandListener != nil {
+		c.cfg.CommandListener(power.Command{Kind: kind, Rank: rankIdx, Bank: bankIdx, At: at})
+	}
+}
+
+// rankIndexOf resolves a rank pointer back to its index (ranks are few).
+func (c *Controller) rankIndexOf(rk *rank) int {
+	for i, r := range c.ranks {
+		if r == rk {
+			return i
+		}
+	}
+	return 0
+}
+
+// bankIndexOf resolves a bank pointer within a rank.
+func (c *Controller) bankIndexOf(rk *rank, b *bank) int {
+	for i := range rk.banks {
+		if &rk.banks[i] == b {
+			return i
+		}
+	}
+	return 0
+}
+
+// activateBank opens a row at actAt and records the activate for
+// tRRD/tXAW accounting and statistics.
+func (c *Controller) activateBank(rk *rank, b *bank, actAt sim.Tick, row int64) {
+	t := &c.tim
+	b.openRow = row
+	b.colAllowedAt = actAt + t.TRCD
+	b.preAllowedAt = maxTick(b.preAllowedAt, actAt+t.TRAS)
+	b.rowAccesses = 0
+	b.bytesAccessed = 0
+	rk.recordAct(actAt, c.cfg.Spec.Org.ActivationLimit)
+	c.st.activations.Inc()
+	if c.cfg.CommandListener != nil {
+		c.emitCommand(power.CmdACT, c.rankIndexOf(rk), c.bankIndexOf(rk, b), actAt)
+	}
+	if c.openBankCount == 0 {
+		d := actAt - c.allPrechargedSince
+		if d > 0 {
+			c.prechargeAllTime += d
+		}
+	}
+	c.openBankCount++
+}
+
+// prechargeBank closes a bank's row at preAt (tRP later the bank can
+// activate again) and records statistics.
+func (c *Controller) prechargeBank(rk *rank, b *bank, preAt sim.Tick) {
+	if b.openRow == rowClosed {
+		return
+	}
+	t := &c.tim
+	c.st.bytesPerActivate.Sample(float64(b.bytesAccessed))
+	b.openRow = rowClosed
+	b.actAllowedAt = maxTick(b.actAllowedAt, preAt+t.TRP)
+	b.rowAccesses = 0
+	b.bytesAccessed = 0
+	c.st.precharges.Inc()
+	if c.cfg.CommandListener != nil {
+		c.emitCommand(power.CmdPRE, c.rankIndexOf(rk), c.bankIndexOf(rk, b), preAt)
+	}
+	c.openBankCount--
+	if c.openBankCount == 0 {
+		c.allPrechargedSince = preAt + t.TRP
+	}
+}
+
+// processRefresh issues a refresh for a rank (paper §II-B: refreshes cause
+// the big latency spikes, so they are modelled). The all-bank policy blocks
+// the whole rank for tRFC; the per-bank extension refreshes one bank for a
+// shortened window, at a proportionally higher cadence.
+func (c *Controller) processRefresh(rankIdx int) {
+	t := &c.tim
+	now := c.k.Now()
+	rk := c.ranks[rankIdx]
+
+	if c.selfRefreshing {
+		// The DRAM is refreshing itself; just keep the cadence alive.
+		c.refreshDue[rankIdx] = now + t.TREFI
+		c.k.Schedule(c.refreshEvents[rankIdx], c.refreshDue[rankIdx])
+		return
+	}
+
+	var interval sim.Tick
+	if c.cfg.Refresh == RefreshPerBank {
+		interval = t.TREFI / sim.Tick(len(rk.banks))
+		c.refreshOneBank(rankIdx, rk)
+	} else {
+		interval = t.TREFI
+		c.refreshAllBanks(rankIdx, rk)
+	}
+	c.st.refreshes.Inc()
+
+	c.refreshDue[rankIdx] += interval
+	next := c.refreshDue[rankIdx]
+	if next <= now {
+		next = now + interval
+		c.refreshDue[rankIdx] = next
+	}
+	c.k.Schedule(c.refreshEvents[rankIdx], next)
+}
+
+// refreshAllBanks closes every bank and blocks the rank for tRFC.
+func (c *Controller) refreshAllBanks(rankIdx int, rk *rank) {
+	t := &c.tim
+	now := c.k.Now()
+	start := now
+	for i := range rk.banks {
+		b := &rk.banks[i]
+		if b.openRow != rowClosed {
+			preAt := maxTick(now, b.preAllowedAt)
+			c.prechargeBank(rk, b, preAt)
+			start = maxTick(start, preAt+t.TRP)
+		} else {
+			start = maxTick(start, b.actAllowedAt)
+		}
+	}
+	done := start + t.TRFC
+	for i := range rk.banks {
+		b := &rk.banks[i]
+		b.actAllowedAt = maxTick(b.actAllowedAt, done)
+	}
+	c.emitCommand(power.CmdREF, rankIdx, 0, start)
+}
+
+// tRFCpbNum/tRFCpbDen scale tRFC down for per-bank refresh (LPDDR3-style:
+// roughly 60% of the all-bank window).
+const (
+	tRFCpbNum = 3
+	tRFCpbDen = 5
+)
+
+// refreshOneBank closes and refreshes only the next bank in round-robin
+// order; the rest of the rank keeps serving.
+func (c *Controller) refreshOneBank(rankIdx int, rk *rank) {
+	t := &c.tim
+	now := c.k.Now()
+	b := &rk.banks[rk.nextRefreshBank]
+	start := now
+	if b.openRow != rowClosed {
+		preAt := maxTick(now, b.preAllowedAt)
+		c.prechargeBank(rk, b, preAt)
+		start = maxTick(start, preAt+t.TRP)
+	} else {
+		start = maxTick(start, b.actAllowedAt)
+	}
+	done := start + t.TRFC*tRFCpbNum/tRFCpbDen
+	b.actAllowedAt = maxTick(b.actAllowedAt, done)
+	c.emitCommand(power.CmdREF, rankIdx, rk.nextRefreshBank, start)
+	rk.nextRefreshBank = (rk.nextRefreshBank + 1) % len(rk.banks)
+}

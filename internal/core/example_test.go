@@ -1,0 +1,56 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dram"
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trafficgen"
+)
+
+// The smallest complete use of the controller: a traffic generator over one
+// DDR3 channel, run to completion.
+func ExampleNewController() {
+	k := sim.NewKernel()
+	reg := stats.NewRegistry("sys")
+
+	ctrl, err := core.NewController(k, core.DefaultConfig(dram.DDR3_1600_x64()), reg, "mc")
+	if err != nil {
+		panic(err)
+	}
+	gen, err := trafficgen.New(k,
+		trafficgen.Config{RequestBytes: 64, MaxOutstanding: 8, Count: 1000},
+		&trafficgen.Linear{Start: 0, End: 1 << 20, Step: 64, ReadPercent: 100},
+		reg, "gen")
+	if err != nil {
+		panic(err)
+	}
+	mem.Connect(gen.Port(), ctrl.Port())
+
+	gen.Start()
+	for !gen.Done() {
+		k.RunUntil(k.Now() + 10*sim.Microsecond)
+	}
+	fmt.Printf("all %d reads answered: %v\n", 1000, gen.ReadLatency().Count() == 1000)
+	fmt.Printf("sequential reads mostly row hits: %v\n", ctrl.RowHitRate() > 0.9)
+	// Output:
+	// all 1000 reads answered: true
+	// sequential reads mostly row hits: true
+}
+
+// Policies are plain configuration: here the adaptive closed-page policy
+// with FCFS scheduling on a WideIO part.
+func ExampleConfig() {
+	cfg := core.DefaultConfig(dram.WideIO_200_x128())
+	cfg.Page = core.ClosedAdaptive
+	cfg.Scheduling = core.FCFS
+	cfg.Mapping = dram.RoCoRaBaCh
+	fmt.Println(cfg.Validate() == nil)
+	fmt.Println(cfg.Page, cfg.Scheduling, cfg.Mapping)
+	// Output:
+	// true
+	// closed-adaptive FCFS RoCoRaBaCh
+}

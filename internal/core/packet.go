@@ -1,0 +1,68 @@
+package core
+
+import (
+	"repro/internal/dram"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// transaction tracks a system-level read that was chopped into multiple DRAM
+// bursts (paper §II-A: "a cache line may be chopped into a number of DRAM
+// bursts ... properly merged and dealt with by our controller"). The
+// response is sent once every burst has been serviced.
+type transaction struct {
+	pkt       *mem.Packet
+	remaining int
+	// entries is how many read-buffer slots the transaction holds (its
+	// non-forwarded burst count), released when the response is sent.
+	entries int
+	// lastReady is the latest burst completion seen; the response leaves at
+	// this tick (+ static latencies).
+	lastReady sim.Tick
+}
+
+// dramPacket is one burst-granular unit of work inside the controller.
+type dramPacket struct {
+	isRead bool
+	coord  dram.Coord
+	// burstAddr is the burst-aligned address of the access.
+	burstAddr mem.Addr
+	// addr/size delimit the valid bytes within the burst (writes smaller
+	// than a burst cover only part of it until merged).
+	addr mem.Addr
+	size uint64
+	// parent links read bursts back to their system packet.
+	parent *transaction
+	// priority is the QoS level of the originating requestor (0 when QoS
+	// is disabled).
+	priority int
+	// entryTime is when the burst entered its queue, for queueing-latency
+	// statistics.
+	entryTime sim.Tick
+	// readyTime is when the burst's data transfer completes (set by
+	// doDRAMAccess).
+	readyTime sim.Tick
+}
+
+// respEntry is a response waiting to be sent to the requestor, ordered by
+// sendAt.
+type respEntry struct {
+	pkt    *mem.Packet
+	sendAt sim.Tick
+	// release is the number of read-buffer entries freed when this response
+	// leaves (0 for write acknowledgements and forwarded reads).
+	release int
+}
+
+// insertResp inserts r into the queue keeping it sorted by sendAt (stable:
+// equal ticks keep arrival order).
+func insertResp(q []respEntry, r respEntry) []respEntry {
+	i := len(q)
+	for i > 0 && q[i-1].sendAt > r.sendAt {
+		i--
+	}
+	q = append(q, respEntry{})
+	copy(q[i+1:], q[i:])
+	q[i] = r
+	return q
+}

@@ -1,0 +1,71 @@
+package core
+
+import "repro/internal/sim"
+
+// Power-down support (extension): the paper lists low-power states as
+// future work ("Currently, we do not model the low-power states and
+// associated timing constraints", §II-G). This extension adds the simplest
+// useful form: after the controller has been completely idle for
+// Config.PowerDownIdle, the channel enters power-down; the first access
+// afterwards pays the tXP exit latency, and the time spent powered down is
+// reported to the power model, which bills it at IDD2P instead of
+// IDD2N/IDD3N. Refresh keeps running (CKE-low power-down still refreshes).
+
+// schedulePowerDownCheck arms the idle timer when the controller just went
+// quiescent.
+func (c *Controller) schedulePowerDownCheck() {
+	if c.cfg.PowerDownIdle <= 0 || c.poweredDown {
+		return
+	}
+	if !c.Quiescent() {
+		return
+	}
+	c.k.Reschedule(c.powerDownEvent, c.k.Now()+c.cfg.PowerDownIdle)
+}
+
+// processPowerDown fires after PowerDownIdle of scheduled idleness; it
+// enters power-down if the controller is still quiescent.
+func (c *Controller) processPowerDown() {
+	if !c.Quiescent() || c.poweredDown {
+		return
+	}
+	c.poweredDown = true
+	c.powerDownSince = c.k.Now()
+	c.st.powerDowns.Inc()
+}
+
+// exitPowerDown wakes the channel on a new request: every bank pays the tXP
+// exit latency before its next command.
+func (c *Controller) exitPowerDown() {
+	if c.cfg.PowerDownIdle <= 0 {
+		return
+	}
+	if c.powerDownEvent.Scheduled() {
+		c.k.Deschedule(c.powerDownEvent)
+	}
+	if !c.poweredDown {
+		return
+	}
+	now := c.k.Now()
+	c.poweredDown = false
+	c.powerDownTime += now - c.powerDownSince
+	wake := now + c.cfg.Spec.Timing.TXP
+	for _, rk := range c.ranks {
+		for i := range rk.banks {
+			b := &rk.banks[i]
+			b.actAllowedAt = maxTick(b.actAllowedAt, wake)
+			b.colAllowedAt = maxTick(b.colAllowedAt, wake)
+			b.preAllowedAt = maxTick(b.preAllowedAt, wake)
+		}
+	}
+}
+
+// PowerDownTime returns the accumulated time spent powered down, closing
+// the current interval at now.
+func (c *Controller) PowerDownTime() sim.Tick {
+	t := c.powerDownTime
+	if c.poweredDown {
+		t += c.k.Now() - c.powerDownSince
+	}
+	return t
+}

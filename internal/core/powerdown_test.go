@@ -1,0 +1,116 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/dram"
+	"repro/internal/mem"
+	"repro/internal/power"
+	"repro/internal/sim"
+)
+
+// An idle controller with the feature enabled enters power-down after the
+// configured idle time and accumulates power-down time.
+func TestPowerDownEntry(t *testing.T) {
+	h := newHarness(t, func(c *Config) { c.PowerDownIdle = 100 * sim.Nanosecond })
+	h.k.RunUntil(2 * sim.Microsecond)
+	if !h.c.poweredDown {
+		t.Fatal("idle controller did not power down")
+	}
+	pd := h.c.PowerDownTime()
+	// Powered down from ~100 ns to 2 us.
+	if pd < 1800*sim.Nanosecond || pd > 1950*sim.Nanosecond {
+		t.Fatalf("power-down time = %s", pd)
+	}
+	if h.c.st.powerDowns.Value() != 1 {
+		t.Fatalf("powerDowns = %v", h.c.st.powerDowns.Value())
+	}
+}
+
+// The feature disabled (default) never powers down.
+func TestPowerDownDisabledByDefault(t *testing.T) {
+	h := newHarness(t, nil)
+	h.k.RunUntil(2 * sim.Microsecond)
+	if h.c.poweredDown || h.c.PowerDownTime() != 0 {
+		t.Fatal("power-down occurred with the feature disabled")
+	}
+}
+
+// Waking from power-down costs tXP: the first access after a long idle is
+// slower than the same access on a never-powered-down controller.
+func TestPowerDownExitLatency(t *testing.T) {
+	run := func(idle sim.Tick) sim.Tick {
+		h := newHarness(t, func(c *Config) { c.PowerDownIdle = idle })
+		h.at(sim.Microsecond, func() { h.send(mem.NewRead(0, 64, 0, 0)) })
+		h.k.RunUntil(2 * sim.Microsecond)
+		if len(h.respTicks) != 1 {
+			t.Fatal("no response")
+		}
+		return h.respTicks[0] - sim.Microsecond
+	}
+	withPD := run(100 * sim.Nanosecond)
+	withoutPD := run(0)
+	txp := dram.DDR3_1600_x64().Timing.TXP
+	if withPD != withoutPD+txp {
+		t.Fatalf("power-down exit cost = %s, want %s + tXP(%s)", withPD, withoutPD, txp)
+	}
+}
+
+// A second idle period re-enters power-down (the timer re-arms).
+func TestPowerDownReentry(t *testing.T) {
+	h := newHarness(t, func(c *Config) { c.PowerDownIdle = 100 * sim.Nanosecond })
+	h.at(sim.Microsecond, func() { h.send(mem.NewRead(0, 64, 0, 0)) })
+	h.k.RunUntil(3 * sim.Microsecond)
+	if h.c.st.powerDowns.Value() != 2 {
+		t.Fatalf("powerDowns = %v, want 2 (before and after the access)", h.c.st.powerDowns.Value())
+	}
+	if h.c.poweredDown != true {
+		t.Fatal("controller should be powered down again")
+	}
+}
+
+// Power-down reduces the computed background power of a mostly idle
+// controller.
+func TestPowerDownReducesIdlePower(t *testing.T) {
+	run := func(idle sim.Tick) float64 {
+		h := newHarness(t, func(c *Config) { c.PowerDownIdle = idle })
+		// A touch of traffic, then long idle.
+		h.at(0, func() { h.send(mem.NewRead(0, 64, 0, 0)) })
+		h.k.RunUntil(50 * sim.Microsecond)
+		return power.Compute(h.c.cfg.Spec, h.c.PowerStats()).TotalMW()
+	}
+	withPD := run(200 * sim.Nanosecond)
+	withoutPD := run(0)
+	if withPD >= withoutPD {
+		t.Fatalf("power-down did not reduce idle power: %v vs %v mW", withPD, withoutPD)
+	}
+	// With IDD2P well below IDD2N the reduction should be substantial.
+	if withPD > withoutPD*0.7 {
+		t.Fatalf("reduction too small: %v vs %v mW", withPD, withoutPD)
+	}
+}
+
+// ResetStatsWindow clears accumulated power-down time but preserves the
+// powered-down state.
+func TestPowerDownStatsReset(t *testing.T) {
+	h := newHarness(t, func(c *Config) { c.PowerDownIdle = 100 * sim.Nanosecond })
+	h.k.RunUntil(sim.Microsecond)
+	if h.c.PowerDownTime() == 0 {
+		t.Fatal("no power-down time accumulated")
+	}
+	h.c.ResetStatsWindow()
+	// Still powered down; the new window starts accumulating from now.
+	h.k.RunUntil(h.k.Now() + 500*sim.Nanosecond)
+	pd := h.c.PowerDownTime()
+	if pd < 490*sim.Nanosecond || pd > 510*sim.Nanosecond {
+		t.Fatalf("post-reset power-down time = %s, want ~500ns", pd)
+	}
+}
+
+func TestPowerDownConfigValidation(t *testing.T) {
+	cfg := DefaultConfig(dram.DDR3_1600_x64())
+	cfg.PowerDownIdle = -1
+	if cfg.Validate() == nil {
+		t.Fatal("negative PowerDownIdle accepted")
+	}
+}

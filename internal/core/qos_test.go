@@ -1,0 +1,90 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/dram"
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// qosHarness runs two competing requestors through one controller and
+// reports their mean read latencies.
+func qosLatencies(t *testing.T, qos func(int) int) (hi, lo float64) {
+	t.Helper()
+	k := sim.NewKernel()
+	cfg := DefaultConfig(dram.DDR3_1600_x64())
+	cfg.FrontendLatency = 0
+	cfg.BackendLatency = 0
+	cfg.ReadBufferSize = 64
+	cfg.QoSPriority = qos
+	reg := stats.NewRegistry("t")
+	c, err := NewController(k, cfg, reg, "mc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &harness{k: k, c: c}
+	h.port = mem.NewRequestPort("gen", h)
+	mem.Connect(h.port, c.Port())
+
+	// Requestor 1 (latency-sensitive, 1 in 4 requests) competes with
+	// requestor 0 (bandwidth hog). A closed loop keeps ~24 requests in the
+	// controller queue — contended, but never blocked at admission, so the
+	// measured latency is the in-queue scheduling effect.
+	var latSum [2]float64
+	var latCnt [2]int
+	n := 400
+	sent := 0
+	var inject func()
+	inject = func() {
+		for h.blocked == nil && sent-len(h.responses) < 24 && sent < n {
+			id := 0
+			if sent%4 == 0 {
+				id = 1
+			}
+			addr := mem.Addr(sent) * 8192 // a fresh row every request
+			h.send(mem.NewRead(addr, 64, id, k.Now()))
+			sent++
+		}
+		if sent < n {
+			k.Schedule(sim.NewEvent("inject", inject), k.Now()+2*sim.Nanosecond)
+		}
+	}
+	k.Schedule(sim.NewEvent("inject", inject), 0)
+	for i := 0; i < 10000 && len(h.responses) < n; i++ {
+		k.RunUntil(k.Now() + sim.Microsecond)
+	}
+	if len(h.responses) != n {
+		t.Fatalf("responses = %d", len(h.responses))
+	}
+	for i, p := range h.responses {
+		id := p.RequestorID
+		latSum[id] += (h.respTicks[i] - p.IssueTick).Nanoseconds()
+		latCnt[id]++
+	}
+	return latSum[1] / float64(latCnt[1]), latSum[0] / float64(latCnt[0])
+}
+
+// With QoS, the high-priority requestor's latency drops well below the
+// low-priority one's; without QoS they are comparable.
+func TestQoSPrioritisesRequestor(t *testing.T) {
+	hiQ, loQ := qosLatencies(t, func(id int) int { return id })
+	hiN, _ := qosLatencies(t, nil)
+	if !(hiQ < loQ*0.7) {
+		t.Fatalf("QoS ineffective: high-pri %v ns vs low-pri %v ns", hiQ, loQ)
+	}
+	if !(hiQ < hiN) {
+		t.Fatalf("QoS did not improve the prioritised requestor: %v vs %v (no QoS)", hiQ, hiN)
+	}
+}
+
+// QoS never starves low priority completely: everything still completes
+// (verified by the response count in qosLatencies) and low-priority traffic
+// retains finite latency.
+func TestQoSNoTotalStarvation(t *testing.T) {
+	_, loQ := qosLatencies(t, func(id int) int { return id })
+	if loQ <= 0 {
+		t.Fatal("low-priority latency not measured")
+	}
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/dram"
+	"repro/internal/mem"
+	"repro/internal/power"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Per-bank refresh fires banks-per-rank times more often.
+func TestPerBankRefreshCadence(t *testing.T) {
+	h := newHarness(t, func(c *Config) { c.Refresh = RefreshPerBank })
+	tm := h.c.cfg.Spec.Timing
+	h.k.RunUntil(10 * tm.TREFI)
+	got := h.c.st.refreshes.Value()
+	want := 10.0 * float64(h.c.cfg.Spec.Org.BanksPerRank)
+	if got < want*0.9 || got > want*1.1 {
+		t.Fatalf("per-bank refreshes = %v, want ~%v", got, want)
+	}
+}
+
+// The paper: all-bank refresh "causes big latency spikes". Per-bank refresh
+// softens the worst case because seven of eight banks keep serving.
+func TestPerBankRefreshSoftensLatencySpike(t *testing.T) {
+	run := func(policy RefreshPolicy) sim.Tick {
+		h := newHarness(t, func(c *Config) { c.Refresh = policy })
+		tm := h.c.cfg.Spec.Timing
+		// Spaced random-bank reads across several refresh intervals.
+		n := int(3 * tm.TREFI / (100 * sim.Nanosecond))
+		for i := 0; i < n; i++ {
+			i := i
+			h.at(sim.Tick(i)*100*sim.Nanosecond, func() {
+				// Rotate banks so refresh collisions are inevitable.
+				addr := mem.Addr(i%8)*1024 + mem.Addr(i/8)*8192
+				h.send(mem.NewRead(addr, 64, 0, 0))
+			})
+		}
+		h.k.RunUntil(4 * tm.TREFI)
+		if len(h.respTicks) != n {
+			t.Fatalf("responses = %d, want %d", len(h.respTicks), n)
+		}
+		var worst sim.Tick
+		for i, tick := range h.respTicks {
+			lat := tick - h.responses[i].IssueTick
+			if lat > worst {
+				worst = lat
+			}
+		}
+		return worst
+	}
+	allBank := run(RefreshAllBank)
+	perBank := run(RefreshPerBank)
+	tm := dram.DDR3_1600_x64().Timing
+	// The all-bank spike must reflect tRFC; per-bank must be clearly softer.
+	if allBank < tm.TRFC {
+		t.Fatalf("all-bank worst latency %s below tRFC %s — no spike observed", allBank, tm.TRFC)
+	}
+	if perBank >= allBank {
+		t.Fatalf("per-bank worst latency %s not below all-bank %s", perBank, allBank)
+	}
+}
+
+// Multi-rank refresh is staggered: the two ranks never start their refresh
+// at the same tick, observed through the command-trace hook.
+func TestRefreshStaggerAcrossRanks(t *testing.T) {
+	k := sim.NewKernel()
+	cfg := DefaultConfig(dram.DDR3_1600_x64_2R())
+	refRanks := map[sim.Tick][]int{}
+	total := 0
+	cfg.CommandListener = func(c power.Command) {
+		if c.Kind == power.CmdREF {
+			refRanks[c.At] = append(refRanks[c.At], c.Rank)
+			total++
+		}
+	}
+	reg := stats.NewRegistry("t")
+	if _, err := NewController(k, cfg, reg, "mc"); err != nil {
+		t.Fatal(err)
+	}
+	k.RunUntil(5 * cfg.Spec.Timing.TREFI)
+	if total < 8 {
+		t.Fatalf("too few refreshes observed: %d", total)
+	}
+	for at, ranks := range refRanks {
+		if len(ranks) > 1 {
+			t.Fatalf("ranks %v refreshed simultaneously at %s", ranks, at)
+		}
+	}
+}
+
+func TestRefreshPolicyString(t *testing.T) {
+	if RefreshAllBank.String() != "all-bank" || RefreshPerBank.String() != "per-bank" {
+		t.Fatal("refresh policy names wrong")
+	}
+	cfg := DefaultConfig(dram.DDR3_1600_x64())
+	cfg.Refresh = RefreshPolicy(7)
+	if cfg.Validate() == nil {
+		t.Fatal("unknown refresh policy accepted")
+	}
+}

@@ -1,0 +1,89 @@
+package core
+
+import "repro/internal/power"
+
+// PowerStats returns the activity snapshot Micron's power model consumes
+// (paper §II-G), covering the window since construction or the last stats
+// reset; the current all-precharged interval is closed at now.
+func (c *Controller) PowerStats() power.Activity {
+	now := c.k.Now()
+	preAll := c.prechargeAllTime
+	if c.openBankCount == 0 && now > c.allPrechargedSince {
+		preAll += now - c.allPrechargedSince
+	}
+	burst := float64(c.cfg.Spec.Org.BurstBytes())
+	return power.Activity{
+		Elapsed:          now - c.startTick,
+		Activations:      uint64(c.st.activations.Value()),
+		ReadBursts:       uint64(c.st.bytesRead.Value() / burst),
+		WriteBursts:      uint64(c.st.bytesWritten.Value() / burst),
+		Refreshes:        uint64(c.st.refreshes.Value()),
+		PrechargeAllTime: preAll,
+		PowerDownTime:    c.PowerDownTime(),
+		SelfRefreshTime:  c.SelfRefreshTime(),
+	}
+}
+
+// BusUtilisation returns the fraction of elapsed time the data bus carried
+// data, the figure-of-merit of the bandwidth sweeps (Figs. 3-5).
+func (c *Controller) BusUtilisation() float64 {
+	now := c.k.Now()
+	if now <= c.startTick {
+		return 0
+	}
+	bursts := (c.st.bytesRead.Value() + c.st.bytesWritten.Value()) / float64(c.cfg.Spec.Org.BurstBytes())
+	busy := bursts * float64(c.cfg.Spec.Timing.TBURST)
+	return busy / float64(now-c.startTick)
+}
+
+// Bandwidth returns the achieved data bandwidth in bytes/second.
+func (c *Controller) Bandwidth() float64 {
+	now := c.k.Now()
+	if now <= c.startTick {
+		return 0
+	}
+	return (c.st.bytesRead.Value() + c.st.bytesWritten.Value()) / (now - c.startTick).Seconds()
+}
+
+// RowHitRate returns the fraction of DRAM bursts that hit an open row.
+func (c *Controller) RowHitRate() float64 {
+	hits := c.st.readRowHits.Value() + c.st.writeRowHits.Value()
+	accesses := (c.st.bytesRead.Value() + c.st.bytesWritten.Value()) / float64(c.cfg.Spec.Org.BurstBytes())
+	if accesses == 0 {
+		return 0
+	}
+	return hits / accesses
+}
+
+// AvgReadLatencyNs returns the mean read memory-access latency in ns
+// (including the static frontend/backend latencies).
+func (c *Controller) AvgReadLatencyNs() float64 { return c.st.memAccLat.Mean() }
+
+// ResetStatsWindow restarts the measurement window at the current tick
+// without touching DRAM state, so warm-up traffic can be excluded.
+func (c *Controller) ResetStatsWindow() {
+	now := c.k.Now()
+	c.startTick = now
+	c.prechargeAllTime = 0
+	c.powerDownTime = 0
+	if c.poweredDown {
+		c.powerDownSince = now
+	}
+	c.selfRefreshTime = 0
+	if c.selfRefreshing {
+		c.selfRefreshSince = now
+	}
+	if c.openBankCount == 0 {
+		c.allPrechargedSince = now
+	}
+	for _, s := range []interface{ Reset() }{
+		c.st.readReqs, c.st.writeReqs, c.st.readBursts, c.st.writeBursts,
+		c.st.servicedByWrQ, c.st.mergedWrBursts, c.st.readRowHits,
+		c.st.writeRowHits, c.st.activations, c.st.precharges, c.st.refreshes,
+		c.st.bytesRead, c.st.bytesWritten, c.st.rdQLat, c.st.wrQLat,
+		c.st.memAccLat, c.st.bytesPerActivate, c.st.readQueueLen,
+		c.st.writeQueueLen, c.st.rdWrTurnarounds,
+	} {
+		s.Reset()
+	}
+}

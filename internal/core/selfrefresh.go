@@ -1,0 +1,77 @@
+package core
+
+import "repro/internal/sim"
+
+// Self-refresh support (extension, deepening powerdown.go): after a longer
+// idle period the channel enters self-refresh — the DRAM refreshes itself
+// internally, the controller suspends its refresh machinery, background
+// current drops to IDD6, and the first access afterwards pays the tXS exit
+// latency (roughly tRFC plus margin). This is the deepest of the low-power
+// states the paper defers to future work.
+
+// scheduleSelfRefreshCheck arms the self-refresh idle timer alongside the
+// power-down one.
+func (c *Controller) scheduleSelfRefreshCheck() {
+	if c.cfg.SelfRefreshIdle <= 0 || c.selfRefreshing {
+		return
+	}
+	if !c.Quiescent() {
+		return
+	}
+	c.k.Reschedule(c.selfRefreshEvent, c.k.Now()+c.cfg.SelfRefreshIdle)
+}
+
+// processSelfRefresh fires after SelfRefreshIdle of scheduled idleness.
+func (c *Controller) processSelfRefresh() {
+	if !c.Quiescent() || c.selfRefreshing {
+		return
+	}
+	now := c.k.Now()
+	// Self-refresh supersedes power-down: close the PD interval first.
+	if c.poweredDown {
+		c.poweredDown = false
+		c.powerDownTime += now - c.powerDownSince
+	}
+	c.selfRefreshing = true
+	c.selfRefreshSince = now
+	c.st.selfRefreshes.Inc()
+}
+
+// exitSelfRefresh wakes the channel: banks wait tXS and external refresh
+// resumes a full interval out.
+func (c *Controller) exitSelfRefresh() {
+	if c.cfg.SelfRefreshIdle <= 0 {
+		return
+	}
+	if c.selfRefreshEvent.Scheduled() {
+		c.k.Deschedule(c.selfRefreshEvent)
+	}
+	if !c.selfRefreshing {
+		return
+	}
+	now := c.k.Now()
+	c.selfRefreshing = false
+	c.selfRefreshTime += now - c.selfRefreshSince
+	wake := now + c.tim.TXS
+	for ri, rk := range c.ranks {
+		for i := range rk.banks {
+			b := &rk.banks[i]
+			b.actAllowedAt = maxTick(b.actAllowedAt, wake)
+			b.colAllowedAt = maxTick(b.colAllowedAt, wake)
+			b.preAllowedAt = maxTick(b.preAllowedAt, wake)
+		}
+		// The DRAM refreshed itself; restart the external cadence.
+		c.refreshDue[ri] = now + c.tim.TREFI
+		c.k.Reschedule(c.refreshEvents[ri], c.refreshDue[ri])
+	}
+}
+
+// SelfRefreshTime returns the accumulated time in self-refresh, closing the
+// current interval at now.
+func (c *Controller) SelfRefreshTime() sim.Tick {
+	t := c.selfRefreshTime
+	if c.selfRefreshing {
+		t += c.k.Now() - c.selfRefreshSince
+	}
+	return t
+}

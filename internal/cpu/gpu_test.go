@@ -1,0 +1,182 @@
+package cpu
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dram"
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trafficgen"
+)
+
+func TestGPUConfigValidate(t *testing.T) {
+	good := GPUConfig{Wavefronts: 8, AccessBytes: 64}
+	if good.Validate() != nil {
+		t.Fatal("good config rejected")
+	}
+	bad := []GPUConfig{
+		{Wavefronts: 0, AccessBytes: 64},
+		{Wavefronts: 8, AccessBytes: 0},
+		{Wavefronts: 8, AccessBytes: 64, ComputePerAccess: -1},
+	}
+	for i, cfg := range bad {
+		if cfg.Validate() == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}
+
+func buildGPU(t *testing.T, cfg GPUConfig, delay sim.Tick) (*sim.Kernel, *GPU) {
+	t.Helper()
+	k := sim.NewKernel()
+	reg := stats.NewRegistry("t")
+	g, err := NewGPU(k, cfg, func(w int) trafficgen.Pattern {
+		return &trafficgen.Linear{
+			Start: mem.Addr(w) * (1 << 20), End: mem.Addr(w+1) * (1 << 20),
+			Step: 64, ReadPercent: 100,
+		}
+	}, reg, "gpu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := newInstantMem(k, delay)
+	mem.Connect(g.Port(), m.port)
+	return k, g
+}
+
+func TestGPUCompletes(t *testing.T) {
+	cfg := GPUConfig{Wavefronts: 8, AccessBytes: 64, MemOps: 400}
+	k, g := buildGPU(t, cfg, 50*sim.Nanosecond)
+	g.Start()
+	for i := 0; i < 10000 && !g.Done(); i++ {
+		k.RunUntil(k.Now() + sim.Microsecond)
+	}
+	if !g.Done() {
+		t.Fatalf("not done: issued=%d completed=%d", g.issued, g.completed)
+	}
+	if g.Throughput() <= 0 || g.AvgLoadLatencyNs() < 50 {
+		t.Fatalf("throughput=%v lat=%v", g.Throughput(), g.AvgLoadLatencyNs())
+	}
+}
+
+// The defining property: against a bandwidth-limited memory, a GPU with
+// enough wavefronts is latency-tolerant (throughput pinned at the memory's
+// service rate), while the low-MLP CPU model's throughput collapses with
+// latency.
+func TestGPULatencyTolerance(t *testing.T) {
+	gpuRate := func(delay sim.Tick) float64 {
+		cfg := GPUConfig{Wavefronts: 32, AccessBytes: 64, MemOps: 2000}
+		k := sim.NewKernel()
+		reg := stats.NewRegistry("t")
+		g, err := NewGPU(k, cfg, func(w int) trafficgen.Pattern {
+			return &trafficgen.Linear{
+				Start: mem.Addr(w) * (1 << 20), End: mem.Addr(w+1) * (1 << 20),
+				Step: 64, ReadPercent: 100,
+			}
+		}, reg, "gpu")
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := newSlottedMem(k, delay, 10*sim.Nanosecond) // 100 responses/us cap
+		mem.Connect(g.Port(), m.port)
+		g.Start()
+		for i := 0; i < 10000 && !g.Done(); i++ {
+			k.RunUntil(k.Now() + sim.Microsecond)
+		}
+		if !g.Done() {
+			t.Fatal("gpu not done")
+		}
+		return g.Throughput()
+	}
+	cpuRate := func(delay sim.Tick) float64 {
+		cfg := DefaultConfig()
+		cfg.MaxOutstanding = 2
+		cfg.MemOps = 2000
+		k, c, _ := buildCore(t, cfg, StreamWorkload(1<<20, 1), delay)
+		c.Start()
+		for i := 0; i < 100000 && !c.Done(); i++ {
+			k.RunUntil(k.Now() + sim.Microsecond)
+		}
+		if !c.Done() {
+			t.Fatal("cpu not done")
+		}
+		elapsed := float64(k.Now()) / float64(sim.Microsecond)
+		return 2000 / elapsed
+	}
+	gpuLoss := 1 - gpuRate(200*sim.Nanosecond)/gpuRate(100*sim.Nanosecond)
+	cpuLoss := 1 - cpuRate(200*sim.Nanosecond)/cpuRate(100*sim.Nanosecond)
+	if gpuLoss > 0.15 {
+		t.Fatalf("GPU lost %.0f%% throughput from 2x latency — not latency-tolerant", gpuLoss*100)
+	}
+	if cpuLoss < 0.3 {
+		t.Fatalf("CPU only lost %.0f%% — the contrast workload is wrong", cpuLoss*100)
+	}
+}
+
+// A GPU saturates a DRAM channel that a low-MLP CPU cannot.
+func TestGPUSaturatesDRAM(t *testing.T) {
+	k := sim.NewKernel()
+	reg := stats.NewRegistry("t")
+	ctrl, err := core.NewController(k, core.DefaultConfig(dram.DDR3_1600_x64()), reg, "mc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Offset wavefronts by one row buffer each so they start in rotating
+	// banks (1 MB offsets would all alias to bank 0 under RoRaBaCoCh), and
+	// keep few enough streams that rows stay open between their accesses.
+	rowBytes := dram.DDR3_1600_x64().Org.RowBufferBytes
+	g, err := NewGPU(k, GPUConfig{Wavefronts: 8, AccessBytes: 64, MemOps: 4000},
+		func(w int) trafficgen.Pattern {
+			return &trafficgen.Linear{
+				Start: mem.Addr(uint64(w) * rowBytes), End: 64 << 20,
+				Step: 64, ReadPercent: 100,
+			}
+		}, reg, "gpu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem.Connect(g.Port(), ctrl.Port())
+	g.Start()
+	for i := 0; i < 10000 && !g.Done(); i++ {
+		k.RunUntil(k.Now() + sim.Microsecond)
+	}
+	if !g.Done() {
+		t.Fatal("not done")
+	}
+	if util := ctrl.BusUtilisation(); util < 0.7 {
+		t.Fatalf("48 wavefronts only reached %.2f utilisation", util)
+	}
+}
+
+// slottedMem answers with a fixed latency but serves at most one request
+// per gap — a bandwidth-limited memory for latency-tolerance studies.
+type slottedMem struct {
+	k        *sim.Kernel
+	port     *mem.ResponsePort
+	latency  sim.Tick
+	gap      sim.Tick
+	nextSlot sim.Tick
+}
+
+func newSlottedMem(k *sim.Kernel, latency, gap sim.Tick) *slottedMem {
+	m := &slottedMem{k: k, latency: latency, gap: gap}
+	m.port = mem.NewResponsePort("slotmem", m)
+	return m
+}
+
+func (m *slottedMem) RecvTimingReq(pkt *mem.Packet) bool {
+	slot := m.nextSlot
+	if now := m.k.Now(); slot < now {
+		slot = now
+	}
+	m.nextSlot = slot + m.gap
+	m.k.Schedule(sim.NewEvent("slotresp", func() {
+		pkt.MakeResponse()
+		m.port.SendTimingResp(pkt)
+	}), slot+m.latency)
+	return true
+}
+
+func (m *slottedMem) RecvRespRetry() {}

@@ -1,0 +1,184 @@
+package cpu
+
+import (
+	"math/rand"
+
+	"repro/internal/mem"
+	"repro/internal/trafficgen"
+)
+
+// The workload models below are the synthetic stand-ins for the paper's
+// PARSEC benchmarks (see DESIGN.md's substitution table). Each reproduces
+// the memory-system-relevant character of a benchmark class: footprint,
+// locality, and read/write mix. The canneal model matters most — the paper's
+// §IV-B case study runs canneal on 16 cores.
+
+// CannealWorkload models canneal's pointer chasing: near-uniform random
+// accesses over a large footprint with a read-dominated mix. It defeats
+// caches and row buffers alike, which is why the paper uses it for the
+// memory-sensitivity study.
+func CannealWorkload(footprint uint64, seed int64) trafficgen.Pattern {
+	return &trafficgen.Random{
+		Start:       0,
+		End:         mem.Addr(footprint),
+		Align:       8,
+		ReadPercent: 75,
+		Seed:        seed,
+	}
+}
+
+// StreamWorkload models streaming kernels (streamcluster-like): long
+// sequential runs with a read-biased mix, maximally row-buffer friendly.
+func StreamWorkload(footprint uint64, seed int64) trafficgen.Pattern {
+	return &trafficgen.Linear{
+		Start:       0,
+		End:         mem.Addr(footprint),
+		Step:        8,
+		ReadPercent: 67,
+		Seed:        seed,
+	}
+}
+
+// ComputeWorkload models cache-resident compute (blackscholes-like): a small
+// hot working set that caches absorb almost entirely.
+func ComputeWorkload(workingSet uint64, seed int64) trafficgen.Pattern {
+	return &trafficgen.Random{
+		Start:       0,
+		End:         mem.Addr(workingSet),
+		Align:       8,
+		ReadPercent: 80,
+		Seed:        seed,
+	}
+}
+
+// MixedWorkload interleaves a hot set with occasional cold-footprint strides
+// (fluidanimate-like): mostly cache hits with periodic misses marching
+// through memory.
+type MixedWorkload struct {
+	HotSet    uint64
+	Footprint uint64
+	// ColdEvery is how often (in accesses) a cold access occurs.
+	ColdEvery int
+	Seed      int64
+
+	rng     *rand.Rand
+	count   int
+	coldPos mem.Addr
+}
+
+// Next implements trafficgen.Pattern.
+func (m *MixedWorkload) Next() (mem.Addr, bool) {
+	if m.rng == nil {
+		m.rng = rand.New(rand.NewSource(m.Seed))
+	}
+	m.count++
+	isRead := m.rng.Intn(100) < 70
+	if m.ColdEvery > 0 && m.count%m.ColdEvery == 0 {
+		addr := m.coldPos
+		m.coldPos += 64
+		if uint64(m.coldPos) >= m.Footprint {
+			m.coldPos = 0
+		}
+		return addr, isRead
+	}
+	return mem.Addr(uint64(m.rng.Int63n(int64(m.HotSet/8))) * 8), isRead
+}
+
+// BurstyWorkload models phase-alternating kernels (x264-like): bursts of
+// sequential frame-sized streaming separated by cache-resident compute
+// phases. The DRAM sees on/off traffic with strong spatial locality inside
+// each burst.
+type BurstyWorkload struct {
+	// FrameBytes is the length of each streaming burst.
+	FrameBytes uint64
+	// HotSet is the compute phase's working set.
+	HotSet uint64
+	// ComputeAccesses is the number of hot-set accesses between frames.
+	ComputeAccesses int
+	// Footprint bounds the streamed region.
+	Footprint uint64
+	Seed      int64
+
+	rng      *rand.Rand
+	inFrame  bool
+	framePos mem.Addr
+	frameEnd mem.Addr
+	count    int
+}
+
+// Next implements trafficgen.Pattern.
+func (b *BurstyWorkload) Next() (mem.Addr, bool) {
+	if b.rng == nil {
+		b.rng = rand.New(rand.NewSource(b.Seed))
+	}
+	isRead := b.rng.Intn(100) < 70
+	if b.inFrame {
+		addr := b.framePos
+		b.framePos += 64
+		if b.framePos >= b.frameEnd {
+			b.inFrame = false
+			b.count = 0
+		}
+		return addr, isRead
+	}
+	b.count++
+	if b.count >= b.ComputeAccesses {
+		// Start the next frame at a fresh region.
+		start := mem.Addr(uint64(b.rng.Int63n(int64(b.Footprint/b.FrameBytes))) * b.FrameBytes)
+		b.inFrame = true
+		b.framePos = start
+		b.frameEnd = start + mem.Addr(b.FrameBytes)
+	}
+	return mem.Addr(uint64(b.rng.Int63n(int64(b.HotSet/8))) * 8), isRead
+}
+
+// DedupWorkload models hash-table-heavy kernels (dedup-like): random probes
+// over a mid-sized table mixed with short sequential runs (chunk reads).
+type DedupWorkload struct {
+	TableBytes uint64
+	ChunkBytes uint64
+	Footprint  uint64
+	Seed       int64
+
+	rng      *rand.Rand
+	chunkPos mem.Addr
+	chunkEnd mem.Addr
+}
+
+// Next implements trafficgen.Pattern.
+func (d *DedupWorkload) Next() (mem.Addr, bool) {
+	if d.rng == nil {
+		d.rng = rand.New(rand.NewSource(d.Seed))
+	}
+	if d.chunkPos < d.chunkEnd {
+		addr := d.chunkPos
+		d.chunkPos += 64
+		return addr, true // chunk scans are reads
+	}
+	// 1 in 4 accesses starts a new chunk scan; the rest probe the table.
+	if d.rng.Intn(4) == 0 {
+		start := mem.Addr(d.TableBytes + uint64(d.rng.Int63n(int64((d.Footprint-d.TableBytes)/d.ChunkBytes)))*d.ChunkBytes)
+		d.chunkPos = start
+		d.chunkEnd = start + mem.Addr(d.ChunkBytes)
+		addr := d.chunkPos
+		d.chunkPos += 64
+		return addr, true
+	}
+	isRead := d.rng.Intn(100) < 60 // table updates write
+	return mem.Addr(uint64(d.rng.Int63n(int64(d.TableBytes/8))) * 8), isRead
+}
+
+// Offset shifts every address of a pattern by a fixed base, giving each core
+// in a multi-core system a private slice of physical memory (the paper's
+// canneal threads share data, but private slices keep the synthetic cores'
+// footprints disjoint and the pressure equal).
+type Offset struct {
+	Base    mem.Addr
+	Pattern trafficgen.Pattern
+}
+
+// Next implements trafficgen.Pattern.
+func (o *Offset) Next() (mem.Addr, bool) {
+	a, r := o.Pattern.Next()
+	return o.Base + a, r
+}

@@ -1,0 +1,191 @@
+package dram
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// Mapping selects how a physical address decodes into channel, rank, bank,
+// row and column (paper Table I). Names read most-significant first, so
+// RoRaBaCoCh places the channel bits lowest (cache-line interleaving) and
+// the row bits highest.
+type Mapping int
+
+// Address mapping schemes.
+const (
+	// RoRaBaCoCh: row, rank, bank, column, channel. Channel interleaving at
+	// burst granularity; sequential addresses walk the columns of one row,
+	// maximising page hits (used with open-page policies in the paper).
+	RoRaBaCoCh Mapping = iota
+	// RoRaBaChCo: row, rank, bank, channel, column. Channel interleaving at
+	// row-buffer granularity.
+	RoRaBaChCo
+	// RoCoRaBaCh: row, column, rank, bank, channel. Sequential addresses
+	// walk banks first, maximising bank parallelism (used with closed-page
+	// policies in the paper).
+	RoCoRaBaCh
+)
+
+// String names the mapping.
+func (m Mapping) String() string {
+	switch m {
+	case RoRaBaCoCh:
+		return "RoRaBaCoCh"
+	case RoRaBaChCo:
+		return "RoRaBaChCo"
+	case RoCoRaBaCh:
+		return "RoCoRaBaCh"
+	}
+	return fmt.Sprintf("Mapping(%d)", int(m))
+}
+
+// ParseMapping converts a scheme name into a Mapping.
+func ParseMapping(s string) (Mapping, error) {
+	switch s {
+	case "RoRaBaCoCh":
+		return RoRaBaCoCh, nil
+	case "RoRaBaChCo":
+		return RoRaBaChCo, nil
+	case "RoCoRaBaCh":
+		return RoCoRaBaCh, nil
+	}
+	return 0, fmt.Errorf("dram: unknown address mapping %q", s)
+}
+
+// Coord is a decoded DRAM coordinate.
+type Coord struct {
+	Rank int
+	Bank int
+	Row  uint64
+	// Col is the burst-granular column index within the row.
+	Col uint64
+}
+
+// Decoder maps physical addresses to DRAM coordinates for one controller.
+// Channels is the number of interleaved channels in the system (the
+// controller strips the channel bits; channel *selection* happens in the
+// crossbar, as in the paper's Figure 1 arrangement).
+type Decoder struct {
+	Org      Organization
+	Mapping  Mapping
+	Channels int
+	// XORBankRow, when set, XORs the bank index with the low row bits — the
+	// classic bank-hashing trick (gem5's xor-based interleaving) that
+	// spreads pathological same-bank strides across all banks.
+	XORBankRow bool
+}
+
+// NewDecoder validates and builds a decoder.
+func NewDecoder(org Organization, mapping Mapping, channels int) (Decoder, error) {
+	if err := org.Validate(); err != nil {
+		return Decoder{}, err
+	}
+	if channels <= 0 || !isPow2(uint64(channels)) {
+		return Decoder{}, fmt.Errorf("dram: channels must be a positive power of two, got %d", channels)
+	}
+	return Decoder{Org: org, Mapping: mapping, Channels: channels}, nil
+}
+
+// InterleaveBytes returns the channel-interleaving granularity implied by
+// the mapping: burst size for the *Ch-low schemes, row-buffer size for
+// RoRaBaChCo.
+func (d Decoder) InterleaveBytes() uint64 {
+	if d.Mapping == RoRaBaChCo {
+		return d.Org.RowBufferBytes
+	}
+	return d.Org.BurstBytes()
+}
+
+// Channel returns which channel an address belongs to.
+func (d Decoder) Channel(a mem.Addr) int {
+	return int(uint64(a) / d.InterleaveBytes() % uint64(d.Channels))
+}
+
+// Decode splits an address into its DRAM coordinate. The address is the full
+// system address; channel bits are stripped according to the mapping.
+func (d Decoder) Decode(a mem.Addr) Coord {
+	org := d.Org
+	burst := org.BurstBytes()
+	colsPerRow := org.BurstsPerRow()
+	addr := uint64(a) / burst
+
+	var c Coord
+	switch d.Mapping {
+	case RoRaBaCoCh:
+		// offset | channel | column | bank | rank | row
+		addr /= uint64(d.Channels)
+		c.Col = addr % colsPerRow
+		addr /= colsPerRow
+		c.Bank = int(addr % uint64(org.BanksPerRank))
+		addr /= uint64(org.BanksPerRank)
+		c.Rank = int(addr % uint64(org.RanksPerChannel))
+		addr /= uint64(org.RanksPerChannel)
+		c.Row = addr % org.RowsPerBank
+	case RoRaBaChCo:
+		// offset | column | channel | bank | rank | row
+		c.Col = addr % colsPerRow
+		addr /= colsPerRow
+		addr /= uint64(d.Channels)
+		c.Bank = int(addr % uint64(org.BanksPerRank))
+		addr /= uint64(org.BanksPerRank)
+		c.Rank = int(addr % uint64(org.RanksPerChannel))
+		addr /= uint64(org.RanksPerChannel)
+		c.Row = addr % org.RowsPerBank
+	case RoCoRaBaCh:
+		// offset | channel | bank | rank | column | row
+		addr /= uint64(d.Channels)
+		c.Bank = int(addr % uint64(org.BanksPerRank))
+		addr /= uint64(org.BanksPerRank)
+		c.Rank = int(addr % uint64(org.RanksPerChannel))
+		addr /= uint64(org.RanksPerChannel)
+		c.Col = addr % colsPerRow
+		addr /= colsPerRow
+		c.Row = addr % org.RowsPerBank
+	default:
+		panic("dram: unknown mapping")
+	}
+	if d.XORBankRow {
+		c.Bank ^= int(c.Row) & (d.Org.BanksPerRank - 1)
+	}
+	return c
+}
+
+// Encode is the inverse of Decode for channel 0 — it reconstructs a physical
+// address from a coordinate. The DRAM-aware traffic generator uses it to
+// target specific rows and banks (§III-A).
+func (d Decoder) Encode(c Coord, channel int) mem.Addr {
+	org := d.Org
+	burst := org.BurstBytes()
+	colsPerRow := org.BurstsPerRow()
+
+	if d.XORBankRow {
+		// Invert the decode-side hash so Decode(Encode(c)) == c.
+		c.Bank ^= int(c.Row) & (org.BanksPerRank - 1)
+	}
+
+	var addr uint64
+	switch d.Mapping {
+	case RoRaBaCoCh:
+		addr = c.Row
+		addr = addr*uint64(org.RanksPerChannel) + uint64(c.Rank)
+		addr = addr*uint64(org.BanksPerRank) + uint64(c.Bank)
+		addr = addr*colsPerRow + c.Col
+		addr = addr*uint64(d.Channels) + uint64(channel)
+	case RoRaBaChCo:
+		addr = c.Row
+		addr = addr*uint64(org.RanksPerChannel) + uint64(c.Rank)
+		addr = addr*uint64(org.BanksPerRank) + uint64(c.Bank)
+		addr = addr*uint64(d.Channels) + uint64(channel)
+		addr = addr*colsPerRow + c.Col
+	case RoCoRaBaCh:
+		addr = c.Row
+		addr = addr*colsPerRow + c.Col
+		addr = addr*uint64(org.RanksPerChannel) + uint64(c.Rank)
+		addr = addr*uint64(org.BanksPerRank) + uint64(c.Bank)
+		addr = addr*uint64(d.Channels) + uint64(channel)
+	default:
+		panic("dram: unknown mapping")
+	}
+	return mem.Addr(addr * burst)
+}

@@ -1,0 +1,193 @@
+// Package dram describes DRAM devices from the controller's point of view:
+// the organisation (bus width, burst length, banks, ranks, row-buffer size)
+// and the subset of timing constraints the paper identifies as the ones that
+// matter for system-level behaviour (§II-B). The controller never models the
+// DRAM itself — only the state transitions these parameters imply.
+package dram
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Timing holds the modelled DRAM timing constraints. All values are in
+// ticks (picoseconds). Notable timings the paper deliberately leaves out —
+// rank-to-rank switching and bank-group effects — are absent here too.
+type Timing struct {
+	// TCK is the memory clock period (used by the cycle-based baseline and
+	// for quantising stats; the event-based model itself does not tick).
+	TCK sim.Tick
+	// TRCD is the row-to-column (activate-to-access) delay.
+	TRCD sim.Tick
+	// TCL is the column access latency; per the paper it stands in for the
+	// write timing tWR as well.
+	TCL sim.Tick
+	// TRP is the row precharge time.
+	TRP sim.Tick
+	// TRAS is the minimum time a row must stay open after activation.
+	TRAS sim.Tick
+	// TBURST is the duration of one data burst on the bus; it implicitly
+	// models tCCD and the SDR/DDR distinction.
+	TBURST sim.Tick
+	// TRFC is the duration of a refresh command.
+	TRFC sim.Tick
+	// TREFI is the average interval between refreshes.
+	TREFI sim.Tick
+	// TWTR is the write-to-read turnaround within a rank.
+	TWTR sim.Tick
+	// TRTW is the read-to-write bus turnaround.
+	TRTW sim.Tick
+	// TRRD is the minimum activate-to-activate delay across banks.
+	TRRD sim.Tick
+	// TXAW is the rolling window in which at most ActivationLimit activates
+	// may be issued (generalised tFAW/tTAW).
+	TXAW sim.Tick
+	// TRTP is the read-to-precharge delay.
+	TRTP sim.Tick
+	// TWR is the write recovery time before a precharge may follow a write.
+	TWR sim.Tick
+	// TXP is the power-down exit latency (extension beyond the paper, which
+	// lists low-power states as future work; 0 if never used).
+	TXP sim.Tick
+	// TXS is the self-refresh exit latency (extension; typically around
+	// tRFC plus a margin; 0 if never used).
+	TXS sim.Tick
+}
+
+// Organization describes the physical structure of one memory channel as the
+// controller sees it.
+type Organization struct {
+	// BusWidthBits is the channel data bus width (per the paper's Table IV
+	// this is the full interface width, e.g. 64 for DDR3, 128 for WideIO).
+	BusWidthBits int
+	// BurstLength is the number of beats per burst.
+	BurstLength int
+	// DevicesPerRank is the number of devices ganged on the channel.
+	DevicesPerRank int
+	// RanksPerChannel is the number of ranks sharing the channel busses.
+	RanksPerChannel int
+	// BanksPerRank is the number of banks per rank.
+	BanksPerRank int
+	// RowBufferBytes is the row (page) size per bank across the rank.
+	RowBufferBytes uint64
+	// RowsPerBank is the number of rows in each bank.
+	RowsPerBank uint64
+	// ActivationLimit is the maximum activates inside a TXAW window; zero
+	// disables the window check.
+	ActivationLimit int
+}
+
+// BurstBytes returns the number of bytes moved by one burst.
+func (o Organization) BurstBytes() uint64 {
+	return uint64(o.BusWidthBits/8) * uint64(o.BurstLength)
+}
+
+// BurstsPerRow returns the number of bursts that fit in one row buffer.
+func (o Organization) BurstsPerRow() uint64 { return o.RowBufferBytes / o.BurstBytes() }
+
+// Banks returns the total banks in the channel (across ranks).
+func (o Organization) Banks() int { return o.RanksPerChannel * o.BanksPerRank }
+
+// ChannelBytes returns the total capacity of the channel.
+func (o Organization) ChannelBytes() uint64 {
+	return uint64(o.Banks()) * o.RowsPerBank * o.RowBufferBytes
+}
+
+// Validate checks structural sanity; every field the controller divides or
+// masks by must be a positive power of two where indexing requires it.
+func (o Organization) Validate() error {
+	switch {
+	case o.BusWidthBits <= 0 || o.BusWidthBits%8 != 0:
+		return fmt.Errorf("dram: bad bus width %d", o.BusWidthBits)
+	case o.BurstLength <= 0:
+		return fmt.Errorf("dram: bad burst length %d", o.BurstLength)
+	case o.RanksPerChannel <= 0:
+		return fmt.Errorf("dram: bad ranks %d", o.RanksPerChannel)
+	case o.BanksPerRank <= 0:
+		return fmt.Errorf("dram: bad banks %d", o.BanksPerRank)
+	case o.RowBufferBytes == 0 || o.RowsPerBank == 0:
+		return fmt.Errorf("dram: bad row geometry %d x %d", o.RowBufferBytes, o.RowsPerBank)
+	case !isPow2(uint64(o.BanksPerRank)) || !isPow2(uint64(o.RanksPerChannel)):
+		return fmt.Errorf("dram: banks (%d) and ranks (%d) must be powers of two", o.BanksPerRank, o.RanksPerChannel)
+	case !isPow2(o.RowBufferBytes) || !isPow2(o.BurstBytes()):
+		return fmt.Errorf("dram: row buffer (%d) and burst (%d) must be powers of two", o.RowBufferBytes, o.BurstBytes())
+	case o.RowBufferBytes%o.BurstBytes() != 0:
+		return fmt.Errorf("dram: row buffer %d not a multiple of burst %d", o.RowBufferBytes, o.BurstBytes())
+	case o.ActivationLimit < 0:
+		return fmt.Errorf("dram: negative activation limit")
+	}
+	return nil
+}
+
+// Validate checks that every modelled timing is positive where required.
+func (t Timing) Validate() error {
+	type item struct {
+		name string
+		v    sim.Tick
+	}
+	for _, it := range []item{
+		{"tCK", t.TCK}, {"tRCD", t.TRCD}, {"tCL", t.TCL}, {"tRP", t.TRP},
+		{"tRAS", t.TRAS}, {"tBURST", t.TBURST}, {"tRFC", t.TRFC}, {"tREFI", t.TREFI},
+	} {
+		if it.v <= 0 {
+			return fmt.Errorf("dram: %s must be positive, got %s", it.name, it.v)
+		}
+	}
+	for _, it := range []item{
+		{"tWTR", t.TWTR}, {"tRTW", t.TRTW}, {"tRRD", t.TRRD}, {"tXAW", t.TXAW},
+		{"tRTP", t.TRTP}, {"tWR", t.TWR}, {"tXP", t.TXP}, {"tXS", t.TXS},
+	} {
+		if it.v < 0 {
+			return fmt.Errorf("dram: %s must be non-negative, got %s", it.name, it.v)
+		}
+	}
+	if t.TRAS < t.TRCD {
+		return fmt.Errorf("dram: tRAS (%s) < tRCD (%s)", t.TRAS, t.TRCD)
+	}
+	return nil
+}
+
+func isPow2(v uint64) bool { return v != 0 && v&(v-1) == 0 }
+
+// Spec bundles an organisation with its timings and a name, forming a
+// complete description of one memory interface generation.
+type Spec struct {
+	Name   string
+	Org    Organization
+	Timing Timing
+	Power  PowerParams
+}
+
+// Validate checks both halves of the spec.
+func (s Spec) Validate() error {
+	if err := s.Org.Validate(); err != nil {
+		return fmt.Errorf("%s: %w", s.Name, err)
+	}
+	if err := s.Timing.Validate(); err != nil {
+		return fmt.Errorf("%s: %w", s.Name, err)
+	}
+	return nil
+}
+
+// PeakBandwidth returns the theoretical peak data bandwidth in bytes/second:
+// one burst of data every TBURST.
+func (s Spec) PeakBandwidth() float64 {
+	return float64(s.Org.BurstBytes()) / s.Timing.TBURST.Seconds()
+}
+
+// PowerParams carries the Micron-style current/voltage parameters consumed
+// by the power model (internal/power). Values are for one device; the power
+// model scales by devices per rank and ranks.
+type PowerParams struct {
+	VDD float64 // supply voltage (V)
+	// Currents in mA, named after Micron's IDD taxonomy.
+	IDD0  float64 // one bank activate-precharge current
+	IDD2N float64 // precharge standby current
+	IDD2P float64 // precharge power-down current (extension)
+	IDD3N float64 // active standby current
+	IDD4R float64 // burst read current
+	IDD4W float64 // burst write current
+	IDD5  float64 // refresh current
+	IDD6  float64 // self-refresh current (extension)
+}

@@ -1,0 +1,365 @@
+package dram
+
+import "repro/internal/sim"
+
+// The presets below reproduce the memory interfaces the paper evaluates.
+// DDR3/LPDDR3/WideIO use the exact Table IV values (ns interpreted as
+// printed, tREFI in microseconds as customary); the validation DDR3-1333
+// configuration matches §III's "2 GBit, 8x8, 666 MHz" device. The remaining
+// presets (DDR4, GDDR5, LPDDR2, HMC vault) demonstrate the model's
+// flexibility claim: a new interface is only a parameter set.
+
+const (
+	ns = sim.Nanosecond
+	us = sim.Microsecond
+	ps = sim.Picosecond
+)
+
+// DDR3_1600_x64 is the paper's Table IV DDR3 channel: one 64-bit channel at
+// 12.8 GB/s peak.
+func DDR3_1600_x64() Spec {
+	return Spec{
+		Name: "DDR3-1600-x64",
+		Org: Organization{
+			BusWidthBits:    64,
+			BurstLength:     8,
+			DevicesPerRank:  1,
+			RanksPerChannel: 1,
+			BanksPerRank:    8,
+			RowBufferBytes:  1024,
+			RowsPerBank:     32768,
+			ActivationLimit: 4,
+		},
+		Timing: Timing{
+			TCK:    1250 * ps,
+			TRCD:   13750 * ps,
+			TCL:    13750 * ps,
+			TRP:    13750 * ps,
+			TRAS:   35 * ns,
+			TBURST: 5 * ns,
+			TRFC:   300 * ns,
+			TREFI:  7800 * ns,
+			TWTR:   7500 * ps,
+			TRTW:   2500 * ps,
+			TRRD:   6250 * ps,
+			TXAW:   40 * ns,
+			TRTP:   7500 * ps,
+			TWR:    15 * ns,
+			TXP:    6 * ns,
+			TXS:    310 * ns,
+		},
+		Power: ddr3Power(),
+	}
+}
+
+// LPDDR3_1600_x32 is the paper's Table IV LPDDR3 channel: two such 32-bit
+// channels reach 12.8 GB/s.
+func LPDDR3_1600_x32() Spec {
+	return Spec{
+		Name: "LPDDR3-1600-x32",
+		Org: Organization{
+			BusWidthBits:    32,
+			BurstLength:     8,
+			DevicesPerRank:  1,
+			RanksPerChannel: 1,
+			BanksPerRank:    8,
+			RowBufferBytes:  1024,
+			RowsPerBank:     32768,
+			ActivationLimit: 4,
+		},
+		Timing: Timing{
+			TCK:    1250 * ps,
+			TRCD:   15 * ns,
+			TCL:    15 * ns,
+			TRP:    15 * ns,
+			TRAS:   42 * ns,
+			TBURST: 5 * ns,
+			TRFC:   130 * ns,
+			TREFI:  15 * us,
+			TWTR:   7500 * ps,
+			TRTW:   2500 * ps,
+			TRRD:   10 * ns,
+			TXAW:   50 * ns,
+			TRTP:   7500 * ps,
+			TWR:    15 * ns,
+			TXP:    6 * ns,
+			TXS:    140 * ns,
+		},
+		Power: PowerParams{
+			VDD:  1.2,
+			IDD0: 8, IDD2N: 1.8, IDD2P: 0.8, IDD3N: 8,
+			IDD4R: 140, IDD4W: 150, IDD5: 28, IDD6: 0.5,
+		},
+	}
+}
+
+// WideIO_200_x128 is the paper's Table IV WideIO channel: four such 128-bit
+// SDR channels reach 12.8 GB/s.
+func WideIO_200_x128() Spec {
+	return Spec{
+		Name: "WideIO-200-x128",
+		Org: Organization{
+			BusWidthBits:    128,
+			BurstLength:     4,
+			DevicesPerRank:  1,
+			RanksPerChannel: 1,
+			BanksPerRank:    4,
+			RowBufferBytes:  4096,
+			RowsPerBank:     16384,
+			ActivationLimit: 2,
+		},
+		Timing: Timing{
+			TCK:    5 * ns,
+			TRCD:   18 * ns,
+			TCL:    18 * ns,
+			TRP:    18 * ns,
+			TRAS:   42 * ns,
+			TBURST: 20 * ns,
+			TRFC:   210 * ns,
+			TREFI:  35 * us,
+			TWTR:   15 * ns,
+			TRTW:   5 * ns,
+			TRRD:   10 * ns,
+			TXAW:   50 * ns,
+			TRTP:   15 * ns,
+			TWR:    15 * ns,
+			TXP:    6 * ns,
+			TXS:    220 * ns,
+		},
+		Power: PowerParams{
+			VDD:  1.2,
+			IDD0: 4, IDD2N: 1.5, IDD2P: 0.6, IDD3N: 6,
+			IDD4R: 45, IDD4W: 50, IDD5: 22, IDD6: 0.4,
+		},
+	}
+}
+
+// DDR3_1333_8x8 matches the validation device of §III: a 2 Gbit, x8 device
+// at 666 MHz, eight devices per rank, single rank, single channel. The rank
+// row buffer is 8 devices x 1 KByte.
+func DDR3_1333_8x8() Spec {
+	return Spec{
+		Name: "DDR3-1333-8x8",
+		Org: Organization{
+			BusWidthBits:    64,
+			BurstLength:     8,
+			DevicesPerRank:  8,
+			RanksPerChannel: 1,
+			BanksPerRank:    8,
+			RowBufferBytes:  8192,
+			RowsPerBank:     32768,
+			ActivationLimit: 4,
+		},
+		Timing: Timing{
+			TCK:    1500 * ps,
+			TRCD:   13500 * ps,
+			TCL:    13500 * ps,
+			TRP:    13500 * ps,
+			TRAS:   36 * ns,
+			TBURST: 6 * ns,
+			TRFC:   160 * ns,
+			TREFI:  7800 * ns,
+			TWTR:   7500 * ps,
+			TRTW:   3 * ns,
+			TRRD:   6 * ns,
+			TXAW:   30 * ns,
+			TRTP:   7500 * ps,
+			TWR:    15 * ns,
+			TXP:    6 * ns,
+			TXS:    170 * ns,
+		},
+		Power: ddr3Power(),
+	}
+}
+
+// DDR3_1600_x64_2R is the Table IV DDR3 channel with two ranks, exercising
+// rank-level parallelism (per the paper, rank-to-rank switching constraints
+// are intentionally not modelled, so ranks contribute pure parallelism).
+func DDR3_1600_x64_2R() Spec {
+	s := DDR3_1600_x64()
+	s.Name = "DDR3-1600-x64-2R"
+	s.Org.RanksPerChannel = 2
+	return s
+}
+
+// DDR4_2400_x64 is a post-paper extension point showing the "future memory"
+// flexibility claim: only parameters change.
+func DDR4_2400_x64() Spec {
+	return Spec{
+		Name: "DDR4-2400-x64",
+		Org: Organization{
+			BusWidthBits:    64,
+			BurstLength:     8,
+			DevicesPerRank:  8,
+			RanksPerChannel: 1,
+			BanksPerRank:    16,
+			RowBufferBytes:  8192,
+			RowsPerBank:     32768,
+			ActivationLimit: 4,
+		},
+		Timing: Timing{
+			TCK:    833 * ps,
+			TRCD:   14160 * ps,
+			TCL:    14160 * ps,
+			TRP:    14160 * ps,
+			TRAS:   32 * ns,
+			TBURST: 3332 * ps,
+			TRFC:   260 * ns,
+			TREFI:  7800 * ns,
+			TWTR:   7500 * ps,
+			TRTW:   2500 * ps,
+			TRRD:   4900 * ps,
+			TXAW:   21 * ns,
+			TRTP:   7500 * ps,
+			TWR:    15 * ns,
+			TXP:    6 * ns,
+			TXS:    270 * ns,
+		},
+		Power: PowerParams{
+			VDD:  1.2,
+			IDD0: 55, IDD2N: 34, IDD2P: 16, IDD3N: 44,
+			IDD4R: 150, IDD4W: 125, IDD5: 190, IDD6: 14,
+		},
+	}
+}
+
+// GDDR5_4000_x32 is a graphics-memory extension preset.
+func GDDR5_4000_x32() Spec {
+	return Spec{
+		Name: "GDDR5-4000-x32",
+		Org: Organization{
+			BusWidthBits:    32,
+			BurstLength:     8,
+			DevicesPerRank:  1,
+			RanksPerChannel: 1,
+			BanksPerRank:    16,
+			RowBufferBytes:  2048,
+			RowsPerBank:     16384,
+			ActivationLimit: 4,
+		},
+		Timing: Timing{
+			TCK:    500 * ps,
+			TRCD:   12 * ns,
+			TCL:    12 * ns,
+			TRP:    12 * ns,
+			TRAS:   28 * ns,
+			TBURST: 2 * ns,
+			TRFC:   65 * ns,
+			TREFI:  3900 * ns,
+			TWTR:   5 * ns,
+			TRTW:   2 * ns,
+			TRRD:   6 * ns,
+			TXAW:   23 * ns,
+			TRTP:   2 * ns,
+			TWR:    12 * ns,
+			TXP:    5 * ns,
+			TXS:    75 * ns,
+		},
+		Power: PowerParams{
+			VDD:  1.5,
+			IDD0: 70, IDD2N: 32, IDD2P: 18, IDD3N: 55,
+			IDD4R: 230, IDD4W: 240, IDD5: 150, IDD6: 20,
+		},
+	}
+}
+
+// LPDDR2_1066_x32 is a mobile extension preset.
+func LPDDR2_1066_x32() Spec {
+	return Spec{
+		Name: "LPDDR2-1066-x32",
+		Org: Organization{
+			BusWidthBits:    32,
+			BurstLength:     8,
+			DevicesPerRank:  1,
+			RanksPerChannel: 1,
+			BanksPerRank:    8,
+			RowBufferBytes:  1024,
+			RowsPerBank:     16384,
+			ActivationLimit: 0,
+		},
+		Timing: Timing{
+			TCK:    1876 * ps,
+			TRCD:   18 * ns,
+			TCL:    15 * ns,
+			TRP:    18 * ns,
+			TRAS:   42 * ns,
+			TBURST: 7504 * ps,
+			TRFC:   130 * ns,
+			TREFI:  3900 * ns,
+			TWTR:   7500 * ps,
+			TRTW:   3752 * ps,
+			TRRD:   10 * ns,
+			TXAW:   50 * ns,
+			TRTP:   7500 * ps,
+			TWR:    15 * ns,
+			TXP:    6 * ns,
+			TXS:    140 * ns,
+		},
+		Power: PowerParams{
+			VDD:  1.2,
+			IDD0: 9, IDD2N: 2.2, IDD2P: 1, IDD3N: 9,
+			IDD4R: 150, IDD4W: 160, IDD5: 30, IDD6: 0.6,
+		},
+	}
+}
+
+// HMCVault approximates one vault channel of a Hybrid Memory Cube: the paper
+// notes an HMC model "is only a matter of combining the crossbar model with
+// 16 instances of our controller model".
+func HMCVault() Spec {
+	return Spec{
+		Name: "HMC-vault",
+		Org: Organization{
+			BusWidthBits:    32,
+			BurstLength:     8,
+			DevicesPerRank:  1,
+			RanksPerChannel: 1,
+			BanksPerRank:    8,
+			RowBufferBytes:  256,
+			RowsPerBank:     65536,
+			ActivationLimit: 0,
+		},
+		Timing: Timing{
+			TCK:    800 * ps,
+			TRCD:   10 * ns,
+			TCL:    10 * ns,
+			TRP:    10 * ns,
+			TRAS:   22 * ns,
+			TBURST: 3200 * ps,
+			TRFC:   80 * ns,
+			TREFI:  3900 * ns,
+			TWTR:   5 * ns,
+			TRTW:   2 * ns,
+			TRRD:   5 * ns,
+			TXAW:   0,
+			TRTP:   5 * ns,
+			TWR:    12 * ns,
+			TXP:    5 * ns,
+			TXS:    90 * ns,
+		},
+		Power: PowerParams{
+			VDD:  1.2,
+			IDD0: 10, IDD2N: 2, IDD2P: 0.9, IDD3N: 10,
+			IDD4R: 120, IDD4W: 130, IDD5: 25, IDD6: 0.6,
+		},
+	}
+}
+
+// ddr3Power returns representative Micron 2 Gbit DDR3 x8 currents; the power
+// comparison (§III-C3) only needs both models to use the same numbers.
+func ddr3Power() PowerParams {
+	return PowerParams{
+		VDD:  1.5,
+		IDD0: 95, IDD2N: 42, IDD2P: 12, IDD3N: 45,
+		IDD4R: 180, IDD4W: 185, IDD5: 215, IDD6: 12,
+	}
+}
+
+// AllSpecs returns every built-in preset, for table-driven tests and docs.
+func AllSpecs() []Spec {
+	return []Spec{
+		DDR3_1600_x64(), DDR3_1600_x64_2R(), LPDDR3_1600_x32(),
+		WideIO_200_x128(), DDR3_1333_8x8(), DDR4_2400_x64(),
+		GDDR5_4000_x32(), LPDDR2_1066_x32(), HMCVault(),
+	}
+}

@@ -1,0 +1,193 @@
+package experiments
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cyclesim"
+	"repro/internal/dram"
+	"repro/internal/mem"
+	"repro/internal/power"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/system"
+	"repro/internal/trafficgen"
+)
+
+// Property: the two controller models, fed the same request stream, move
+// exactly the same bytes and answer exactly the same number of requests —
+// timing differs, functional behaviour must not.
+func TestCrossModelConservationProperty(t *testing.T) {
+	prop := func(seed int64, closedRaw bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		spec := dram.DDR3_1333_8x8()
+		mapping := dram.RoRaBaCoCh
+		if closedRaw {
+			mapping = dram.RoCoRaBaCh
+		}
+		type outcome struct {
+			acts power.Activity
+			lat  uint64
+		}
+		run := func(kind system.Kind, pattern trafficgen.Pattern) (outcome, bool) {
+			rig, err := system.NewTrafficRig(system.RigConfig{
+				Kind: kind, Spec: spec, Mapping: mapping, ClosedPage: closedRaw,
+				Gen: trafficgen.Config{
+					RequestBytes:   spec.Org.BurstBytes(),
+					MaxOutstanding: 16,
+					Count:          300,
+				},
+				Pattern: pattern,
+			})
+			if err != nil {
+				return outcome{}, false
+			}
+			if !rig.Run(sim.Second) {
+				return outcome{}, false
+			}
+			return outcome{acts: rig.Ctrl.PowerStats(), lat: rig.Gen.ReadLatency().Count()}, true
+		}
+		// Collision-free stream (unique addresses): the event model cannot
+		// forward or merge, so the DRAM traffic must be byte-exact equal.
+		readPct := 30 + rng.Intn(70)
+		mk := func() trafficgen.Pattern {
+			return &trafficgen.Linear{
+				Start: 0, End: 300 * mem.Addr(spec.Org.BurstBytes()),
+				Step: spec.Org.BurstBytes(), ReadPercent: readPct, Seed: seed,
+			}
+		}
+		ev, ok := run(system.EventBased, mk())
+		if !ok {
+			return false
+		}
+		cy, ok := run(system.CycleBased, mk())
+		if !ok {
+			return false
+		}
+		if ev.acts.ReadBursts != cy.acts.ReadBursts {
+			return false
+		}
+		if ev.acts.WriteBursts != cy.acts.WriteBursts {
+			return false
+		}
+		if ev.lat != cy.lat {
+			return false
+		}
+		// Colliding stream: forwarding/merging may reduce the event model's
+		// DRAM traffic, but never increase it, and every request is still
+		// answered.
+		mkRand := func() trafficgen.Pattern {
+			return &trafficgen.Random{
+				Start: 0, End: 1 << 20, Align: spec.Org.BurstBytes(),
+				ReadPercent: readPct, Seed: seed,
+			}
+		}
+		ev2, ok := run(system.EventBased, mkRand())
+		if !ok {
+			return false
+		}
+		cy2, ok := run(system.CycleBased, mkRand())
+		if !ok {
+			return false
+		}
+		if ev2.acts.ReadBursts > cy2.acts.ReadBursts || ev2.acts.WriteBursts > cy2.acts.WriteBursts {
+			return false
+		}
+		return ev2.lat == cy2.lat
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The cycle-based model's per-cycle integrated energy must agree with the
+// offline Micron computation over its own activity counters — two
+// independent implementations of the same power methodology.
+func TestCycleEnergyMatchesOfflineMicron(t *testing.T) {
+	spec := dram.DDR3_1333_8x8()
+	k := sim.NewKernel()
+	reg := stats.NewRegistry("t")
+	cfg := cyclesim.DefaultConfig(spec)
+	ctrl, err := cyclesim.NewController(k, cfg, reg, "mc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := trafficgen.New(k, trafficgen.Config{
+		RequestBytes:   spec.Org.BurstBytes(),
+		MaxOutstanding: 16,
+		Count:          3000,
+	}, &trafficgen.Linear{Start: 0, End: 1 << 24, Step: spec.Org.BurstBytes(), ReadPercent: 67, Seed: 2},
+		reg, "gen")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem.Connect(gen.Port(), ctrl.Port())
+	gen.Start()
+	for i := 0; i < 10000 && !(gen.Done() && ctrl.Quiescent()); i++ {
+		k.RunUntil(k.Now() + sim.Microsecond)
+	}
+	if !gen.Done() {
+		t.Fatal("did not complete")
+	}
+
+	integrated := ctrl.Energy().TotalPJ()
+	act := ctrl.PowerStats()
+	offlineW := power.Compute(spec, act).TotalMW() / 1000
+	offlinePJ := offlineW * act.Elapsed.Seconds() * 1e12
+	if integrated <= 0 || offlinePJ <= 0 {
+		t.Fatalf("degenerate energies: integrated=%v offline=%v", integrated, offlinePJ)
+	}
+	ratio := integrated / offlinePJ
+	if math.Abs(ratio-1) > 0.15 {
+		t.Fatalf("integrated energy %.3g pJ vs offline %.3g pJ (ratio %.3f), want within 15%%",
+			integrated, offlinePJ, ratio)
+	}
+	// The dominant components agree individually too.
+	br := ctrl.Energy()
+	off := power.Compute(spec, act)
+	offBgPJ := off.BackgroundMW / 1000 * act.Elapsed.Seconds() * 1e12
+	if offBgPJ > 0 {
+		if r := br.BackgroundPJ / offBgPJ; math.Abs(r-1) > 0.2 {
+			t.Fatalf("background energy ratio %.3f", r)
+		}
+	}
+	offActPJ := off.ActPreMW / 1000 * act.Elapsed.Seconds() * 1e12
+	if offActPJ > 0 {
+		if r := br.ActPrePJ / offActPJ; math.Abs(r-1) > 0.1 {
+			t.Fatalf("act/pre energy ratio %.3f", r)
+		}
+	}
+}
+
+// Determinism across the full rig: identical configurations give identical
+// measured results run-to-run for both models.
+func TestRigDeterminism(t *testing.T) {
+	for _, kind := range []system.Kind{system.EventBased, system.CycleBased} {
+		measure := func() (float64, float64) {
+			spec := dram.DDR3_1333_8x8()
+			rig, err := system.NewTrafficRig(system.RigConfig{
+				Kind: kind, Spec: spec, Mapping: dram.RoRaBaCoCh,
+				Gen: trafficgen.Config{
+					RequestBytes:   spec.Org.BurstBytes(),
+					MaxOutstanding: 24,
+					Count:          1000,
+				},
+				Pattern: &trafficgen.Random{Start: 0, End: 1 << 24, Align: 64, ReadPercent: 60, Seed: 99},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rig.Run(sim.Second) {
+				t.Fatal("did not complete")
+			}
+			return rig.Ctrl.BusUtilisation(), rig.Gen.ReadLatency().Mean()
+		}
+		u1, l1 := measure()
+		u2, l2 := measure()
+		if u1 != u2 || l1 != l2 {
+			t.Fatalf("%s rig not deterministic: %v/%v vs %v/%v", kind, u1, l1, u2, l2)
+		}
+	}
+}

@@ -1,0 +1,184 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dram"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/system"
+	"repro/internal/trafficgen"
+)
+
+// LatencySpec describes a read-latency-distribution experiment (Figs. 6-7).
+type LatencySpec struct {
+	Name       string
+	Figure     int
+	ReadPct    int
+	ClosedPage bool
+	Mapping    dram.Mapping
+	Spec       dram.Spec
+	Requests   uint64
+	// InterTransaction spaces requests so queues stay moderately loaded
+	// rather than saturated (latency distributions are most interesting at
+	// intermediate load).
+	InterTransaction sim.Tick
+	// MinWritesPerSwitch overrides the event model's write-drain batch when
+	// non-zero; Fig. 7's bimodality grows with the batch size.
+	MinWritesPerSwitch int
+}
+
+// Fig6Spec is Figure 6: linear read-only traffic, open page.
+func Fig6Spec(requests uint64) LatencySpec {
+	return LatencySpec{
+		Name: "Fig6: read latency distribution, linear reads, open page", Figure: 6,
+		ReadPct: 100, ClosedPage: false, Mapping: dram.RoRaBaCoCh,
+		Spec:     dram.DDR3_1333_8x8(),
+		Requests: requests, InterTransaction: 20 * sim.Nanosecond,
+	}
+}
+
+// Fig7Spec is Figure 7: linear 1:1 mixed traffic, closed page. The paper's
+// headline observation is that the event-based model's write-drain policy
+// produces a *bimodal* read latency distribution here, while the baseline's
+// interleaved scheduling stays unimodal.
+func Fig7Spec(requests uint64) LatencySpec {
+	return LatencySpec{
+		Name: "Fig7: read latency distribution, linear 1:1 mix, closed page", Figure: 7,
+		ReadPct: 50, ClosedPage: true, Mapping: dram.RoCoRaBaCh,
+		Spec:     dram.DDR3_1333_8x8(),
+		Requests: requests, InterTransaction: 12 * sim.Nanosecond,
+		MinWritesPerSwitch: 16,
+	}
+}
+
+// HistogramSummary is a portable snapshot of a latency histogram.
+type HistogramSummary struct {
+	Samples uint64
+	MeanNs  float64
+	P50Ns   float64
+	P99Ns   float64
+	StdDev  float64
+	// ModesNs are the positions (bucket lower bounds) of the significant
+	// local maxima; two well-separated modes = bimodal.
+	ModesNs []float64
+	// Buckets/BucketLo render the distribution (non-empty buckets only).
+	BucketLo []float64
+	Buckets  []uint64
+}
+
+func summarise(h *stats.Histogram) HistogramSummary {
+	s := HistogramSummary{
+		Samples: h.Count(),
+		MeanNs:  h.Mean(),
+		P50Ns:   h.Percentile(50),
+		P99Ns:   h.Percentile(99),
+		StdDev:  h.StdDev(),
+	}
+	for _, idx := range h.Modes(0.05) {
+		lo, _ := h.BucketBounds(idx)
+		s.ModesNs = append(s.ModesNs, lo)
+	}
+	for i, c := range h.Buckets() {
+		if c == 0 {
+			continue
+		}
+		lo, _ := h.BucketBounds(i)
+		s.BucketLo = append(s.BucketLo, lo)
+		s.Buckets = append(s.Buckets, c)
+	}
+	return s
+}
+
+// LatencyResult holds both models' distributions for one figure.
+type LatencyResult struct {
+	Spec  LatencySpec
+	Event HistogramSummary
+	Cycle HistogramSummary
+}
+
+// RunLatency executes the distribution experiment on both models.
+func RunLatency(s LatencySpec) (*LatencyResult, error) {
+	run := func(kind system.Kind) (HistogramSummary, error) {
+		var tune func(*core.Config)
+		if s.MinWritesPerSwitch > 0 {
+			tune = func(c *core.Config) { c.MinWritesPerSwitch = s.MinWritesPerSwitch }
+		}
+		rig, err := system.NewTrafficRig(system.RigConfig{
+			Kind:       kind,
+			Spec:       s.Spec,
+			Mapping:    s.Mapping,
+			ClosedPage: s.ClosedPage,
+			TuneEvent:  tune,
+			Gen: trafficgen.Config{
+				RequestBytes:     s.Spec.Org.BurstBytes(),
+				MaxOutstanding:   16,
+				Count:            s.Requests,
+				InterTransaction: s.InterTransaction,
+			},
+			Pattern: &trafficgen.Linear{
+				Start: 0, End: 1 << 26, Step: s.Spec.Org.BurstBytes(),
+				ReadPercent: s.ReadPct, Seed: 7,
+			},
+		})
+		if err != nil {
+			return HistogramSummary{}, err
+		}
+		if !rig.Run(sim.Second) {
+			return HistogramSummary{}, fmt.Errorf("experiments: latency run (%s) did not complete", kind)
+		}
+		return summarise(rig.Gen.ReadLatency()), nil
+	}
+	ev, err := run(system.EventBased)
+	if err != nil {
+		return nil, err
+	}
+	cy, err := run(system.CycleBased)
+	if err != nil {
+		return nil, err
+	}
+	return &LatencyResult{Spec: s, Event: ev, Cycle: cy}, nil
+}
+
+// CoarseModes rebins the distribution into binNs-wide bins and returns the
+// lower bounds of bins that are local maxima holding at least minShare of
+// all samples. The paper's Figure 7 bimodality claim is about distribution
+// *shape*, so coarse bins (tens of ns) are the right resolution.
+func (h HistogramSummary) CoarseModes(binNs, minShare float64) []float64 {
+	if h.Samples == 0 || binNs <= 0 {
+		return nil
+	}
+	coarse := map[int]uint64{}
+	maxBin := 0
+	for i, lo := range h.BucketLo {
+		b := int(lo / binNs)
+		coarse[b] += h.Buckets[i]
+		if b > maxBin {
+			maxBin = b
+		}
+	}
+	thresh := minShare * float64(h.Samples)
+	var modes []float64
+	for b := 0; b <= maxBin; b++ {
+		c := coarse[b]
+		if float64(c) < thresh {
+			continue
+		}
+		left, right := coarse[b-1], coarse[b+1]
+		if c >= left && c >= right && (c > left || c > right) {
+			modes = append(modes, float64(b)*binNs)
+		}
+	}
+	return modes
+}
+
+// Bimodal reports whether the distribution has two coarse modes separated
+// by at least minGapNs (using 25 ns bins and a 5% share threshold).
+func (h HistogramSummary) Bimodal(minGapNs float64) bool {
+	modes := h.CoarseModes(25, 0.05)
+	if len(modes) < 2 {
+		return false
+	}
+	return modes[len(modes)-1]-modes[0] >= minGapNs
+}

@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dram"
+	"repro/internal/power"
+	"repro/internal/sim"
+	"repro/internal/system"
+	"repro/internal/trafficgen"
+)
+
+// PowerRow compares the Micron-model power of both controllers on one test
+// case (§III-C3: max difference 8%, average 3% in the paper).
+type PowerRow struct {
+	Case        string
+	EventMW     float64
+	CycleMW     float64
+	DiffPercent float64
+}
+
+// PowerResult is the full §III-C3 comparison.
+type PowerResult struct {
+	Rows       []PowerRow
+	MaxDiffPct float64
+	AvgDiffPct float64
+}
+
+// powerCase is one traffic scenario for the power comparison.
+type powerCase struct {
+	name       string
+	readPct    int
+	closedPage bool
+	mapping    dram.Mapping
+	stride     uint64
+	banks      int
+}
+
+// RunPowerComparison runs a representative subset of the §III test cases
+// through both models and compares total DRAM power.
+func RunPowerComparison(requests uint64) (*PowerResult, error) {
+	spec := dram.DDR3_1333_8x8()
+	cases := []powerCase{
+		{"open/reads/stride1/b8", 100, false, dram.RoRaBaCoCh, 1, 8},
+		{"open/reads/stride16/b4", 100, false, dram.RoRaBaCoCh, 16, 4},
+		{"open/mix/stride8/b8", 50, false, dram.RoRaBaCoCh, 8, 8},
+		{"open/writes/stride16/b2", 0, false, dram.RoRaBaCoCh, 16, 2},
+		{"closed/reads/stride4/b8", 100, true, dram.RoCoRaBaCh, 4, 8},
+		{"closed/mix/stride2/b4", 50, true, dram.RoCoRaBaCh, 2, 4},
+		{"closed/writes/stride1/b8", 0, true, dram.RoCoRaBaCh, 1, 8},
+	}
+	res := &PowerResult{}
+	var sum float64
+	for _, pc := range cases {
+		run := func(kind system.Kind) (power.Activity, error) {
+			dec, err := dram.NewDecoder(spec.Org, pc.mapping, 1)
+			if err != nil {
+				return power.Activity{}, err
+			}
+			pattern := &trafficgen.DRAMAware{
+				Decoder: dec, StrideBursts: pc.stride, Banks: pc.banks,
+				ReadPercent: pc.readPct, Seed: 3,
+			}
+			rig, err := system.NewTrafficRig(system.RigConfig{
+				Kind: kind, Spec: spec, Mapping: pc.mapping, ClosedPage: pc.closedPage,
+				Gen: trafficgen.Config{
+					RequestBytes:   spec.Org.BurstBytes(),
+					MaxOutstanding: 32,
+					Count:          requests,
+				},
+				Pattern: pattern,
+			})
+			if err != nil {
+				return power.Activity{}, err
+			}
+			if !rig.Run(sim.Second) {
+				return power.Activity{}, fmt.Errorf("experiments: power case %q (%s) did not complete", pc.name, kind)
+			}
+			return rig.Ctrl.PowerStats(), nil
+		}
+		evAct, err := run(system.EventBased)
+		if err != nil {
+			return nil, err
+		}
+		cyAct, err := run(system.CycleBased)
+		if err != nil {
+			return nil, err
+		}
+		evMW := power.Compute(spec, evAct).TotalMW()
+		cyMW := power.Compute(spec, cyAct).TotalMW()
+		diff := math.Abs(evMW-cyMW) / cyMW * 100
+		res.Rows = append(res.Rows, PowerRow{
+			Case: pc.name, EventMW: evMW, CycleMW: cyMW, DiffPercent: diff,
+		})
+		sum += diff
+		if diff > res.MaxDiffPct {
+			res.MaxDiffPct = diff
+		}
+	}
+	res.AvgDiffPct = sum / float64(len(res.Rows))
+	return res, nil
+}

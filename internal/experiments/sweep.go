@@ -1,0 +1,169 @@
+// Package experiments implements the paper's evaluation (§III and §IV):
+// each function regenerates one figure or table, running both controller
+// models over identical workloads and reporting the series the paper plots.
+// The cmd/ tools print these results; bench_test.go wraps them in testing.B
+// harnesses.
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/dram"
+	"repro/internal/sim"
+	"repro/internal/system"
+	"repro/internal/trafficgen"
+)
+
+// SweepSpec describes one bandwidth sweep (Figs. 3-5): a DRAM-aware traffic
+// pattern swept over stride size and bank count, run on both models.
+type SweepSpec struct {
+	Name       string
+	Figure     int
+	ReadPct    int
+	ClosedPage bool
+	Mapping    dram.Mapping
+	Spec       dram.Spec
+	// Strides are sequential run lengths in bursts.
+	Strides []uint64
+	// Banks are the bank counts targeted.
+	Banks []int
+	// Requests per measurement point.
+	Requests uint64
+}
+
+// SweepRow is one (stride, banks) measurement from both models.
+type SweepRow struct {
+	StrideBursts uint64
+	Banks        int
+	// EventUtil and CycleUtil are data bus utilisations in [0,1].
+	EventUtil float64
+	CycleUtil float64
+}
+
+// SweepResult is a complete sweep.
+type SweepResult struct {
+	Spec SweepSpec
+	Rows []SweepRow
+}
+
+// defaultStrides returns log-spaced strides from one burst to the full row.
+func defaultStrides(org dram.Organization) []uint64 {
+	var out []uint64
+	for s := uint64(1); s <= org.BurstsPerRow(); s *= 2 {
+		out = append(out, s)
+	}
+	return out
+}
+
+func defaultBanks(org dram.Organization) []int {
+	var out []int
+	for b := 1; b <= org.BanksPerRank; b *= 2 {
+		out = append(out, b)
+	}
+	return out
+}
+
+// Fig3Spec is the paper's Figure 3: open page, 100% reads, RoRaBaCoCh (the
+// mapping that maximises page hits for sequential addresses).
+func Fig3Spec(requests uint64) SweepSpec {
+	spec := dram.DDR3_1333_8x8()
+	return SweepSpec{
+		Name: "Fig3: bus utilisation, open page, reads", Figure: 3,
+		ReadPct: 100, ClosedPage: false, Mapping: dram.RoRaBaCoCh,
+		Spec:    spec,
+		Strides: defaultStrides(spec.Org), Banks: defaultBanks(spec.Org),
+		Requests: requests,
+	}
+}
+
+// Fig4Spec is Figure 4: open page, 1:1 read/write mix.
+func Fig4Spec(requests uint64) SweepSpec {
+	s := Fig3Spec(requests)
+	s.Name = "Fig4: bus utilisation, open page, 1:1 mix"
+	s.Figure = 4
+	s.ReadPct = 50
+	return s
+}
+
+// Fig5Spec is Figure 5: closed page, 100% writes, RoCoRaBaCh (the mapping
+// that maximises bank parallelism).
+func Fig5Spec(requests uint64) SweepSpec {
+	s := Fig3Spec(requests)
+	s.Name = "Fig5: bus utilisation, closed page, writes"
+	s.Figure = 5
+	s.ReadPct = 0
+	s.ClosedPage = true
+	s.Mapping = dram.RoCoRaBaCh
+	return s
+}
+
+// runPoint measures one model at one sweep point and returns the bus
+// utilisation.
+func runPoint(kind system.Kind, s SweepSpec, stride uint64, banks int) (float64, error) {
+	dec, err := dram.NewDecoder(s.Spec.Org, s.Mapping, 1)
+	if err != nil {
+		return 0, err
+	}
+	pattern := &trafficgen.DRAMAware{
+		Decoder:      dec,
+		StrideBursts: stride,
+		Banks:        banks,
+		ReadPercent:  s.ReadPct,
+		Seed:         1,
+	}
+	if err := pattern.Validate(); err != nil {
+		return 0, err
+	}
+	rig, err := system.NewTrafficRig(system.RigConfig{
+		Kind:       kind,
+		Spec:       s.Spec,
+		Mapping:    s.Mapping,
+		ClosedPage: s.ClosedPage,
+		Gen: trafficgen.Config{
+			RequestBytes:   s.Spec.Org.BurstBytes(),
+			MaxOutstanding: 32,
+			Count:          s.Requests,
+		},
+		Pattern: pattern,
+	})
+	if err != nil {
+		return 0, err
+	}
+	if !rig.Run(sim.Second) {
+		return 0, fmt.Errorf("experiments: %s point stride=%d banks=%d did not complete", kind, stride, banks)
+	}
+	return rig.Ctrl.BusUtilisation(), nil
+}
+
+// RunSweep executes the full sweep on both models.
+func RunSweep(s SweepSpec) (*SweepResult, error) {
+	res := &SweepResult{Spec: s}
+	for _, banks := range s.Banks {
+		for _, stride := range s.Strides {
+			ev, err := runPoint(system.EventBased, s, stride, banks)
+			if err != nil {
+				return nil, err
+			}
+			cy, err := runPoint(system.CycleBased, s, stride, banks)
+			if err != nil {
+				return nil, err
+			}
+			res.Rows = append(res.Rows, SweepRow{
+				StrideBursts: stride, Banks: banks,
+				EventUtil: ev, CycleUtil: cy,
+			})
+		}
+	}
+	return res, nil
+}
+
+// RowsForBanks filters the sweep rows for one bank count, in stride order.
+func (r *SweepResult) RowsForBanks(banks int) []SweepRow {
+	var out []SweepRow
+	for _, row := range r.Rows {
+		if row.Banks == banks {
+			out = append(out, row)
+		}
+	}
+	return out
+}

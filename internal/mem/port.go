@@ -1,0 +1,132 @@
+package mem
+
+import "fmt"
+
+// The port protocol is gem5's timing protocol:
+//
+//   - a requestor sends a request with RequestPort.SendTimingReq; the
+//     responder may refuse (return false), in which case the requestor MUST
+//     stop sending and wait for RecvReqRetry;
+//   - a responder sends a response with ResponsePort.SendTimingResp; the
+//     requestor may refuse, in which case the responder waits for
+//     RecvRespRetry.
+//
+// This two-sided retry handshake is what gives the system real blocking and
+// back pressure: a full controller queue stalls the crossbar, which stalls
+// the cache, which stalls the core.
+
+// Requestor is the owner of a RequestPort: it accepts responses and retry
+// notifications.
+type Requestor interface {
+	// RecvTimingResp delivers a response; returning false asks the sender to
+	// retry later.
+	RecvTimingResp(pkt *Packet) bool
+	// RecvReqRetry tells the requestor a previously refused request may now
+	// be resent.
+	RecvReqRetry()
+}
+
+// Responder is the owner of a ResponsePort: it accepts requests and retry
+// notifications.
+type Responder interface {
+	// RecvTimingReq delivers a request; returning false asks the sender to
+	// retry later.
+	RecvTimingReq(pkt *Packet) bool
+	// RecvRespRetry tells the responder a previously refused response may
+	// now be resent.
+	RecvRespRetry()
+}
+
+// RequestPort is the requestor-side endpoint of a point-to-point link.
+type RequestPort struct {
+	name  string
+	owner Requestor
+	peer  *ResponsePort
+}
+
+// NewRequestPort returns an unconnected request port owned by owner.
+func NewRequestPort(name string, owner Requestor) *RequestPort {
+	return &RequestPort{name: name, owner: owner}
+}
+
+// Name returns the diagnostic port name.
+func (p *RequestPort) Name() string { return p.name }
+
+// Connected reports whether the port has a peer.
+func (p *RequestPort) Connected() bool { return p.peer != nil }
+
+// Peer returns the connected response port (nil if unconnected).
+func (p *RequestPort) Peer() *ResponsePort { return p.peer }
+
+// SendTimingReq forwards a request to the peer responder. A false return
+// means the responder is busy; the caller must wait for RecvReqRetry.
+func (p *RequestPort) SendTimingReq(pkt *Packet) bool {
+	if p.peer == nil {
+		panic(fmt.Sprintf("mem: port %q not connected", p.name))
+	}
+	if !pkt.Cmd.IsRequest() {
+		panic(fmt.Sprintf("mem: SendTimingReq of %s", pkt.Cmd))
+	}
+	return p.peer.owner.RecvTimingReq(pkt)
+}
+
+// SendRespRetry tells the peer responder that the requestor can now accept
+// the response it previously refused.
+func (p *RequestPort) SendRespRetry() {
+	if p.peer == nil {
+		panic(fmt.Sprintf("mem: port %q not connected", p.name))
+	}
+	p.peer.owner.RecvRespRetry()
+}
+
+// ResponsePort is the responder-side endpoint of a point-to-point link.
+type ResponsePort struct {
+	name  string
+	owner Responder
+	peer  *RequestPort
+}
+
+// NewResponsePort returns an unconnected response port owned by owner.
+func NewResponsePort(name string, owner Responder) *ResponsePort {
+	return &ResponsePort{name: name, owner: owner}
+}
+
+// Name returns the diagnostic port name.
+func (p *ResponsePort) Name() string { return p.name }
+
+// Connected reports whether the port has a peer.
+func (p *ResponsePort) Connected() bool { return p.peer != nil }
+
+// Peer returns the connected request port (nil if unconnected).
+func (p *ResponsePort) Peer() *RequestPort { return p.peer }
+
+// SendTimingResp forwards a response to the peer requestor. A false return
+// means the requestor is busy; the caller must wait for RecvRespRetry.
+func (p *ResponsePort) SendTimingResp(pkt *Packet) bool {
+	if p.peer == nil {
+		panic(fmt.Sprintf("mem: port %q not connected", p.name))
+	}
+	if !pkt.Cmd.IsResponse() {
+		panic(fmt.Sprintf("mem: SendTimingResp of %s", pkt.Cmd))
+	}
+	return p.peer.owner.RecvTimingResp(pkt)
+}
+
+// SendReqRetry tells the peer requestor that the responder can now accept
+// the request it previously refused.
+func (p *ResponsePort) SendReqRetry() {
+	if p.peer == nil {
+		panic(fmt.Sprintf("mem: port %q not connected", p.name))
+	}
+	p.peer.owner.RecvReqRetry()
+}
+
+// Connect binds a request port and a response port into a link. Both must be
+// unconnected.
+func Connect(req *RequestPort, resp *ResponsePort) {
+	if req.peer != nil || resp.peer != nil {
+		panic(fmt.Sprintf("mem: Connect(%q, %q): port already connected", req.name, resp.name))
+	}
+	req.peer = resp
+	resp.peer = req
+}

@@ -1,0 +1,183 @@
+package power
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dram"
+	"repro/internal/sim"
+)
+
+// Protocol checking: given a controller's command trace, verify that every
+// modelled DRAM timing constraint was respected. This is the independent
+// referee for the controller models — the event-based controller computes
+// command times analytically, and this checker re-derives the legality of
+// each command from the raw trace, the way a DRAM device (or DRAMSim2's
+// sanity asserts) would.
+
+// Violation is one detected protocol breach.
+type Violation struct {
+	Rule string
+	Cmd  Command
+	// Deficit is how early the command was relative to the constraint.
+	Deficit sim.Tick
+}
+
+// String renders the violation.
+func (v Violation) String() string {
+	return fmt.Sprintf("%s violated by %s at %s (%s early) bank %d/%d",
+		v.Rule, v.Cmd.Kind, v.Cmd.At, v.Deficit, v.Cmd.Rank, v.Cmd.Bank)
+}
+
+// checkerBank is the checker's independent reconstruction of bank state.
+type checkerBank struct {
+	open       bool
+	actAt      sim.Tick
+	lastRdCmd  sim.Tick
+	lastWrData sim.Tick
+	preAt      sim.Tick
+	hasPre     bool
+	hasRd      bool
+	hasWr      bool
+}
+
+// CheckTiming replays a command trace against the spec's constraints and
+// returns every violation found (empty = protocol clean). The data bus is
+// also checked for overlapping transfers.
+func CheckTiming(spec dram.Spec, cmds []Command) []Violation {
+	t := spec.Timing
+	org := spec.Org
+
+	sorted := make([]Command, len(cmds))
+	copy(sorted, cmds)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].At < sorted[j].At })
+
+	type rankState struct {
+		banks      []checkerBank
+		lastActAt  sim.Tick
+		hasAct     bool
+		actWindow  []sim.Tick
+		lastWrData sim.Tick
+		hasWrData  bool
+		lastRdData sim.Tick
+		hasRdData  bool
+	}
+	ranks := make([]*rankState, org.RanksPerChannel)
+	for i := range ranks {
+		ranks[i] = &rankState{banks: make([]checkerBank, org.BanksPerRank)}
+	}
+
+	var violations []Violation
+	fail := func(rule string, c Command, deficit sim.Tick) {
+		violations = append(violations, Violation{Rule: rule, Cmd: c, Deficit: deficit})
+	}
+	var busFreeAt sim.Tick
+	var busBusy bool
+
+	for _, c := range sorted {
+		if c.Rank < 0 || c.Rank >= len(ranks) || c.Bank < 0 || c.Bank >= org.BanksPerRank {
+			fail("coordinate-range", c, 0)
+			continue
+		}
+		rk := ranks[c.Rank]
+		b := &rk.banks[c.Bank]
+		switch c.Kind {
+		case CmdACT:
+			if b.open {
+				fail("ACT-on-open-bank", c, 0)
+			}
+			if b.hasPre && c.At < b.preAt+t.TRP {
+				fail("tRP", c, b.preAt+t.TRP-c.At)
+			}
+			if rk.hasAct && c.At < rk.lastActAt+t.TRRD {
+				fail("tRRD", c, rk.lastActAt+t.TRRD-c.At)
+			}
+			if limit := org.ActivationLimit; limit > 0 && t.TXAW > 0 && len(rk.actWindow) >= limit {
+				oldest := rk.actWindow[len(rk.actWindow)-limit]
+				if c.At < oldest+t.TXAW {
+					fail("tXAW", c, oldest+t.TXAW-c.At)
+				}
+			}
+			b.open = true
+			b.actAt = c.At
+			rk.lastActAt = c.At
+			rk.hasAct = true
+			rk.actWindow = append(rk.actWindow, c.At)
+			if len(rk.actWindow) > 8 {
+				rk.actWindow = rk.actWindow[len(rk.actWindow)-8:]
+			}
+		case CmdPRE:
+			if !b.open {
+				// Precharging a closed bank is legal (NOP-like) but the
+				// models never do it; flag it as suspicious.
+				fail("PRE-on-closed-bank", c, 0)
+				continue
+			}
+			if c.At < b.actAt+t.TRAS {
+				fail("tRAS", c, b.actAt+t.TRAS-c.At)
+			}
+			if b.hasRd && c.At < b.lastRdCmd+t.TRTP {
+				fail("tRTP", c, b.lastRdCmd+t.TRTP-c.At)
+			}
+			if b.hasWr && c.At < b.lastWrData+t.TWR {
+				fail("tWR", c, b.lastWrData+t.TWR-c.At)
+			}
+			b.open = false
+			b.hasPre = true
+			b.preAt = c.At
+		case CmdRD, CmdWR:
+			if !b.open {
+				fail("column-on-closed-bank", c, 0)
+				continue
+			}
+			if c.At < b.actAt+t.TRCD {
+				fail("tRCD", c, b.actAt+t.TRCD-c.At)
+			}
+			dataStart := c.At + t.TCL
+			dataEnd := dataStart + t.TBURST
+			if busBusy && dataStart < busFreeAt {
+				fail("data-bus-overlap", c, busFreeAt-dataStart)
+			}
+			if dataEnd > busFreeAt {
+				busFreeAt = dataEnd
+			}
+			busBusy = true
+			if c.Kind == CmdRD {
+				if rk.hasWrData && c.At < rk.lastWrData+t.TWTR {
+					fail("tWTR", c, rk.lastWrData+t.TWTR-c.At)
+				}
+				b.hasRd = true
+				b.lastRdCmd = c.At
+				rk.hasRdData = true
+				if dataEnd > rk.lastRdData {
+					rk.lastRdData = dataEnd
+				}
+			} else {
+				if rk.hasRdData && c.At < rk.lastRdData+t.TRTW {
+					fail("tRTW", c, rk.lastRdData+t.TRTW-c.At)
+				}
+				b.hasWr = true
+				if dataEnd > b.lastWrData {
+					b.lastWrData = dataEnd
+				}
+				rk.hasWrData = true
+				if dataEnd > rk.lastWrData {
+					rk.lastWrData = dataEnd
+				}
+			}
+		case CmdREF:
+			// The refreshed bank must be precharged by refresh start. (For
+			// the paper's all-bank refresh the controller precharges every
+			// bank first, so their PRE commands precede the REF in the
+			// trace; per-bank refresh addresses a single bank. Post-refresh
+			// tRFC spacing is enforced by the controller's actAllowedAt and
+			// not re-checked here, since the trace does not say which
+			// refresh variant — and hence which tRFC — applies.)
+			if rk.banks[c.Bank].open {
+				fail("REF-on-open-bank", c, 0)
+				rk.banks[c.Bank].open = false
+			}
+		}
+	}
+	return violations
+}

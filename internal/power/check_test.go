@@ -1,0 +1,109 @@
+package power
+
+import (
+	"testing"
+
+	"repro/internal/dram"
+	"repro/internal/sim"
+)
+
+func ddr3() dram.Spec { return dram.DDR3_1600_x64() }
+
+func TestCheckTimingCleanTrace(t *testing.T) {
+	spec := ddr3()
+	tm := spec.Timing
+	act := sim.Tick(0)
+	rd := act + tm.TRCD
+	pre := act + tm.TRAS
+	act2 := pre + tm.TRP
+	cmds := []Command{
+		{Kind: CmdACT, Bank: 0, At: act},
+		{Kind: CmdRD, Bank: 0, At: rd},
+		{Kind: CmdPRE, Bank: 0, At: pre},
+		{Kind: CmdACT, Bank: 0, At: act2},
+	}
+	if v := CheckTiming(spec, cmds); len(v) != 0 {
+		t.Fatalf("clean trace flagged: %v", v)
+	}
+}
+
+func TestCheckTimingCatchesViolations(t *testing.T) {
+	spec := ddr3()
+	tm := spec.Timing
+	cases := []struct {
+		rule string
+		cmds []Command
+	}{
+		{"tRCD", []Command{
+			{Kind: CmdACT, Bank: 0, At: 0},
+			{Kind: CmdRD, Bank: 0, At: tm.TRCD - 1},
+		}},
+		{"tRAS", []Command{
+			{Kind: CmdACT, Bank: 0, At: 0},
+			{Kind: CmdPRE, Bank: 0, At: tm.TRAS - 1},
+		}},
+		{"tRP", []Command{
+			{Kind: CmdACT, Bank: 0, At: 0},
+			{Kind: CmdPRE, Bank: 0, At: tm.TRAS},
+			{Kind: CmdACT, Bank: 0, At: tm.TRAS + tm.TRP - 1},
+		}},
+		{"tRRD", []Command{
+			{Kind: CmdACT, Bank: 0, At: 0},
+			{Kind: CmdACT, Bank: 1, At: tm.TRRD - 1},
+		}},
+		{"tXAW", []Command{
+			{Kind: CmdACT, Bank: 0, At: 0},
+			{Kind: CmdACT, Bank: 1, At: tm.TRRD},
+			{Kind: CmdACT, Bank: 2, At: 2 * tm.TRRD},
+			{Kind: CmdACT, Bank: 3, At: 3 * tm.TRRD},
+			{Kind: CmdACT, Bank: 4, At: tm.TXAW - 1},
+		}},
+		{"ACT-on-open-bank", []Command{
+			{Kind: CmdACT, Bank: 0, At: 0},
+			{Kind: CmdACT, Bank: 0, At: tm.TRRD},
+		}},
+		{"column-on-closed-bank", []Command{
+			{Kind: CmdRD, Bank: 0, At: 0},
+		}},
+		{"PRE-on-closed-bank", []Command{
+			{Kind: CmdPRE, Bank: 0, At: 0},
+		}},
+		{"data-bus-overlap", []Command{
+			{Kind: CmdACT, Bank: 0, At: 0},
+			{Kind: CmdACT, Bank: 1, At: tm.TRRD},
+			{Kind: CmdRD, Bank: 0, At: tm.TRCD},
+			{Kind: CmdRD, Bank: 1, At: tm.TRCD + tm.TBURST - 1},
+		}},
+		{"tWTR", []Command{
+			{Kind: CmdACT, Bank: 0, At: 0},
+			{Kind: CmdWR, Bank: 0, At: tm.TRCD},
+			{Kind: CmdRD, Bank: 0, At: tm.TRCD + tm.TCL + tm.TBURST + tm.TWTR - 1},
+		}},
+		{"coordinate-range", []Command{
+			{Kind: CmdACT, Bank: 99, At: 0},
+		}},
+		{"REF-on-open-bank", []Command{
+			{Kind: CmdACT, Bank: 0, At: 0},
+			{Kind: CmdREF, Bank: 0, At: tm.TRAS},
+		}},
+	}
+	for _, c := range cases {
+		vs := CheckTiming(spec, c.cmds)
+		found := false
+		for _, v := range vs {
+			if v.Rule == c.rule {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s violation not detected (got %v)", c.rule, vs)
+		}
+	}
+}
+
+func TestViolationString(t *testing.T) {
+	v := Violation{Rule: "tRCD", Cmd: Command{Kind: CmdRD, Bank: 2, At: 100}, Deficit: 50}
+	if v.String() == "" {
+		t.Fatal("empty violation string")
+	}
+}

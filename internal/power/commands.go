@@ -1,0 +1,178 @@
+package power
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dram"
+	"repro/internal/sim"
+)
+
+// Command-trace power analysis, in the style of DRAMPower: instead of
+// aggregate counters, the controller emits its actual command stream
+// (ACT/PRE/RD/WR/REF with timestamps) and the analyzer reconstructs bank
+// state over time to integrate energy. The paper points at exactly this
+// extension: "can be further extended to plug in other models like
+// DRAMPower" (§III-E).
+
+// CommandKind identifies a DRAM command.
+type CommandKind int
+
+// DRAM commands.
+const (
+	CmdACT CommandKind = iota
+	CmdPRE
+	CmdRD
+	CmdWR
+	CmdREF
+)
+
+// String names the command.
+func (k CommandKind) String() string {
+	switch k {
+	case CmdACT:
+		return "ACT"
+	case CmdPRE:
+		return "PRE"
+	case CmdRD:
+		return "RD"
+	case CmdWR:
+		return "WR"
+	case CmdREF:
+		return "REF"
+	}
+	return fmt.Sprintf("CommandKind(%d)", int(k))
+}
+
+// Command is one timestamped DRAM command.
+type Command struct {
+	Kind CommandKind
+	Rank int
+	Bank int
+	At   sim.Tick
+}
+
+// CommandTrace accumulates commands from a controller's listener hook.
+type CommandTrace struct {
+	cmds []Command
+}
+
+// Record appends a command (usable directly as a core.Config listener).
+func (t *CommandTrace) Record(c Command) { t.cmds = append(t.cmds, c) }
+
+// Len returns the number of recorded commands.
+func (t *CommandTrace) Len() int { return len(t.cmds) }
+
+// Commands returns a copy of the trace in recording order.
+func (t *CommandTrace) Commands() []Command {
+	out := make([]Command, len(t.cmds))
+	copy(out, t.cmds)
+	return out
+}
+
+// Reset clears the trace.
+func (t *CommandTrace) Reset() { t.cmds = t.cmds[:0] }
+
+// AnalyzeCommands reconstructs per-bank state from a command trace and
+// integrates the Micron currents over it, returning the power breakdown for
+// the window [0, elapsed). Commands may arrive slightly out of timestamp
+// order (the event-based controller stamps future command times); they are
+// sorted first.
+func AnalyzeCommands(spec dram.Spec, cmds []Command, elapsed sim.Tick) Breakdown {
+	if elapsed <= 0 {
+		return Breakdown{}
+	}
+	p := spec.Power
+	t := spec.Timing
+	devices := float64(spec.Org.DevicesPerRank)
+	if devices == 0 {
+		devices = 1
+	}
+
+	sorted := make([]Command, len(cmds))
+	copy(sorted, cmds)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].At < sorted[j].At })
+
+	// Reconstruct, per rank, the time during which at least one bank is
+	// active: ACT opens a bank, PRE closes it tRP later (the bank is still
+	// drawing active current while precharging).
+	type bankKey struct{ rank, bank int }
+	openSince := map[bankKey]sim.Tick{}
+	openCount := map[int]int{}
+	activeSince := map[int]sim.Tick{}
+	var activeTime sim.Tick
+	acts, rds, wrs, refs := 0, 0, 0, 0
+
+	closeBank := func(k bankKey, at sim.Tick) {
+		if _, open := openSince[k]; !open {
+			return
+		}
+		delete(openSince, k)
+		openCount[k.rank]--
+		if openCount[k.rank] == 0 {
+			d := at - activeSince[k.rank]
+			if d > 0 {
+				activeTime += d
+			}
+		}
+	}
+
+	for _, c := range sorted {
+		switch c.Kind {
+		case CmdACT:
+			acts++
+			k := bankKey{c.Rank, c.Bank}
+			if _, open := openSince[k]; !open {
+				openSince[k] = c.At
+				if openCount[c.Rank] == 0 {
+					activeSince[c.Rank] = c.At
+				}
+				openCount[c.Rank]++
+			}
+		case CmdPRE:
+			closeBank(bankKey{c.Rank, c.Bank}, c.At+t.TRP)
+		case CmdRD:
+			rds++
+		case CmdWR:
+			wrs++
+		case CmdREF:
+			refs++
+			// A refresh implies all banks of the rank are closed.
+			for k := range openSince {
+				if k.rank == c.Rank {
+					closeBank(k, c.At)
+				}
+			}
+		}
+	}
+	// Close any still-open banks at the window end.
+	for k := range openSince {
+		closeBank(k, elapsed)
+	}
+
+	elapsedSec := elapsed.Seconds()
+	activeFrac := float64(activeTime) / float64(elapsed)
+	if activeFrac > 1 {
+		activeFrac = 1
+	}
+	bg := p.VDD * (p.IDD3N*activeFrac + p.IDD2N*(1-activeFrac))
+
+	trc := (t.TRAS + t.TRP).Seconds()
+	actPre := p.VDD * (p.IDD0 - p.IDD3N) * float64(acts) * trc / elapsedSec
+	rd := p.VDD * (p.IDD4R - p.IDD3N) * float64(rds) * t.TBURST.Seconds() / elapsedSec
+	wr := p.VDD * (p.IDD4W - p.IDD3N) * float64(wrs) * t.TBURST.Seconds() / elapsedSec
+	ref := p.VDD * (p.IDD5 - p.IDD3N) * float64(refs) * t.TRFC.Seconds() / elapsedSec
+	for _, v := range []*float64{&actPre, &rd, &wr, &ref} {
+		if *v < 0 {
+			*v = 0
+		}
+	}
+
+	return Breakdown{
+		BackgroundMW: bg * devices,
+		ActPreMW:     actPre * devices,
+		ReadMW:       rd * devices,
+		WriteMW:      wr * devices,
+		RefreshMW:    ref * devices,
+	}
+}

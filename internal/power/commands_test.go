@@ -1,0 +1,145 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dram"
+	"repro/internal/sim"
+)
+
+func TestCommandKindString(t *testing.T) {
+	names := map[CommandKind]string{
+		CmdACT: "ACT", CmdPRE: "PRE", CmdRD: "RD", CmdWR: "WR", CmdREF: "REF",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Errorf("%d = %q", int(k), k.String())
+		}
+	}
+}
+
+func TestCommandTraceAccumulation(t *testing.T) {
+	var tr CommandTrace
+	tr.Record(Command{Kind: CmdACT, At: 10})
+	tr.Record(Command{Kind: CmdRD, At: 20})
+	if tr.Len() != 2 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+	cmds := tr.Commands()
+	if cmds[0].Kind != CmdACT || cmds[1].Kind != CmdRD {
+		t.Fatalf("commands = %v", cmds)
+	}
+	tr.Reset()
+	if tr.Len() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+// An empty trace over an idle window is pure precharged background.
+func TestAnalyzeIdle(t *testing.T) {
+	spec := dram.DDR3_1600_x64()
+	b := AnalyzeCommands(spec, nil, sim.Millisecond)
+	want := spec.Power.VDD * spec.Power.IDD2N
+	if math.Abs(b.BackgroundMW-want) > 1e-9 {
+		t.Fatalf("idle background = %v, want %v", b.BackgroundMW, want)
+	}
+	if b.TotalMW() != b.BackgroundMW {
+		t.Fatal("idle trace has dynamic power")
+	}
+	if AnalyzeCommands(spec, nil, 0).TotalMW() != 0 {
+		t.Fatal("zero window not zero")
+	}
+}
+
+// A bank held open for half the window splits the background between IDD3N
+// and IDD2N accordingly.
+func TestAnalyzeActiveWindow(t *testing.T) {
+	spec := dram.DDR3_1600_x64()
+	tm := spec.Timing
+	elapsed := sim.Millisecond
+	half := elapsed / 2
+	cmds := []Command{
+		{Kind: CmdACT, Rank: 0, Bank: 0, At: 0},
+		{Kind: CmdPRE, Rank: 0, Bank: 0, At: half - tm.TRP},
+	}
+	b := AnalyzeCommands(spec, cmds, elapsed)
+	p := spec.Power
+	wantBg := p.VDD * (p.IDD3N*0.5 + p.IDD2N*0.5)
+	if math.Abs(b.BackgroundMW-wantBg) > wantBg*0.01 {
+		t.Fatalf("background = %v, want ~%v", b.BackgroundMW, wantBg)
+	}
+	if b.ActPreMW <= 0 {
+		t.Fatal("no activate energy")
+	}
+}
+
+// Overlapping banks in one rank do not double-count active time.
+func TestAnalyzeOverlappingBanks(t *testing.T) {
+	spec := dram.DDR3_1600_x64()
+	tm := spec.Timing
+	elapsed := sim.Millisecond
+	cmds := []Command{
+		{Kind: CmdACT, Rank: 0, Bank: 0, At: 0},
+		{Kind: CmdACT, Rank: 0, Bank: 1, At: tm.TRRD},
+		{Kind: CmdPRE, Rank: 0, Bank: 0, At: elapsed/2 - tm.TRP},
+		{Kind: CmdPRE, Rank: 0, Bank: 1, At: elapsed/2 - tm.TRP},
+	}
+	b := AnalyzeCommands(spec, cmds, elapsed)
+	p := spec.Power
+	// Active fraction is ~0.5, not ~1.0.
+	maxBg := p.VDD * (p.IDD3N*0.55 + p.IDD2N*0.45)
+	if b.BackgroundMW > maxBg {
+		t.Fatalf("background %v suggests double-counted active time", b.BackgroundMW)
+	}
+}
+
+// A trace with unclosed banks bills active time to the window end.
+func TestAnalyzeUnclosedBank(t *testing.T) {
+	spec := dram.DDR3_1600_x64()
+	elapsed := sim.Millisecond
+	cmds := []Command{{Kind: CmdACT, Rank: 0, Bank: 0, At: 0}}
+	b := AnalyzeCommands(spec, cmds, elapsed)
+	p := spec.Power
+	want := p.VDD * p.IDD3N
+	if math.Abs(b.BackgroundMW-want) > want*0.01 {
+		t.Fatalf("background = %v, want full active %v", b.BackgroundMW, want)
+	}
+}
+
+// Out-of-order timestamps are tolerated (the event model stamps future
+// command times).
+func TestAnalyzeUnsortedInput(t *testing.T) {
+	spec := dram.DDR3_1600_x64()
+	elapsed := sim.Millisecond
+	cmds := []Command{
+		{Kind: CmdPRE, Rank: 0, Bank: 0, At: 500 * sim.Microsecond},
+		{Kind: CmdACT, Rank: 0, Bank: 0, At: 0},
+		{Kind: CmdRD, Rank: 0, Bank: 0, At: 100 * sim.Microsecond},
+	}
+	b := AnalyzeCommands(spec, cmds, elapsed)
+	if b.ReadMW <= 0 || b.ActPreMW <= 0 {
+		t.Fatalf("unsorted trace mishandled: %v", b)
+	}
+}
+
+// Refresh commands close all banks of their rank and contribute refresh
+// energy.
+func TestAnalyzeRefresh(t *testing.T) {
+	spec := dram.DDR3_1600_x64()
+	elapsed := sim.Millisecond
+	cmds := []Command{
+		{Kind: CmdACT, Rank: 0, Bank: 3, At: 0},
+		{Kind: CmdREF, Rank: 0, At: 100 * sim.Microsecond},
+	}
+	b := AnalyzeCommands(spec, cmds, elapsed)
+	if b.RefreshMW <= 0 {
+		t.Fatal("no refresh energy")
+	}
+	// Active only for the first 10% of the window.
+	p := spec.Power
+	maxBg := p.VDD * (p.IDD3N*0.15 + p.IDD2N*0.85)
+	if b.BackgroundMW > maxBg {
+		t.Fatalf("refresh did not close the bank: bg %v", b.BackgroundMW)
+	}
+}

@@ -1,0 +1,160 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// eventHeap implements container/heap over scheduled events ordered by
+// (when, priority, seq). The sequence number makes execution order fully
+// deterministic for events with equal tick and priority: they run in the
+// order they were scheduled.
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	a, b := h[i], h[j]
+	if a.when != b.when {
+		return a.when < b.when
+	}
+	if a.priority != b.priority {
+		return a.priority < b.priority
+	}
+	return a.seq < b.seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].heapIndex = i
+	h[j].heapIndex = j
+}
+
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.heapIndex = len(*h)
+	*h = append(*h, e)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.heapIndex = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Kernel is the discrete-event scheduler. All model components in a
+// simulation share one kernel; it owns simulated time.
+type Kernel struct {
+	now     Tick
+	queue   eventHeap
+	nextSeq uint64
+	// executed counts events fired since construction (model performance
+	// statistics in §III-D report events and host time).
+	executed uint64
+	stopped  bool
+}
+
+// NewKernel returns a kernel with time at tick zero and an empty queue.
+func NewKernel() *Kernel {
+	return &Kernel{}
+}
+
+// Now returns the current simulated tick.
+func (k *Kernel) Now() Tick { return k.now }
+
+// EventsExecuted returns the number of events fired so far; this is the
+// denominator for "the event-based model only executes when something
+// changes" comparisons against the cycle-based baseline.
+func (k *Kernel) EventsExecuted() uint64 { return k.executed }
+
+// Pending returns the number of events currently scheduled.
+func (k *Kernel) Pending() int { return len(k.queue) }
+
+// Schedule arranges for e to fire at tick when. Scheduling in the past (or
+// double-scheduling an event) is a programming error and panics, exactly as
+// gem5 asserts on it: silent time travel corrupts every timing the model
+// produces.
+func (k *Kernel) Schedule(e *Event, when Tick) {
+	if e.scheduled {
+		panic(fmt.Sprintf("sim: event %q already scheduled for %s", e.name, e.when))
+	}
+	if when < k.now {
+		panic(fmt.Sprintf("sim: event %q scheduled for %s, before now (%s)", e.name, when, k.now))
+	}
+	e.when = when
+	e.seq = k.nextSeq
+	k.nextSeq++
+	e.scheduled = true
+	heap.Push(&k.queue, e)
+}
+
+// ScheduleIn schedules e after delay from the current tick.
+func (k *Kernel) ScheduleIn(e *Event, delay Tick) { k.Schedule(e, k.now+delay) }
+
+// Deschedule removes a scheduled event from the queue. Descheduling an
+// unscheduled event panics.
+func (k *Kernel) Deschedule(e *Event) {
+	if !e.scheduled {
+		panic(fmt.Sprintf("sim: event %q not scheduled", e.name))
+	}
+	heap.Remove(&k.queue, e.heapIndex)
+	e.scheduled = false
+}
+
+// Reschedule moves a scheduled event to a new tick, or schedules it if it is
+// not currently pending.
+func (k *Kernel) Reschedule(e *Event, when Tick) {
+	if e.scheduled {
+		k.Deschedule(e)
+	}
+	k.Schedule(e, when)
+}
+
+// Stop makes the current Run/RunUntil call return after the in-flight event
+// completes. Pending events stay queued.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// step fires the earliest event. It must only be called when the queue is
+// non-empty.
+func (k *Kernel) step() {
+	e := heap.Pop(&k.queue).(*Event)
+	if e.when < k.now {
+		panic("sim: queue corruption, event in the past")
+	}
+	k.now = e.when
+	e.scheduled = false
+	k.executed++
+	e.callback()
+}
+
+// Run executes events until the queue drains or Stop is called. It returns
+// the tick of the last executed event.
+func (k *Kernel) Run() Tick {
+	k.stopped = false
+	for len(k.queue) > 0 && !k.stopped {
+		k.step()
+	}
+	return k.now
+}
+
+// RunUntil executes events with when <= limit. Time is left at the limit if
+// the queue still holds later events, so a subsequent RunUntil continues
+// seamlessly. It returns the current tick.
+func (k *Kernel) RunUntil(limit Tick) Tick {
+	k.stopped = false
+	for len(k.queue) > 0 && !k.stopped {
+		if k.queue[0].when > limit {
+			k.now = limit
+			return k.now
+		}
+		k.step()
+	}
+	if k.now < limit {
+		k.now = limit
+	}
+	return k.now
+}

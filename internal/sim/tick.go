@@ -1,0 +1,71 @@
+// Package sim provides the discrete-event simulation kernel that every
+// component in this repository runs on. It mirrors the event queue at the
+// heart of gem5: time is measured in integer ticks (one tick is one
+// picosecond), events are callbacks scheduled at an absolute tick, and the
+// kernel executes events in deterministic (tick, priority, insertion) order.
+//
+// An event-based model, as the paper argues, only executes when something
+// changes: components schedule an event for the next interesting point in
+// time and the kernel skips straight to it. Nothing in this package (or in
+// any package built on it) advances time cycle by cycle.
+package sim
+
+import "fmt"
+
+// Tick is a point in simulated time. One tick is one picosecond, exactly as
+// in gem5, so every DRAM timing parameter in the paper's tables is
+// representable without rounding.
+type Tick int64
+
+// Convenient durations expressed in ticks.
+const (
+	Picosecond  Tick = 1
+	Nanosecond  Tick = 1000 * Picosecond
+	Microsecond Tick = 1000 * Nanosecond
+	Millisecond Tick = 1000 * Microsecond
+	Second      Tick = 1000 * Millisecond
+)
+
+// MaxTick is the largest representable tick, used as an "unreachable" horizon.
+const MaxTick = Tick(1<<63 - 1)
+
+// Nanoseconds reports the tick as a floating-point number of nanoseconds.
+func (t Tick) Nanoseconds() float64 { return float64(t) / float64(Nanosecond) }
+
+// Seconds reports the tick as a floating-point number of seconds.
+func (t Tick) Seconds() float64 { return float64(t) / float64(Second) }
+
+// String renders the tick with an adaptive unit, e.g. "13.75ns".
+func (t Tick) String() string {
+	switch {
+	case t == MaxTick:
+		return "max"
+	case t >= Second:
+		return fmt.Sprintf("%.6gs", t.Seconds())
+	case t >= Microsecond:
+		return fmt.Sprintf("%.6gus", float64(t)/float64(Microsecond))
+	case t >= Nanosecond:
+		return fmt.Sprintf("%.6gns", t.Nanoseconds())
+	default:
+		return fmt.Sprintf("%dps", int64(t))
+	}
+}
+
+// Frequency describes a clock in Hz; it converts to a period in ticks.
+type Frequency float64
+
+// Frequency units.
+const (
+	Hz  Frequency = 1
+	KHz Frequency = 1e3
+	MHz Frequency = 1e6
+	GHz Frequency = 1e9
+)
+
+// Period returns the clock period of f rounded to the nearest tick.
+func (f Frequency) Period() Tick {
+	if f <= 0 {
+		panic("sim: non-positive frequency has no period")
+	}
+	return Tick(float64(Second)/float64(f) + 0.5)
+}

@@ -1,0 +1,341 @@
+// Package xbar provides the on-chip crossbar that sits between requestors
+// (CPUs, caches, traffic generators) and the per-channel DRAM controllers.
+// As in the paper (§II-F and Figure 1), channel interleaving happens here —
+// each controller is independent and the crossbar decodes which channel an
+// address belongs to, at cache-line or row granularity depending on the
+// address mapping. The crossbar models latency and finite buffering with
+// full retry-based back pressure in both directions.
+package xbar
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Route decides which memory-side port an address goes to.
+type Route func(mem.Addr) int
+
+// InterleaveRoute builds a Route that stripes addresses across n ports at
+// the given granularity (must be a power of two).
+func InterleaveRoute(n int, granularity uint64) Route {
+	return func(a mem.Addr) int {
+		return int(uint64(a) / granularity % uint64(n))
+	}
+}
+
+// AddrRange is a half-open address interval mapped to one memory port.
+type AddrRange struct {
+	Start, End mem.Addr
+	Port       int
+}
+
+// Contains reports whether a falls inside the range.
+func (r AddrRange) Contains(a mem.Addr) bool { return r.Start <= a && a < r.End }
+
+// RangeRoute builds a Route from address ranges — the NUMA/tiered-memory
+// arrangement of the paper's §II-F ("multi-channel UMA and NUMA
+// configurations, or emerging heterogeneous memory systems"): each range is
+// a memory tier or node. Ranges must be non-overlapping and cover every
+// address the system will issue; an unmatched address panics at routing
+// time with a clear message.
+func RangeRoute(ranges []AddrRange) (Route, error) {
+	if len(ranges) == 0 {
+		return nil, fmt.Errorf("xbar: no ranges")
+	}
+	for i, r := range ranges {
+		if r.End <= r.Start {
+			return nil, fmt.Errorf("xbar: empty range %d [%#x, %#x)", i, uint64(r.Start), uint64(r.End))
+		}
+		if r.Port < 0 {
+			return nil, fmt.Errorf("xbar: negative port in range %d", i)
+		}
+		for j := 0; j < i; j++ {
+			o := ranges[j]
+			if r.Start < o.End && o.Start < r.End {
+				return nil, fmt.Errorf("xbar: ranges %d and %d overlap", j, i)
+			}
+		}
+	}
+	rs := make([]AddrRange, len(ranges))
+	copy(rs, ranges)
+	return func(a mem.Addr) int {
+		for _, r := range rs {
+			if r.Contains(a) {
+				return r.Port
+			}
+		}
+		panic(fmt.Sprintf("xbar: address %#x outside every configured range", uint64(a)))
+	}, nil
+}
+
+// Config shapes the crossbar.
+type Config struct {
+	// Latency is added to every packet crossing the crossbar, each way.
+	Latency sim.Tick
+	// QueueDepth bounds each internal queue (per memory port for requests,
+	// per requestor port for responses).
+	QueueDepth int
+	// PacketInterval optionally throttles each output to one packet per
+	// interval, modelling finite crossbar throughput (0 = unlimited).
+	PacketInterval sim.Tick
+}
+
+// DefaultConfig returns a modest single-cycle-ish crossbar.
+func DefaultConfig() Config {
+	return Config{Latency: 5 * sim.Nanosecond, QueueDepth: 16}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Latency < 0 || c.PacketInterval < 0 {
+		return fmt.Errorf("xbar: negative timing")
+	}
+	if c.QueueDepth <= 0 {
+		return fmt.Errorf("xbar: queue depth must be positive")
+	}
+	return nil
+}
+
+// queued is a packet waiting in an internal queue.
+type queued struct {
+	pkt     *mem.Packet
+	readyAt sim.Tick
+}
+
+// outQueue is a latency+capacity queue in front of one output port (either
+// direction), draining in order with retry flow control.
+type outQueue struct {
+	name     string
+	k        *sim.Kernel
+	cfg      Config
+	items    []queued
+	sendEv   *sim.Event
+	blocked  bool // downstream refused; waiting for its retry
+	nextSend sim.Tick
+	send     func(*mem.Packet) bool
+	// onSpace is called whenever a slot frees, to wake blocked upstreams.
+	onSpace func()
+}
+
+func newOutQueue(k *sim.Kernel, cfg Config, name string, send func(*mem.Packet) bool, onSpace func()) *outQueue {
+	q := &outQueue{name: name, k: k, cfg: cfg, send: send, onSpace: onSpace}
+	q.sendEv = sim.NewEvent(name+".send", q.drain)
+	return q
+}
+
+func (q *outQueue) full() bool { return len(q.items) >= q.cfg.QueueDepth }
+
+// push enqueues a packet; the caller must have checked full().
+func (q *outQueue) push(pkt *mem.Packet) {
+	q.items = append(q.items, queued{pkt: pkt, readyAt: q.k.Now() + q.cfg.Latency})
+	q.schedule()
+}
+
+func (q *outQueue) schedule() {
+	if q.blocked || len(q.items) == 0 || q.sendEv.Scheduled() {
+		return
+	}
+	at := q.items[0].readyAt
+	if q.nextSend > at {
+		at = q.nextSend
+	}
+	if now := q.k.Now(); at < now {
+		at = now
+	}
+	q.k.Schedule(q.sendEv, at)
+}
+
+func (q *outQueue) drain() {
+	now := q.k.Now()
+	for len(q.items) > 0 && !q.blocked {
+		head := q.items[0]
+		if head.readyAt > now || q.nextSend > now {
+			break
+		}
+		if !q.send(head.pkt) {
+			q.blocked = true
+			return
+		}
+		q.items = q.items[1:]
+		if q.cfg.PacketInterval > 0 {
+			q.nextSend = now + q.cfg.PacketInterval
+		}
+		q.onSpace()
+	}
+	q.schedule()
+}
+
+// retry is called when the downstream signals readiness.
+func (q *outQueue) retry() {
+	q.blocked = false
+	q.drain()
+}
+
+// Crossbar routes requests from any number of requestor-side ports to
+// memory-side ports and responses back, by packet identity.
+type Crossbar struct {
+	name string
+	k    *sim.Kernel
+	cfg  Config
+	rt   Route
+
+	// Requestor side: one response port per attached requestor.
+	reqSides []*reqSide
+	// Memory side: one request port + request queue per channel.
+	memSides []*memSide
+
+	// origin maps an in-flight request to the requestor-side index its
+	// response must return to.
+	origin map[*mem.Packet]int
+
+	reqRouted  *stats.Scalar
+	respRouted *stats.Scalar
+	blockedReq *stats.Scalar
+}
+
+// reqSide is the crossbar's face toward one requestor.
+type reqSide struct {
+	x     *Crossbar
+	index int
+	port  *mem.ResponsePort
+	// respQ carries responses back to this requestor.
+	respQ *outQueue
+	// waitingRetry marks that this requestor was refused and must be woken
+	// when the target queue frees.
+	waitingRetry bool
+}
+
+// memSide is the crossbar's face toward one memory channel.
+type memSide struct {
+	x     *Crossbar
+	index int
+	port  *mem.RequestPort
+	reqQ  *outQueue
+}
+
+// New builds a crossbar with the given route function.
+func New(k *sim.Kernel, cfg Config, rt Route, reg *stats.Registry, name string) (*Crossbar, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if rt == nil {
+		return nil, fmt.Errorf("xbar: nil route")
+	}
+	x := &Crossbar{name: name, k: k, cfg: cfg, rt: rt, origin: make(map[*mem.Packet]int)}
+	r := reg.Child(name)
+	x.reqRouted = r.NewScalar("reqRouted", "requests routed")
+	x.respRouted = r.NewScalar("respRouted", "responses routed")
+	x.blockedReq = r.NewScalar("blockedReqs", "requests refused due to full queues")
+	return x, nil
+}
+
+// AttachRequestor adds a requestor-side port; connect the requestor's
+// request port to the returned response port.
+func (x *Crossbar) AttachRequestor(name string) *mem.ResponsePort {
+	rs := &reqSide{x: x, index: len(x.reqSides)}
+	rs.port = mem.NewResponsePort(fmt.Sprintf("%s.cpu%d", x.name, rs.index), rs)
+	rs.respQ = newOutQueue(x.k, x.cfg, rs.port.Name()+".respq",
+		func(pkt *mem.Packet) bool { return rs.port.SendTimingResp(pkt) },
+		func() { x.wakeMemSides() })
+	x.reqSides = append(x.reqSides, rs)
+	return rs.port
+}
+
+// AttachMemory adds a memory-side port; connect it to a controller's
+// response port. Route indices refer to attachment order.
+func (x *Crossbar) AttachMemory(name string) *mem.RequestPort {
+	ms := &memSide{x: x, index: len(x.memSides)}
+	ms.port = mem.NewRequestPort(fmt.Sprintf("%s.mem%d", x.name, ms.index), ms)
+	ms.reqQ = newOutQueue(x.k, x.cfg, ms.port.Name()+".reqq",
+		func(pkt *mem.Packet) bool { return ms.port.SendTimingReq(pkt) },
+		func() { x.wakeRequestors() })
+	x.memSides = append(x.memSides, ms)
+	return ms.port
+}
+
+// wakeRequestors retries every requestor blocked on a full request queue.
+func (x *Crossbar) wakeRequestors() {
+	for _, rs := range x.reqSides {
+		if rs.waitingRetry {
+			rs.waitingRetry = false
+			rs.port.SendReqRetry()
+		}
+	}
+}
+
+// wakeMemSides retries every controller blocked on a full response queue.
+func (x *Crossbar) wakeMemSides() {
+	for _, ms := range x.memSides {
+		ms.port.SendRespRetry()
+	}
+}
+
+// RecvTimingReq implements mem.Responder for a requestor-side port.
+func (rs *reqSide) RecvTimingReq(pkt *mem.Packet) bool {
+	x := rs.x
+	ch := x.rt(pkt.Addr)
+	if ch < 0 || ch >= len(x.memSides) {
+		panic(fmt.Sprintf("xbar: route(%#x) = %d with %d memory ports", uint64(pkt.Addr), ch, len(x.memSides)))
+	}
+	if last := x.rt(pkt.End() - 1); last != ch {
+		// A packet must fit inside one interleave unit: the route
+		// granularity has to be at least the largest request size.
+		panic(fmt.Sprintf("xbar: %s straddles channels %d and %d — increase the interleave granularity", pkt, ch, last))
+	}
+	q := x.memSides[ch].reqQ
+	if q.full() {
+		rs.waitingRetry = true
+		x.blockedReq.Inc()
+		return false
+	}
+	x.origin[pkt] = rs.index
+	x.reqRouted.Inc()
+	q.push(pkt)
+	return true
+}
+
+// RecvRespRetry implements mem.Responder: the requestor can take responses
+// again.
+func (rs *reqSide) RecvRespRetry() { rs.respQ.retry() }
+
+// RecvTimingResp implements mem.Requestor for a memory-side port: route the
+// response back to its origin.
+func (ms *memSide) RecvTimingResp(pkt *mem.Packet) bool {
+	x := ms.x
+	idx, ok := x.origin[pkt]
+	if !ok {
+		panic(fmt.Sprintf("xbar: response %s with unknown origin", pkt))
+	}
+	q := x.reqSides[idx].respQ
+	if q.full() {
+		return false
+	}
+	delete(x.origin, pkt)
+	x.respRouted.Inc()
+	q.push(pkt)
+	return true
+}
+
+// RecvReqRetry implements mem.Requestor: the controller freed queue space.
+func (ms *memSide) RecvReqRetry() { ms.reqQ.retry() }
+
+// InFlight returns the number of requests routed but not yet answered.
+func (x *Crossbar) InFlight() int { return len(x.origin) }
+
+// Quiescent reports whether no packets sit in any internal queue.
+func (x *Crossbar) Quiescent() bool {
+	for _, ms := range x.memSides {
+		if len(ms.reqQ.items) > 0 {
+			return false
+		}
+	}
+	for _, rs := range x.reqSides {
+		if len(rs.respQ.items) > 0 {
+			return false
+		}
+	}
+	return true
+}
