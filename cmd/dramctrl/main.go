@@ -23,6 +23,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cyclesim"
 	"repro/internal/dram"
+	"repro/internal/faults"
 	"repro/internal/mem"
 	"repro/internal/power"
 	"repro/internal/sim"
@@ -53,6 +54,15 @@ func main() {
 		traceIn   = flag.String("trace-in", "", "replay this trace file instead of a synthetic pattern")
 		traceOut  = flag.String("trace-out", "", "capture the request stream to this trace file")
 		interval  = flag.Int64("interval", 0, "print a bandwidth sample every N ns of simulated time (0 = off)")
+
+		faultSeed   = flag.Uint64("fault-seed", 42, "fault injector seed (event model)")
+		berCorr     = flag.Float64("ber-correctable", 0, "correctable errors per read burst (0-1, event model)")
+		berUncorr   = flag.Float64("ber-uncorrectable", 0, "uncorrectable errors per read burst (0-1, event model)")
+		berTrans    = flag.Float64("ber-transient", 0, "transient whole-burst failures per read burst (0-1, event model)")
+		eccLatency  = flag.Int64("ecc-latency", 10, "ECC correction latency in ns")
+		retryLimit  = flag.Int("retry-limit", 4, "replay attempts before a faulty row is retired")
+		maxEvents   = flag.Uint64("max-events", 0, "watchdog: abort after this many events (0 = off)")
+		maxSameTick = flag.Uint64("max-same-tick", 1_000_000, "watchdog: abort after this many events at one tick (0 = off)")
 	)
 	flag.Parse()
 
@@ -71,6 +81,14 @@ func main() {
 		stride: *stride, banks: *banks, seed: *seed, powerDownNs: *powerDown,
 		dumpStats: *dumpStats, jsonStats: *jsonStats, traceIn: *traceIn, traceOut: *traceOut,
 		intervalNs: *interval,
+		faults: faults.Config{
+			Seed:                  *faultSeed,
+			CorrectablePerBurst:   *berCorr,
+			UncorrectablePerBurst: *berUncorr,
+			TransientPerBurst:     *berTrans,
+		},
+		eccLatencyNs: *eccLatency, retryLimit: *retryLimit,
+		watchdog: sim.Watchdog{MaxEvents: *maxEvents, MaxSameTick: *maxSameTick},
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "dramctrl:", err)
 		os.Exit(1)
@@ -90,6 +108,10 @@ type cfgFromFlags struct {
 	jsonStats                                      string
 	traceIn, traceOut                              string
 	intervalNs                                     int64
+	faults                                         faults.Config
+	eccLatencyNs                                   int64
+	retryLimit                                     int
+	watchdog                                       sim.Watchdog
 }
 
 // controller abstracts over the two models for this tool.
@@ -138,12 +160,18 @@ func run(f cfgFromFlags) error {
 		if f.sched == "fcfs" {
 			cfg.Scheduling = core.FCFS
 		}
+		cfg.Faults = f.faults
+		cfg.ECCCorrectionLatency = sim.Tick(f.eccLatencyNs) * sim.Nanosecond
+		cfg.FaultRetryLimit = f.retryLimit
 		c, err := core.NewController(k, cfg, reg, "mc")
 		if err != nil {
 			return err
 		}
 		ctrl, drain = c, c.Drain
 	case "cycle":
+		if f.faults.Enabled() {
+			return fmt.Errorf("fault injection is only modelled by the event-based controller")
+		}
 		cfg := cyclesim.DefaultConfig(spec)
 		cfg.Mapping = mapping
 		if strings.HasPrefix(f.page, "closed") {
@@ -225,9 +253,16 @@ func run(f cfgFromFlags) error {
 		}()
 	}
 
+	if f.watchdog.Enabled() {
+		k.SetWatchdog(f.watchdog)
+	}
 	deadline := 100 * sim.Second
 	for k.Now() < deadline {
-		k.RunUntil(k.Now() + 10*sim.Microsecond)
+		// The error-returning variant lets a watchdog trip surface as a
+		// diagnosable failure (with a pending-event dump) instead of a panic.
+		if _, err := k.RunUntilErr(k.Now() + 10*sim.Microsecond); err != nil {
+			return err
+		}
 		if done() {
 			if !ctrl.Quiescent() {
 				drain()
@@ -246,6 +281,17 @@ func run(f cfgFromFlags) error {
 		ctrl.Bandwidth()/1e9, ctrl.BusUtilisation()*100, ctrl.RowHitRate()*100)
 	act := ctrl.PowerStats()
 	fmt.Printf("DRAM power: %s\n", power.Compute(spec, act))
+	if f.faults.Enabled() {
+		get := func(name string) float64 {
+			if s, ok := reg.Get("dramctrl.mc." + name).(*stats.Scalar); ok {
+				return s.Value()
+			}
+			return 0
+		}
+		fmt.Printf("faults (seed %d): %.0f corrected, %.0f uncorrected, %.0f retried, %.0f rows retired, %.0f scrubs (%.0f dropped)\n",
+			f.faults.Seed, get("correctedErrors"), get("uncorrectedErrors"),
+			get("retriedBursts"), get("retiredRows"), get("scrubWrites"), get("droppedScrubs"))
+	}
 	if act.PowerDownTime > 0 {
 		fmt.Printf("power-down time: %s (%.1f%% of run)\n", act.PowerDownTime,
 			float64(act.PowerDownTime)/float64(act.Elapsed)*100)

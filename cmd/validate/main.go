@@ -4,6 +4,7 @@
 //
 //	go run ./cmd/validate          # ~a minute
 //	go run ./cmd/validate -full    # full-size experiments
+//	go run ./cmd/validate -faults  # fault-injection / RAS checks only
 package main
 
 import (
@@ -23,6 +24,7 @@ type check struct {
 
 func main() {
 	full := flag.Bool("full", false, "run full-size experiments (slower)")
+	faultsOnly := flag.Bool("faults", false, "run only the fault-injection / RAS checks")
 	flag.Parse()
 
 	sweepReq, latReq, powerReq, speedReq := uint64(1500), uint64(6000), uint64(1500), uint64(20000)
@@ -37,6 +39,12 @@ func main() {
 	var checks []check
 	add := func(name string, pass bool, detail string, args ...any) {
 		checks = append(checks, check{name: name, pass: pass, detail: fmt.Sprintf(detail, args...)})
+	}
+
+	if *faultsOnly {
+		faultChecks(add, memOps)
+		report(checks)
+		return
 	}
 
 	// Figure 3: open-page reads reach ~90%+, models agree.
@@ -132,6 +140,58 @@ func main() {
 		add("Fig9", false, "error: %v", err)
 	}
 
+	faultChecks(add, memOps)
+	report(checks)
+}
+
+// faultChecks validates the reliability extension: a seeded fault sweep is
+// bit-for-bit reproducible, a zero error rate injects nothing, higher rates
+// produce more corrections, and uncorrectable errors complete gracefully
+// (poisoned responses) rather than crashing the run.
+func faultChecks(add func(string, bool, string, ...any), requests uint64) {
+	spec := experiments.DefaultFaultSweep(requests)
+	a, err := experiments.RunFaultSweep(spec)
+	if err != nil {
+		add("Fault sweep", false, "error: %v", err)
+		return
+	}
+	b, err := experiments.RunFaultSweep(spec)
+	if err != nil {
+		add("Fault sweep rerun", false, "error: %v", err)
+		return
+	}
+	identical := len(a.Rows) == len(b.Rows)
+	for i := range a.Rows {
+		if !identical || a.Rows[i] != b.Rows[i] {
+			identical = false
+			break
+		}
+	}
+	add("Fault determinism", identical,
+		"two seed-%d sweeps produced identical corrected/uncorrected/retried/retired counts", spec.Seed)
+
+	zero := a.Rows[0]
+	add("Fault zero-rate baseline", zero.BER == 0 &&
+		zero.Corrected+zero.Uncorrected+zero.Retried+zero.Retired+zero.Scrubs == 0,
+		"BER 0 row: %d corrected, %d uncorrected, %d scrubs", zero.Corrected, zero.Uncorrected, zero.Scrubs)
+
+	hot := a.Rows[len(a.Rows)-1]
+	monotone := hot.Corrected > zero.Corrected && hot.Corrected > 0 && hot.Scrubs > 0
+	for i := 1; i < len(a.Rows); i++ {
+		if a.Rows[i].Corrected < a.Rows[i-1].Corrected {
+			monotone = false
+		}
+	}
+	add("Fault rate scaling", monotone,
+		"corrected errors grow with BER: %d at %g -> %d at %g",
+		a.Rows[1].Corrected, a.Rows[1].BER, hot.Corrected, hot.BER)
+
+	add("Graceful uncorrectable", hot.Uncorrected > 0,
+		"%d uncorrectable errors completed as poisoned responses, no crash", hot.Uncorrected)
+}
+
+// report prints the pass/fail table and exits non-zero on failure.
+func report(checks []check) {
 	fmt.Println("paper validation summary:")
 	fmt.Println()
 	failed := 0

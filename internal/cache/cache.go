@@ -135,6 +135,7 @@ type cacheStats struct {
 	blockedOnMSHRs   *stats.Scalar
 	prefetches       *stats.Scalar
 	usefulPrefetches *stats.Scalar
+	poisonedFills    *stats.Scalar
 }
 
 // New builds a cache registering statistics under name.
@@ -174,6 +175,7 @@ func New(k *sim.Kernel, cfg Config, reg *stats.Registry, name string) (*Cache, e
 		blockedOnMSHRs:   r.NewScalar("blockedOnMSHRs", "requests refused with MSHRs full"),
 		prefetches:       r.NewScalar("prefetches", "prefetch fills issued"),
 		usefulPrefetches: r.NewScalar("usefulPrefetches", "prefetched lines used by demand"),
+		poisonedFills:    r.NewScalar("poisonedFills", "fills returned with an uncorrectable-error poison flag"),
 	}
 	return c, nil
 }

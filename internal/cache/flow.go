@@ -112,6 +112,22 @@ func (c *Cache) fillOrAck(pkt *mem.Packet) bool {
 		c.st.missLatency.Sample((c.k.Now() - m.issued).Nanoseconds())
 	}
 
+	if pkt.Poisoned {
+		// Uncorrectable memory error: never install poisoned data. Every
+		// waiter gets its response with the poison intact (the contract of
+		// mem.Packet.Poisoned); a poisoned prefetch is simply discarded.
+		c.st.poisonedFills.Inc()
+		for _, w := range m.waiters {
+			w.Poisoned = true
+			c.queueResponse(w)
+		}
+		if c.retryReq {
+			c.retryReq = false
+			c.cpuPort.SendReqRetry()
+		}
+		return true
+	}
+
 	// Install the line, evicting the LRU victim (writeback if dirty).
 	set, tag := c.indexOf(lineAddr)
 	way := c.victim(set)

@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"repro/internal/dram"
+	"repro/internal/faults"
 	"repro/internal/power"
 	"repro/internal/sim"
 )
@@ -151,6 +152,17 @@ type Config struct {
 	// it — the paper's §II-C hook for "Quality-of-Service requirements of
 	// the requesting CPUs and I/O devices". Nil disables QoS.
 	QoSPriority func(requestorID int) int
+	// Faults configures deterministic fault injection on read bursts
+	// (extension: RAS modelling). The zero value injects nothing and the
+	// controller behaves exactly as without the subsystem.
+	Faults faults.Config
+	// ECCCorrectionLatency is the extra latency a read burst pays when the
+	// SEC-DED logic corrects a single-bit error (applied per faulty burst).
+	ECCCorrectionLatency sim.Tick
+	// FaultRetryLimit bounds the replays of a transiently failed read burst
+	// (DDR4 CA-parity style retry); once exceeded the row is retired
+	// (remapped to a spare) and the access completes from the spare.
+	FaultRetryLimit int
 }
 
 // DefaultConfig returns the paper's Table III controller configuration for
@@ -171,6 +183,11 @@ func DefaultConfig(spec dram.Spec) Config {
 		FrontendLatency:    10 * sim.Nanosecond,
 		BackendLatency:     10 * sim.Nanosecond,
 		MaxAccessesPerRow:  0,
+		// RAS defaults: inert until Faults enables injection. The correction
+		// latency approximates an on-the-fly SEC-DED fix plus pipeline
+		// replay; 4 replays before retirement follows DDR4 retry practice.
+		ECCCorrectionLatency: 10 * sim.Nanosecond,
+		FaultRetryLimit:      4,
 	}
 }
 
@@ -204,6 +221,13 @@ func (c Config) Validate() error {
 	case c.SelfRefreshIdle > 0 && c.PowerDownIdle > 0 && c.SelfRefreshIdle <= c.PowerDownIdle:
 		return fmt.Errorf("core: self-refresh idle (%s) must exceed power-down idle (%s)",
 			c.SelfRefreshIdle, c.PowerDownIdle)
+	case c.ECCCorrectionLatency < 0:
+		return fmt.Errorf("core: negative ECC correction latency")
+	case c.FaultRetryLimit < 0:
+		return fmt.Errorf("core: negative fault retry limit")
+	}
+	if err := c.Faults.Validate(); err != nil {
+		return err
 	}
 	switch c.Scheduling {
 	case FCFS, FRFCFS:

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/dram"
+	"repro/internal/faults"
 	"repro/internal/mem"
 	"repro/internal/power"
 	"repro/internal/sim"
@@ -83,6 +84,11 @@ type Controller struct {
 	selfRefreshSince sim.Tick
 	selfRefreshTime  sim.Tick
 
+	// Fault-injection / ECC state (extension, see ecc.go). inj is nil when
+	// fault modelling is disabled — the common case pays one nil check per
+	// read burst and nothing else.
+	inj *faults.Injector
+
 	st ctrlStats
 }
 
@@ -104,6 +110,13 @@ type ctrlStats struct {
 	rdWrTurnarounds             *stats.Scalar
 	powerDowns                  *stats.Scalar
 	selfRefreshes               *stats.Scalar
+	// RAS statistics (see ecc.go).
+	correctedErrors   *stats.Scalar
+	uncorrectedErrors *stats.Scalar
+	retriedBursts     *stats.Scalar
+	retiredRows       *stats.Scalar
+	scrubWrites       *stats.Scalar
+	droppedScrubs     *stats.Scalar
 }
 
 // NewController validates the configuration and builds a controller wired to
@@ -126,6 +139,13 @@ func NewController(k *sim.Kernel, cfg Config, reg *stats.Registry, name string) 
 		startTick:    k.Now(),
 		tim:          cfg.Spec.Timing,
 		org:          cfg.Spec.Org,
+	}
+	if cfg.Faults.Enabled() {
+		inj, err := faults.NewInjector(cfg.Faults)
+		if err != nil {
+			return nil, err
+		}
+		c.inj = inj
 	}
 	c.port = mem.NewResponsePort(name+".port", c)
 	c.ranks = make([]*rank, cfg.Spec.Org.RanksPerChannel)
@@ -182,6 +202,13 @@ func NewController(k *sim.Kernel, cfg Config, reg *stats.Registry, name string) 
 		rdWrTurnarounds:  r.NewScalar("rdWrTurnarounds", "bus direction switches"),
 		powerDowns:       r.NewScalar("powerDowns", "power-down entries"),
 		selfRefreshes:    r.NewScalar("selfRefreshes", "self-refresh entries"),
+
+		correctedErrors:   r.NewScalar("correctedErrors", "read bursts with an ECC-corrected single-bit error"),
+		uncorrectedErrors: r.NewScalar("uncorrectedErrors", "read bursts with an uncorrectable error (response poisoned)"),
+		retriedBursts:     r.NewScalar("retriedBursts", "read burst replays after transient faults"),
+		retiredRows:       r.NewScalar("retiredRows", "rows retired (remapped) after exhausting retries"),
+		scrubWrites:       r.NewScalar("scrubWrites", "demand-scrub writebacks queued after corrections"),
+		droppedScrubs:     r.NewScalar("droppedScrubs", "scrub writebacks dropped on a full write queue"),
 	}
 	return c, nil
 }
@@ -195,9 +222,12 @@ func (c *Controller) Name() string { return c.name }
 // Config returns the controller configuration.
 func (c *Controller) Config() Config { return c.cfg }
 
-// Quiescent reports whether no work is queued or in flight.
+// Quiescent reports whether no work is queued or in flight. Occupied
+// read-buffer entries are counted too: a burst parked in a fault-replay
+// backoff sits in no queue but still owes a response.
 func (c *Controller) Quiescent() bool {
-	return len(c.readQueue) == 0 && len(c.writeQueue) == 0 && len(c.respQueue) == 0
+	return len(c.readQueue) == 0 && len(c.writeQueue) == 0 &&
+		len(c.respQueue) == 0 && c.readEntries == 0
 }
 
 // Drain puts the controller in drain mode: buffered writes are written back
@@ -453,14 +483,23 @@ func (c *Controller) processNextReqEvent() {
 			c.readQueue = append(c.readQueue[:idx], c.readQueue[idx+1:]...)
 			c.doDRAMAccess(dp)
 			c.readsThisTime++
-			tr := dp.parent
-			tr.remaining--
-			if dp.readyTime > tr.lastReady {
-				tr.lastReady = dp.readyTime
-			}
-			if tr.remaining == 0 {
-				release := c.transactionEntries(tr)
-				c.queueResponse(tr.pkt, tr.lastReady+c.cfg.FrontendLatency+c.cfg.BackendLatency, release)
+			// The ECC/fault path may poison the burst, stretch its ready
+			// time (correction latency) or demand a replay; a replayed
+			// burst re-enters the read queue later and must not advance
+			// its transaction yet.
+			if c.inj == nil || !c.inspectReadBurst(dp) {
+				tr := dp.parent
+				tr.remaining--
+				if dp.readyTime > tr.lastReady {
+					tr.lastReady = dp.readyTime
+				}
+				if tr.remaining == 0 {
+					if tr.poisoned {
+						tr.pkt.Poisoned = true
+					}
+					release := c.transactionEntries(tr)
+					c.queueResponse(tr.pkt, tr.lastReady+c.cfg.FrontendLatency+c.cfg.BackendLatency, release)
+				}
 			}
 			// Forced switch at the high watermark.
 			if len(c.writeQueue) >= c.cfg.writeHighMark() {
@@ -650,7 +689,12 @@ func (c *Controller) doDRAMAccess(p *dramPacket) {
 		b.preAllowedAt = maxTick(b.preAllowedAt, dataEnd+t.TWR)
 		rk.rdAllowedAt = maxTick(rk.rdAllowedAt, dataEnd+t.TWTR)
 		c.st.bytesWritten.Add(float64(burstBytes))
-		c.st.wrQLat.Sample((now - p.entryTime).Nanoseconds())
+		if !p.scrub {
+			// Scrub writebacks are controller-internal traffic: they move
+			// bytes but are not system write requests, so they stay out of
+			// the queueing-latency statistic.
+			c.st.wrQLat.Sample((now - p.entryTime).Nanoseconds())
+		}
 	}
 	b.rowAccesses++
 	b.bytesAccessed += burstBytes

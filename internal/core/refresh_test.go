@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/dram"
+	"repro/internal/faults"
 	"repro/internal/mem"
 	"repro/internal/power"
 	"repro/internal/sim"
@@ -87,6 +88,78 @@ func TestRefreshStaggerAcrossRanks(t *testing.T) {
 	for at, ranks := range refRanks {
 		if len(ranks) > 1 {
 			t.Fatalf("ranks %v refreshed simultaneously at %s", ranks, at)
+		}
+	}
+}
+
+// Fault scrubbing must never violate refresh timing: with every read burst
+// taking a correctable error (so every read also queues a demand-scrub
+// writeback), no ACT/RD/WR command may land strictly inside any same-rank
+// all-bank refresh window [start, start+tRFC].
+func TestScrubRespectsRefreshTiming(t *testing.T) {
+	k := sim.NewKernel()
+	cfg := DefaultConfig(dram.DDR3_1600_x64())
+	cfg.FrontendLatency = 0
+	cfg.BackendLatency = 0
+	cfg.Refresh = RefreshAllBank
+	cfg.ReadBufferSize = 64
+	cfg.Faults = faults.Config{Seed: 11, CorrectablePerBurst: 1.0}
+	tm := cfg.Spec.Timing
+
+	type window struct{ start, end sim.Tick }
+	refWindows := map[int][]window{}
+	type cmdAt struct {
+		kind power.CommandKind
+		rank int
+		at   sim.Tick
+	}
+	var cmds []cmdAt
+	cfg.CommandListener = func(c power.Command) {
+		switch c.Kind {
+		case power.CmdREF:
+			refWindows[c.Rank] = append(refWindows[c.Rank], window{c.At, c.At + tm.TRFC})
+		case power.CmdACT, power.CmdRD, power.CmdWR:
+			cmds = append(cmds, cmdAt{c.Kind, c.Rank, c.At})
+		}
+	}
+
+	h := &harness{k: k}
+	c, err := NewController(k, cfg, stats.NewRegistry("t"), "mc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.c = c
+	h.port = mem.NewRequestPort("gen", h)
+	mem.Connect(h.port, c.Port())
+
+	// Reads spread across several refresh intervals; each one spawns a scrub
+	// write that drains under drain mode at the end.
+	n := int(3 * tm.TREFI / (200 * sim.Nanosecond))
+	for i := 0; i < n; i++ {
+		i := i
+		h.at(sim.Tick(i)*200*sim.Nanosecond, func() {
+			addr := mem.Addr(i%8)*1024 + mem.Addr(i/8)*8192
+			h.send(mem.NewRead(addr, 64, 0, 0))
+		})
+	}
+	h.at(3*tm.TREFI+tm.TREFI/2, func() { h.c.Drain() })
+	h.run(5 * tm.TREFI)
+
+	if got := h.c.st.scrubWrites.Value(); got == 0 {
+		t.Fatal("no scrub writebacks generated")
+	}
+	if got := h.c.st.bytesWritten.Value(); got == 0 {
+		t.Fatal("scrubs never drained to the array")
+	}
+	if len(refWindows) == 0 {
+		t.Fatal("no refreshes observed")
+	}
+	for _, cmd := range cmds {
+		for _, w := range refWindows[cmd.rank] {
+			if cmd.at > w.start && cmd.at < w.end {
+				t.Fatalf("%v on rank %d at %s lands inside refresh window [%s, %s]",
+					cmd.kind, cmd.rank, cmd.at, w.start, w.end)
+			}
 		}
 	}
 }

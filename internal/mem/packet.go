@@ -78,6 +78,13 @@ type Packet struct {
 	// Meta carries requestor-private state (e.g. a CPU's outstanding-miss
 	// record) untouched through the memory system.
 	Meta any
+	// Poisoned marks a response whose data suffered a detectable but
+	// uncorrectable error (SEC-DED multi-bit). The contract: every component
+	// on the response path (controller, crossbar, cache) must deliver the
+	// packet to the original requestor with the flag intact — poison is
+	// propagated, never silently dropped and never a crash. Caches must not
+	// install poisoned fills.
+	Poisoned bool
 }
 
 // NewRead returns a read request.
@@ -118,5 +125,9 @@ func (p *Packet) ContainedIn(q *Packet) bool {
 
 // String renders the packet for diagnostics.
 func (p *Packet) String() string {
-	return fmt.Sprintf("%s[%#x:%#x) req=%d", p.Cmd, uint64(p.Addr), uint64(p.End()), p.RequestorID)
+	poison := ""
+	if p.Poisoned {
+		poison = " poisoned"
+	}
+	return fmt.Sprintf("%s[%#x:%#x) req=%d%s", p.Cmd, uint64(p.Addr), uint64(p.End()), p.RequestorID, poison)
 }

@@ -1,6 +1,10 @@
 package mem
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
 
 // The port protocol is gem5's timing protocol:
 //
@@ -62,10 +66,10 @@ func (p *RequestPort) Peer() *ResponsePort { return p.peer }
 // means the responder is busy; the caller must wait for RecvReqRetry.
 func (p *RequestPort) SendTimingReq(pkt *Packet) bool {
 	if p.peer == nil {
-		panic(fmt.Sprintf("mem: port %q not connected", p.name))
+		panic(fmt.Sprintf("mem: port %q not connected at %s", p.name, sim.CurrentTick()))
 	}
 	if !pkt.Cmd.IsRequest() {
-		panic(fmt.Sprintf("mem: SendTimingReq of %s", pkt.Cmd))
+		panic(fmt.Sprintf("mem: SendTimingReq of %s on port %q at %s", pkt.Cmd, p.name, sim.CurrentTick()))
 	}
 	return p.peer.owner.RecvTimingReq(pkt)
 }
@@ -74,7 +78,7 @@ func (p *RequestPort) SendTimingReq(pkt *Packet) bool {
 // the response it previously refused.
 func (p *RequestPort) SendRespRetry() {
 	if p.peer == nil {
-		panic(fmt.Sprintf("mem: port %q not connected", p.name))
+		panic(fmt.Sprintf("mem: port %q not connected at %s", p.name, sim.CurrentTick()))
 	}
 	p.peer.owner.RecvRespRetry()
 }
@@ -104,10 +108,10 @@ func (p *ResponsePort) Peer() *RequestPort { return p.peer }
 // means the requestor is busy; the caller must wait for RecvRespRetry.
 func (p *ResponsePort) SendTimingResp(pkt *Packet) bool {
 	if p.peer == nil {
-		panic(fmt.Sprintf("mem: port %q not connected", p.name))
+		panic(fmt.Sprintf("mem: port %q not connected at %s", p.name, sim.CurrentTick()))
 	}
 	if !pkt.Cmd.IsResponse() {
-		panic(fmt.Sprintf("mem: SendTimingResp of %s", pkt.Cmd))
+		panic(fmt.Sprintf("mem: SendTimingResp of %s on port %q at %s", pkt.Cmd, p.name, sim.CurrentTick()))
 	}
 	return p.peer.owner.RecvTimingResp(pkt)
 }
@@ -116,7 +120,7 @@ func (p *ResponsePort) SendTimingResp(pkt *Packet) bool {
 // the request it previously refused.
 func (p *ResponsePort) SendReqRetry() {
 	if p.peer == nil {
-		panic(fmt.Sprintf("mem: port %q not connected", p.name))
+		panic(fmt.Sprintf("mem: port %q not connected at %s", p.name, sim.CurrentTick()))
 	}
 	p.peer.owner.RecvReqRetry()
 }

@@ -3,7 +3,20 @@ package sim
 import (
 	"container/heap"
 	"fmt"
+	"sync/atomic"
 )
+
+// diagNow mirrors the most recently executing kernel's tick, so components
+// that hold no kernel reference (e.g. mem ports) can stamp diagnostics with
+// *when* a protocol violation happened. It is best-effort by design: with
+// several kernels in one process it reflects whichever stepped last. Stored
+// atomically so concurrent test binaries stay race-clean.
+var diagNow atomic.Int64
+
+// CurrentTick returns the tick of the most recently executing kernel in this
+// process. It exists purely for diagnostics (panic messages, log lines) in
+// code that has no kernel reference; model logic must use Kernel.Now.
+func CurrentTick() Tick { return Tick(diagNow.Load()) }
 
 // eventHeap implements container/heap over scheduled events ordered by
 // (when, priority, seq). The sequence number makes execution order fully
@@ -56,6 +69,11 @@ type Kernel struct {
 	// statistics in §III-D report events and host time).
 	executed uint64
 	stopped  bool
+
+	// Watchdog state (see watchdog.go): sameTick counts consecutive events
+	// executed without simulated time advancing, the livelock signature.
+	wd       Watchdog
+	sameTick uint64
 }
 
 // NewKernel returns a kernel with time at tick zero and an empty queue.
@@ -123,38 +141,74 @@ func (k *Kernel) Stop() { k.stopped = true }
 func (k *Kernel) step() {
 	e := heap.Pop(&k.queue).(*Event)
 	if e.when < k.now {
-		panic("sim: queue corruption, event in the past")
+		panic(fmt.Sprintf("sim: queue corruption, event %q scheduled for %s is in the past (now %s)",
+			e.name, e.when, k.now))
+	}
+	if e.when == k.now {
+		k.sameTick++
+	} else {
+		k.sameTick = 1
 	}
 	k.now = e.when
+	diagNow.Store(int64(e.when))
 	e.scheduled = false
 	k.executed++
 	e.callback()
 }
 
 // Run executes events until the queue drains or Stop is called. It returns
-// the tick of the last executed event.
+// the tick of the last executed event. A tripped watchdog panics with the
+// pending-queue dump; embedders that would rather handle the failure use
+// RunErr.
 func (k *Kernel) Run() Tick {
+	now, err := k.RunErr()
+	if err != nil {
+		panic(err.Error())
+	}
+	return now
+}
+
+// RunErr is Run with graceful failure: a tripped watchdog returns a
+// *WatchdogError (carrying the pending event queue) instead of panicking.
+func (k *Kernel) RunErr() (Tick, error) {
 	k.stopped = false
 	for len(k.queue) > 0 && !k.stopped {
+		if err := k.checkWatchdog(); err != nil {
+			return k.now, err
+		}
 		k.step()
 	}
-	return k.now
+	return k.now, nil
 }
 
 // RunUntil executes events with when <= limit. Time is left at the limit if
 // the queue still holds later events, so a subsequent RunUntil continues
-// seamlessly. It returns the current tick.
+// seamlessly. It returns the current tick, and panics if the watchdog trips
+// (use RunUntilErr to handle that gracefully).
 func (k *Kernel) RunUntil(limit Tick) Tick {
+	now, err := k.RunUntilErr(limit)
+	if err != nil {
+		panic(err.Error())
+	}
+	return now
+}
+
+// RunUntilErr is RunUntil with graceful failure: a tripped watchdog returns
+// a *WatchdogError instead of panicking.
+func (k *Kernel) RunUntilErr(limit Tick) (Tick, error) {
 	k.stopped = false
 	for len(k.queue) > 0 && !k.stopped {
 		if k.queue[0].when > limit {
 			k.now = limit
-			return k.now
+			return k.now, nil
+		}
+		if err := k.checkWatchdog(); err != nil {
+			return k.now, err
 		}
 		k.step()
 	}
 	if k.now < limit {
 		k.now = limit
 	}
-	return k.now
+	return k.now, nil
 }

@@ -67,7 +67,7 @@ func RangeRoute(ranges []AddrRange) (Route, error) {
 				return r.Port
 			}
 		}
-		panic(fmt.Sprintf("xbar: address %#x outside every configured range", uint64(a)))
+		panic(fmt.Sprintf("xbar: address %#x outside every configured range at %s", uint64(a), sim.CurrentTick()))
 	}, nil
 }
 
@@ -278,12 +278,14 @@ func (rs *reqSide) RecvTimingReq(pkt *mem.Packet) bool {
 	x := rs.x
 	ch := x.rt(pkt.Addr)
 	if ch < 0 || ch >= len(x.memSides) {
-		panic(fmt.Sprintf("xbar: route(%#x) = %d with %d memory ports", uint64(pkt.Addr), ch, len(x.memSides)))
+		panic(fmt.Sprintf("xbar: route(%#x) = %d with %d memory ports at %s",
+			uint64(pkt.Addr), ch, len(x.memSides), x.k.Now()))
 	}
 	if last := x.rt(pkt.End() - 1); last != ch {
 		// A packet must fit inside one interleave unit: the route
 		// granularity has to be at least the largest request size.
-		panic(fmt.Sprintf("xbar: %s straddles channels %d and %d — increase the interleave granularity", pkt, ch, last))
+		panic(fmt.Sprintf("xbar: %s straddles channels %d and %d at %s — increase the interleave granularity",
+			pkt, ch, last, x.k.Now()))
 	}
 	q := x.memSides[ch].reqQ
 	if q.full() {
@@ -307,7 +309,7 @@ func (ms *memSide) RecvTimingResp(pkt *mem.Packet) bool {
 	x := ms.x
 	idx, ok := x.origin[pkt]
 	if !ok {
-		panic(fmt.Sprintf("xbar: response %s with unknown origin", pkt))
+		panic(fmt.Sprintf("xbar: response %s with unknown origin at %s", pkt, x.k.Now()))
 	}
 	q := x.reqSides[idx].respQ
 	if q.full() {
