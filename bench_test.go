@@ -253,6 +253,52 @@ func BenchmarkFig9(b *testing.B) {
 	}
 }
 
+// Sharded multi-channel rig: the same 4-channel bandwidth workload stepped
+// serially (workers=1) and by worker goroutines. The schedule — and so the
+// simulated work — is identical in every variant; ns/op differences are pure
+// host-parallelism effects. On a multi-core host the parallel variants win
+// once channels >= 2; BENCH_2.json records the measured ratios.
+func benchSharded(b *testing.B, channels, workers int) {
+	b.Helper()
+	spec := dram.DDR3_1333_8x8()
+	gens := make([]trafficgen.Config, channels)
+	patterns := make([]trafficgen.Pattern, channels)
+	for i := range gens {
+		gens[i] = trafficgen.Config{
+			RequestBytes:   spec.Org.BurstBytes(),
+			MaxOutstanding: 32,
+			Count:          uint64(b.N)/uint64(channels) + 1,
+			RequestorID:    i,
+		}
+		patterns[i] = &trafficgen.Linear{
+			Start: 0, End: 1 << 26, Step: spec.Org.BurstBytes(),
+			ReadPercent: 80, Seed: int64(i + 1),
+		}
+	}
+	rig, err := system.NewShardedRig(system.ShardedConfig{
+		Kind: system.EventBased, Spec: spec, Mapping: dram.RoRaBaCoCh,
+		Channels: channels,
+		Xbar:     xbar.Config{Latency: 2 * sim.Nanosecond, QueueDepth: 64},
+		Gens:     gens, Patterns: patterns,
+		Workers: workers,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	if !rig.Run(1000 * sim.Second) {
+		b.Fatal("run did not complete")
+	}
+	b.StopTimer()
+	b.ReportMetric(rig.AggregateBandwidth()/1e9, "GB/s")
+}
+
+func BenchmarkSharded2chSerial(b *testing.B)   { benchSharded(b, 2, 1) }
+func BenchmarkSharded2ch2Workers(b *testing.B) { benchSharded(b, 2, 2) }
+func BenchmarkSharded4chSerial(b *testing.B)   { benchSharded(b, 4, 1) }
+func BenchmarkSharded4ch2Workers(b *testing.B) { benchSharded(b, 4, 2) }
+func BenchmarkSharded4ch4Workers(b *testing.B) { benchSharded(b, 4, 4) }
+
 // Micro-benchmarks of the core substrate, for regression tracking.
 
 func BenchmarkKernelScheduleFire(b *testing.B) {

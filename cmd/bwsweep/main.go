@@ -24,6 +24,8 @@ func main() {
 	figure := flag.Int("figure", 3, "paper figure to regenerate (3, 4 or 5)")
 	requests := flag.Uint64("requests", 4000, "requests per measurement point")
 	ablation := flag.String("ablation", "", "run a design ablation instead: pagepolicy, mapping, scheduler, writedrain, xaw, refresh, xorhash, prefetch, all")
+	channels := flag.Int("channels", 1, "interleave the sweep over this many DRAM channels (sharded rig when > 1)")
+	parallel := flag.Int("parallel", 1, "worker goroutines stepping channel shards (sharded rig only; results are worker-count independent)")
 	flag.Parse()
 
 	if *ablation != "" {
@@ -47,15 +49,25 @@ func main() {
 		os.Exit(1)
 	}
 
-	res, err := experiments.RunSweep(spec)
+	var res *experiments.SweepResult
+	var err error
+	if *channels > 1 {
+		res, err = experiments.RunSweepSharded(spec, *channels, *parallel)
+	} else {
+		res, err = experiments.RunSweep(spec)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bwsweep:", err)
 		os.Exit(1)
 	}
 
 	fmt.Printf("%s\n", spec.Name)
-	fmt.Printf("memory: %s, mapping: %s, page: %s, reads: %d%%, %d requests/point\n\n",
+	fmt.Printf("memory: %s, mapping: %s, page: %s, reads: %d%%, %d requests/point\n",
 		spec.Spec.Name, spec.Mapping, pageName(spec.ClosedPage), spec.ReadPct, spec.Requests)
+	if *channels > 1 {
+		fmt.Printf("sharded over %d channels, %d workers (per-channel average utilisation)\n", *channels, *parallel)
+	}
+	fmt.Println()
 	fmt.Printf("%-8s", "stride")
 	for _, b := range spec.Banks {
 		fmt.Printf("  %13s", fmt.Sprintf("banks=%d ev/cy", b))

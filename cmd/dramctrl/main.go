@@ -63,8 +63,27 @@ func main() {
 		retryLimit  = flag.Int("retry-limit", 4, "replay attempts before a faulty row is retired")
 		maxEvents   = flag.Uint64("max-events", 0, "watchdog: abort after this many events (0 = off)")
 		maxSameTick = flag.Uint64("max-same-tick", 1_000_000, "watchdog: abort after this many events at one tick (0 = off)")
+
+		channels = flag.Int("channels", 1, "DRAM channels behind a crossbar (sharded rig when > 1)")
+		parallel = flag.Int("parallel", 1, "worker goroutines stepping channel shards (statistics are worker-count independent)")
 	)
 	flag.Parse()
+
+	if *channels > 1 {
+		if err := runSharded(shardedFlags{
+			specName: *specName, model: *model, mapping: *mappingS, page: *pageS,
+			pattern: *pattern, reads: *reads, requests: *requests,
+			reqBytes: *reqBytes, outstanding: *outst, ittNs: *itt,
+			stride: *stride, banks: *banks, seed: *seed,
+			channels: *channels, workers: *parallel,
+			dumpStats: *dumpStats, jsonStats: *jsonStats,
+			traceIn: *traceIn, traceOut: *traceOut, faultsOn: *berCorr != 0 || *berUncorr != 0 || *berTrans != 0,
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, "dramctrl:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		for _, s := range dram.AllSpecs() {

@@ -1,0 +1,147 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/dram"
+	"repro/internal/sim"
+	"repro/internal/system"
+	"repro/internal/trafficgen"
+	"repro/internal/xbar"
+)
+
+// shardedFlags is the flag subset the multi-channel sharded path supports.
+type shardedFlags struct {
+	specName, model, mapping, page, pattern string
+	reads                                   int
+	requests, reqBytes                      uint64
+	outstanding                             int
+	ittNs                                   int64
+	stride                                  uint64
+	banks                                   int
+	seed                                    int64
+	channels, workers                       int
+	dumpStats                               bool
+	jsonStats                               string
+	traceIn, traceOut                       string
+	faultsOn                                bool
+}
+
+// runSharded drives the parallel per-channel rig: crossbar and generator on
+// a frontend kernel, each channel's controller on its own kernel, stepped by
+// -parallel worker goroutines. Statistics are identical for any worker
+// count; only host wall-clock changes.
+func runSharded(f shardedFlags) error {
+	if f.traceIn != "" || f.traceOut != "" {
+		return fmt.Errorf("trace capture/replay is single-channel only (drop -channels)")
+	}
+	if f.faultsOn {
+		return fmt.Errorf("fault injection is single-channel only (drop -channels)")
+	}
+	spec, err := findSpec(f.specName)
+	if err != nil {
+		return err
+	}
+	mapping, err := dram.ParseMapping(f.mapping)
+	if err != nil {
+		return err
+	}
+	var kind system.Kind
+	switch f.model {
+	case "event":
+		kind = system.EventBased
+	case "cycle":
+		kind = system.CycleBased
+	default:
+		return fmt.Errorf("unknown model %q", f.model)
+	}
+
+	var pat trafficgen.Pattern
+	switch f.pattern {
+	case "linear":
+		pat = &trafficgen.Linear{
+			Start: 0, End: 1 << 28, Step: f.reqBytes,
+			ReadPercent: f.reads, Seed: f.seed,
+		}
+	case "random":
+		pat = &trafficgen.Random{
+			Start: 0, End: 1 << 28, Align: f.reqBytes,
+			ReadPercent: f.reads, Seed: f.seed,
+		}
+	case "dramaware":
+		dec, err := dram.NewDecoder(spec.Org, mapping, f.channels)
+		if err != nil {
+			return err
+		}
+		p := &trafficgen.DRAMAware{
+			Decoder: dec, StrideBursts: f.stride, Banks: f.banks,
+			ReadPercent: f.reads, Seed: f.seed,
+		}
+		if err := p.Validate(); err != nil {
+			return err
+		}
+		pat = p
+	default:
+		return fmt.Errorf("unknown pattern %q", f.pattern)
+	}
+
+	rig, err := system.NewShardedRig(system.ShardedConfig{
+		Kind:       kind,
+		Spec:       spec,
+		Mapping:    mapping,
+		ClosedPage: strings.HasPrefix(f.page, "closed"),
+		Channels:   f.channels,
+		Xbar:       xbar.Config{Latency: 2 * sim.Nanosecond, QueueDepth: 64},
+		Gens: []trafficgen.Config{{
+			RequestBytes:     f.reqBytes,
+			MaxOutstanding:   f.outstanding,
+			Count:            f.requests,
+			InterTransaction: sim.Tick(f.ittNs) * sim.Nanosecond,
+		}},
+		Patterns: []trafficgen.Pattern{pat},
+		Workers:  f.workers,
+	})
+	if err != nil {
+		return err
+	}
+	if !rig.Run(100 * sim.Second) {
+		return fmt.Errorf("sharded simulation did not complete")
+	}
+
+	var events uint64
+	for _, k := range append([]*sim.Kernel{rig.Front}, rig.Chans...) {
+		events += k.EventsExecuted()
+	}
+	fmt.Printf("spec %s, model %s, mapping %s, page %s\n", spec.Name, f.model, mapping, f.page)
+	fmt.Printf("%d channels sharded over %d workers, lookahead %s\n",
+		f.channels, f.workers, rig.Lookahead())
+	fmt.Printf("simulated %s in %d events\n", rig.Front.Now(), events)
+	fmt.Printf("aggregate bandwidth %.2f GB/s (%.1f%% avg bus utilisation)\n",
+		rig.AggregateBandwidth()/1e9, rig.AvgBusUtilisation()*100)
+	for i, c := range rig.Ctrls {
+		fmt.Printf("  mc%d: %.2f GB/s, %.1f%% row hits\n",
+			i, c.Bandwidth()/1e9, c.RowHitRate()*100)
+	}
+	gen := rig.Gens[0]
+	fmt.Printf("mean read latency (generator): %.1f ns (p99 %.1f ns, %d samples)\n",
+		gen.ReadLatency().Mean(), gen.ReadLatency().Percentile(99), gen.ReadLatency().Count())
+
+	if f.jsonStats != "" {
+		out, err := os.Create(f.jsonStats)
+		if err != nil {
+			return err
+		}
+		defer out.Close()
+		if err := rig.Reg.DumpJSON(out); err != nil {
+			return err
+		}
+		fmt.Printf("statistics written to %s\n", f.jsonStats)
+	}
+	if f.dumpStats {
+		fmt.Println("\nstatistics:")
+		return rig.Reg.Dump(os.Stdout)
+	}
+	return nil
+}

@@ -159,8 +159,8 @@ func New(k *sim.Kernel, cfg Config, reg *stats.Registry, name string) (*Cache, e
 	for i := range c.sets {
 		c.sets[i] = make([]line, cfg.Assoc)
 	}
-	c.cpuPort = mem.NewResponsePort(name+".cpu", (*cacheCPUSide)(c))
-	c.memPort = mem.NewRequestPort(name+".mem", (*cacheMemSide)(c))
+	c.cpuPort = mem.NewResponsePort(name+".cpu", (*cacheCPUSide)(c), k)
+	c.memPort = mem.NewRequestPort(name+".mem", (*cacheMemSide)(c), k)
 	c.respEvent = sim.NewEvent(name+".resp", c.processResponses)
 	r := reg.Child(name)
 	c.st = cacheStats{

@@ -26,7 +26,7 @@ type fakeMem struct {
 
 func newFakeMem(k *sim.Kernel, delay sim.Tick) *fakeMem {
 	f := &fakeMem{k: k, delay: delay}
-	f.port = mem.NewResponsePort("mem", f)
+	f.port = mem.NewResponsePort("mem", f, k)
 	return f
 }
 
@@ -80,7 +80,7 @@ type cpu struct {
 
 func newCPU(k *sim.Kernel) *cpu {
 	c := &cpu{k: k}
-	c.port = mem.NewRequestPort("cpu", c)
+	c.port = mem.NewRequestPort("cpu", c, k)
 	return c
 }
 

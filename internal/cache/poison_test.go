@@ -22,7 +22,7 @@ type poisonMem struct {
 
 func newPoisonMem(k *sim.Kernel, poison int) *poisonMem {
 	p := &poisonMem{k: k, poison: poison}
-	p.port = mem.NewResponsePort("pmem", p)
+	p.port = mem.NewResponsePort("pmem", p, k)
 	return p
 }
 

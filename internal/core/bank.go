@@ -23,6 +23,11 @@ type bank struct {
 	// colAllowedAt is the earliest tick for a column access (tRCD after the
 	// activate that opened the row).
 	colAllowedAt sim.Tick
+	// refreshUntil is the end of the bank's current refresh blackout. A row
+	// can be logically "open" during the blackout (an access issued while
+	// refreshing books its activate for afterwards), and the scheduler must
+	// not treat such a row as a ready hit.
+	refreshUntil sim.Tick
 	// rowAccesses counts column accesses to the currently open row, for the
 	// optional MaxAccessesPerRow cap.
 	rowAccesses int

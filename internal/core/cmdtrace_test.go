@@ -29,7 +29,7 @@ func TestCommandTraceMatchesAggregatePower(t *testing.T) {
 		t.Fatal(err)
 	}
 	h := &harness{k: k, c: c}
-	h.port = mem.NewRequestPort("gen", h)
+	h.port = mem.NewRequestPort("gen", h, k)
 	mem.Connect(h.port, c.Port())
 
 	// A few hundred row-hit-heavy reads plus some writes.

@@ -147,7 +147,7 @@ func NewController(k *sim.Kernel, cfg Config, reg *stats.Registry, name string) 
 		}
 		c.inj = inj
 	}
-	c.port = mem.NewResponsePort(name+".port", c)
+	c.port = mem.NewResponsePort(name+".port", c, k)
 	c.ranks = make([]*rank, cfg.Spec.Org.RanksPerChannel)
 	c.refreshDue = make([]sim.Tick, len(c.ranks))
 	for i := range c.ranks {
@@ -563,11 +563,12 @@ func (c *Controller) priorityOf(requestorID int) int {
 	return c.cfg.QoSPriority(requestorID)
 }
 
-// chooseNext returns the queue index to service next. FCFS takes the head;
-// FR-FCFS takes the first queued row hit (first-ready, as in gem5), and
-// with no hits available the request whose bank is ready first (paper
-// §II-C). With QoS enabled, only the highest priority level present in the
-// queue competes.
+// chooseNext returns the queue index to service next. FCFS takes the head.
+// FR-FCFS follows gem5's hierarchy: the first *seamless* row hit (column
+// ready by the time the data bus frees), then the first ready-but-not-
+// seamless hit, then the request whose bank frees earliest (paper §II-C).
+// With QoS enabled, only the highest priority level present in the queue
+// competes.
 func (c *Controller) chooseNext(q []*dramPacket) int {
 	if c.cfg.Scheduling == FCFS || len(q) == 1 {
 		return 0
@@ -581,31 +582,62 @@ func (c *Controller) chooseNext(q []*dramPacket) int {
 			}
 		}
 	}
+	now := c.k.Now()
+	// A column command issued at or before this tick keeps the data bus
+	// busy back-to-back (gem5's minColAt): the seamless threshold.
+	minColAt := maxTick(now, c.busBusyUntil-c.tim.TCL)
+	prepped := -1
 	for i, p := range q {
 		if p.priority < minPri {
 			continue
 		}
 		b := &c.ranks[p.coord.Rank].banks[p.coord.Bank]
-		if b.openRow == int64(p.coord.Row) {
+		// A row opened during a refresh blackout is not a ready hit: its
+		// activate is booked for after the blackout, so preferring it over
+		// a genuinely ready request in another rank wastes the window.
+		// (Power-down and self-refresh are channel-wide here, so they block
+		// all candidates equally and need no per-bank gate.)
+		if b.openRow != int64(p.coord.Row) || b.refreshUntil > now {
+			continue
+		}
+		if b.colAllowedAt <= minColAt {
+			// Seamless hit: issuing it leaves no bus idle gap. Taking the
+			// first queued one is gem5's FCFS-among-seamless rule.
 			return i
 		}
+		if prepped < 0 {
+			prepped = i
+		}
+	}
+	if prepped >= 0 {
+		// Hits still beat misses even when none is seamless, but a hit that
+		// would stall the bus no longer shadows a seamless hit queued
+		// behind it.
+		return prepped
 	}
 	best := -1
-	bestAt := sim.MaxTick
+	bestAt, bestReady := sim.MaxTick, sim.MaxTick
 	for i, p := range q {
 		if p.priority < minPri {
 			continue
 		}
-		if at := c.estimateIssue(p); at < bestAt {
-			best, bestAt = i, at
+		// Primary key: the true issue tick including bus serialisation, as
+		// doDRAMAccess will charge it. Secondary key: raw bank readiness —
+		// among bus-bound candidates (equal true cost) pick the bank that
+		// frees earliest, as gem5's earliestBanks does, preserving bank
+		// parallelism instead of degrading to arrival order.
+		ready := c.rawIssueAt(p)
+		at := c.clampToBus(ready)
+		if at < bestAt || (at == bestAt && ready < bestReady) {
+			best, bestAt, bestReady = i, at, ready
 		}
 	}
 	return best
 }
 
-// estimateIssue computes the earliest column-command tick for p without
-// mutating any state; it is the cost function behind FR-FCFS.
-func (c *Controller) estimateIssue(p *dramPacket) sim.Tick {
+// rawIssueAt computes the earliest column-command tick for p from bank and
+// rank state alone, without mutating anything.
+func (c *Controller) rawIssueAt(p *dramPacket) sim.Tick {
 	t := &c.tim
 	now := c.k.Now()
 	rk := c.ranks[p.coord.Rank]
@@ -626,6 +658,23 @@ func (c *Controller) estimateIssue(p *dramPacket) sim.Tick {
 		dirAllowed = rk.wrAllowedAt
 	}
 	return maxTick(now, colReady, dirAllowed)
+}
+
+// clampToBus applies the same data-bus serialisation doDRAMAccess charges:
+// a command whose data would start before the bus frees is pushed out so
+// its data follows the in-flight burst back-to-back.
+func (c *Controller) clampToBus(at sim.Tick) sim.Tick {
+	if at+c.tim.TCL < c.busBusyUntil {
+		return c.busBusyUntil - c.tim.TCL
+	}
+	return at
+}
+
+// estimateIssue computes the true issue tick for p — bank, rank and data
+// bus state included, exactly what doDRAMAccess will charge — without
+// mutating any state; it is the cost function behind FR-FCFS.
+func (c *Controller) estimateIssue(p *dramPacket) sim.Tick {
+	return c.clampToBus(c.rawIssueAt(p))
 }
 
 // doDRAMAccess performs the chosen burst: it opens the row if needed
@@ -876,6 +925,7 @@ func (c *Controller) refreshAllBanks(rankIdx int, rk *rank) {
 	for i := range rk.banks {
 		b := &rk.banks[i]
 		b.actAllowedAt = maxTick(b.actAllowedAt, done)
+		b.refreshUntil = maxTick(b.refreshUntil, done)
 	}
 	c.emitCommand(power.CmdREF, rankIdx, 0, start)
 }
@@ -903,6 +953,7 @@ func (c *Controller) refreshOneBank(rankIdx int, rk *rank) {
 	}
 	done := start + t.TRFC*tRFCpbNum/tRFCpbDen
 	b.actAllowedAt = maxTick(b.actAllowedAt, done)
+	b.refreshUntil = maxTick(b.refreshUntil, done)
 	c.emitCommand(power.CmdREF, rankIdx, rk.nextRefreshBank, start)
 	rk.nextRefreshBank = (rk.nextRefreshBank + 1) % len(rk.banks)
 }

@@ -70,7 +70,7 @@ func newHarness(t *testing.T, mutate func(*Config)) *harness {
 		t.Fatal(err)
 	}
 	h := &harness{k: k, c: c}
-	h.port = mem.NewRequestPort("gen", h)
+	h.port = mem.NewRequestPort("gen", h, k)
 	mem.Connect(h.port, c.Port())
 	return h
 }
@@ -676,7 +676,7 @@ func TestRandomTrafficConservation(t *testing.T) {
 			return false
 		}
 		h := &harness{k: k, c: c}
-		h.port = mem.NewRequestPort("gen", h)
+		h.port = mem.NewRequestPort("gen", h, k)
 		mem.Connect(h.port, c.Port())
 
 		n := 100
@@ -764,7 +764,7 @@ func newHarnessNoT() *harness {
 		panic(err)
 	}
 	h := &harness{k: k, c: c}
-	h.port = mem.NewRequestPort("gen", h)
+	h.port = mem.NewRequestPort("gen", h, k)
 	mem.Connect(h.port, c.Port())
 	return h
 }

@@ -1,10 +1,7 @@
 package core
 
 import (
-	"fmt"
-
 	"repro/internal/faults"
-	"repro/internal/sim"
 )
 
 // This file is the controller's RAS (reliability, availability,
@@ -71,13 +68,13 @@ func (c *Controller) replayBurst(dp *dramPacket) bool {
 	c.st.retriedBursts.Inc()
 	backoff := c.tim.TBURST << uint(dp.attempts-1)
 	retryAt := dp.readyTime + backoff
-	// A one-shot event re-queues the burst; its read-buffer entry stays
-	// reserved the whole time, so back pressure is preserved.
-	ev := sim.NewEvent(fmt.Sprintf("%s.replay", c.name), func() {
+	// A pooled one-shot event re-queues the burst (replay storms must not
+	// churn the allocator); its read-buffer entry stays reserved the whole
+	// time, so back pressure is preserved.
+	c.k.Call(c.name+".replay", retryAt, func() {
 		c.readQueue = append(c.readQueue, dp)
 		c.kickScheduler()
 	})
-	c.k.Schedule(ev, retryAt)
 	return true
 }
 

@@ -205,7 +205,7 @@ func newHarnessWith(k *sim.Kernel, cfg Config) *harness {
 		panic(err)
 	}
 	h := &harness{k: k, c: c}
-	h.port = mem.NewRequestPort("gen", h)
+	h.port = mem.NewRequestPort("gen", h, k)
 	mem.Connect(h.port, c.Port())
 	return h
 }

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/dram"
+	"repro/internal/sim"
+)
+
+// Regression tests for the FR-FCFS cost function and row-hit scan. Both
+// construct the exact mispick the old code made: estimateIssue ignored the
+// shared data bus, and chooseNext treated a row opened during a refresh
+// blackout as a ready hit.
+
+// mkRead builds a read burst to (rank, bank, row) for white-box scheduling
+// tests; only the fields chooseNext/estimateIssue read are populated.
+func mkRead(rank, bank int, row uint64, entry sim.Tick) *dramPacket {
+	return &dramPacket{
+		isRead:    true,
+		coord:     dram.Coord{Rank: rank, Bank: bank, Row: row},
+		entryTime: entry,
+	}
+}
+
+// With the data bus busy far into the future, the bus — not bank state —
+// bounds every candidate's true issue tick. The old estimateIssue ignored
+// busBusyUntil entirely; the fixed cost function charges the same bus clamp
+// doDRAMAccess applies, so bus-bound candidates report identical (honest)
+// costs, and the scheduler's secondary key — raw bank readiness, gem5's
+// earliestBanks rule — decides among them.
+func TestEstimateIssueChargesBusyBus(t *testing.T) {
+	h := newHarness(t, nil)
+	c := h.c
+	tm := &c.tim
+
+	// Two read misses to different banks in the same rank, the second one's
+	// bank ready sooner.
+	a := mkRead(0, 0, 3, 0)
+	b := mkRead(0, 1, 7, 1*sim.Nanosecond)
+	c.ranks[0].banks[0].actAllowedAt = 10 * sim.Nanosecond
+	c.ranks[0].banks[1].actAllowedAt = 5 * sim.Nanosecond
+	q := []*dramPacket{a, b}
+
+	// Idle bus: bank state decides; the sooner bank wins.
+	if got := c.chooseNext(q); got != 1 {
+		t.Fatalf("idle bus: chooseNext = %d, want 1 (sooner bank wins)", got)
+	}
+
+	// Bus saturated well past both bank-ready ticks: the estimates must
+	// collapse to the bus tick (the cost doDRAMAccess will actually charge)
+	// while the choice still frees the earliest bank.
+	c.busBusyUntil = 200 * sim.Nanosecond
+	wantAt := c.busBusyUntil - tm.TCL
+	for i, p := range q {
+		if at := c.estimateIssue(p); at != wantAt {
+			t.Fatalf("q[%d]: estimateIssue = %s, want bus-clamped %s", i, at, wantAt)
+		}
+	}
+	if got := c.chooseNext(q); got != 1 {
+		t.Fatalf("busy bus: chooseNext = %d, want 1 (earliest bank among equal costs)", got)
+	}
+}
+
+// The mispick the old hit scan made: it took the first queued row hit even
+// when that hit's column was blocked past the point the data bus frees,
+// stalling the bus while a seamless hit sat queued right behind it. The
+// fixed scan prefers the first *seamless* hit (gem5's minColAt rule) and
+// only falls back to a stalling hit when no seamless one exists.
+func TestChooseNextPrefersSeamlessHit(t *testing.T) {
+	h := newHarness(t, nil)
+	c := h.c
+	tm := &c.tim
+
+	c.busBusyUntil = 100 * sim.Nanosecond
+	stall := &c.ranks[0].banks[0]
+	stall.openRow = 3
+	stall.colAllowedAt = c.busBusyUntil + 50*sim.Nanosecond // hit, but stalls the bus
+	seamless := &c.ranks[0].banks[1]
+	seamless.openRow = 7
+	seamless.colAllowedAt = c.busBusyUntil - tm.TCL // ready the moment the bus frees
+
+	q := []*dramPacket{mkRead(0, 0, 3, 0), mkRead(0, 1, 7, 1)}
+	if got := c.chooseNext(q); got != 1 {
+		t.Fatalf("chooseNext = %d, want 1 (seamless hit beats stalling hit queued first)", got)
+	}
+
+	// Make the first hit seamless too: queue order resumes (FCFS among
+	// seamless hits).
+	stall.colAllowedAt = c.busBusyUntil - tm.TCL
+	if got := c.chooseNext(q); got != 0 {
+		t.Fatalf("chooseNext = %d, want 0 (first seamless hit in queue order)", got)
+	}
+
+	// No seamless hit at all: the first ready hit still beats misses.
+	stall.colAllowedAt = c.busBusyUntil + 50*sim.Nanosecond
+	seamless.colAllowedAt = c.busBusyUntil + 80*sim.Nanosecond
+	if got := c.chooseNext(q); got != 0 {
+		t.Fatalf("chooseNext = %d, want 0 (first non-seamless hit as fallback)", got)
+	}
+}
+
+// The estimate must agree with what doDRAMAccess actually charges: issue the
+// chosen burst and check the column command landed on the estimated tick.
+func TestEstimateIssueMatchesAccessCharge(t *testing.T) {
+	h := newHarness(t, nil)
+	c := h.c
+
+	p := mkRead(0, 2, 9, 0)
+	c.busBusyUntil = 150 * sim.Nanosecond
+	want := c.estimateIssue(p)
+	c.doDRAMAccess(p)
+	// doDRAMAccess stamps readyTime = column tick + tCL + tBURST.
+	if got := p.readyTime - c.tim.TCL - c.tim.TBURST; got != want {
+		t.Fatalf("column command at %s, estimateIssue predicted %s", got, want)
+	}
+}
+
+// A row left logically open across a refresh blackout is not a ready hit:
+// its activate is booked for after tRFC, so the old scan — which keyed on
+// openRow alone — burned the whole blackout on it while a genuinely ready
+// request in another bank sat idle. The fixed scan gates hits on
+// refreshUntil and falls through to the cost function, which picks the
+// ready miss.
+func TestChooseNextSkipsHitInRefreshingBank(t *testing.T) {
+	h := newHarness(t, nil)
+	c := h.c
+	now := h.k.Now()
+
+	refreshing := &c.ranks[0].banks[0]
+	refreshing.openRow = 5
+	refreshing.refreshUntil = now + 100*sim.Nanosecond
+	refreshing.actAllowedAt = refreshing.refreshUntil
+	refreshing.colAllowedAt = refreshing.refreshUntil + c.tim.TRCD
+
+	hit := mkRead(0, 0, 5, 0)  // row hit, but the bank is mid-refresh
+	miss := mkRead(0, 1, 8, 1) // closed bank, ready immediately
+	q := []*dramPacket{hit, miss}
+
+	if got := c.chooseNext(q); got != 1 {
+		t.Fatalf("mid-refresh: chooseNext = %d, want 1 (ready miss beats blacked-out hit)", got)
+	}
+
+	// Blackout over: the hit is genuinely ready again and must be preferred
+	// — the gate only suppresses hits during the blackout.
+	refreshing.refreshUntil = now
+	refreshing.colAllowedAt = now
+	if got := c.chooseNext(q); got != 0 {
+		t.Fatalf("after refresh: chooseNext = %d, want 0 (row hit preferred)", got)
+	}
+}
+
+// End-to-end flavour of the same bug: refreshAllBanks must stamp every
+// bank's blackout so the scan sees it, and refreshOneBank only its target.
+func TestRefreshStampsBlackout(t *testing.T) {
+	h := newHarness(t, nil)
+	c := h.c
+
+	c.refreshAllBanks(0, c.ranks[0])
+	for i := range c.ranks[0].banks {
+		b := &c.ranks[0].banks[i]
+		if b.refreshUntil <= h.k.Now() {
+			t.Fatalf("bank %d: refreshUntil = %s not stamped by all-bank refresh", i, b.refreshUntil)
+		}
+		if b.refreshUntil != b.actAllowedAt {
+			t.Fatalf("bank %d: blackout %s disagrees with actAllowedAt %s", i, b.refreshUntil, b.actAllowedAt)
+		}
+	}
+}

@@ -25,7 +25,7 @@ func newRankHarness(t *testing.T, mutate func(*Config)) *harness {
 		t.Fatal(err)
 	}
 	h := &harness{k: k, c: c}
-	h.port = mem.NewRequestPort("gen", h)
+	h.port = mem.NewRequestPort("gen", h, k)
 	mem.Connect(h.port, c.Port())
 	return h
 }

@@ -44,7 +44,7 @@ func TestControllerObeysDRAMProtocol(t *testing.T) {
 			return false
 		}
 		h := &harness{k: k, c: c}
-		h.port = mem.NewRequestPort("gen", h)
+		h.port = mem.NewRequestPort("gen", h, k)
 		mem.Connect(h.port, c.Port())
 
 		n := 200

@@ -25,7 +25,7 @@ func qosLatencies(t *testing.T, qos func(int) int) (hi, lo float64) {
 		t.Fatal(err)
 	}
 	h := &harness{k: k, c: c}
-	h.port = mem.NewRequestPort("gen", h)
+	h.port = mem.NewRequestPort("gen", h, k)
 	mem.Connect(h.port, c.Port())
 
 	// Requestor 1 (latency-sensitive, 1 in 4 requests) competes with

@@ -129,7 +129,7 @@ func TestScrubRespectsRefreshTiming(t *testing.T) {
 		t.Fatal(err)
 	}
 	h.c = c
-	h.port = mem.NewRequestPort("gen", h)
+	h.port = mem.NewRequestPort("gen", h, k)
 	mem.Connect(h.port, c.Port())
 
 	// Reads spread across several refresh intervals; each one spawns a scrub

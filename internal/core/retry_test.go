@@ -44,7 +44,7 @@ func TestControllerResponseRetry(t *testing.T) {
 		t.Fatal(err)
 	}
 	r := &refusingRequestor{k: k, refuse: 2}
-	r.port = mem.NewRequestPort("gen", r)
+	r.port = mem.NewRequestPort("gen", r, k)
 	mem.Connect(r.port, c.Port())
 
 	k.Schedule(sim.NewEvent("inject", func() {

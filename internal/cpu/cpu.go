@@ -104,7 +104,7 @@ func New(k *sim.Kernel, cfg Config, pattern trafficgen.Pattern, reg *stats.Regis
 		return nil, fmt.Errorf("cpu: nil pattern")
 	}
 	c := &Core{cfg: cfg, k: k, pattern: pattern, startTick: k.Now()}
-	c.port = mem.NewRequestPort(name+".port", c)
+	c.port = mem.NewRequestPort(name+".port", c, k)
 	c.tick = sim.NewEvent(name+".tick", c.run)
 	r := reg.Child(name)
 	c.instrRetired = r.NewScalar("instrRetired", "instructions retired")

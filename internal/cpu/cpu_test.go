@@ -22,7 +22,7 @@ type instantMem struct {
 
 func newInstantMem(k *sim.Kernel, delay sim.Tick) *instantMem {
 	m := &instantMem{k: k, delay: delay}
-	m.port = mem.NewResponsePort("mem", m)
+	m.port = mem.NewResponsePort("mem", m, k)
 	return m
 }
 

@@ -74,7 +74,7 @@ func NewGPU(k *sim.Kernel, cfg GPUConfig, patternFor func(w int) trafficgen.Patt
 		return nil, fmt.Errorf("cpu: nil pattern factory")
 	}
 	g := &GPU{cfg: cfg, k: k, startTick: k.Now()}
-	g.port = mem.NewRequestPort(name+".port", g)
+	g.port = mem.NewRequestPort(name+".port", g, k)
 	g.patterns = make([]trafficgen.Pattern, cfg.Wavefronts)
 	for w := range g.patterns {
 		g.patterns[w] = patternFor(w)

@@ -162,7 +162,7 @@ type slottedMem struct {
 
 func newSlottedMem(k *sim.Kernel, latency, gap sim.Tick) *slottedMem {
 	m := &slottedMem{k: k, latency: latency, gap: gap}
-	m.port = mem.NewResponsePort("slotmem", m)
+	m.port = mem.NewResponsePort("slotmem", m, k)
 	return m
 }
 

@@ -233,7 +233,7 @@ func NewController(k *sim.Kernel, cfg Config, reg *stats.Registry, name string) 
 		tck:    cfg.Spec.Timing.TCK,
 		cycles: toCycles(cfg.Spec.Timing),
 	}
-	c.port = mem.NewResponsePort(name+".port", c)
+	c.port = mem.NewResponsePort(name+".port", c, k)
 	c.ranks = make([]*crank, cfg.Spec.Org.RanksPerChannel)
 	for i := range c.ranks {
 		r := &crank{banks: make([]cbank, cfg.Spec.Org.BanksPerRank), lastAct: -1 << 40}

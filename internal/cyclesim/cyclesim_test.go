@@ -76,7 +76,7 @@ func newHarness(t *testing.T, mutate func(*Config)) *harness {
 		t.Fatal(err)
 	}
 	h := &harness{k: k, c: c}
-	h.port = mem.NewRequestPort("gen", h)
+	h.port = mem.NewRequestPort("gen", h, k)
 	mem.Connect(h.port, c.Port())
 	return h
 }
@@ -326,7 +326,7 @@ func TestRandomTrafficConservation(t *testing.T) {
 			return false
 		}
 		h := &harness{k: k, c: c}
-		h.port = mem.NewRequestPort("gen", h)
+		h.port = mem.NewRequestPort("gen", h, k)
 		mem.Connect(h.port, c.Port())
 
 		n := 80
@@ -366,7 +366,7 @@ func TestDeterminism(t *testing.T) {
 		reg := stats.NewRegistry("t")
 		c, _ := NewController(k, cfg, reg, "dramsim")
 		h := &harness{k: k, c: c}
-		h.port = mem.NewRequestPort("gen", h)
+		h.port = mem.NewRequestPort("gen", h, k)
 		mem.Connect(h.port, c.Port())
 		rng := rand.New(rand.NewSource(11))
 		h.at(0, func() {
@@ -435,7 +435,7 @@ func TestResponseRetryPath(t *testing.T) {
 			return true
 		},
 	}
-	port = mem.NewRequestPort("gen", r)
+	port = mem.NewRequestPort("gen", r, k)
 	mem.Connect(port, c.Port())
 	k.Schedule(sim.NewEvent("inject", func() {
 		for i := 0; i < 3; i++ {

@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/dram"
+	"repro/internal/sim"
+	"repro/internal/system"
+	"repro/internal/trafficgen"
+	"repro/internal/xbar"
+)
+
+// This file measures the sharded (parallel per-channel) rig against its own
+// serial schedule: identical topology, identical statistics (asserted, not
+// assumed), wall-clock compared across worker counts. This is the headline
+// claim of the parallel kernel work — determinism is free, speedup scales
+// with channels on a multi-core host — and the numbers land in BENCH_2.json.
+
+// ParallelRow is one (channels, workers) wall-clock measurement.
+type ParallelRow struct {
+	Channels int           `json:"channels"`
+	Workers  int           `json:"workers"`
+	Host     time.Duration `json:"hostNs"`
+	// AggregateGBs is the summed channel bandwidth, as a sanity check that
+	// every configuration simulated the same traffic.
+	AggregateGBs float64 `json:"aggregateGBs"`
+	// Speedup is serial host time over this row's host time, within the same
+	// channel count (workers=1 rows therefore read 1.0).
+	Speedup float64 `json:"speedup"`
+	// Deterministic reports whether this row's full statistics dump was
+	// byte-identical to the serial run's.
+	Deterministic bool `json:"deterministic"`
+}
+
+// ParallelResult aggregates the sharded-rig scaling measurement.
+type ParallelResult struct {
+	HostCPUs   int           `json:"hostCPUs"`
+	GoMaxProcs int           `json:"gomaxprocs"`
+	Requests   uint64        `json:"requestsPerGen"`
+	Rows       []ParallelRow `json:"rows"`
+}
+
+// parallelWorkload builds the sharded bandwidth-sweep workload: one mixed
+// linear/random generator pair per two channels (minimum two generators), so
+// offered load grows with the channel count and every channel stays busy.
+func parallelWorkload(channels, workers int, requests uint64) system.ShardedConfig {
+	spec := dram.DDR3_1333_8x8()
+	nGens := channels
+	if nGens < 2 {
+		nGens = 2
+	}
+	gens := make([]trafficgen.Config, nGens)
+	patterns := make([]trafficgen.Pattern, nGens)
+	for i := range gens {
+		gens[i] = trafficgen.Config{
+			RequestBytes:   spec.Org.BurstBytes(),
+			MaxOutstanding: 32,
+			Count:          requests,
+			RequestorID:    i,
+		}
+		if i%2 == 0 {
+			patterns[i] = &trafficgen.Linear{
+				Start: 0, End: 1 << 26, Step: spec.Org.BurstBytes(),
+				ReadPercent: 80, Seed: int64(11 + i),
+			}
+		} else {
+			patterns[i] = &trafficgen.Random{
+				Start: 0, End: 1 << 26, Align: spec.Org.BurstBytes(),
+				ReadPercent: 60, Seed: int64(23 + i),
+			}
+		}
+	}
+	return system.ShardedConfig{
+		Kind:     system.EventBased,
+		Spec:     spec,
+		Mapping:  dram.RoRaBaCoCh,
+		Channels: channels,
+		Xbar:     xbar.Config{Latency: 2 * sim.Nanosecond, QueueDepth: 64},
+		Gens:     gens,
+		Patterns: patterns,
+		Workers:  workers,
+	}
+}
+
+// runParallelPoint runs one sharded configuration to completion and returns
+// host time, aggregate bandwidth and the statistics dump.
+func runParallelPoint(channels, workers int, requests uint64) (time.Duration, float64, string, error) {
+	runtime.GC()
+	rig, err := system.NewShardedRig(parallelWorkload(channels, workers, requests))
+	if err != nil {
+		return 0, 0, "", err
+	}
+	start := time.Now()
+	if !rig.Run(100 * sim.Second) {
+		return 0, 0, "", fmt.Errorf("experiments: sharded run ch=%d w=%d did not complete", channels, workers)
+	}
+	host := time.Since(start)
+	var buf bytes.Buffer
+	if err := rig.Reg.DumpJSON(&buf); err != nil {
+		return 0, 0, "", err
+	}
+	return host, rig.AggregateBandwidth() / 1e9, buf.String(), nil
+}
+
+// RunParallelSpeedup measures the sharded rig at every channel count in
+// channelCounts, serial (workers=1) against each entry of workerCounts, and
+// verifies the parallel statistics dumps byte-match the serial ones. On a
+// single-hardware-thread host expect speedups near (or below) 1.0 — the
+// point of recording HostCPUs alongside the rows.
+func RunParallelSpeedup(requests uint64, channelCounts, workerCounts []int) (*ParallelResult, error) {
+	res := &ParallelResult{
+		HostCPUs:   runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Requests:   requests,
+	}
+	for _, ch := range channelCounts {
+		serialHost, gbs, serialDump, err := runParallelPoint(ch, 1, requests)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, ParallelRow{
+			Channels: ch, Workers: 1, Host: serialHost,
+			AggregateGBs: gbs, Speedup: 1, Deterministic: true,
+		})
+		for _, w := range workerCounts {
+			if w <= 1 {
+				continue
+			}
+			host, gbs, dump, err := runParallelPoint(ch, w, requests)
+			if err != nil {
+				return nil, err
+			}
+			res.Rows = append(res.Rows, ParallelRow{
+				Channels: ch, Workers: w, Host: host,
+				AggregateGBs:  gbs,
+				Speedup:       float64(serialHost) / float64(host),
+				Deterministic: dump == serialDump,
+			})
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,50 @@
+package experiments
+
+import "testing"
+
+// The parallel measurement itself must observe determinism: every worker
+// count's statistics dump byte-matches the serial run, and the simulated
+// traffic (aggregate bandwidth) is identical.
+func TestRunParallelSpeedupDeterministic(t *testing.T) {
+	res, err := RunParallelSpeedup(300, []int{2}, []int{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(res.Rows))
+	}
+	serial := res.Rows[0]
+	for _, row := range res.Rows {
+		if !row.Deterministic {
+			t.Fatalf("ch=%d w=%d: stats diverged from serial run", row.Channels, row.Workers)
+		}
+		if row.AggregateGBs != serial.AggregateGBs {
+			t.Fatalf("ch=%d w=%d: bandwidth %.3f != serial %.3f",
+				row.Channels, row.Workers, row.AggregateGBs, serial.AggregateGBs)
+		}
+		if row.Host <= 0 || row.Speedup <= 0 {
+			t.Fatalf("ch=%d w=%d: empty timing", row.Channels, row.Workers)
+		}
+	}
+	if res.HostCPUs <= 0 || res.GoMaxProcs <= 0 {
+		t.Fatal("host info not recorded")
+	}
+}
+
+// The sharded sweep produces sane utilisations for both models.
+func TestRunSweepSharded(t *testing.T) {
+	s := Fig3Spec(200)
+	s.Strides = []uint64{4}
+	s.Banks = []int{4}
+	res, err := RunSweepSharded(s, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("got %d rows, want 1", len(res.Rows))
+	}
+	row := res.Rows[0]
+	if row.EventUtil <= 0 || row.EventUtil > 1 || row.CycleUtil <= 0 || row.CycleUtil > 1 {
+		t.Fatalf("utilisations out of range: ev=%.3f cy=%.3f", row.EventUtil, row.CycleUtil)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/system"
 	"repro/internal/trafficgen"
+	"repro/internal/xbar"
 )
 
 // SweepSpec describes one bandwidth sweep (Figs. 3-5): a DRAM-aware traffic
@@ -135,16 +136,73 @@ func runPoint(kind system.Kind, s SweepSpec, stride uint64, banks int) (float64,
 	return rig.Ctrl.BusUtilisation(), nil
 }
 
+// runShardedPoint measures one model at one sweep point on the sharded
+// multi-channel rig and returns the average per-channel bus utilisation.
+func runShardedPoint(kind system.Kind, s SweepSpec, stride uint64, banks, channels, workers int) (float64, error) {
+	dec, err := dram.NewDecoder(s.Spec.Org, s.Mapping, channels)
+	if err != nil {
+		return 0, err
+	}
+	pattern := &trafficgen.DRAMAware{
+		Decoder:      dec,
+		StrideBursts: stride,
+		Banks:        banks,
+		ReadPercent:  s.ReadPct,
+		Seed:         1,
+	}
+	if err := pattern.Validate(); err != nil {
+		return 0, err
+	}
+	rig, err := system.NewShardedRig(system.ShardedConfig{
+		Kind:       kind,
+		Spec:       s.Spec,
+		Mapping:    s.Mapping,
+		ClosedPage: s.ClosedPage,
+		Channels:   channels,
+		Xbar:       xbar.Config{Latency: 2 * sim.Nanosecond, QueueDepth: 64},
+		Gens: []trafficgen.Config{{
+			RequestBytes:   s.Spec.Org.BurstBytes(),
+			MaxOutstanding: 32 * channels,
+			Count:          s.Requests,
+		}},
+		Patterns: []trafficgen.Pattern{pattern},
+		Workers:  workers,
+	})
+	if err != nil {
+		return 0, err
+	}
+	if !rig.Run(sim.Second) {
+		return 0, fmt.Errorf("experiments: sharded %s point stride=%d banks=%d did not complete", kind, stride, banks)
+	}
+	return rig.AvgBusUtilisation(), nil
+}
+
 // RunSweep executes the full sweep on both models.
 func RunSweep(s SweepSpec) (*SweepResult, error) {
+	return runSweepWith(s, func(kind system.Kind, stride uint64, banks int) (float64, error) {
+		return runPoint(kind, s, stride, banks)
+	})
+}
+
+// RunSweepSharded executes the sweep on the sharded multi-channel rig: the
+// same traffic interleaved over `channels` channels, each channel's
+// controller on its own kernel, stepped by `workers` goroutines. The
+// reported utilisation is the per-channel average.
+func RunSweepSharded(s SweepSpec, channels, workers int) (*SweepResult, error) {
+	return runSweepWith(s, func(kind system.Kind, stride uint64, banks int) (float64, error) {
+		return runShardedPoint(kind, s, stride, banks, channels, workers)
+	})
+}
+
+func runSweepWith(s SweepSpec, point func(system.Kind, uint64, int) (float64, error)) (*SweepResult, error) {
 	res := &SweepResult{Spec: s}
 	for _, banks := range s.Banks {
 		for _, stride := range s.Strides {
-			ev, err := runPoint(system.EventBased, s, stride, banks)
+			ev, err := point(system.EventBased, stride, banks)
 			if err != nil {
 				return nil, err
 			}
-			cy, err := runPoint(system.CycleBased, s, stride, banks)
+			cy, err := point(system.CycleBased, stride, banks)
 			if err != nil {
 				return nil, err
 			}

@@ -75,7 +75,7 @@ func NewDisplay(k *sim.Kernel, cfg DisplayConfig, reg *stats.Registry, name stri
 		return nil, err
 	}
 	d := &Display{cfg: cfg, k: k, linePos: cfg.FrameBase}
-	d.port = mem.NewRequestPort(name+".port", d)
+	d.port = mem.NewRequestPort(name+".port", d, k)
 	d.tick = sim.NewEvent(name+".line", d.startLine)
 	r := reg.Child(name)
 	d.lines = r.NewScalar("lines", "lines fetched")

@@ -66,7 +66,7 @@ func NewDMA(k *sim.Kernel, cfg DMAConfig, reg *stats.Registry, name string) (*DM
 		return nil, err
 	}
 	d := &DMA{cfg: cfg, k: k}
-	d.port = mem.NewRequestPort(name+".port", d)
+	d.port = mem.NewRequestPort(name+".port", d, k)
 	r := reg.Child(name)
 	d.transfers = r.NewScalar("transfers", "block transfers completed")
 	d.bytesMoved = r.NewScalar("bytesMoved", "bytes transferred")

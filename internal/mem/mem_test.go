@@ -145,8 +145,8 @@ func (c *collector) RecvReqRetry() { c.reqRetries++ }
 func newPair() (*collector, *loopResponder) {
 	col := &collector{}
 	resp := &loopResponder{}
-	col.port = NewRequestPort("req", col)
-	resp.port = NewResponsePort("resp", resp)
+	col.port = NewRequestPort("req", col, nil)
+	resp.port = NewResponsePort("resp", resp, nil)
 	Connect(col.port, resp.port)
 	return col, resp
 }
@@ -198,7 +198,7 @@ func TestPortResponseRefusalAndRetry(t *testing.T) {
 
 func TestUnconnectedPortPanics(t *testing.T) {
 	col := &collector{}
-	col.port = NewRequestPort("req", col)
+	col.port = NewRequestPort("req", col, nil)
 	defer func() {
 		if recover() == nil {
 			t.Fatal("send on unconnected port did not panic")
@@ -210,7 +210,7 @@ func TestUnconnectedPortPanics(t *testing.T) {
 func TestDoubleConnectPanics(t *testing.T) {
 	col, _ := newPair()
 	other := &loopResponder{}
-	other.port = NewResponsePort("other", other)
+	other.port = NewResponsePort("other", other, nil)
 	defer func() {
 		if recover() == nil {
 			t.Fatal("double connect did not panic")
@@ -239,7 +239,7 @@ func TestPortAccessors(t *testing.T) {
 	if resp.port.Name() != "resp" || !resp.port.Connected() || resp.port.Peer() == nil {
 		t.Fatal("response port accessors wrong")
 	}
-	loose := NewResponsePort("loose", resp)
+	loose := NewResponsePort("loose", resp, nil)
 	if loose.Connected() || loose.Peer() != nil {
 		t.Fatal("unconnected port claims a peer")
 	}

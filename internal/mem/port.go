@@ -19,6 +19,15 @@ import (
 // back pressure: a full controller queue stalls the crossbar, which stalls
 // the cache, which stalls the core.
 
+// stamp returns the diagnostic tick for a port's kernel; ports constructed
+// without a kernel (nil) stamp zero rather than crashing inside a panic.
+func stamp(k *sim.Kernel) sim.Tick {
+	if k == nil {
+		return 0
+	}
+	return k.Now()
+}
+
 // Requestor is the owner of a RequestPort: it accepts responses and retry
 // notifications.
 type Requestor interface {
@@ -46,11 +55,15 @@ type RequestPort struct {
 	name  string
 	owner Requestor
 	peer  *ResponsePort
+	k     *sim.Kernel
 }
 
-// NewRequestPort returns an unconnected request port owned by owner.
-func NewRequestPort(name string, owner Requestor) *RequestPort {
-	return &RequestPort{name: name, owner: owner}
+// NewRequestPort returns an unconnected request port owned by owner. The
+// kernel is the one owning the port's side of the simulation; it scopes the
+// tick stamps in protocol-violation diagnostics, so multi-kernel (sharded)
+// simulations report the right shard's time.
+func NewRequestPort(name string, owner Requestor, k *sim.Kernel) *RequestPort {
+	return &RequestPort{name: name, owner: owner, k: k}
 }
 
 // Name returns the diagnostic port name.
@@ -66,10 +79,10 @@ func (p *RequestPort) Peer() *ResponsePort { return p.peer }
 // means the responder is busy; the caller must wait for RecvReqRetry.
 func (p *RequestPort) SendTimingReq(pkt *Packet) bool {
 	if p.peer == nil {
-		panic(fmt.Sprintf("mem: port %q not connected at %s", p.name, sim.CurrentTick()))
+		panic(fmt.Sprintf("mem: port %q not connected at %s", p.name, stamp(p.k)))
 	}
 	if !pkt.Cmd.IsRequest() {
-		panic(fmt.Sprintf("mem: SendTimingReq of %s on port %q at %s", pkt.Cmd, p.name, sim.CurrentTick()))
+		panic(fmt.Sprintf("mem: SendTimingReq of %s on port %q at %s", pkt.Cmd, p.name, stamp(p.k)))
 	}
 	return p.peer.owner.RecvTimingReq(pkt)
 }
@@ -78,7 +91,7 @@ func (p *RequestPort) SendTimingReq(pkt *Packet) bool {
 // the response it previously refused.
 func (p *RequestPort) SendRespRetry() {
 	if p.peer == nil {
-		panic(fmt.Sprintf("mem: port %q not connected at %s", p.name, sim.CurrentTick()))
+		panic(fmt.Sprintf("mem: port %q not connected at %s", p.name, stamp(p.k)))
 	}
 	p.peer.owner.RecvRespRetry()
 }
@@ -88,11 +101,13 @@ type ResponsePort struct {
 	name  string
 	owner Responder
 	peer  *RequestPort
+	k     *sim.Kernel
 }
 
-// NewResponsePort returns an unconnected response port owned by owner.
-func NewResponsePort(name string, owner Responder) *ResponsePort {
-	return &ResponsePort{name: name, owner: owner}
+// NewResponsePort returns an unconnected response port owned by owner. The
+// kernel scopes diagnostic tick stamps exactly as for NewRequestPort.
+func NewResponsePort(name string, owner Responder, k *sim.Kernel) *ResponsePort {
+	return &ResponsePort{name: name, owner: owner, k: k}
 }
 
 // Name returns the diagnostic port name.
@@ -108,10 +123,10 @@ func (p *ResponsePort) Peer() *RequestPort { return p.peer }
 // means the requestor is busy; the caller must wait for RecvRespRetry.
 func (p *ResponsePort) SendTimingResp(pkt *Packet) bool {
 	if p.peer == nil {
-		panic(fmt.Sprintf("mem: port %q not connected at %s", p.name, sim.CurrentTick()))
+		panic(fmt.Sprintf("mem: port %q not connected at %s", p.name, stamp(p.k)))
 	}
 	if !pkt.Cmd.IsResponse() {
-		panic(fmt.Sprintf("mem: SendTimingResp of %s on port %q at %s", pkt.Cmd, p.name, sim.CurrentTick()))
+		panic(fmt.Sprintf("mem: SendTimingResp of %s on port %q at %s", pkt.Cmd, p.name, stamp(p.k)))
 	}
 	return p.peer.owner.RecvTimingResp(pkt)
 }
@@ -120,7 +135,7 @@ func (p *ResponsePort) SendTimingResp(pkt *Packet) bool {
 // the request it previously refused.
 func (p *ResponsePort) SendReqRetry() {
 	if p.peer == nil {
-		panic(fmt.Sprintf("mem: port %q not connected at %s", p.name, sim.CurrentTick()))
+		panic(fmt.Sprintf("mem: port %q not connected at %s", p.name, stamp(p.k)))
 	}
 	p.peer.owner.RecvReqRetry()
 }

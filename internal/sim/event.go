@@ -31,20 +31,21 @@ type Event struct {
 
 	// Managed by the kernel/queue:
 	when      Tick
-	seq       uint64
-	heapIndex int // index in the heap, -1 when not scheduled
+	seq       uint64 // seq of the current scheduling; stale entries mismatch
 	scheduled bool
+	inFar     bool // current entry lives in the far heap, not the ring
+	pooled    bool // owned by a kernel free list (created via Kernel.Call)
 }
 
 // NewEvent returns an event that invokes callback when it fires. The name is
 // used in diagnostics only.
 func NewEvent(name string, callback func()) *Event {
-	return &Event{name: name, callback: callback, priority: DefaultPriority, heapIndex: -1}
+	return &Event{name: name, callback: callback, priority: DefaultPriority}
 }
 
 // NewEventPri returns an event with an explicit same-tick priority.
 func NewEventPri(name string, pri Priority, callback func()) *Event {
-	return &Event{name: name, callback: callback, priority: pri, heapIndex: -1}
+	return &Event{name: name, callback: callback, priority: pri}
 }
 
 // Name returns the diagnostic name given at construction.

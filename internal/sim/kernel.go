@@ -1,74 +1,147 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
-	"sync/atomic"
+	"sort"
 )
 
-// diagNow mirrors the most recently executing kernel's tick, so components
-// that hold no kernel reference (e.g. mem ports) can stamp diagnostics with
-// *when* a protocol violation happened. It is best-effort by design: with
-// several kernels in one process it reflects whichever stepped last. Stored
-// atomically so concurrent test binaries stay race-clean.
-var diagNow atomic.Int64
+// The event queue is a two-level calendar queue tuned for the near-horizon
+// events that dominate DRAM timing. Level one is a ring of fixed-width time
+// buckets covering a sliding window just ahead of the drain cursor; level two
+// is a binary min-heap ("far" heap) for everything beyond the window
+// (refresh intervals, watchdog horizons, trace tails). Almost every event a
+// memory controller schedules lands within a few bus cycles of now, so the
+// hot path is an append into a small slice plus one lazy sort per bucket —
+// no per-event heap sift, no container/heap interface boxing.
+//
+// Descheduling does not search the queue: it marks the event and leaves the
+// entry behind as a stale tombstone, detected by comparing the entry's
+// sequence number against the event's (every (re)schedule draws a fresh,
+// strictly increasing seq). Stale entries are skipped at the cursor and
+// compacted opportunistically.
 
-// CurrentTick returns the tick of the most recently executing kernel in this
-// process. It exists purely for diagnostics (panic messages, log lines) in
-// code that has no kernel reference; model logic must use Kernel.Now.
-func CurrentTick() Tick { return Tick(diagNow.Load()) }
+const (
+	// bucketShift sets the bucket width to 2^bucketShift ticks. 1024 ps is
+	// about one clock of a 1 GHz command bus, so same-cycle events share a
+	// bucket and the window below spans ~262 ns of future — wider than any
+	// tCAS/tRCD/tRP/tRAS the model charges, so only coarse events (refresh,
+	// drain horizons) fall through to the far heap.
+	bucketShift = 10
+	bucketCount = 256
+	bucketMask  = bucketCount - 1
+)
 
-// eventHeap implements container/heap over scheduled events ordered by
-// (when, priority, seq). The sequence number makes execution order fully
-// deterministic for events with equal tick and priority: they run in the
-// order they were scheduled.
-type eventHeap []*Event
+// bucketOf maps a tick to its absolute bucket number.
+func bucketOf(t Tick) int64 { return int64(t) >> bucketShift }
 
-func (h eventHeap) Len() int { return len(h) }
+// qentry is one scheduled occurrence of an event. The queue stores
+// occurrences, not events: an entry is live only while its seq matches the
+// event's current seq and the event is still scheduled.
+type qentry struct {
+	when Tick
+	pri  Priority
+	seq  uint64
+	ev   *Event
+}
 
-func (h eventHeap) Less(i, j int) bool {
-	a, b := h[i], h[j]
+// live reports whether this entry is the event's current scheduling (false
+// for tombstones left behind by Deschedule/Reschedule and for already-fired
+// occurrences).
+func (ent qentry) live() bool {
+	return ent.ev.scheduled && ent.ev.seq == ent.seq
+}
+
+// before is the execution order: (when, priority, seq). Seq breaks all
+// remaining ties, so the order is total and runs equal-tick, equal-priority
+// events in the order they were scheduled.
+func (a qentry) before(b qentry) bool {
 	if a.when != b.when {
 		return a.when < b.when
 	}
-	if a.priority != b.priority {
-		return a.priority < b.priority
+	if a.pri != b.pri {
+		return a.pri < b.pri
 	}
 	return a.seq < b.seq
 }
 
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].heapIndex = i
-	h[j].heapIndex = j
+// farHeap is a hand-rolled binary min-heap of entries beyond the bucket
+// window, ordered by before(). Avoiding container/heap keeps entries unboxed
+// and comparisons inlined.
+type farHeap struct{ s []qentry }
+
+func (h *farHeap) push(ent qentry) {
+	h.s = append(h.s, ent)
+	i := len(h.s) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.s[i].before(h.s[p]) {
+			break
+		}
+		h.s[i], h.s[p] = h.s[p], h.s[i]
+		i = p
+	}
 }
 
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.heapIndex = len(*h)
-	*h = append(*h, e)
+func (h *farHeap) pop() qentry {
+	top := h.s[0]
+	n := len(h.s) - 1
+	h.s[0] = h.s[n]
+	h.s[n] = qentry{}
+	h.s = h.s[:n]
+	h.siftDown(0)
+	return top
 }
 
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.heapIndex = -1
-	*h = old[:n-1]
-	return e
+func (h *farHeap) siftDown(i int) {
+	n := len(h.s)
+	for {
+		l, r, m := 2*i+1, 2*i+2, i
+		if l < n && h.s[l].before(h.s[m]) {
+			m = l
+		}
+		if r < n && h.s[r].before(h.s[m]) {
+			m = r
+		}
+		if m == i {
+			return
+		}
+		h.s[i], h.s[m] = h.s[m], h.s[i]
+		i = m
+	}
 }
+
+// maxFree bounds the per-kernel pool of one-shot events behind Call/CallIn.
+const maxFree = 1024
 
 // Kernel is the discrete-event scheduler. All model components in a
-// simulation share one kernel; it owns simulated time.
+// simulation shard share one kernel; it owns simulated time. A kernel is
+// single-threaded by design — parallel simulations run one kernel per shard
+// and synchronize at time barriers (see internal/system).
 type Kernel struct {
 	now     Tick
-	queue   eventHeap
 	nextSeq uint64
 	// executed counts events fired since construction (model performance
 	// statistics in §III-D report events and host time).
 	executed uint64
 	stopped  bool
+
+	// Two-level calendar queue. curBucket is the absolute bucket number under
+	// the drain cursor; the ring covers [curBucket, curBucket+bucketCount).
+	// The cursor bucket is sorted lazily (curSorted) and consumed through
+	// curIdx; other window buckets hold unsorted appends until the cursor
+	// reaches them.
+	buckets   [bucketCount][]qentry
+	curBucket int64
+	curIdx    int
+	curSorted bool
+	inWindow  int // live entries stored in the ring
+	far       farHeap
+	farLive   int // live entries stored in the far heap
+	pending   int // live entries total
+
+	// free pools fired one-shot events created by Call/CallIn, so
+	// steady-state retries/replays/deferred kicks allocate nothing.
+	free []*Event
 
 	// Watchdog state (see watchdog.go): sameTick counts consecutive events
 	// executed without simulated time advancing, the livelock signature.
@@ -90,7 +163,7 @@ func (k *Kernel) Now() Tick { return k.now }
 func (k *Kernel) EventsExecuted() uint64 { return k.executed }
 
 // Pending returns the number of events currently scheduled.
-func (k *Kernel) Pending() int { return len(k.queue) }
+func (k *Kernel) Pending() int { return k.pending }
 
 // Schedule arranges for e to fire at tick when. Scheduling in the past (or
 // double-scheduling an event) is a programming error and panics, exactly as
@@ -107,20 +180,28 @@ func (k *Kernel) Schedule(e *Event, when Tick) {
 	e.seq = k.nextSeq
 	k.nextSeq++
 	e.scheduled = true
-	heap.Push(&k.queue, e)
+	k.pending++
+	k.enqueue(qentry{when: when, pri: e.priority, seq: e.seq, ev: e})
 }
 
 // ScheduleIn schedules e after delay from the current tick.
 func (k *Kernel) ScheduleIn(e *Event, delay Tick) { k.Schedule(e, k.now+delay) }
 
 // Deschedule removes a scheduled event from the queue. Descheduling an
-// unscheduled event panics.
+// unscheduled event panics. The queue entry is left behind as a tombstone
+// and reclaimed lazily.
 func (k *Kernel) Deschedule(e *Event) {
 	if !e.scheduled {
 		panic(fmt.Sprintf("sim: event %q not scheduled", e.name))
 	}
-	heap.Remove(&k.queue, e.heapIndex)
 	e.scheduled = false
+	k.pending--
+	if e.inFar {
+		k.farLive--
+		k.compactFar()
+	} else {
+		k.inWindow--
+	}
 }
 
 // Reschedule moves a scheduled event to a new tick, or schedules it if it is
@@ -132,28 +213,231 @@ func (k *Kernel) Reschedule(e *Event, when Tick) {
 	k.Schedule(e, when)
 }
 
+// Call schedules fn to run once at tick when, drawing the event from the
+// kernel's free list: steady-state one-shot work (replays, retries, deferred
+// kicks) reuses fired events instead of allocating. The name is used in
+// diagnostics only.
+func (k *Kernel) Call(name string, when Tick, fn func()) {
+	var e *Event
+	if n := len(k.free); n > 0 {
+		e = k.free[n-1]
+		k.free[n-1] = nil
+		k.free = k.free[:n-1]
+	} else {
+		e = &Event{pooled: true}
+	}
+	e.name = name
+	e.priority = DefaultPriority
+	e.callback = fn
+	k.Schedule(e, when)
+}
+
+// CallIn is Call with a delay relative to the current tick.
+func (k *Kernel) CallIn(name string, delay Tick, fn func()) {
+	k.Call(name, k.now+delay, fn)
+}
+
+// recycle returns a fired pooled event to the free list.
+func (k *Kernel) recycle(e *Event) {
+	e.name = ""
+	e.callback = nil
+	if len(k.free) < maxFree {
+		k.free = append(k.free, e)
+	}
+}
+
 // Stop makes the current Run/RunUntil call return after the in-flight event
 // completes. Pending events stay queued.
 func (k *Kernel) Stop() { k.stopped = true }
 
-// step fires the earliest event. It must only be called when the queue is
-// non-empty.
-func (k *Kernel) step() {
-	e := heap.Pop(&k.queue).(*Event)
-	if e.when < k.now {
-		panic(fmt.Sprintf("sim: queue corruption, event %q scheduled for %s is in the past (now %s)",
-			e.name, e.when, k.now))
+// enqueue places a live entry in the ring (near) or the far heap. The caller
+// has already validated when >= now, so bucketOf(ent.when) can precede
+// curBucket only when the cursor was parked ahead of now by a previous run
+// (RunUntil peeked at a future event); that rare case retreats the window.
+func (k *Kernel) enqueue(ent qentry) {
+	bn := bucketOf(ent.when)
+	if bn >= k.curBucket+bucketCount {
+		ent.ev.inFar = true
+		k.far.push(ent)
+		k.farLive++
+		return
 	}
-	if e.when == k.now {
+	if bn < k.curBucket {
+		k.retreat(bn)
+	}
+	ent.ev.inFar = false
+	slot := &k.buckets[bn&bucketMask]
+	if bn == k.curBucket && k.curSorted {
+		// Keep the cursor bucket sorted: binary-insert after the consumed
+		// prefix (an event scheduled "now" during execution must not land
+		// before entries that already fired).
+		i := k.curIdx + sort.Search(len(*slot)-k.curIdx, func(i int) bool {
+			return ent.before((*slot)[k.curIdx+i])
+		})
+		*slot = append(*slot, qentry{})
+		copy((*slot)[i+1:], (*slot)[i:])
+		(*slot)[i] = ent
+	} else {
+		*slot = append(*slot, ent)
+	}
+	k.inWindow++
+}
+
+// retreat moves the window start back to bucket bn (still >= bucketOf(now)).
+// Ring entries whose bucket no longer fits the new window are evicted to the
+// far heap; tombstones are dropped. This only happens when an event is
+// scheduled between runs, behind a cursor parked at a future event, so the
+// full-ring sweep is off the hot path.
+func (k *Kernel) retreat(bn int64) {
+	for i := range k.buckets {
+		slot := k.buckets[i][:0]
+		for _, ent := range k.buckets[i] {
+			if !ent.live() {
+				continue
+			}
+			if bucketOf(ent.when) >= bn+bucketCount {
+				ent.ev.inFar = true
+				k.far.push(ent)
+				k.farLive++
+				k.inWindow--
+			} else {
+				slot = append(slot, ent)
+			}
+		}
+		k.buckets[i] = slot
+	}
+	k.curBucket = bn
+	k.curIdx = 0
+	k.curSorted = false
+}
+
+// refill pulls far-heap entries that now fall inside the window into the
+// ring. It must run whenever the window advances: a far entry can be earlier
+// than ring entries enqueued later under a larger horizon.
+func (k *Kernel) refill() {
+	horizon := Tick(k.curBucket+bucketCount) << bucketShift
+	for len(k.far.s) > 0 {
+		top := k.far.s[0]
+		if !top.live() {
+			k.far.pop()
+			continue
+		}
+		if top.when >= horizon {
+			return
+		}
+		k.far.pop()
+		k.farLive--
+		top.ev.inFar = false
+		// The slot is never the sorted cursor bucket: refill only runs right
+		// after the cursor moved, which clears curSorted.
+		slot := &k.buckets[bucketOf(top.when)&bucketMask]
+		*slot = append(*slot, top)
+		k.inWindow++
+	}
+}
+
+// jumpTo warps the window start to bucket bn. Precondition: inWindow == 0,
+// so every ring entry is a tombstone and can be discarded.
+func (k *Kernel) jumpTo(bn int64) {
+	for i := range k.buckets {
+		if len(k.buckets[i]) > 0 {
+			k.buckets[i] = k.buckets[i][:0]
+		}
+	}
+	k.curBucket = bn
+	k.curIdx = 0
+	k.curSorted = false
+	k.refill()
+}
+
+// compactFar rebuilds the far heap when tombstones outnumber live entries,
+// bounding memory under heavy Reschedule churn.
+func (k *Kernel) compactFar() {
+	if len(k.far.s) < 64 || k.farLive*2 >= len(k.far.s) {
+		return
+	}
+	live := k.far.s[:0]
+	for _, ent := range k.far.s {
+		if ent.live() {
+			live = append(live, ent)
+		}
+	}
+	k.far.s = live
+	for i := len(live)/2 - 1; i >= 0; i-- {
+		k.far.siftDown(i)
+	}
+}
+
+// settle positions the drain cursor on the earliest live entry, sorting and
+// advancing as needed. It returns false when no live entries remain. When the
+// window drains it jumps straight to the far heap's minimum instead of
+// crawling empty buckets, so idle gaps cost O(ring) rather than O(gap).
+func (k *Kernel) settle() bool {
+	for {
+		if k.pending == 0 {
+			return false
+		}
+		if k.inWindow == 0 {
+			// All live entries are beyond the window; warp to the first.
+			for !k.far.s[0].live() {
+				k.far.pop()
+			}
+			k.jumpTo(bucketOf(k.far.s[0].when))
+			continue
+		}
+		slot := &k.buckets[k.curBucket&bucketMask]
+		if !k.curSorted {
+			if len(*slot) > 1 {
+				s := *slot
+				sort.Slice(s, func(i, j int) bool { return s[i].before(s[j]) })
+			}
+			k.curIdx = 0
+			k.curSorted = true
+		}
+		for k.curIdx < len(*slot) {
+			if (*slot)[k.curIdx].live() {
+				return true
+			}
+			k.curIdx++
+		}
+		// Cursor bucket exhausted: recycle the slot, advance, and let far
+		// entries that entered the new horizon migrate in.
+		*slot = (*slot)[:0]
+		k.curBucket++
+		k.curSorted = false
+		k.refill()
+	}
+}
+
+// head returns the entry under the cursor. Only valid after settle() == true.
+func (k *Kernel) head() qentry {
+	return k.buckets[k.curBucket&bucketMask][k.curIdx]
+}
+
+// step fires the event under the cursor. Only valid after settle() == true.
+func (k *Kernel) step() {
+	ent := k.head()
+	k.curIdx++
+	k.inWindow--
+	k.pending--
+	if ent.when < k.now {
+		panic(fmt.Sprintf("sim: queue corruption, event %q scheduled for %s is in the past (now %s)",
+			ent.ev.name, ent.when, k.now))
+	}
+	if ent.when == k.now {
 		k.sameTick++
 	} else {
 		k.sameTick = 1
 	}
-	k.now = e.when
-	diagNow.Store(int64(e.when))
+	k.now = ent.when
+	e := ent.ev
 	e.scheduled = false
 	k.executed++
-	e.callback()
+	cb := e.callback
+	if e.pooled {
+		k.recycle(e)
+	}
+	cb()
 }
 
 // Run executes events until the queue drains or Stop is called. It returns
@@ -172,7 +456,7 @@ func (k *Kernel) Run() Tick {
 // *WatchdogError (carrying the pending event queue) instead of panicking.
 func (k *Kernel) RunErr() (Tick, error) {
 	k.stopped = false
-	for len(k.queue) > 0 && !k.stopped {
+	for !k.stopped && k.settle() {
 		if err := k.checkWatchdog(); err != nil {
 			return k.now, err
 		}
@@ -197,8 +481,8 @@ func (k *Kernel) RunUntil(limit Tick) Tick {
 // a *WatchdogError instead of panicking.
 func (k *Kernel) RunUntilErr(limit Tick) (Tick, error) {
 	k.stopped = false
-	for len(k.queue) > 0 && !k.stopped {
-		if k.queue[0].when > limit {
+	for !k.stopped && k.settle() {
+		if k.head().when > limit {
 			k.now = limit
 			return k.now, nil
 		}

@@ -41,23 +41,26 @@ type QueuedEvent struct {
 }
 
 // PendingEvents returns a snapshot of the scheduled events in execution
-// order (when, priority, schedule order), for diagnostics.
+// order (when, priority, schedule order), for diagnostics. Tombstone entries
+// left by Deschedule/Reschedule are filtered out.
 func (k *Kernel) PendingEvents() []QueuedEvent {
-	evs := make([]*Event, len(k.queue))
-	copy(evs, k.queue)
-	sort.Slice(evs, func(i, j int) bool {
-		a, b := evs[i], evs[j]
-		if a.when != b.when {
-			return a.when < b.when
+	ents := make([]qentry, 0, k.pending)
+	for i := range k.buckets {
+		for _, ent := range k.buckets[i] {
+			if ent.live() {
+				ents = append(ents, ent)
+			}
 		}
-		if a.priority != b.priority {
-			return a.priority < b.priority
+	}
+	for _, ent := range k.far.s {
+		if ent.live() {
+			ents = append(ents, ent)
 		}
-		return a.seq < b.seq
-	})
-	out := make([]QueuedEvent, len(evs))
-	for i, e := range evs {
-		out[i] = QueuedEvent{Name: e.name, When: e.when, Priority: e.priority}
+	}
+	sort.Slice(ents, func(i, j int) bool { return ents[i].before(ents[j]) })
+	out := make([]QueuedEvent, len(ents))
+	for i, ent := range ents {
+		out[i] = QueuedEvent{Name: ent.ev.name, When: ent.when, Priority: ent.pri}
 	}
 	return out
 }

@@ -132,13 +132,21 @@ func TestPendingEvents(t *testing.T) {
 	}
 }
 
-// The queue-corruption panic names the offending event and both ticks.
-func TestCurrentTickDiagnostics(t *testing.T) {
+// Tombstones left by Deschedule must not appear in diagnostics dumps.
+func TestPendingEventsSkipsTombstones(t *testing.T) {
 	k := NewKernel()
-	var at Tick
-	k.Schedule(NewEvent("probe", func() { at = CurrentTick() }), 25*Nanosecond)
-	k.Run()
-	if at != 25*Nanosecond {
-		t.Fatalf("CurrentTick during event = %s, want 25ns", at)
+	dead := NewEvent("dead", func() {})
+	k.Schedule(dead, 20*Nanosecond)
+	k.Schedule(NewEvent("alive", func() {}), 10*Nanosecond)
+	deadFar := NewEvent("deadFar", func() {})
+	k.Schedule(deadFar, Second)
+	k.Deschedule(dead)
+	k.Deschedule(deadFar)
+	got := k.PendingEvents()
+	if len(got) != 1 || got[0].Name != "alive" {
+		t.Fatalf("pending = %v, want just \"alive\"", got)
+	}
+	if k.Pending() != 1 {
+		t.Fatalf("Pending() = %d, want 1", k.Pending())
 	}
 }

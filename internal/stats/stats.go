@@ -73,6 +73,30 @@ func (r *Registry) add(s Stat) {
 	root.stats = append(root.stats, s)
 }
 
+// Absorb merges every statistic registered under other's root into r's
+// root, by reference. Sharded simulations use this: each shard registers its
+// components' statistics in a private registry, so hot counters are written
+// by exactly one worker goroutine, and the harness absorbs the shards into
+// the main registry for one unified dump once the workers are parked.
+// Colliding names panic, like any duplicate registration.
+func (r *Registry) Absorb(other *Registry) {
+	root := r
+	for root.parent != nil {
+		root = root.parent
+	}
+	oroot := other
+	for oroot.parent != nil {
+		oroot = oroot.parent
+	}
+	for _, s := range oroot.stats {
+		if _, dup := root.byName[s.Name()]; dup {
+			panic(fmt.Sprintf("stats: duplicate statistic %q absorbed", s.Name()))
+		}
+		root.byName[s.Name()] = s
+		root.stats = append(root.stats, s)
+	}
+}
+
 // ResetAll resets every registered statistic.
 func (r *Registry) ResetAll() {
 	root := r

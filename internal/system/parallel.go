@@ -1,0 +1,317 @@
+package system
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/cyclesim"
+	"repro/internal/dram"
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trafficgen"
+	"repro/internal/xbar"
+)
+
+// This file implements the sharded (parallel) multi-channel rig. Channel
+// interleaving happens in the crossbar (paper §II-E), so downstream of it
+// each DRAM channel is an independent timing domain: its controller, DRAM
+// state, refresh machinery and statistics never touch another channel's.
+// The rig exploits that by giving every channel its own sim.Kernel and
+// running the kernels on worker goroutines in fixed time quanta, separated
+// by barriers — conservative parallel discrete-event simulation with the
+// channel links as the lookahead device.
+//
+// Determinism argument, in full:
+//
+//  1. Within a quantum, a shard only reads and writes its own state. The
+//     single cross-shard channel is mem.ShardLink, and during a quantum a
+//     shard only appends to its side's outbox.
+//  2. Outboxes are published at the barrier, by the coordinator, alone, in
+//     a fixed order. Every cross-shard event (a link delivery) is therefore
+//     scheduled by deterministic single-threaded code.
+//  3. The quantum never exceeds the link latency, so a published packet is
+//     always due at or after the barrier tick: it lands in the receiving
+//     shard's future and can never reorder against events the receiver
+//     already executed.
+//
+// Hence the event sequence of every kernel — and every statistic — is a
+// pure function of the configuration, independent of worker count or OS
+// scheduling. Workers=1 and Workers=N produce bit-identical dumps; the test
+// suite asserts this on the JSON output.
+//
+// The sharded topology is not timing-identical to MultiChannelRig: each
+// request pays one extra link hop each way (the lookahead latency), which
+// models the physical channel interconnect the single-kernel rig folds into
+// the crossbar. Sharding pays off once channels >= 2 and the per-quantum
+// event work outweighs barrier overhead; with one channel (or on a single
+// hardware thread) prefer Workers <= 1, which runs the same deterministic
+// schedule without goroutine overhead.
+
+// ShardedConfig shapes a ShardedRig.
+type ShardedConfig struct {
+	Kind       Kind
+	Spec       dram.Spec
+	Mapping    dram.Mapping
+	ClosedPage bool
+	Channels   int
+	Xbar       xbar.Config
+	// Gens and Patterns pair up; one generator per entry.
+	Gens     []trafficgen.Config
+	Patterns []trafficgen.Pattern
+	// Workers is the number of worker goroutines stepping shards between
+	// barriers. 0 or 1 steps every shard on the calling goroutine; either
+	// way the schedule, and so every statistic, is identical.
+	Workers int
+	// Lookahead is the one-way channel-link latency and the barrier
+	// quantum. 0 defaults to the crossbar latency (or 1ns if that is 0).
+	Lookahead sim.Tick
+	// TuneEvent and TuneCycle optionally adjust the matched controller
+	// configurations, as in RigConfig.
+	TuneEvent func(*core.Config)
+	TuneCycle func(*cyclesim.Config)
+}
+
+// ShardedRig is the parallel counterpart of MultiChannelRig: generators and
+// crossbar on a frontend kernel, each channel controller on its own kernel
+// behind a ShardLink.
+type ShardedRig struct {
+	Front *sim.Kernel
+	Chans []*sim.Kernel
+	Reg   *stats.Registry
+	Gens  []*trafficgen.Generator
+	Xbar  *xbar.Crossbar
+	Ctrls []Controller
+	Links []*mem.ShardLink
+
+	workers   int
+	lookahead sim.Tick
+}
+
+// buildShardController builds one channel controller with the rig's tuning
+// hooks applied; cfg.Channels tells the address decoder how many channel
+// bits the crossbar already consumed.
+func buildShardController(k *sim.Kernel, cfg ShardedConfig, reg *stats.Registry, name string) (Controller, error) {
+	switch cfg.Kind {
+	case EventBased:
+		c := MatchedEventConfig(cfg.Spec, cfg.Mapping, cfg.Channels, cfg.ClosedPage)
+		if cfg.TuneEvent != nil {
+			cfg.TuneEvent(&c)
+		}
+		return core.NewController(k, c, reg, name)
+	case CycleBased:
+		c := MatchedCycleConfig(cfg.Spec, cfg.Mapping, cfg.Channels, cfg.ClosedPage)
+		if cfg.TuneCycle != nil {
+			cfg.TuneCycle(&c)
+		}
+		return cyclesim.NewController(k, c, reg, name)
+	}
+	return nil, fmt.Errorf("system: unknown controller kind %d", cfg.Kind)
+}
+
+// NewShardedRig builds the sharded multi-channel system.
+func NewShardedRig(cfg ShardedConfig) (*ShardedRig, error) {
+	if len(cfg.Gens) != len(cfg.Patterns) || len(cfg.Gens) == 0 {
+		return nil, fmt.Errorf("system: generators (%d) and patterns (%d) must pair up", len(cfg.Gens), len(cfg.Patterns))
+	}
+	if cfg.Channels <= 0 {
+		return nil, fmt.Errorf("system: sharded rig needs at least one channel")
+	}
+	lookahead := cfg.Lookahead
+	if lookahead == 0 {
+		lookahead = cfg.Xbar.Latency
+	}
+	if lookahead <= 0 {
+		lookahead = sim.Nanosecond
+	}
+
+	front := sim.NewKernel()
+	reg := stats.NewRegistry("sys")
+	dec, err := dram.NewDecoder(cfg.Spec.Org, cfg.Mapping, cfg.Channels)
+	if err != nil {
+		return nil, err
+	}
+	// Route at the mapping's interleave granularity, widened so no request
+	// straddles a channel (the paper's cache-line-or-page default, §II-F).
+	gran := dec.InterleaveBytes()
+	for _, g := range cfg.Gens {
+		for gran < g.RequestBytes {
+			gran *= 2
+		}
+	}
+	route := xbar.InterleaveRoute(cfg.Channels, gran)
+	xb, err := xbar.New(front, cfg.Xbar, route, reg, "xbar")
+	if err != nil {
+		return nil, err
+	}
+	rig := &ShardedRig{
+		Front:     front,
+		Reg:       reg,
+		Xbar:      xb,
+		workers:   cfg.Workers,
+		lookahead: lookahead,
+	}
+	for i := 0; i < cfg.Channels; i++ {
+		ck := sim.NewKernel()
+		// Each shard registers statistics in a private registry so hot
+		// counters are written by exactly one worker; the root absorbs the
+		// shard by reference, and the dump (always taken with workers
+		// parked) sees live values.
+		shardReg := stats.NewRegistry("sys")
+		ctrl, err := buildShardController(ck, cfg, shardReg, fmt.Sprintf("mc%d", i))
+		if err != nil {
+			return nil, err
+		}
+		reg.Absorb(shardReg)
+		link := mem.NewShardLink(fmt.Sprintf("link%d", i), front, ck, lookahead)
+		mem.Connect(xb.AttachMemory("mem"), link.FrontPort())
+		mem.Connect(link.BackPort(), ctrl.Port())
+		rig.Chans = append(rig.Chans, ck)
+		rig.Ctrls = append(rig.Ctrls, ctrl)
+		rig.Links = append(rig.Links, link)
+	}
+	for i := range cfg.Gens {
+		gen, err := trafficgen.New(front, cfg.Gens[i], cfg.Patterns[i], reg, fmt.Sprintf("gen%d", i))
+		if err != nil {
+			return nil, err
+		}
+		mem.Connect(gen.Port(), xb.AttachRequestor("gen"))
+		rig.Gens = append(rig.Gens, gen)
+	}
+	return rig, nil
+}
+
+// Lookahead returns the barrier quantum (= link latency).
+func (r *ShardedRig) Lookahead() sim.Tick { return r.lookahead }
+
+// shardWorker is one persistent goroutine stepping a fixed subset of
+// kernels each quantum.
+type shardWorker struct {
+	limit chan sim.Tick
+	done  chan any // nil, or a recovered panic value
+}
+
+// Run starts all generators and steps the shards in lookahead-sized quanta
+// until every generator finishes and the system drains, or until maxSim
+// simulated time passes. It reports whether the run completed. A panic in
+// any shard is re-raised on the calling goroutine.
+func (r *ShardedRig) Run(maxSim sim.Tick) bool {
+	for _, g := range r.Gens {
+		g.Start()
+	}
+	kernels := append([]*sim.Kernel{r.Front}, r.Chans...)
+
+	nw := r.workers
+	if nw > len(kernels) {
+		nw = len(kernels)
+	}
+	var workers []*shardWorker
+	if nw > 1 {
+		for j := 0; j < nw; j++ {
+			w := &shardWorker{limit: make(chan sim.Tick), done: make(chan any, 1)}
+			var mine []*sim.Kernel
+			for i := j; i < len(kernels); i += nw {
+				mine = append(mine, kernels[i])
+			}
+			go func() {
+				for limit := range w.limit {
+					w.done <- func() (pv any) {
+						defer func() { pv = recover() }()
+						for _, k := range mine {
+							k.RunUntil(limit)
+						}
+						return nil
+					}()
+				}
+			}()
+			workers = append(workers, w)
+		}
+		defer func() {
+			for _, w := range workers {
+				close(w.limit)
+			}
+		}()
+	}
+
+	// step runs every kernel to the barrier tick. The channel send/receive
+	// pairs give the coordinator-worker handoff the happens-before edges the
+	// memory model (and the race detector) require.
+	step := func(limit sim.Tick) {
+		if nw <= 1 {
+			for _, k := range kernels {
+				k.RunUntil(limit)
+			}
+			return
+		}
+		for _, w := range workers {
+			w.limit <- limit
+		}
+		var pv any
+		for _, w := range workers {
+			if v := <-w.done; v != nil {
+				pv = v
+			}
+		}
+		if pv != nil {
+			panic(pv)
+		}
+	}
+
+	deadline := r.Front.Now() + maxSim
+	for limit := r.Front.Now(); limit < deadline; {
+		limit += r.lookahead
+		step(limit)
+
+		// Barrier section: single-threaded. Publish cross-shard traffic,
+		// then check for completion and drive drains.
+		for _, l := range r.Links {
+			l.Flush()
+		}
+		allDone := true
+		for _, g := range r.Gens {
+			if !g.Done() {
+				allDone = false
+				break
+			}
+		}
+		if !allDone {
+			continue
+		}
+		quiet := r.Xbar.Quiescent() && r.Xbar.InFlight() == 0
+		for _, l := range r.Links {
+			if !l.Quiescent() {
+				quiet = false
+			}
+		}
+		for _, c := range r.Ctrls {
+			if !c.Quiescent() {
+				if d, ok := c.(Drainer); ok {
+					d.Drain()
+				}
+				quiet = false
+			}
+		}
+		if quiet {
+			return true
+		}
+	}
+	return false
+}
+
+// AggregateBandwidth sums channel bandwidths.
+func (r *ShardedRig) AggregateBandwidth() float64 {
+	var sum float64
+	for _, c := range r.Ctrls {
+		sum += c.Bandwidth()
+	}
+	return sum
+}
+
+// AvgBusUtilisation averages controller bus utilisation.
+func (r *ShardedRig) AvgBusUtilisation() float64 {
+	var sum float64
+	for _, c := range r.Ctrls {
+		sum += c.BusUtilisation()
+	}
+	return sum / float64(len(r.Ctrls))
+}

@@ -33,8 +33,8 @@ type monMemSide Monitor
 // starts enabled.
 func NewMonitor(k *sim.Kernel, reg *stats.Registry, name string) *Monitor {
 	m := &Monitor{k: k, recording: true}
-	m.cpuPort = mem.NewResponsePort(name+".cpu", (*monCPUSide)(m))
-	m.memPort = mem.NewRequestPort(name+".mem", (*monMemSide)(m))
+	m.cpuPort = mem.NewResponsePort(name+".cpu", (*monCPUSide)(m), k)
+	m.memPort = mem.NewRequestPort(name+".mem", (*monMemSide)(m), k)
 	r := reg.Child(name)
 	m.reqs = r.NewScalar("requests", "requests forwarded")
 	m.resps = r.NewScalar("responses", "responses forwarded")

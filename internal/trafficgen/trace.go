@@ -107,7 +107,7 @@ type TracePlayer struct {
 // NewTracePlayer builds a player for recs.
 func NewTracePlayer(k *sim.Kernel, recs []TraceRecord, requestorID int) *TracePlayer {
 	p := &TracePlayer{k: k, recs: recs, requestorID: requestorID}
-	p.port = mem.NewRequestPort("trace.port", p)
+	p.port = mem.NewRequestPort("trace.port", p, k)
 	p.tick = sim.NewEvent("trace.tick", p.issue)
 	return p
 }

@@ -77,7 +77,7 @@ func New(k *sim.Kernel, cfg Config, pattern Pattern, reg *stats.Registry, name s
 		return nil, err
 	}
 	g := &Generator{cfg: cfg, k: k, pattern: pattern}
-	g.port = mem.NewRequestPort(name+".port", g)
+	g.port = mem.NewRequestPort(name+".port", g, k)
 	g.tick = sim.NewEvent(name+".tick", g.issueLoop)
 	r := reg.Child(name)
 	g.reads = r.NewScalar("reads", "read requests issued")

@@ -67,7 +67,9 @@ func RangeRoute(ranges []AddrRange) (Route, error) {
 				return r.Port
 			}
 		}
-		panic(fmt.Sprintf("xbar: address %#x outside every configured range at %s", uint64(a), sim.CurrentTick()))
+		// No kernel in scope here: a routing table is pure configuration.
+		// The crossbar stamps the tick when it reports routing failures.
+		panic(fmt.Sprintf("xbar: address %#x outside every configured range", uint64(a)))
 	}, nil
 }
 
@@ -236,7 +238,7 @@ func New(k *sim.Kernel, cfg Config, rt Route, reg *stats.Registry, name string) 
 // request port to the returned response port.
 func (x *Crossbar) AttachRequestor(name string) *mem.ResponsePort {
 	rs := &reqSide{x: x, index: len(x.reqSides)}
-	rs.port = mem.NewResponsePort(fmt.Sprintf("%s.cpu%d", x.name, rs.index), rs)
+	rs.port = mem.NewResponsePort(fmt.Sprintf("%s.cpu%d", x.name, rs.index), rs, x.k)
 	rs.respQ = newOutQueue(x.k, x.cfg, rs.port.Name()+".respq",
 		func(pkt *mem.Packet) bool { return rs.port.SendTimingResp(pkt) },
 		func() { x.wakeMemSides() })
@@ -248,7 +250,7 @@ func (x *Crossbar) AttachRequestor(name string) *mem.ResponsePort {
 // response port. Route indices refer to attachment order.
 func (x *Crossbar) AttachMemory(name string) *mem.RequestPort {
 	ms := &memSide{x: x, index: len(x.memSides)}
-	ms.port = mem.NewRequestPort(fmt.Sprintf("%s.mem%d", x.name, ms.index), ms)
+	ms.port = mem.NewRequestPort(fmt.Sprintf("%s.mem%d", x.name, ms.index), ms, x.k)
 	ms.reqQ = newOutQueue(x.k, x.cfg, ms.port.Name()+".reqq",
 		func(pkt *mem.Packet) bool { return ms.port.SendTimingReq(pkt) },
 		func() { x.wakeRequestors() })

@@ -26,7 +26,7 @@ type echoMem struct {
 
 func newEchoMem(k *sim.Kernel, delay sim.Tick, capacity int, name string) *echoMem {
 	e := &echoMem{k: k, delay: delay, capacity: capacity}
-	e.port = mem.NewResponsePort(name, e)
+	e.port = mem.NewResponsePort(name, e, k)
 	return e
 }
 
@@ -79,7 +79,7 @@ type sink struct {
 
 func newSink(k *sim.Kernel, name string) *sink {
 	s := &sink{k: k}
-	s.port = mem.NewRequestPort(name, s)
+	s.port = mem.NewRequestPort(name, s, k)
 	return s
 }
 
