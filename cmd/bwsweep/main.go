@@ -13,12 +13,33 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 
 	"repro/internal/experiments"
+	"repro/internal/supervisor"
 )
+
+// stopCheck adapts a signal channel to a between-points poll: once a signal
+// arrives every later call reports true, so the current measurement point
+// finishes, partial results are flushed, and the process exits 130.
+func stopCheck(ch <-chan os.Signal) func() bool {
+	fired := false
+	return func() bool {
+		if fired {
+			return true
+		}
+		select {
+		case sig := <-ch:
+			fired = true
+			fmt.Fprintf(os.Stderr, "bwsweep: %v: finishing current point, flushing partial results\n", sig)
+		default:
+		}
+		return fired
+	}
+}
 
 func main() {
 	figure := flag.Int("figure", 3, "paper figure to regenerate (3, 4 or 5)")
@@ -28,10 +49,18 @@ func main() {
 	parallel := flag.Int("parallel", 1, "worker goroutines stepping channel shards (sharded rig only; results are worker-count independent)")
 	flag.Parse()
 
+	notify, stopNotify := supervisor.NotifySignals()
+	defer stopNotify()
+	stop := stopCheck(notify)
+
 	if *ablation != "" {
-		if err := runAblation(*ablation, *requests); err != nil {
+		interrupted, err := runAblation(*ablation, *requests, stop)
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "bwsweep:", err)
 			os.Exit(1)
+		}
+		if interrupted {
+			os.Exit(130)
 		}
 		return
 	}
@@ -48,6 +77,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "bwsweep: figure %d not a bandwidth sweep (want 3, 4 or 5)\n", *figure)
 		os.Exit(1)
 	}
+	spec.Stop = stop
 
 	var res *experiments.SweepResult
 	var err error
@@ -56,9 +86,14 @@ func main() {
 	} else {
 		res, err = experiments.RunSweep(spec)
 	}
-	if err != nil {
+	interrupted := errors.Is(err, experiments.ErrInterrupted)
+	if err != nil && !interrupted {
 		fmt.Fprintln(os.Stderr, "bwsweep:", err)
 		os.Exit(1)
+	}
+	if interrupted {
+		fmt.Printf("interrupted; partial results (%d of %d points):\n",
+			len(res.Rows), len(spec.Strides)*len(spec.Banks))
 	}
 
 	fmt.Printf("%s\n", spec.Name)
@@ -84,6 +119,9 @@ func main() {
 		}
 		fmt.Println()
 	}
+	if interrupted {
+		os.Exit(130)
+	}
 }
 
 func pageName(closed bool) string {
@@ -93,49 +131,63 @@ func pageName(closed bool) string {
 	return "open"
 }
 
-func runAblation(name string, requests uint64) error {
+// ablationRunners maps ablation names to their study functions, in the
+// order "all" runs them.
+var ablationRunners = []struct {
+	name string
+	run  func(uint64) (*experiments.AblationResult, error)
+}{
+	{"pagepolicy", experiments.PagePolicyAblation},
+	{"mapping", experiments.MappingAblation},
+	{"scheduler", experiments.SchedulerAblation},
+	{"writedrain", experiments.WriteDrainAblation},
+	{"xaw", experiments.ActivationWindowAblation},
+	{"refresh", experiments.RefreshAblation},
+	{"xorhash", experiments.XORHashAblation},
+	{"prefetch", experiments.PrefetchAblation},
+}
+
+// runAblation runs one named ablation, or all of them with a stop check
+// between studies so SIGINT flushes completed ablations instead of
+// discarding them.
+func runAblation(name string, requests uint64, stop func() bool) (interrupted bool, err error) {
 	var results []*experiments.AblationResult
-	var err error
-	switch name {
-	case "pagepolicy":
-		var r *experiments.AblationResult
-		r, err = experiments.PagePolicyAblation(requests)
+	runOne := func(run func(uint64) (*experiments.AblationResult, error)) error {
+		r, err := run(requests)
+		if err != nil {
+			return err
+		}
 		results = append(results, r)
-	case "mapping":
-		var r *experiments.AblationResult
-		r, err = experiments.MappingAblation(requests)
-		results = append(results, r)
-	case "scheduler":
-		var r *experiments.AblationResult
-		r, err = experiments.SchedulerAblation(requests)
-		results = append(results, r)
-	case "writedrain":
-		var r *experiments.AblationResult
-		r, err = experiments.WriteDrainAblation(requests)
-		results = append(results, r)
-	case "xaw":
-		var r *experiments.AblationResult
-		r, err = experiments.ActivationWindowAblation(requests)
-		results = append(results, r)
-	case "refresh":
-		var r *experiments.AblationResult
-		r, err = experiments.RefreshAblation(requests)
-		results = append(results, r)
-	case "xorhash":
-		var r *experiments.AblationResult
-		r, err = experiments.XORHashAblation(requests)
-		results = append(results, r)
-	case "prefetch":
-		var r *experiments.AblationResult
-		r, err = experiments.PrefetchAblation(requests)
-		results = append(results, r)
-	case "all":
-		results, err = experiments.AllAblations(requests)
-	default:
-		return fmt.Errorf("unknown ablation %q", name)
+		return nil
 	}
-	if err != nil {
-		return err
+	if name == "all" {
+		for _, a := range ablationRunners {
+			if stop != nil && stop() {
+				interrupted = true
+				break
+			}
+			if err := runOne(a.run); err != nil {
+				return false, err
+			}
+		}
+	} else {
+		found := false
+		for _, a := range ablationRunners {
+			if a.name == name {
+				found = true
+				if err := runOne(a.run); err != nil {
+					return false, err
+				}
+				break
+			}
+		}
+		if !found {
+			return false, fmt.Errorf("unknown ablation %q", name)
+		}
+	}
+	if interrupted {
+		fmt.Printf("interrupted; partial results (%d of %d ablations):\n",
+			len(results), len(ablationRunners))
 	}
 	for _, res := range results {
 		fmt.Printf("\nAblation: %s (workload: %s)\n", res.Name, res.Workload)
@@ -149,5 +201,5 @@ func runAblation(name string, requests uint64) error {
 				row.Config, row.BusUtil, row.AvgReadLatNs, p99, row.RowHitRate)
 		}
 	}
-	return nil
+	return interrupted, nil
 }

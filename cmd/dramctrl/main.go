@@ -5,6 +5,13 @@
 // full statistics dump — the repository's equivalent of driving a gem5
 // memory configuration from the command line.
 //
+// Runs are supervised: -checkpoint enables periodic, checksummed snapshots
+// (-checkpoint-every / -checkpoint-wall), -resume continues a run from its
+// last checkpoint bit-identically, and SIGINT/SIGTERM drain the current
+// quantum, write a final checkpoint, flush statistics, and exit 130. A
+// crashed segment (watchdog trip, injected panic) dumps a postmortem
+// checkpoint and is retried from the last good one up to -max-retries times.
+//
 // Examples:
 //
 //	dramctrl -spec DDR3-1600-x64 -pattern linear -requests 50000
@@ -12,14 +19,19 @@
 //	dramctrl -model cycle -pattern random -reads 50 -stats
 //	dramctrl -trace-in capture.txt
 //	dramctrl -pattern random -trace-out capture.txt
+//	dramctrl -requests 2000000 -checkpoint run.ckpt -checkpoint-every 1000000
+//	dramctrl -requests 2000000 -checkpoint run.ckpt -resume
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
+	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/cyclesim"
 	"repro/internal/dram"
@@ -28,8 +40,13 @@ import (
 	"repro/internal/power"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/supervisor"
 	"repro/internal/trafficgen"
 )
+
+// errInterrupted marks a graceful signal-driven stop; main exits 130 (the
+// conventional SIGINT code) after the partial results have been flushed.
+var errInterrupted = errors.New("interrupted")
 
 func main() {
 	var (
@@ -66,11 +83,22 @@ func main() {
 
 		channels = flag.Int("channels", 1, "DRAM channels behind a crossbar (sharded rig when > 1)")
 		parallel = flag.Int("parallel", 1, "worker goroutines stepping channel shards (statistics are worker-count independent)")
+
+		ckptPath   = flag.String("checkpoint", "", "checkpoint file; written periodically, at interrupt, and at completion")
+		ckptEvery  = flag.Int64("checkpoint-every", 0, "checkpoint every N ns of simulated time (0 = only final/interrupt)")
+		ckptWall   = flag.Duration("checkpoint-wall", 0, "checkpoint every wall-clock interval, e.g. 30s (0 = off)")
+		resume     = flag.Bool("resume", false, "resume from -checkpoint if the file exists")
+		maxRetries = flag.Int("max-retries", 0, "rebuild-and-resume attempts after a crashed segment")
 	)
 	flag.Parse()
 
+	sup := supFlags{
+		checkpoint: *ckptPath, everyNs: *ckptEvery, everyWall: *ckptWall,
+		resume: *resume, maxRetries: *maxRetries,
+	}
+
 	if *channels > 1 {
-		if err := runSharded(shardedFlags{
+		err := runSharded(shardedFlags{
 			specName: *specName, model: *model, mapping: *mappingS, page: *pageS,
 			pattern: *pattern, reads: *reads, requests: *requests,
 			reqBytes: *reqBytes, outstanding: *outst, ittNs: *itt,
@@ -78,10 +106,9 @@ func main() {
 			channels: *channels, workers: *parallel,
 			dumpStats: *dumpStats, jsonStats: *jsonStats,
 			traceIn: *traceIn, traceOut: *traceOut, faultsOn: *berCorr != 0 || *berUncorr != 0 || *berTrans != 0,
-		}); err != nil {
-			fmt.Fprintln(os.Stderr, "dramctrl:", err)
-			os.Exit(1)
-		}
+			sup: sup,
+		})
+		exit(err)
 		return
 	}
 
@@ -93,7 +120,7 @@ func main() {
 		}
 		return
 	}
-	if err := run(cfgFromFlags{
+	err := run(cfgFromFlags{
 		specName: *specName, model: *model, mapping: *mappingS, page: *pageS,
 		sched: *schedS, pattern: *pattern, reads: *reads, requests: *requests,
 		reqBytes: *reqBytes, outstanding: *outst, ittNs: *itt,
@@ -108,9 +135,61 @@ func main() {
 		},
 		eccLatencyNs: *eccLatency, retryLimit: *retryLimit,
 		watchdog: sim.Watchdog{MaxEvents: *maxEvents, MaxSameTick: *maxSameTick},
-	}); err != nil {
+		sup:      sup,
+	})
+	exit(err)
+}
+
+// exit maps a run error to the process exit code: 0 clean, 130 after a
+// graceful interrupt (partial results were flushed), 1 on failure.
+func exit(err error) {
+	switch {
+	case err == nil:
+	case errors.Is(err, errInterrupted):
+		os.Exit(130)
+	default:
 		fmt.Fprintln(os.Stderr, "dramctrl:", err)
 		os.Exit(1)
+	}
+}
+
+// supFlags is the supervision/checkpoint flag subset shared by the single-
+// and multi-channel paths.
+type supFlags struct {
+	checkpoint string
+	everyNs    int64
+	everyWall  time.Duration
+	resume     bool
+	maxRetries int
+}
+
+// enabled reports whether any checkpoint/resume behaviour was requested.
+func (s supFlags) enabled() bool { return s.checkpoint != "" || s.resume }
+
+// validate rejects inconsistent supervision flags.
+func (s supFlags) validate() error {
+	if s.resume && s.checkpoint == "" {
+		return fmt.Errorf("-resume needs -checkpoint")
+	}
+	if (s.everyNs != 0 || s.everyWall != 0) && s.checkpoint == "" {
+		return fmt.Errorf("-checkpoint-every/-checkpoint-wall need -checkpoint")
+	}
+	if s.everyNs < 0 || s.everyWall < 0 {
+		return fmt.Errorf("negative checkpoint interval")
+	}
+	return nil
+}
+
+// config assembles the supervisor configuration.
+func (s supFlags) config(notify <-chan os.Signal) supervisor.Config {
+	return supervisor.Config{
+		Checkpoint: s.checkpoint,
+		Every:      sim.Tick(s.everyNs) * sim.Nanosecond,
+		EveryWall:  s.everyWall,
+		Resume:     s.resume,
+		MaxRetries: s.maxRetries,
+		Notify:     notify,
+		Log:        os.Stderr,
 	}
 }
 
@@ -131,6 +210,19 @@ type cfgFromFlags struct {
 	eccLatencyNs                                   int64
 	retryLimit                                     int
 	watchdog                                       sim.Watchdog
+	sup                                            supFlags
+}
+
+// fingerprint canonicalizes every knob that shapes the simulated schedule,
+// so a checkpoint is never resumed under a different configuration.
+func (f cfgFromFlags) fingerprint() string {
+	return fmt.Sprintf("dramctrl spec=%s model=%s mapping=%s page=%s sched=%s pattern=%s "+
+		"reads=%d requests=%d bytes=%d outstanding=%d itt=%d stride=%d banks=%d seed=%d powerdown=%d "+
+		"faults=%d/%g/%g/%g ecc=%d retry=%d",
+		f.specName, f.model, f.mapping, f.page, f.sched, f.pattern,
+		f.reads, f.requests, f.reqBytes, f.outstanding, f.ittNs, f.stride, f.banks, f.seed, f.powerDownNs,
+		f.faults.Seed, f.faults.CorrectablePerBurst, f.faults.UncorrectablePerBurst, f.faults.TransientPerBurst,
+		f.eccLatencyNs, f.retryLimit)
 }
 
 // controller abstracts over the two models for this tool.
@@ -144,21 +236,74 @@ type controller interface {
 	PowerStats() power.Activity
 }
 
-func run(f cfgFromFlags) error {
+// singleRig is one fully wired single-channel simulation; it is the
+// supervisor session for the single-channel path.
+type singleRig struct {
+	f        cfgFromFlags
+	spec     dram.Spec
+	mapping  dram.Mapping
+	k        *sim.Kernel
+	reg      *stats.Registry
+	ctrl     controller
+	drain    func()
+	gen      *trafficgen.Generator // nil when replaying a trace
+	done     func() bool
+	start    func()
+	mon      *trafficgen.Monitor
+	series   *stats.Series
+	mgr      *checkpoint.Manager
+	deadline sim.Tick
+}
+
+// Manager implements supervisor.Session.
+func (r *singleRig) Manager() *checkpoint.Manager { return r.mgr }
+
+// Now implements supervisor.Session.
+func (r *singleRig) Now() sim.Tick { return r.k.Now() }
+
+// Start implements supervisor.Session (fresh runs only; a restore carries
+// the source's event state).
+func (r *singleRig) Start() { r.start() }
+
+// Step implements supervisor.Session: one quantum, with watchdog trips
+// surfacing as diagnosable errors carrying the pending-event dump.
+func (r *singleRig) Step() (bool, error) {
+	if _, err := r.k.RunUntilErr(r.k.Now() + 10*sim.Microsecond); err != nil {
+		return false, err
+	}
+	if r.done() {
+		if !r.ctrl.Quiescent() {
+			r.drain()
+			return false, nil
+		}
+		return true, nil
+	}
+	if r.k.Now() >= r.deadline {
+		return false, fmt.Errorf("simulation did not complete within %s", r.deadline)
+	}
+	return false, nil
+}
+
+// Close implements supervisor.Session.
+func (r *singleRig) Close() {}
+
+// buildSingle wires the single-channel rig from flags without starting it.
+func buildSingle(f cfgFromFlags) (*singleRig, error) {
 	spec, err := findSpec(f.specName)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	mapping, err := dram.ParseMapping(f.mapping)
 	if err != nil {
-		return err
+		return nil, err
 	}
 
 	k := sim.NewKernel()
 	reg := stats.NewRegistry("dramctrl")
+	r := &singleRig{f: f, spec: spec, mapping: mapping, k: k, reg: reg, deadline: 100 * sim.Second}
+	r.mgr = checkpoint.NewManager(f.fingerprint())
+	r.mgr.Register("kernel", checkpoint.WrapKernel(k))
 
-	var ctrl controller
-	var drain func()
 	switch f.model {
 	case "event":
 		cfg := core.DefaultConfig(spec)
@@ -174,7 +319,7 @@ func run(f cfgFromFlags) error {
 		case "closed-adaptive":
 			cfg.Page = core.ClosedAdaptive
 		default:
-			return fmt.Errorf("unknown page policy %q", f.page)
+			return nil, fmt.Errorf("unknown page policy %q", f.page)
 		}
 		if f.sched == "fcfs" {
 			cfg.Scheduling = core.FCFS
@@ -184,12 +329,13 @@ func run(f cfgFromFlags) error {
 		cfg.FaultRetryLimit = f.retryLimit
 		c, err := core.NewController(k, cfg, reg, "mc")
 		if err != nil {
-			return err
+			return nil, err
 		}
-		ctrl, drain = c, c.Drain
+		r.ctrl, r.drain = c, c.Drain
+		r.mgr.Register("mc", c)
 	case "cycle":
 		if f.faults.Enabled() {
-			return fmt.Errorf("fault injection is only modelled by the event-based controller")
+			return nil, fmt.Errorf("fault injection is only modelled by the event-based controller")
 		}
 		cfg := cyclesim.DefaultConfig(spec)
 		cfg.Mapping = mapping
@@ -201,58 +347,57 @@ func run(f cfgFromFlags) error {
 		}
 		c, err := cyclesim.NewController(k, cfg, reg, "mc")
 		if err != nil {
-			return err
+			return nil, err
 		}
-		ctrl, drain = c, func() {}
+		r.ctrl, r.drain = c, func() {}
+		r.mgr.Register("mc", c)
 	default:
-		return fmt.Errorf("unknown model %q", f.model)
+		return nil, fmt.Errorf("unknown model %q", f.model)
 	}
 
 	// Optional capture monitor in front of the controller.
-	sink := ctrl.Port()
-	var mon *trafficgen.Monitor
+	sink := r.ctrl.Port()
 	if f.traceOut != "" {
-		mon = trafficgen.NewMonitor(k, reg, "mon")
-		mem.Connect(mon.MemPort(), ctrl.Port())
-		sink = mon.CPUPort()
+		r.mon = trafficgen.NewMonitor(k, reg, "mon")
+		mem.Connect(r.mon.MemPort(), r.ctrl.Port())
+		sink = r.mon.CPUPort()
 	}
 
 	// Optional bandwidth time series (paper §II-E: statistics at arbitrary
 	// points in time).
-	var series *stats.Series
 	if f.intervalNs > 0 {
-		var err error
-		series, err = stats.NewSeries(k, sim.Tick(f.intervalNs)*sim.Nanosecond,
+		series, err := stats.NewSeries(k, sim.Tick(f.intervalNs)*sim.Nanosecond,
 			func() float64 {
-				a := ctrl.PowerStats()
+				a := r.ctrl.PowerStats()
 				return float64(a.ReadBursts+a.WriteBursts) * float64(spec.Org.BurstBytes())
 			}, true)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		series.Start()
+		r.series = series
 	}
 
-	done := func() bool { return false }
 	if f.traceIn != "" {
 		file, err := os.Open(f.traceIn)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		recs, err := trafficgen.ParseTrace(file)
 		file.Close()
 		if err != nil {
-			return err
+			return nil, err
 		}
 		player := trafficgen.NewTracePlayer(k, recs, 0)
 		mem.Connect(player.Port(), sink)
-		player.Start()
-		done = player.Done
-		fmt.Printf("replaying %d trace records from %s\n", len(recs), f.traceIn)
+		r.done = player.Done
+		r.start = func() {
+			player.Start()
+			fmt.Printf("replaying %d trace records from %s\n", len(recs), f.traceIn)
+		}
 	} else {
 		pat, err := buildPattern(f, spec, mapping)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		gen, err := trafficgen.New(k, trafficgen.Config{
 			RequestBytes:     f.reqBytes,
@@ -261,48 +406,76 @@ func run(f cfgFromFlags) error {
 			InterTransaction: sim.Tick(f.ittNs) * sim.Nanosecond,
 		}, pat, reg, "gen")
 		if err != nil {
-			return err
+			return nil, err
 		}
 		mem.Connect(gen.Port(), sink)
-		gen.Start()
-		done = gen.Done
-		defer func() {
-			fmt.Printf("mean read latency (generator): %.1f ns (p99 %.1f ns, %d samples)\n",
-				gen.ReadLatency().Mean(), gen.ReadLatency().Percentile(99), gen.ReadLatency().Count())
-		}()
+		r.gen = gen
+		r.done = gen.Done
+		r.start = gen.Start
+		r.mgr.Register("gen", gen)
 	}
+	r.mgr.Register("stats", checkpoint.WrapStats(reg))
 
 	if f.watchdog.Enabled() {
 		k.SetWatchdog(f.watchdog)
 	}
-	deadline := 100 * sim.Second
-	for k.Now() < deadline {
-		// The error-returning variant lets a watchdog trip surface as a
-		// diagnosable failure (with a pending-event dump) instead of a panic.
-		if _, err := k.RunUntilErr(k.Now() + 10*sim.Microsecond); err != nil {
-			return err
-		}
-		if done() {
-			if !ctrl.Quiescent() {
-				drain()
-				continue
-			}
-			break
+	if r.series != nil {
+		innerStart := r.start
+		r.start = func() {
+			r.series.Start()
+			innerStart()
 		}
 	}
-	if !done() {
-		return fmt.Errorf("simulation did not complete within %s", deadline)
+	return r, nil
+}
+
+func run(f cfgFromFlags) error {
+	if err := f.sup.validate(); err != nil {
+		return err
+	}
+	if f.sup.enabled() {
+		// The trace monitor and the time series hold host-side state no
+		// component hook serializes; refuse the combination instead of
+		// resuming with silently empty captures.
+		if f.traceIn != "" || f.traceOut != "" {
+			return fmt.Errorf("checkpointing does not support trace capture/replay (drop -trace-in/-trace-out)")
+		}
+		if f.intervalNs > 0 {
+			return fmt.Errorf("checkpointing does not support the -interval time series")
+		}
 	}
 
-	fmt.Printf("spec %s, model %s, mapping %s, page %s\n", spec.Name, f.model, mapping, f.page)
-	fmt.Printf("simulated %s in %d events\n", k.Now(), k.EventsExecuted())
+	var r *singleRig
+	notify, stopNotify := supervisor.NotifySignals()
+	defer stopNotify()
+	res, err := supervisor.Run(f.sup.config(notify), func() (supervisor.Session, error) {
+		rig, err := buildSingle(f)
+		if err != nil {
+			return nil, err
+		}
+		r = rig
+		return rig, nil
+	})
+	if err != nil {
+		return err
+	}
+	if res.Interrupted {
+		fmt.Printf("interrupted at %s; partial results:\n", res.Now)
+	}
+
+	if r.gen != nil {
+		fmt.Printf("mean read latency (generator): %.1f ns (p99 %.1f ns, %d samples)\n",
+			r.gen.ReadLatency().Mean(), r.gen.ReadLatency().Percentile(99), r.gen.ReadLatency().Count())
+	}
+	fmt.Printf("spec %s, model %s, mapping %s, page %s\n", r.spec.Name, f.model, r.mapping, f.page)
+	fmt.Printf("simulated %s in %d events\n", r.k.Now(), r.k.EventsExecuted())
 	fmt.Printf("bandwidth %.2f GB/s (%.1f%% bus utilisation), row hit rate %.1f%%\n",
-		ctrl.Bandwidth()/1e9, ctrl.BusUtilisation()*100, ctrl.RowHitRate()*100)
-	act := ctrl.PowerStats()
-	fmt.Printf("DRAM power: %s\n", power.Compute(spec, act))
+		r.ctrl.Bandwidth()/1e9, r.ctrl.BusUtilisation()*100, r.ctrl.RowHitRate()*100)
+	act := r.ctrl.PowerStats()
+	fmt.Printf("DRAM power: %s\n", power.Compute(r.spec, act))
 	if f.faults.Enabled() {
 		get := func(name string) float64 {
-			if s, ok := reg.Get("dramctrl.mc." + name).(*stats.Scalar); ok {
+			if s, ok := r.reg.Get("dramctrl.mc." + name).(*stats.Scalar); ok {
 				return s.Value()
 			}
 			return 0
@@ -316,39 +489,50 @@ func run(f cfgFromFlags) error {
 			float64(act.PowerDownTime)/float64(act.Elapsed)*100)
 	}
 
-	if series != nil {
+	if r.series != nil {
 		fmt.Println("\nbandwidth over time:")
 		intervalSec := float64(f.intervalNs) * 1e-9
-		for _, pt := range series.Points() {
+		for _, pt := range r.series.Points() {
 			gbs := pt.Value / intervalSec / 1e9
 			fmt.Printf("  %10s %8.2f GB/s\n", pt.At, gbs)
 		}
 	}
-	if mon != nil {
+	if r.mon != nil && !res.Interrupted {
 		out, err := os.Create(f.traceOut)
 		if err != nil {
 			return err
 		}
-		defer out.Close()
-		if err := trafficgen.FormatTrace(out, mon.Trace()); err != nil {
+		if err := trafficgen.FormatTrace(out, r.mon.Trace()); err != nil {
+			out.Close()
 			return err
 		}
-		fmt.Printf("captured %d records to %s\n", len(mon.Trace()), f.traceOut)
+		if err := out.Close(); err != nil {
+			return fmt.Errorf("write %s: %w", f.traceOut, err)
+		}
+		fmt.Printf("captured %d records to %s\n", len(r.mon.Trace()), f.traceOut)
 	}
 	if f.jsonStats != "" {
 		out, err := os.Create(f.jsonStats)
 		if err != nil {
 			return err
 		}
-		defer out.Close()
-		if err := reg.DumpJSON(out); err != nil {
+		if err := r.reg.DumpJSON(out); err != nil {
+			out.Close()
 			return err
+		}
+		if err := out.Close(); err != nil {
+			return fmt.Errorf("write %s: %w", f.jsonStats, err)
 		}
 		fmt.Printf("statistics written to %s\n", f.jsonStats)
 	}
 	if f.dumpStats {
 		fmt.Println("\nstatistics:")
-		return reg.Dump(os.Stdout)
+		if err := r.reg.Dump(os.Stdout); err != nil {
+			return err
+		}
+	}
+	if res.Interrupted {
+		return errInterrupted
 	}
 	return nil
 }

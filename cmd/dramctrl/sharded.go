@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/dram"
 	"repro/internal/sim"
+	"repro/internal/supervisor"
 	"repro/internal/system"
 	"repro/internal/trafficgen"
 	"repro/internal/xbar"
@@ -27,13 +28,78 @@ type shardedFlags struct {
 	jsonStats                               string
 	traceIn, traceOut                       string
 	faultsOn                                bool
+	sup                                     supFlags
+}
+
+// fingerprint canonicalizes the sharded configuration. The worker count is
+// deliberately absent: statistics are worker-count independent, so a
+// checkpoint taken with -parallel 4 resumes fine under -parallel 1.
+func (f shardedFlags) fingerprint() string {
+	return fmt.Sprintf("dramctrl-sharded spec=%s model=%s mapping=%s page=%s pattern=%s "+
+		"reads=%d requests=%d bytes=%d outstanding=%d itt=%d stride=%d banks=%d seed=%d channels=%d",
+		f.specName, f.model, f.mapping, f.page, f.pattern,
+		f.reads, f.requests, f.reqBytes, f.outstanding, f.ittNs, f.stride, f.banks, f.seed, f.channels)
+}
+
+// buildShardedRig wires the parallel per-channel rig from flags.
+func buildShardedRig(f shardedFlags, spec dram.Spec, mapping dram.Mapping, kind system.Kind) (*system.ShardedRig, error) {
+	var pat trafficgen.Pattern
+	switch f.pattern {
+	case "linear":
+		pat = &trafficgen.Linear{
+			Start: 0, End: 1 << 28, Step: f.reqBytes,
+			ReadPercent: f.reads, Seed: f.seed,
+		}
+	case "random":
+		pat = &trafficgen.Random{
+			Start: 0, End: 1 << 28, Align: f.reqBytes,
+			ReadPercent: f.reads, Seed: f.seed,
+		}
+	case "dramaware":
+		dec, err := dram.NewDecoder(spec.Org, mapping, f.channels)
+		if err != nil {
+			return nil, err
+		}
+		p := &trafficgen.DRAMAware{
+			Decoder: dec, StrideBursts: f.stride, Banks: f.banks,
+			ReadPercent: f.reads, Seed: f.seed,
+		}
+		if err := p.Validate(); err != nil {
+			return nil, err
+		}
+		pat = p
+	default:
+		return nil, fmt.Errorf("unknown pattern %q", f.pattern)
+	}
+
+	return system.NewShardedRig(system.ShardedConfig{
+		Kind:       kind,
+		Spec:       spec,
+		Mapping:    mapping,
+		ClosedPage: strings.HasPrefix(f.page, "closed"),
+		Channels:   f.channels,
+		Xbar:       xbar.Config{Latency: 2 * sim.Nanosecond, QueueDepth: 64},
+		Gens: []trafficgen.Config{{
+			RequestBytes:     f.reqBytes,
+			MaxOutstanding:   f.outstanding,
+			Count:            f.requests,
+			InterTransaction: sim.Tick(f.ittNs) * sim.Nanosecond,
+		}},
+		Patterns: []trafficgen.Pattern{pat},
+		Workers:  f.workers,
+	})
 }
 
 // runSharded drives the parallel per-channel rig: crossbar and generator on
 // a frontend kernel, each channel's controller on its own kernel, stepped by
 // -parallel worker goroutines. Statistics are identical for any worker
-// count; only host wall-clock changes.
+// count; only host wall-clock changes. The run is supervised like the
+// single-channel path: shards checkpoint at quantum barriers, so -checkpoint
+// and -resume work unchanged.
 func runSharded(f shardedFlags) error {
+	if err := f.sup.validate(); err != nil {
+		return err
+	}
 	if f.traceIn != "" || f.traceOut != "" {
 		return fmt.Errorf("trace capture/replay is single-channel only (drop -channels)")
 	}
@@ -58,56 +124,22 @@ func runSharded(f shardedFlags) error {
 		return fmt.Errorf("unknown model %q", f.model)
 	}
 
-	var pat trafficgen.Pattern
-	switch f.pattern {
-	case "linear":
-		pat = &trafficgen.Linear{
-			Start: 0, End: 1 << 28, Step: f.reqBytes,
-			ReadPercent: f.reads, Seed: f.seed,
-		}
-	case "random":
-		pat = &trafficgen.Random{
-			Start: 0, End: 1 << 28, Align: f.reqBytes,
-			ReadPercent: f.reads, Seed: f.seed,
-		}
-	case "dramaware":
-		dec, err := dram.NewDecoder(spec.Org, mapping, f.channels)
+	var rig *system.ShardedRig
+	notify, stopNotify := supervisor.NotifySignals()
+	defer stopNotify()
+	res, err := supervisor.Run(f.sup.config(notify), func() (supervisor.Session, error) {
+		r, err := buildShardedRig(f, spec, mapping, kind)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		p := &trafficgen.DRAMAware{
-			Decoder: dec, StrideBursts: f.stride, Banks: f.banks,
-			ReadPercent: f.reads, Seed: f.seed,
-		}
-		if err := p.Validate(); err != nil {
-			return err
-		}
-		pat = p
-	default:
-		return fmt.Errorf("unknown pattern %q", f.pattern)
-	}
-
-	rig, err := system.NewShardedRig(system.ShardedConfig{
-		Kind:       kind,
-		Spec:       spec,
-		Mapping:    mapping,
-		ClosedPage: strings.HasPrefix(f.page, "closed"),
-		Channels:   f.channels,
-		Xbar:       xbar.Config{Latency: 2 * sim.Nanosecond, QueueDepth: 64},
-		Gens: []trafficgen.Config{{
-			RequestBytes:     f.reqBytes,
-			MaxOutstanding:   f.outstanding,
-			Count:            f.requests,
-			InterTransaction: sim.Tick(f.ittNs) * sim.Nanosecond,
-		}},
-		Patterns: []trafficgen.Pattern{pat},
-		Workers:  f.workers,
+		rig = r
+		return r.NewSession(f.fingerprint(), 100*sim.Second)
 	})
 	if err != nil {
 		return err
 	}
-	if !rig.Run(100 * sim.Second) {
-		return fmt.Errorf("sharded simulation did not complete")
+	if res.Interrupted {
+		fmt.Printf("interrupted at %s; partial results:\n", res.Now)
 	}
 
 	var events uint64
@@ -133,15 +165,23 @@ func runSharded(f shardedFlags) error {
 		if err != nil {
 			return err
 		}
-		defer out.Close()
 		if err := rig.Reg.DumpJSON(out); err != nil {
+			out.Close()
 			return err
+		}
+		if err := out.Close(); err != nil {
+			return fmt.Errorf("write %s: %w", f.jsonStats, err)
 		}
 		fmt.Printf("statistics written to %s\n", f.jsonStats)
 	}
 	if f.dumpStats {
 		fmt.Println("\nstatistics:")
-		return rig.Reg.Dump(os.Stdout)
+		if err := rig.Reg.Dump(os.Stdout); err != nil {
+			return err
+		}
+	}
+	if res.Interrupted {
+		return errInterrupted
 	}
 	return nil
 }

@@ -6,11 +6,13 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 
 	"repro/internal/experiments"
+	"repro/internal/supervisor"
 )
 
 func main() {
@@ -18,10 +20,32 @@ func main() {
 	cores := flag.Int("cores", 16, "number of cores")
 	flag.Parse()
 
-	res, err := experiments.RunFig9(*memOps, *cores)
-	if err != nil {
+	// SIGINT/SIGTERM finish the memory system being measured, flush the
+	// completed rows, and exit 130.
+	notify, stopNotify := supervisor.NotifySignals()
+	defer stopNotify()
+	fired := false
+	stop := func() bool {
+		if fired {
+			return true
+		}
+		select {
+		case sig := <-notify:
+			fired = true
+			fmt.Fprintf(os.Stderr, "explore: %v: finishing current memory system, flushing partial results\n", sig)
+		default:
+		}
+		return fired
+	}
+
+	res, err := experiments.RunFig9Stoppable(*memOps, *cores, stop)
+	interrupted := errors.Is(err, experiments.ErrInterrupted)
+	if err != nil && !interrupted {
 		fmt.Fprintln(os.Stderr, "explore:", err)
 		os.Exit(1)
+	}
+	if interrupted {
+		fmt.Printf("interrupted; partial results (%d of 3 memory systems, IPC not normalised):\n", len(res.Rows))
 	}
 
 	fmt.Printf("Memory technology exploration (Figure 9): %d-core canneal, shared 8 MB LLC\n", *cores)
@@ -40,5 +64,8 @@ func main() {
 		b := row.Breakdown
 		fmt.Printf("%-8s %8.1f %8.1f %8.1f %8.1f\n",
 			row.Name, b.QueueNs, b.BankNs, b.BusNs, b.StaticNs)
+	}
+	if interrupted {
+		os.Exit(130)
 	}
 }

@@ -114,7 +114,9 @@ func run(specName, pageS, mappingS string, requests uint64, reads int, seed int6
 	}
 
 	for k.Now() < 100*sim.Second {
-		k.RunUntil(k.Now() + 10*sim.Microsecond)
+		if _, err := k.RunUntilErr(k.Now() + 10*sim.Microsecond); err != nil {
+			return err
+		}
 		if done() {
 			if !ctrl.Quiescent() {
 				ctrl.Drain()
@@ -124,7 +126,7 @@ func run(specName, pageS, mappingS string, requests uint64, reads int, seed int6
 		}
 	}
 	if !done() {
-		return fmt.Errorf("simulation did not complete")
+		return fmt.Errorf("simulation did not complete by %s", k.Now())
 	}
 
 	violations := power.CheckTiming(spec, trace.Commands())

@@ -112,7 +112,10 @@ func main() {
 			fmt.Fprintln(os.Stderr, "speedup:", err)
 			os.Exit(1)
 		}
-		out.Close()
+		if err := out.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "speedup: write %s: %v\n", *jsonOut, err)
+			os.Exit(1)
+		}
 		fmt.Printf("\nmeasurements written to %s\n", *jsonOut)
 	}
 }

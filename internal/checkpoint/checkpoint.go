@@ -1,0 +1,177 @@
+// Package checkpoint implements versioned, checksummed snapshots of a running
+// simulation. Long experiments (the paper's pitch is making DRAM-controller
+// simulation fast enough for full-system runs) survive crashes, watchdog
+// trips and Ctrl-C only if state can be saved and resumed; gem5-family
+// studies lean on checkpoints for exactly this reason.
+//
+// The design splits responsibility between a Manager and the components:
+//
+//   - Every stateful component implements Checkpointable: it serializes its
+//     own fields and the scheduling state (when/seq) of the kernel events it
+//     owns, and on restore re-creates those events itself. The kernel never
+//     serializes its queue — closures are not serializable, and components
+//     know how to rebuild their callbacks; the queue does not.
+//
+//   - Packet identity is preserved across components: the crossbar routes a
+//     response by the same *mem.Packet pointer it forwarded as a request, so
+//     the Manager owns a packet table. Components refer to packets by table
+//     reference during save (mem.PacketTable) and re-link to the shared,
+//     once-materialized instance during restore (mem.PacketLookup).
+//
+//   - Determinism: restore is two-phase. Components only *register* work —
+//     a clock warp for their kernel, and one deferred re-schedule per saved
+//     event tagged with the event's saved sequence number. Commit applies
+//     the clock warps first, then runs the deferred re-schedules in saved-seq
+//     order. Kernel event order is (when, priority, seq); replaying the
+//     schedules in saved-seq order makes the fresh seqs order-isomorphic to
+//     the saved ones, so same-tick, same-priority ties fire exactly as in an
+//     uninterrupted run — which is what makes resume bit-identical.
+package checkpoint
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// Version is the checkpoint format version; bumped on any incompatible
+// change to the framing, the body schema, or a component's section schema.
+const Version = 1
+
+// Checkpointable is implemented by every component that owns simulation
+// state. CheckpointSave returns a JSON-serializable image of the component
+// (using pt for any *mem.Packet it holds). CheckpointRestore is called on a
+// freshly constructed component: it must deschedule any events its
+// constructor armed, parse data (the bytes its CheckpointSave produced),
+// rebuild its fields, and register clock warps / deferred re-schedules with
+// rs. It must not schedule on the kernel directly — the clock has not been
+// warped yet when it runs.
+type Checkpointable interface {
+	CheckpointSave(pt mem.PacketTable) (any, error)
+	CheckpointRestore(pl mem.PacketLookup, rs sim.Restorer, data []byte) error
+}
+
+// Manager holds the registered components of one simulation, in a fixed
+// order, and drives save and restore. Registration order must be
+// reconstructible from the configuration alone (constructors register in a
+// deterministic order), because restore matches sections to components by ID.
+type Manager struct {
+	fingerprint string
+	ids         []string
+	comps       map[string]Checkpointable
+}
+
+// NewManager returns an empty manager. The fingerprint is an arbitrary
+// string identifying the simulation configuration (spec, model, page policy,
+// channels, seed, ...); Restore refuses a checkpoint whose fingerprint
+// differs, because resuming under a different configuration silently
+// produces garbage.
+func NewManager(fingerprint string) *Manager {
+	return &Manager{fingerprint: fingerprint, comps: make(map[string]Checkpointable)}
+}
+
+// Fingerprint returns the configuration fingerprint the manager was built with.
+func (m *Manager) Fingerprint() string { return m.fingerprint }
+
+// Register adds a component under a unique ID. Kernels (via WrapKernel)
+// should be registered before the components scheduled on them, purely for
+// readable section ordering — restore is two-phase, so correctness does not
+// depend on it.
+func (m *Manager) Register(id string, c Checkpointable) {
+	if _, dup := m.comps[id]; dup {
+		panic(fmt.Sprintf("checkpoint: duplicate component id %q", id))
+	}
+	if c == nil {
+		panic(fmt.Sprintf("checkpoint: nil component %q", id))
+	}
+	m.ids = append(m.ids, id)
+	m.comps[id] = c
+}
+
+// saveCtx implements mem.PacketTable: packets get dense refs in first-use
+// order, which is deterministic because components save in registration
+// order and each serializes its packets in a deterministic order.
+type saveCtx struct {
+	refs map[*mem.Packet]int
+	pkts []*mem.Packet
+}
+
+func (c *saveCtx) PacketRef(p *mem.Packet) int {
+	if p == nil {
+		return -1
+	}
+	if ref, ok := c.refs[p]; ok {
+		return ref
+	}
+	ref := len(c.pkts)
+	c.refs[p] = ref
+	c.pkts = append(c.pkts, p)
+	return ref
+}
+
+// restoreCtx implements mem.PacketLookup and sim.Restorer.
+type restoreCtx struct {
+	pkts []*mem.Packet
+
+	kernels []*sim.Kernel // first-warp order
+	warps   map[*sim.Kernel]clockWarp
+	defers  []deferred
+	err     error
+}
+
+type clockWarp struct {
+	now      sim.Tick
+	executed uint64
+	sameTick uint64
+}
+
+type deferred struct {
+	seq uint64
+	fn  func()
+}
+
+func (c *restoreCtx) PacketByRef(ref int) *mem.Packet {
+	if ref == -1 {
+		return nil
+	}
+	if ref < 0 || ref >= len(c.pkts) {
+		panic(fmt.Sprintf("checkpoint: packet ref %d out of range (table has %d)", ref, len(c.pkts)))
+	}
+	return c.pkts[ref]
+}
+
+func (c *restoreCtx) WarpClock(k *sim.Kernel, now sim.Tick, executed, sameTick uint64) {
+	w := clockWarp{now: now, executed: executed, sameTick: sameTick}
+	if prev, ok := c.warps[k]; ok {
+		if prev != w && c.err == nil {
+			c.err = fmt.Errorf("checkpoint: conflicting clock warps for one kernel (%s/%d vs %s/%d)",
+				prev.now, prev.executed, now, executed)
+		}
+		return
+	}
+	c.warps[k] = w
+	c.kernels = append(c.kernels, k)
+}
+
+func (c *restoreCtx) Defer(seq uint64, fn func()) {
+	c.defers = append(c.defers, deferred{seq: seq, fn: fn})
+}
+
+// commit applies the registered clock warps, then replays the deferred
+// re-schedules in saved-seq order.
+func (c *restoreCtx) commit() error {
+	if c.err != nil {
+		return c.err
+	}
+	for _, k := range c.kernels {
+		w := c.warps[k]
+		k.RestoreClock(w.now, w.executed, w.sameTick)
+	}
+	sort.SliceStable(c.defers, func(i, j int) bool { return c.defers[i].seq < c.defers[j].seq })
+	for _, d := range c.defers {
+		d.fn()
+	}
+	return nil
+}

@@ -1,0 +1,440 @@
+package checkpoint_test
+
+// The tentpole acceptance test: checkpointing at an arbitrary mid-run point
+// and resuming in a fresh process image must be bit-identical — byte-for-byte
+// on the final statistics dump — to the uninterrupted run. The matrix covers
+// both controller models, every page policy, and the sharded multi-channel
+// rig under several worker counts (whose checkpoints are only taken at the
+// quantum barrier, and may be resumed under a different worker count).
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/checkpoint"
+	"repro/internal/core"
+	"repro/internal/dram"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/system"
+	"repro/internal/trafficgen"
+	"repro/internal/xbar"
+)
+
+// session is the slice of the system session types the tests drive; all three
+// rig sessions satisfy it.
+type session interface {
+	Manager() *checkpoint.Manager
+	Now() sim.Tick
+	Start()
+	Step() (bool, error)
+	Close()
+}
+
+// runToEnd steps a started (or restored) session to completion.
+func runToEnd(t *testing.T, s session) {
+	t.Helper()
+	for i := 0; i < 1_000_000; i++ {
+		done, err := s.Step()
+		if err != nil {
+			t.Fatalf("step: %v", err)
+		}
+		if done {
+			return
+		}
+	}
+	t.Fatal("simulation did not finish within the step budget")
+}
+
+// dumpStats renders the registry as the canonical JSON byte string the
+// bit-identical comparison is defined over.
+func dumpStats(t *testing.T, reg *stats.Registry) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := reg.DumpJSON(&buf); err != nil {
+		t.Fatalf("dump stats: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// randomPattern returns the address pattern all roundtrip cases share: mixed
+// reads and writes drawn from a seeded RNG, which exercises the draw-count
+// replay that makes generators restorable.
+func randomPattern() trafficgen.Pattern {
+	return &trafficgen.Random{
+		Start: 0, End: 1 << 26, Align: 64, ReadPercent: 67, Seed: 3,
+	}
+}
+
+// trafficCase is one cell of the single-rig determinism matrix.
+type trafficCase struct {
+	name string
+	kind system.Kind
+	// closed drives the cycle model's two-policy split and the matched
+	// default for the event model; tune overrides the event page policy for
+	// the adaptive variants.
+	closed bool
+	tune   func(*core.Config)
+}
+
+func trafficCases() []trafficCase {
+	page := func(p core.PagePolicy) func(*core.Config) {
+		return func(c *core.Config) { c.Page = p }
+	}
+	return []trafficCase{
+		{name: "event-open", kind: system.EventBased, tune: page(core.Open)},
+		{name: "event-open-adaptive", kind: system.EventBased, tune: page(core.OpenAdaptive)},
+		{name: "event-closed", kind: system.EventBased, closed: true, tune: page(core.Closed)},
+		{name: "event-closed-adaptive", kind: system.EventBased, closed: true, tune: page(core.ClosedAdaptive)},
+		{name: "cycle-open", kind: system.CycleBased},
+		{name: "cycle-closed", kind: system.CycleBased, closed: true},
+	}
+}
+
+func buildTrafficRig(t *testing.T, tc trafficCase, requests uint64) *system.TrafficRig {
+	t.Helper()
+	rig, err := system.NewTrafficRig(system.RigConfig{
+		Kind:       tc.kind,
+		Spec:       dram.DDR3_1333_8x8(),
+		Mapping:    dram.RoRaBaCoCh,
+		ClosedPage: tc.closed,
+		Gen: trafficgen.Config{
+			RequestBytes:   64,
+			MaxOutstanding: 16,
+			Count:          requests,
+		},
+		Pattern:   randomPattern(),
+		TuneEvent: tc.tune,
+	})
+	if err != nil {
+		t.Fatalf("build rig: %v", err)
+	}
+	return rig
+}
+
+// TestTrafficRigResumeBitIdentical checkpoints every model x page-policy
+// combination mid-run, restores into a freshly built rig, finishes both, and
+// requires byte-identical statistics.
+func TestTrafficRigResumeBitIdentical(t *testing.T) {
+	const requests = 4000
+	for _, tc := range trafficCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			fp := "roundtrip/" + tc.name
+			deadline := sim.Second
+
+			// Reference: uninterrupted.
+			ref := buildTrafficRig(t, tc, requests)
+			rs, err := ref.NewSession(fp, deadline)
+			if err != nil {
+				t.Fatalf("session: %v", err)
+			}
+			rs.Start()
+			runToEnd(t, rs)
+			want := dumpStats(t, ref.Reg)
+			endTick := rs.Now()
+
+			// Interrupted: run a fraction of the way, checkpoint, abandon.
+			mid := buildTrafficRig(t, tc, requests)
+			ms, err := mid.NewSession(fp, deadline)
+			if err != nil {
+				t.Fatalf("session: %v", err)
+			}
+			ms.Start()
+			for ms.Now() < endTick/3 {
+				done, err := ms.Step()
+				if err != nil {
+					t.Fatalf("step: %v", err)
+				}
+				if done {
+					t.Fatalf("run finished at %s, before the checkpoint point", ms.Now())
+				}
+			}
+			img, err := ms.Manager().Save()
+			if err != nil {
+				t.Fatalf("save at %s: %v", ms.Now(), err)
+			}
+
+			// Resumed: a fresh rig (a fresh process image, as far as the
+			// simulation can tell), restored, run to completion. No Start —
+			// the checkpoint carries the generator's event state.
+			res := buildTrafficRig(t, tc, requests)
+			ss, err := res.NewSession(fp, deadline)
+			if err != nil {
+				t.Fatalf("session: %v", err)
+			}
+			if err := ss.Manager().Restore(img); err != nil {
+				t.Fatalf("restore: %v", err)
+			}
+			if ss.Now() != ms.Now() {
+				t.Fatalf("restored clock %s, saved at %s", ss.Now(), ms.Now())
+			}
+			runToEnd(t, ss)
+
+			if ss.Now() != endTick {
+				t.Errorf("resumed run ended at %s, uninterrupted at %s", ss.Now(), endTick)
+			}
+			if got := dumpStats(t, res.Reg); !bytes.Equal(got, want) {
+				t.Errorf("resumed statistics differ from uninterrupted run\nuninterrupted: %s\nresumed:       %s", want, got)
+			}
+		})
+	}
+}
+
+func buildShardedRig(t *testing.T, kind system.Kind, workers int, requests uint64) *system.ShardedRig {
+	t.Helper()
+	rig, err := system.NewShardedRig(system.ShardedConfig{
+		Kind:     kind,
+		Spec:     dram.DDR3_1333_8x8(),
+		Mapping:  dram.RoRaBaCoCh,
+		Channels: 2,
+		Xbar:     xbar.Config{Latency: 2 * sim.Nanosecond, QueueDepth: 64},
+		Gens: []trafficgen.Config{{
+			RequestBytes:   64,
+			MaxOutstanding: 32,
+			Count:          requests,
+		}},
+		Patterns: []trafficgen.Pattern{randomPattern()},
+		Workers:  workers,
+	})
+	if err != nil {
+		t.Fatalf("build sharded rig: %v", err)
+	}
+	return rig
+}
+
+// TestShardedResumeBitIdentical checkpoints the sharded rig at a quantum
+// barrier and resumes it — under the same and under a different worker count
+// (the fingerprint deliberately excludes workers: statistics are worker-count
+// independent). Every final dump must match the serial uninterrupted run.
+func TestShardedResumeBitIdentical(t *testing.T) {
+	const requests = 2000
+	for _, kind := range []system.Kind{system.EventBased, system.CycleBased} {
+		t.Run(kind.String(), func(t *testing.T) {
+			fp := "roundtrip/sharded-" + kind.String()
+			deadline := sim.Second
+
+			ref := buildShardedRig(t, kind, 1, requests)
+			rs, err := ref.NewSession(fp, deadline)
+			if err != nil {
+				t.Fatalf("session: %v", err)
+			}
+			rs.Start()
+			runToEnd(t, rs)
+			rs.Close()
+			want := dumpStats(t, ref.Reg)
+			endTick := rs.Now()
+
+			for _, w := range []struct{ save, resume int }{
+				{save: 1, resume: 1},
+				{save: 3, resume: 3},
+				{save: 3, resume: 1}, // cross-worker-count resume
+			} {
+				name := fmt.Sprintf("save-w%d-resume-w%d", w.save, w.resume)
+				t.Run(name, func(t *testing.T) {
+					mid := buildShardedRig(t, kind, w.save, requests)
+					ms, err := mid.NewSession(fp, deadline)
+					if err != nil {
+						t.Fatalf("session: %v", err)
+					}
+					ms.Start()
+					for ms.Now() < endTick/3 {
+						done, err := ms.Step()
+						if err != nil {
+							t.Fatalf("step: %v", err)
+						}
+						if done {
+							t.Fatalf("run finished at %s, before the checkpoint point", ms.Now())
+						}
+					}
+					// Between Steps every shard is parked at the barrier and
+					// all link outboxes are flushed: the only state in which a
+					// sharded checkpoint is valid.
+					img, err := ms.Manager().Save()
+					ms.Close()
+					if err != nil {
+						t.Fatalf("save at %s: %v", ms.Now(), err)
+					}
+
+					res := buildShardedRig(t, kind, w.resume, requests)
+					ss, err := res.NewSession(fp, deadline)
+					if err != nil {
+						t.Fatalf("session: %v", err)
+					}
+					if err := ss.Manager().Restore(img); err != nil {
+						t.Fatalf("restore: %v", err)
+					}
+					runToEnd(t, ss)
+					ss.Close()
+
+					if ss.Now() != endTick {
+						t.Errorf("resumed run ended at %s, uninterrupted at %s", ss.Now(), endTick)
+					}
+					if got := dumpStats(t, res.Reg); !bytes.Equal(got, want) {
+						t.Errorf("resumed sharded statistics differ from serial uninterrupted run\nuninterrupted: %s\nresumed:       %s", want, got)
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestMultiChannelResumeBitIdentical covers the single-kernel crossbar
+// topology, whose checkpoint must carry the crossbar queues and the
+// request-origin map.
+func TestMultiChannelResumeBitIdentical(t *testing.T) {
+	const requests = 2000
+	build := func() *system.MultiChannelRig {
+		rig, err := system.NewMultiChannelRig(system.MultiChannelConfig{
+			Kind:     system.EventBased,
+			Spec:     dram.DDR3_1333_8x8(),
+			Mapping:  dram.RoRaBaCoCh,
+			Channels: 2,
+			Xbar:     xbar.Config{Latency: 2 * sim.Nanosecond, QueueDepth: 64},
+			Gens: []trafficgen.Config{{
+				RequestBytes:   64,
+				MaxOutstanding: 32,
+				Count:          requests,
+			}},
+			Patterns: []trafficgen.Pattern{randomPattern()},
+		})
+		if err != nil {
+			t.Fatalf("build multi-channel rig: %v", err)
+		}
+		return rig
+	}
+	const fp = "roundtrip/multichannel"
+	deadline := sim.Second
+
+	ref := build()
+	rs, err := ref.NewSession(fp, deadline)
+	if err != nil {
+		t.Fatalf("session: %v", err)
+	}
+	rs.Start()
+	runToEnd(t, rs)
+	want := dumpStats(t, ref.Reg)
+	endTick := rs.Now()
+
+	mid := build()
+	ms, err := mid.NewSession(fp, deadline)
+	if err != nil {
+		t.Fatalf("session: %v", err)
+	}
+	ms.Start()
+	for ms.Now() < endTick/3 {
+		done, err := ms.Step()
+		if err != nil {
+			t.Fatalf("step: %v", err)
+		}
+		if done {
+			t.Fatalf("run finished at %s, before the checkpoint point", ms.Now())
+		}
+	}
+	img, err := ms.Manager().Save()
+	if err != nil {
+		t.Fatalf("save at %s: %v", ms.Now(), err)
+	}
+
+	res := build()
+	ss, err := res.NewSession(fp, deadline)
+	if err != nil {
+		t.Fatalf("session: %v", err)
+	}
+	if err := ss.Manager().Restore(img); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	runToEnd(t, ss)
+	if got := dumpStats(t, res.Reg); !bytes.Equal(got, want) {
+		t.Errorf("resumed multi-channel statistics differ from uninterrupted run\nuninterrupted: %s\nresumed:       %s", want, got)
+	}
+}
+
+// TestResumeWithFaultsMidReplay checkpoints a fault-injected run — transient
+// rates high enough that read bursts are essentially always parked in a
+// replay backoff at the save point — and requires the resumed run to report
+// identical corrected / uncorrectable / retry / retirement counts.
+func TestResumeWithFaultsMidReplay(t *testing.T) {
+	tc := trafficCase{
+		name: "event-faults",
+		kind: system.EventBased,
+		tune: func(c *core.Config) {
+			c.Page = core.Open
+			c.Faults.Seed = 11
+			c.Faults.CorrectablePerBurst = 0.05
+			c.Faults.UncorrectablePerBurst = 0.01
+			c.Faults.TransientPerBurst = 0.30
+			c.FaultRetryLimit = 2
+		},
+	}
+	const requests = 3000
+	const fp = "roundtrip/faults"
+	deadline := sim.Second
+
+	rasCounts := func(reg *stats.Registry) map[string]float64 {
+		out := make(map[string]float64)
+		for _, name := range []string{
+			"sys.mc.correctedErrors", "sys.mc.uncorrectedErrors",
+			"sys.mc.retriedBursts", "sys.mc.retiredRows",
+		} {
+			sc, ok := reg.Get(name).(*stats.Scalar)
+			if !ok {
+				t.Fatalf("stat %q missing", name)
+			}
+			out[name] = sc.Value()
+		}
+		return out
+	}
+
+	ref := buildTrafficRig(t, tc, requests)
+	rs, err := ref.NewSession(fp, deadline)
+	if err != nil {
+		t.Fatalf("session: %v", err)
+	}
+	rs.Start()
+	runToEnd(t, rs)
+	want := dumpStats(t, ref.Reg)
+	wantRAS := rasCounts(ref.Reg)
+	endTick := rs.Now()
+	if wantRAS["sys.mc.retriedBursts"] == 0 || wantRAS["sys.mc.correctedErrors"] == 0 ||
+		wantRAS["sys.mc.uncorrectedErrors"] == 0 || wantRAS["sys.mc.retiredRows"] == 0 {
+		t.Fatalf("fault workload too tame to test anything: %v", wantRAS)
+	}
+
+	mid := buildTrafficRig(t, tc, requests)
+	ms, err := mid.NewSession(fp, deadline)
+	if err != nil {
+		t.Fatalf("session: %v", err)
+	}
+	ms.Start()
+	for ms.Now() < endTick/2 {
+		done, err := ms.Step()
+		if err != nil {
+			t.Fatalf("step: %v", err)
+		}
+		if done {
+			t.Fatalf("run finished at %s, before the checkpoint point", ms.Now())
+		}
+	}
+	img, err := ms.Manager().Save()
+	if err != nil {
+		t.Fatalf("save at %s: %v", ms.Now(), err)
+	}
+
+	res := buildTrafficRig(t, tc, requests)
+	ss, err := res.NewSession(fp, deadline)
+	if err != nil {
+		t.Fatalf("session: %v", err)
+	}
+	if err := ss.Manager().Restore(img); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	runToEnd(t, ss)
+
+	if gotRAS := rasCounts(res.Reg); fmt.Sprint(gotRAS) != fmt.Sprint(wantRAS) {
+		t.Errorf("RAS counters diverged after resume:\nuninterrupted: %v\nresumed:       %v", wantRAS, gotRAS)
+	}
+	if got := dumpStats(t, res.Reg); !bytes.Equal(got, want) {
+		t.Errorf("resumed fault-injected statistics differ from uninterrupted run\nuninterrupted: %s\nresumed:       %s", want, got)
+	}
+}

@@ -1,0 +1,409 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/dram"
+	"repro/internal/faults"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// Checkpoint support for the event-based controller. The controller owns a
+// lot of interlinked state — burst queues aliasing shared transactions,
+// responses referencing system packets, per-bank timing, refresh cadence,
+// low-power machinery, in-flight fault replays — all of it rebuilt here from
+// a flat serialized image. Events are never serialized as queue entries: the
+// image records each event's (when, seq) and restore re-creates it through
+// the Restorer, which replays the schedules in saved-seq order so same-tick
+// ties fire exactly as in an uninterrupted run.
+
+// replayRecord tracks one read burst parked in a fault-replay backoff.
+type replayRecord struct {
+	dp   *dramPacket
+	when sim.Tick
+	seq  uint64
+}
+
+// txnState is a serialized transaction (a chopped system read).
+type txnState struct {
+	Pkt       int      `json:"pkt"`
+	Remaining int      `json:"remaining"`
+	Entries   int      `json:"entries"`
+	LastReady sim.Tick `json:"lastReady"`
+	Poisoned  bool     `json:"poisoned,omitempty"`
+}
+
+// dpState is a serialized dramPacket. Parent indexes the transaction table
+// (-1 for writes, which have no parent).
+type dpState struct {
+	IsRead    bool     `json:"isRead,omitempty"`
+	Rank      int      `json:"rank"`
+	Bank      int      `json:"bank"`
+	Row       uint64   `json:"row"`
+	Col       uint64   `json:"col"`
+	BurstAddr mem.Addr `json:"burstAddr"`
+	Addr      mem.Addr `json:"addr"`
+	Size      uint64   `json:"size"`
+	Parent    int      `json:"parent"`
+	Priority  int      `json:"priority,omitempty"`
+	EntryTime sim.Tick `json:"entryTime"`
+	ReadyTime sim.Tick `json:"readyTime"`
+	Attempts  int      `json:"attempts,omitempty"`
+	Scrub     bool     `json:"scrub,omitempty"`
+}
+
+// respState is a serialized respQueue entry.
+type respState struct {
+	Pkt     int      `json:"pkt"`
+	SendAt  sim.Tick `json:"sendAt"`
+	Release int      `json:"release,omitempty"`
+}
+
+// replayState is a serialized in-flight fault replay: the parked burst plus
+// the scheduling of the one-shot event that re-queues it.
+type replayState struct {
+	DP   dpState  `json:"dp"`
+	When sim.Tick `json:"when"`
+	Seq  uint64   `json:"seq"`
+}
+
+// bankState mirrors bank.
+type bankState struct {
+	OpenRow       int64    `json:"openRow"`
+	ActAllowedAt  sim.Tick `json:"actAllowedAt"`
+	PreAllowedAt  sim.Tick `json:"preAllowedAt"`
+	ColAllowedAt  sim.Tick `json:"colAllowedAt"`
+	RefreshUntil  sim.Tick `json:"refreshUntil"`
+	RowAccesses   int      `json:"rowAccesses,omitempty"`
+	BytesAccessed uint64   `json:"bytesAccessed,omitempty"`
+}
+
+// rankState mirrors rank.
+type rankState struct {
+	Banks           []bankState `json:"banks"`
+	LastActAt       sim.Tick    `json:"lastActAt"`
+	ActWindow       []sim.Tick  `json:"actWindow,omitempty"`
+	RdAllowedAt     sim.Tick    `json:"rdAllowedAt"`
+	WrAllowedAt     sim.Tick    `json:"wrAllowedAt"`
+	NextRefreshBank int         `json:"nextRefreshBank,omitempty"`
+}
+
+// ctrlState is the controller's full serialized image.
+type ctrlState struct {
+	Txns       []txnState    `json:"txns,omitempty"`
+	ReadQueue  []dpState     `json:"readQueue,omitempty"`
+	WriteQueue []dpState     `json:"writeQueue,omitempty"`
+	RespQueue  []respState   `json:"respQueue,omitempty"`
+	Replays    []replayState `json:"replays,omitempty"`
+
+	ReadEntries    int  `json:"readEntries,omitempty"`
+	Bus            int  `json:"bus,omitempty"`
+	WritesThisTime int  `json:"writesThisTime,omitempty"`
+	ReadsThisTime  int  `json:"readsThisTime,omitempty"`
+	Draining       bool `json:"draining,omitempty"`
+
+	Ranks        []rankState `json:"ranks"`
+	BusBusyUntil sim.Tick    `json:"busBusyUntil"`
+
+	RetryReq  bool `json:"retryReq,omitempty"`
+	RetryResp bool `json:"retryResp,omitempty"`
+
+	NextReq    sim.EventState   `json:"nextReq"`
+	Respond    sim.EventState   `json:"respond"`
+	Refresh    []sim.EventState `json:"refresh"`
+	RefreshDue []sim.Tick       `json:"refreshDue"`
+
+	OpenBankCount      int      `json:"openBankCount,omitempty"`
+	AllPrechargedSince sim.Tick `json:"allPrechargedSince"`
+	PrechargeAllTime   sim.Tick `json:"prechargeAllTime"`
+	StartTick          sim.Tick `json:"startTick"`
+
+	PowerDown      sim.EventState `json:"powerDown"`
+	PoweredDown    bool           `json:"poweredDown,omitempty"`
+	PowerDownSince sim.Tick       `json:"powerDownSince"`
+	PowerDownTime  sim.Tick       `json:"powerDownTime"`
+
+	SelfRefresh      sim.EventState `json:"selfRefresh"`
+	SelfRefreshing   bool           `json:"selfRefreshing,omitempty"`
+	SelfRefreshSince sim.Tick       `json:"selfRefreshSince"`
+	SelfRefreshTime  sim.Tick       `json:"selfRefreshTime"`
+
+	Faults *faults.State `json:"faults,omitempty"`
+}
+
+// saveDP serializes one dramPacket against the transaction index table.
+func saveDP(dp *dramPacket, txnIdx map[*transaction]int) dpState {
+	parent := -1
+	if dp.parent != nil {
+		parent = txnIdx[dp.parent]
+	}
+	return dpState{
+		IsRead: dp.isRead,
+		Rank:   dp.coord.Rank, Bank: dp.coord.Bank, Row: dp.coord.Row, Col: dp.coord.Col,
+		BurstAddr: dp.burstAddr, Addr: dp.addr, Size: dp.size,
+		Parent: parent, Priority: dp.priority,
+		EntryTime: dp.entryTime, ReadyTime: dp.readyTime,
+		Attempts: dp.attempts, Scrub: dp.scrub,
+	}
+}
+
+// loadDP rebuilds one dramPacket against the restored transaction table.
+func loadDP(st dpState, txns []*transaction) (*dramPacket, error) {
+	dp := &dramPacket{
+		isRead:    st.IsRead,
+		coord:     dram.Coord{Rank: st.Rank, Bank: st.Bank, Row: st.Row, Col: st.Col},
+		burstAddr: st.BurstAddr, addr: st.Addr, size: st.Size,
+		priority:  st.Priority,
+		entryTime: st.EntryTime, readyTime: st.ReadyTime,
+		attempts: st.Attempts, scrub: st.Scrub,
+	}
+	if st.Parent >= 0 {
+		if st.Parent >= len(txns) {
+			return nil, fmt.Errorf("core: burst references transaction %d of %d", st.Parent, len(txns))
+		}
+		dp.parent = txns[st.Parent]
+	}
+	return dp, nil
+}
+
+// CheckpointSave implements checkpoint.Checkpointable.
+func (c *Controller) CheckpointSave(pt mem.PacketTable) (any, error) {
+	st := ctrlState{
+		ReadEntries:    c.readEntries,
+		Bus:            int(c.state),
+		WritesThisTime: c.writesThisTime,
+		ReadsThisTime:  c.readsThisTime,
+		Draining:       c.draining,
+		BusBusyUntil:   c.busBusyUntil,
+		RetryReq:       c.retryReq,
+		RetryResp:      c.retryResp,
+
+		NextReq:    c.nextReqEvent.Capture(),
+		Respond:    c.respondEvent.Capture(),
+		RefreshDue: append([]sim.Tick(nil), c.refreshDue...),
+
+		OpenBankCount:      c.openBankCount,
+		AllPrechargedSince: c.allPrechargedSince,
+		PrechargeAllTime:   c.prechargeAllTime,
+		StartTick:          c.startTick,
+
+		PowerDown:      c.powerDownEvent.Capture(),
+		PoweredDown:    c.poweredDown,
+		PowerDownSince: c.powerDownSince,
+		PowerDownTime:  c.powerDownTime,
+
+		SelfRefresh:      c.selfRefreshEvent.Capture(),
+		SelfRefreshing:   c.selfRefreshing,
+		SelfRefreshSince: c.selfRefreshSince,
+		SelfRefreshTime:  c.selfRefreshTime,
+	}
+	for _, ev := range c.refreshEvents {
+		st.Refresh = append(st.Refresh, ev.Capture())
+	}
+
+	// Transaction table: every live transaction is reachable from a queued or
+	// replay-parked read burst (a fully-serviced or fully-forwarded
+	// transaction only lives on through its queued response packet).
+	txnIdx := make(map[*transaction]int)
+	addTxn := func(tr *transaction) {
+		if tr == nil {
+			return
+		}
+		if _, ok := txnIdx[tr]; ok {
+			return
+		}
+		txnIdx[tr] = len(st.Txns)
+		st.Txns = append(st.Txns, txnState{
+			Pkt:       pt.PacketRef(tr.pkt),
+			Remaining: tr.remaining,
+			Entries:   tr.entries,
+			LastReady: tr.lastReady,
+			Poisoned:  tr.poisoned,
+		})
+	}
+	for _, dp := range c.readQueue {
+		addTxn(dp.parent)
+	}
+	for _, rec := range c.pendingReplays {
+		addTxn(rec.dp.parent)
+	}
+	for _, dp := range c.readQueue {
+		st.ReadQueue = append(st.ReadQueue, saveDP(dp, txnIdx))
+	}
+	for _, dp := range c.writeQueue {
+		st.WriteQueue = append(st.WriteQueue, saveDP(dp, txnIdx))
+	}
+	for _, e := range c.respQueue {
+		st.RespQueue = append(st.RespQueue, respState{Pkt: pt.PacketRef(e.pkt), SendAt: e.sendAt, Release: e.release})
+	}
+	for _, rec := range c.pendingReplays {
+		st.Replays = append(st.Replays, replayState{DP: saveDP(rec.dp, txnIdx), When: rec.when, Seq: rec.seq})
+	}
+
+	for _, rk := range c.ranks {
+		rs := rankState{
+			LastActAt:       rk.lastActAt,
+			ActWindow:       append([]sim.Tick(nil), rk.actWindow...),
+			RdAllowedAt:     rk.rdAllowedAt,
+			WrAllowedAt:     rk.wrAllowedAt,
+			NextRefreshBank: rk.nextRefreshBank,
+		}
+		for i := range rk.banks {
+			b := &rk.banks[i]
+			rs.Banks = append(rs.Banks, bankState{
+				OpenRow:      b.openRow,
+				ActAllowedAt: b.actAllowedAt, PreAllowedAt: b.preAllowedAt,
+				ColAllowedAt: b.colAllowedAt, RefreshUntil: b.refreshUntil,
+				RowAccesses: b.rowAccesses, BytesAccessed: b.bytesAccessed,
+			})
+		}
+		st.Ranks = append(st.Ranks, rs)
+	}
+
+	if c.inj != nil {
+		fs := c.inj.SaveState()
+		st.Faults = &fs
+	}
+	return st, nil
+}
+
+// CheckpointRestore implements checkpoint.Checkpointable on a freshly
+// constructed controller: constructor-armed events are descheduled, the
+// serialized image is applied, and every saved event is re-created through
+// the restorer.
+func (c *Controller) CheckpointRestore(pl mem.PacketLookup, rs sim.Restorer, data []byte) error {
+	var st ctrlState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return fmt.Errorf("core: %s restore: %w", c.name, err)
+	}
+	if len(st.Ranks) != len(c.ranks) {
+		return fmt.Errorf("core: %s: checkpoint has %d ranks, controller has %d", c.name, len(st.Ranks), len(c.ranks))
+	}
+	if len(st.Refresh) != len(c.refreshEvents) || len(st.RefreshDue) != len(c.refreshDue) {
+		return fmt.Errorf("core: %s: refresh shape mismatch", c.name)
+	}
+	if (st.Faults != nil) != (c.inj != nil) {
+		return fmt.Errorf("core: %s: fault-injection enabled in only one of checkpoint/config", c.name)
+	}
+
+	// Phase 1: silence everything the constructor armed.
+	for _, ev := range []*sim.Event{c.nextReqEvent, c.respondEvent, c.powerDownEvent, c.selfRefreshEvent} {
+		if ev.Scheduled() {
+			c.k.Deschedule(ev)
+		}
+	}
+	for _, ev := range c.refreshEvents {
+		if ev.Scheduled() {
+			c.k.Deschedule(ev)
+		}
+	}
+
+	// Phase 2: rebuild plain state.
+	txns := make([]*transaction, len(st.Txns))
+	for i, ts := range st.Txns {
+		txns[i] = &transaction{
+			pkt:       pl.PacketByRef(ts.Pkt),
+			remaining: ts.Remaining,
+			entries:   ts.Entries,
+			lastReady: ts.LastReady,
+			poisoned:  ts.Poisoned,
+		}
+	}
+	c.readQueue = nil
+	c.writeQueue = nil
+	c.respQueue = nil
+	c.pendingReplays = nil
+	c.inWriteQueue = make(map[mem.Addr]int)
+	for _, ds := range st.ReadQueue {
+		dp, err := loadDP(ds, txns)
+		if err != nil {
+			return err
+		}
+		c.readQueue = append(c.readQueue, dp)
+	}
+	for _, ds := range st.WriteQueue {
+		dp, err := loadDP(ds, txns)
+		if err != nil {
+			return err
+		}
+		c.writeQueue = append(c.writeQueue, dp)
+		c.inWriteQueue[dp.burstAddr]++
+	}
+	for _, e := range st.RespQueue {
+		c.respQueue = append(c.respQueue, respEntry{pkt: pl.PacketByRef(e.Pkt), sendAt: e.SendAt, release: e.Release})
+	}
+
+	c.readEntries = st.ReadEntries
+	c.state = busState(st.Bus)
+	c.writesThisTime = st.WritesThisTime
+	c.readsThisTime = st.ReadsThisTime
+	c.draining = st.Draining
+	c.busBusyUntil = st.BusBusyUntil
+	c.retryReq = st.RetryReq
+	c.retryResp = st.RetryResp
+	c.refreshDue = append(c.refreshDue[:0], st.RefreshDue...)
+	c.openBankCount = st.OpenBankCount
+	c.allPrechargedSince = st.AllPrechargedSince
+	c.prechargeAllTime = st.PrechargeAllTime
+	c.startTick = st.StartTick
+	c.poweredDown = st.PoweredDown
+	c.powerDownSince = st.PowerDownSince
+	c.powerDownTime = st.PowerDownTime
+	c.selfRefreshing = st.SelfRefreshing
+	c.selfRefreshSince = st.SelfRefreshSince
+	c.selfRefreshTime = st.SelfRefreshTime
+
+	for ri, rkst := range st.Ranks {
+		rk := c.ranks[ri]
+		if len(rkst.Banks) != len(rk.banks) {
+			return fmt.Errorf("core: %s: rank %d has %d banks in checkpoint, %d in config",
+				c.name, ri, len(rkst.Banks), len(rk.banks))
+		}
+		rk.lastActAt = rkst.LastActAt
+		rk.actWindow = append(rk.actWindow[:0], rkst.ActWindow...)
+		rk.rdAllowedAt = rkst.RdAllowedAt
+		rk.wrAllowedAt = rkst.WrAllowedAt
+		rk.nextRefreshBank = rkst.NextRefreshBank
+		for bi, bst := range rkst.Banks {
+			b := &rk.banks[bi]
+			b.openRow = bst.OpenRow
+			b.actAllowedAt = bst.ActAllowedAt
+			b.preAllowedAt = bst.PreAllowedAt
+			b.colAllowedAt = bst.ColAllowedAt
+			b.refreshUntil = bst.RefreshUntil
+			b.rowAccesses = bst.RowAccesses
+			b.bytesAccessed = bst.BytesAccessed
+		}
+	}
+
+	if st.Faults != nil {
+		c.inj.RestoreState(*st.Faults)
+	}
+
+	// Phase 3: re-create events, ordered by their saved seqs at commit.
+	deferEvent := func(ev *sim.Event, es sim.EventState) {
+		if !es.Scheduled {
+			return
+		}
+		when := es.When
+		rs.Defer(es.Seq, func() { c.k.Schedule(ev, when) })
+	}
+	deferEvent(c.nextReqEvent, st.NextReq)
+	deferEvent(c.respondEvent, st.Respond)
+	deferEvent(c.powerDownEvent, st.PowerDown)
+	deferEvent(c.selfRefreshEvent, st.SelfRefresh)
+	for i, es := range st.Refresh {
+		deferEvent(c.refreshEvents[i], es)
+	}
+	for _, rp := range st.Replays {
+		dp, err := loadDP(rp.DP, txns)
+		if err != nil {
+			return err
+		}
+		when := rp.When
+		rs.Defer(rp.Seq, func() { c.armReplay(dp, when) })
+	}
+	return nil
+}

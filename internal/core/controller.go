@@ -89,6 +89,12 @@ type Controller struct {
 	// read burst and nothing else.
 	inj *faults.Injector
 
+	// pendingReplays tracks read bursts parked in a fault-replay backoff:
+	// each sits in no queue (but holds its read-buffer entry) until a pooled
+	// one-shot event re-queues it. The records make those in-flight replays
+	// visible to the checkpoint machinery (see checkpoint.go).
+	pendingReplays []*replayRecord
+
 	st ctrlStats
 }
 

@@ -2,6 +2,7 @@ package core
 
 import (
 	"repro/internal/faults"
+	"repro/internal/sim"
 )
 
 // This file is the controller's RAS (reliability, availability,
@@ -71,11 +72,31 @@ func (c *Controller) replayBurst(dp *dramPacket) bool {
 	// A pooled one-shot event re-queues the burst (replay storms must not
 	// churn the allocator); its read-buffer entry stays reserved the whole
 	// time, so back pressure is preserved.
-	c.k.Call(c.name+".replay", retryAt, func() {
+	c.armReplay(dp, retryAt)
+	return true
+}
+
+// armReplay schedules the one-shot replay of dp at retryAt and tracks it in
+// pendingReplays so checkpoints can capture — and restores re-create — the
+// in-flight backoff.
+func (c *Controller) armReplay(dp *dramPacket, retryAt sim.Tick) {
+	rec := &replayRecord{dp: dp, when: retryAt}
+	c.pendingReplays = append(c.pendingReplays, rec)
+	rec.seq = c.k.Call(c.name+".replay", retryAt, func() {
+		c.dropReplay(rec)
 		c.readQueue = append(c.readQueue, dp)
 		c.kickScheduler()
 	})
-	return true
+}
+
+// dropReplay removes a fired replay record.
+func (c *Controller) dropReplay(rec *replayRecord) {
+	for i, r := range c.pendingReplays {
+		if r == rec {
+			c.pendingReplays = append(c.pendingReplays[:i], c.pendingReplays[i+1:]...)
+			return
+		}
+	}
 }
 
 // queueScrub enqueues a full-burst demand-scrub writeback of corrected data.

@@ -77,8 +77,18 @@ type Fig9Result struct {
 // RunFig9 runs the 16-core canneal memory-sensitivity study (paper §IV-B,
 // Tables II-IV, Figure 9) on the event-based controller.
 func RunFig9(memOps uint64, cores int) (*Fig9Result, error) {
+	return RunFig9Stoppable(memOps, cores, nil)
+}
+
+// RunFig9Stoppable is RunFig9 with a stop check polled between memory
+// configurations; once it returns true the completed rows come back with
+// ErrInterrupted (no normalised IPC — the DDR3 baseline may be missing).
+func RunFig9Stoppable(memOps uint64, cores int, stop func() bool) (*Fig9Result, error) {
 	res := &Fig9Result{}
 	for _, mc := range Fig9Configs() {
+		if stop != nil && stop() {
+			return res, ErrInterrupted
+		}
 		row, err := runFig9Config(mc, memOps, cores)
 		if err != nil {
 			return nil, err

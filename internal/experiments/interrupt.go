@@ -1,0 +1,9 @@
+package experiments
+
+import "errors"
+
+// ErrInterrupted reports that a study stopped early on request (see
+// SweepSpec.Stop and RunFig9Stoppable). The partial result returned
+// alongside it is valid for every point that completed — callers print what
+// they have and exit with the conventional interrupt status.
+var ErrInterrupted = errors.New("experiments: interrupted")

@@ -30,6 +30,11 @@ type SweepSpec struct {
 	Banks []int
 	// Requests per measurement point.
 	Requests uint64
+	// Stop, when non-nil, is polled between measurement points; once it
+	// returns true the sweep stops and returns the rows measured so far
+	// together with ErrInterrupted. This is how the CLIs turn SIGINT into
+	// "finish the current point, flush partial results, exit cleanly".
+	Stop func() bool
 }
 
 // SweepRow is one (stride, banks) measurement from both models.
@@ -198,6 +203,9 @@ func runSweepWith(s SweepSpec, point func(system.Kind, uint64, int) (float64, er
 	res := &SweepResult{Spec: s}
 	for _, banks := range s.Banks {
 		for _, stride := range s.Strides {
+			if s.Stop != nil && s.Stop() {
+				return res, ErrInterrupted
+			}
 			ev, err := point(system.EventBased, stride, banks)
 			if err != nil {
 				return nil, err

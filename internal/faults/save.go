@@ -1,0 +1,54 @@
+package faults
+
+import "sort"
+
+// Checkpoint support: the injector is pure state — a splitmix64 generator
+// (state + draw count), the config-derived stuck map (reconstructed from the
+// configuration, never serialized), and the retired-row set. Restoring State
+// onto an injector built from the same Config reproduces the exact fault
+// sequence an uninterrupted run would have seen.
+
+// RetiredRow is one remapped row in serialized form.
+type RetiredRow struct {
+	Rank int    `json:"rank"`
+	Bank int    `json:"bank"`
+	Row  uint64 `json:"row"`
+}
+
+// State is the serializable image of an Injector.
+type State struct {
+	RNG     uint64       `json:"rng"`
+	Draws   uint64       `json:"draws"`
+	Retired []RetiredRow `json:"retired,omitempty"`
+}
+
+// SaveState captures the injector's mutable state. The retired set is
+// emitted sorted so the serialized form is deterministic.
+func (in *Injector) SaveState() State {
+	st := State{RNG: in.state, Draws: in.draws}
+	for key := range in.retired {
+		st.Retired = append(st.Retired, RetiredRow{Rank: key.rank, Bank: key.bank, Row: key.row})
+	}
+	sort.Slice(st.Retired, func(i, j int) bool {
+		a, b := st.Retired[i], st.Retired[j]
+		if a.Rank != b.Rank {
+			return a.Rank < b.Rank
+		}
+		if a.Bank != b.Bank {
+			return a.Bank < b.Bank
+		}
+		return a.Row < b.Row
+	})
+	return st
+}
+
+// RestoreState re-applies a SaveState image. The stuck map is left alone: it
+// derives from the Config the injector was rebuilt with.
+func (in *Injector) RestoreState(st State) {
+	in.state = st.RNG
+	in.draws = st.Draws
+	in.retired = make(map[rowKey]bool, len(st.Retired))
+	for _, r := range st.Retired {
+		in.retired[rowKey{rank: r.Rank, bank: r.Bank, row: r.Row}] = true
+	}
+}

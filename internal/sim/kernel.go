@@ -216,8 +216,9 @@ func (k *Kernel) Reschedule(e *Event, when Tick) {
 // Call schedules fn to run once at tick when, drawing the event from the
 // kernel's free list: steady-state one-shot work (replays, retries, deferred
 // kicks) reuses fired events instead of allocating. The name is used in
-// diagnostics only.
-func (k *Kernel) Call(name string, when Tick, fn func()) {
+// diagnostics only. It returns the scheduling's sequence number, which
+// checkpointing components record to reproduce same-tick ordering on restore.
+func (k *Kernel) Call(name string, when Tick, fn func()) uint64 {
 	var e *Event
 	if n := len(k.free); n > 0 {
 		e = k.free[n-1]
@@ -230,11 +231,12 @@ func (k *Kernel) Call(name string, when Tick, fn func()) {
 	e.priority = DefaultPriority
 	e.callback = fn
 	k.Schedule(e, when)
+	return e.seq
 }
 
 // CallIn is Call with a delay relative to the current tick.
-func (k *Kernel) CallIn(name string, delay Tick, fn func()) {
-	k.Call(name, k.now+delay, fn)
+func (k *Kernel) CallIn(name string, delay Tick, fn func()) uint64 {
+	return k.Call(name, k.now+delay, fn)
 }
 
 // recycle returns a fired pooled event to the free list.

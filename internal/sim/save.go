@@ -1,0 +1,75 @@
+package sim
+
+import "fmt"
+
+// Checkpoint support. The kernel does not serialize its event queue: closures
+// are not serializable, and a raw queue dump would tie the checkpoint format
+// to queue internals. Instead each component captures the scheduling state of
+// the events it owns (EventState) and re-creates them on restore through a
+// Restorer, which commits the re-schedules in saved-seq order so same-tick,
+// same-priority ties fire in exactly the order they would have in an
+// uninterrupted run.
+
+// EventState is the serializable scheduling state of one event occurrence.
+// Seq is the kernel-assigned sequence number the event held at save time; it
+// is only used to order deferred re-schedules during restore (restored events
+// draw fresh seqs, but in an order isomorphic to the saved one).
+type EventState struct {
+	When      Tick   `json:"when"`
+	Seq       uint64 `json:"seq"`
+	Scheduled bool   `json:"scheduled"`
+}
+
+// Capture returns the event's current scheduling state for checkpointing.
+// When and Seq are only meaningful while Scheduled is true.
+func (e *Event) Capture() EventState {
+	return EventState{When: e.when, Seq: e.seq, Scheduled: e.scheduled}
+}
+
+// Restorer is handed to components while a checkpoint is being restored.
+// Components deschedule any events their constructor armed, then register
+// the clock warp for their kernel and defer the re-schedule of every event
+// that was pending at save time. Nothing touches the kernel queue until the
+// checkpoint manager commits: clocks warp first, then deferred re-schedules
+// run ordered by their saved seq.
+type Restorer interface {
+	// WarpClock records that kernel k must resume at the given clock state.
+	// Calling it more than once for the same kernel with identical state is
+	// allowed (several components may share a kernel); conflicting states are
+	// a restore error.
+	WarpClock(k *Kernel, now Tick, executed, sameTick uint64)
+	// Defer registers fn to run at commit, ordered by the seq the
+	// corresponding event held at save time. fn typically calls Schedule or
+	// Call on the (already warped) kernel.
+	Defer(seq uint64, fn func())
+}
+
+// ClockState returns the kernel's serializable clock state: the current
+// tick, the executed-event count, and the same-tick run length the watchdog
+// tracks.
+func (k *Kernel) ClockState() (now Tick, executed, sameTick uint64) {
+	return k.now, k.executed, k.sameTick
+}
+
+// RestoreClock warps the kernel to a checkpointed clock state. It requires
+// that no live events are pending — components must deschedule everything
+// their constructors armed before the warp — and discards any tombstones left
+// in the queue. Re-schedules for checkpointed events follow via
+// Restorer.Defer.
+func (k *Kernel) RestoreClock(now Tick, executed, sameTick uint64) {
+	if k.pending != 0 {
+		panic(fmt.Sprintf("sim: RestoreClock with %d events still pending (now %s)", k.pending, k.now))
+	}
+	for i := range k.buckets {
+		k.buckets[i] = k.buckets[i][:0]
+	}
+	k.far.s = k.far.s[:0]
+	k.farLive = 0
+	k.inWindow = 0
+	k.now = now
+	k.executed = executed
+	k.sameTick = sameTick
+	k.curBucket = bucketOf(now)
+	k.curIdx = 0
+	k.curSorted = false
+}

@@ -78,7 +78,13 @@ func (r *Registry) add(s Stat) {
 // components' statistics in a private registry, so hot counters are written
 // by exactly one worker goroutine, and the harness absorbs the shards into
 // the main registry for one unified dump once the workers are parked.
-// Colliding names panic, like any duplicate registration.
+//
+// Absorb is idempotent: re-absorbing a registry whose statistics are already
+// present (the same Stat instances, as happens when a supervisor retries a
+// segment with a rebuilt rig that re-absorbed its shards) is a no-op for
+// those entries, so a retry cannot double-count. A name collision between
+// *distinct* Stat instances is still a bug and panics, like any duplicate
+// registration.
 func (r *Registry) Absorb(other *Registry) {
 	root := r
 	for root.parent != nil {
@@ -89,7 +95,10 @@ func (r *Registry) Absorb(other *Registry) {
 		oroot = oroot.parent
 	}
 	for _, s := range oroot.stats {
-		if _, dup := root.byName[s.Name()]; dup {
+		if existing, dup := root.byName[s.Name()]; dup {
+			if existing == s {
+				continue
+			}
 			panic(fmt.Sprintf("stats: duplicate statistic %q absorbed", s.Name()))
 		}
 		root.byName[s.Name()] = s

@@ -294,3 +294,37 @@ func TestDumpJSON(t *testing.T) {
 		t.Fatal("JSON dump not deterministic")
 	}
 }
+
+// TestAbsorbIdempotent covers the supervisor-retry path: a rebuilt sharded
+// rig re-absorbs shard registries whose Stat instances are already present;
+// that must be a no-op (no double counting, no duplicate dump rows), while a
+// genuine name collision between distinct stats still panics.
+func TestAbsorbIdempotent(t *testing.T) {
+	root := NewRegistry("sys")
+	shard := NewRegistry("sys")
+	reads := shard.NewScalar("mc0.reads", "reads")
+	reads.Add(3)
+
+	root.Absorb(shard)
+	root.Absorb(shard) // retry: same instances again
+	if got := root.Get("sys.mc0.reads"); got != Stat(reads) {
+		t.Fatalf("Get after double absorb = %v, want the shard's scalar", got)
+	}
+
+	var sb strings.Builder
+	if err := root.Dump(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(sb.String(), "sys.mc0.reads"); n != 1 {
+		t.Fatalf("dump has %d rows for sys.mc0.reads, want 1:\n%s", n, sb.String())
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("absorbing a distinct stat under a taken name did not panic")
+		}
+	}()
+	other := NewRegistry("sys")
+	other.NewScalar("mc0.reads", "imposter")
+	root.Absorb(other)
+}

@@ -3,6 +3,7 @@ package system
 import (
 	"fmt"
 
+	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/cyclesim"
 	"repro/internal/dram"
@@ -191,27 +192,64 @@ type shardWorker struct {
 	done  chan any // nil, or a recovered panic value
 }
 
-// Run starts all generators and steps the shards in lookahead-sized quanta
-// until every generator finishes and the system drains, or until maxSim
-// simulated time passes. It reports whether the run completed. A panic in
-// any shard is re-raised on the calling goroutine.
-func (r *ShardedRig) Run(maxSim sim.Tick) bool {
-	for _, g := range r.Gens {
-		g.Start()
-	}
-	kernels := append([]*sim.Kernel{r.Front}, r.Chans...)
+// ShardedSession is a steppable ShardedRig run: each Step advances every
+// shard one lookahead quantum and executes the barrier section, so between
+// Steps all kernels are parked at the barrier tick and every link outbox has
+// been flushed — the only state in which a sharded checkpoint is valid (the
+// link save refuses unflushed outboxes). Close stops the workers.
+type ShardedSession struct {
+	rig      *ShardedRig
+	mgr      *checkpoint.Manager
+	deadline sim.Tick
 
-	nw := r.workers
-	if nw > len(kernels) {
-		nw = len(kernels)
+	kernels []*sim.Kernel
+	nw      int
+	workers []*shardWorker
+}
+
+// NewSession builds the rig's checkpoint manager and spins up the worker
+// goroutines; see (*TrafficRig).NewSession for the contract. The worker
+// count deliberately stays out of the fingerprint callers should build:
+// statistics are worker-count independent, so a checkpoint taken with one
+// worker count may be resumed with another.
+func (r *ShardedRig) NewSession(fingerprint string, maxSim sim.Tick) (*ShardedSession, error) {
+	mgr := checkpoint.NewManager(fingerprint)
+	mgr.Register("front", checkpoint.WrapKernel(r.Front))
+	for i, ck := range r.Chans {
+		mgr.Register(fmt.Sprintf("chan%d", i), checkpoint.WrapKernel(ck))
 	}
-	var workers []*shardWorker
-	if nw > 1 {
-		for j := 0; j < nw; j++ {
+	mgr.Register("xbar", r.Xbar)
+	for i, l := range r.Links {
+		mgr.Register(fmt.Sprintf("link%d", i), l)
+	}
+	for i, c := range r.Ctrls {
+		cc, ok := c.(checkpoint.Checkpointable)
+		if !ok {
+			return nil, fmt.Errorf("system: controller %s (%T) does not support checkpointing", c.Name(), c)
+		}
+		mgr.Register(fmt.Sprintf("mc%d", i), cc)
+	}
+	for i, g := range r.Gens {
+		mgr.Register(fmt.Sprintf("gen%d", i), g)
+	}
+	mgr.Register("stats", checkpoint.WrapStats(r.Reg))
+
+	s := &ShardedSession{
+		rig:      r,
+		mgr:      mgr,
+		deadline: maxSim,
+		kernels:  append([]*sim.Kernel{r.Front}, r.Chans...),
+	}
+	s.nw = r.workers
+	if s.nw > len(s.kernels) {
+		s.nw = len(s.kernels)
+	}
+	if s.nw > 1 {
+		for j := 0; j < s.nw; j++ {
 			w := &shardWorker{limit: make(chan sim.Tick), done: make(chan any, 1)}
 			var mine []*sim.Kernel
-			for i := j; i < len(kernels); i += nw {
-				mine = append(mine, kernels[i])
+			for i := j; i < len(s.kernels); i += s.nw {
+				mine = append(mine, s.kernels[i])
 			}
 			go func() {
 				for limit := range w.limit {
@@ -224,59 +262,70 @@ func (r *ShardedRig) Run(maxSim sim.Tick) bool {
 					}()
 				}
 			}()
-			workers = append(workers, w)
-		}
-		defer func() {
-			for _, w := range workers {
-				close(w.limit)
-			}
-		}()
-	}
-
-	// step runs every kernel to the barrier tick. The channel send/receive
-	// pairs give the coordinator-worker handoff the happens-before edges the
-	// memory model (and the race detector) require.
-	step := func(limit sim.Tick) {
-		if nw <= 1 {
-			for _, k := range kernels {
-				k.RunUntil(limit)
-			}
-			return
-		}
-		for _, w := range workers {
-			w.limit <- limit
-		}
-		var pv any
-		for _, w := range workers {
-			if v := <-w.done; v != nil {
-				pv = v
-			}
-		}
-		if pv != nil {
-			panic(pv)
+			s.workers = append(s.workers, w)
 		}
 	}
+	return s, nil
+}
 
-	deadline := r.Front.Now() + maxSim
-	for limit := r.Front.Now(); limit < deadline; {
-		limit += r.lookahead
-		step(limit)
+// Manager returns the checkpoint manager.
+func (s *ShardedSession) Manager() *checkpoint.Manager { return s.mgr }
 
-		// Barrier section: single-threaded. Publish cross-shard traffic,
-		// then check for completion and drive drains.
-		for _, l := range r.Links {
-			l.Flush()
+// Now returns the frontend kernel's tick (== every shard's tick between
+// Steps).
+func (s *ShardedSession) Now() sim.Tick { return s.rig.Front.Now() }
+
+// Start arms the generators (fresh runs only).
+func (s *ShardedSession) Start() {
+	for _, g := range s.rig.Gens {
+		g.Start()
+	}
+}
+
+// stepKernels runs every kernel to the barrier tick. The channel send/receive
+// pairs give the coordinator-worker handoff the happens-before edges the
+// memory model (and the race detector) require. A panic in any shard is
+// re-raised on the calling goroutine.
+func (s *ShardedSession) stepKernels(limit sim.Tick) {
+	if s.nw <= 1 {
+		for _, k := range s.kernels {
+			k.RunUntil(limit)
 		}
-		allDone := true
-		for _, g := range r.Gens {
-			if !g.Done() {
-				allDone = false
-				break
-			}
+		return
+	}
+	for _, w := range s.workers {
+		w.limit <- limit
+	}
+	var pv any
+	for _, w := range s.workers {
+		if v := <-w.done; v != nil {
+			pv = v
 		}
-		if !allDone {
-			continue
+	}
+	if pv != nil {
+		panic(pv)
+	}
+}
+
+// Step advances one lookahead quantum plus the barrier section and reports
+// completion.
+func (s *ShardedSession) Step() (bool, error) {
+	r := s.rig
+	s.stepKernels(r.Front.Now() + r.lookahead)
+
+	// Barrier section: single-threaded. Publish cross-shard traffic, then
+	// check for completion and drive drains.
+	for _, l := range r.Links {
+		l.Flush()
+	}
+	allDone := true
+	for _, g := range r.Gens {
+		if !g.Done() {
+			allDone = false
+			break
 		}
+	}
+	if allDone {
 		quiet := r.Xbar.Quiescent() && r.Xbar.InFlight() == 0
 		for _, l := range r.Links {
 			if !l.Quiescent() {
@@ -292,10 +341,48 @@ func (r *ShardedRig) Run(maxSim sim.Tick) bool {
 			}
 		}
 		if quiet {
-			return true
+			return true, nil
 		}
 	}
-	return false
+	if r.Front.Now() >= s.deadline {
+		return false, fmt.Errorf("system: sharded simulation did not complete within %s", s.deadline)
+	}
+	return false, nil
+}
+
+// Close stops the worker goroutines. The rig itself stays usable (stats,
+// bandwidth queries); a new session may be opened afterwards.
+func (s *ShardedSession) Close() {
+	for _, w := range s.workers {
+		close(w.limit)
+	}
+	s.workers = nil
+	s.nw = 0
+}
+
+// Run starts all generators and steps the shards in lookahead-sized quanta
+// until every generator finishes and the system drains, or until maxSim
+// simulated time passes. It reports whether the run completed. A panic in
+// any shard is re-raised on the calling goroutine.
+func (r *ShardedRig) Run(maxSim sim.Tick) bool {
+	s, err := r.NewSession("", r.Front.Now()+maxSim)
+	if err != nil {
+		// Only a non-checkpointable component trips this, and Run never
+		// saves; fall back to a worker-less session shape is not possible,
+		// so surface it loudly.
+		panic(err)
+	}
+	defer s.Close()
+	s.Start()
+	for {
+		done, err := s.Step()
+		if done {
+			return true
+		}
+		if err != nil {
+			return false
+		}
+	}
 }
 
 // AggregateBandwidth sums channel bandwidths.

@@ -1,0 +1,160 @@
+package system
+
+import (
+	"fmt"
+
+	"repro/internal/checkpoint"
+	"repro/internal/sim"
+)
+
+// This file adapts the rigs to supervised, checkpointable execution: each rig
+// exposes a session — a steppable run whose state between steps is a valid
+// checkpoint boundary. The supervisor (internal/supervisor) drives sessions
+// generically; the CLIs build them from flags.
+
+// quantum is the stepping granularity of single-kernel sessions, matching the
+// rigs' Run loops. Sharded sessions step by the rig lookahead instead — their
+// only valid checkpoint boundary is the barrier.
+const quantum = sim.Microsecond
+
+// checkpointable asserts that a component supports checkpointing, with a
+// readable error naming it when it does not.
+func checkpointable(c any, what string) (checkpoint.Checkpointable, error) {
+	cc, ok := c.(checkpoint.Checkpointable)
+	if !ok {
+		return nil, fmt.Errorf("system: %s (%T) does not support checkpointing", what, c)
+	}
+	return cc, nil
+}
+
+// TrafficSession is a steppable TrafficRig run.
+type TrafficSession struct {
+	rig      *TrafficRig
+	mgr      *checkpoint.Manager
+	deadline sim.Tick
+}
+
+// NewSession builds the rig's checkpoint manager (components registered in a
+// fixed, configuration-derived order) and wraps the rig for stepping. The
+// fingerprint must encode every configuration knob that shapes the
+// simulation, so a checkpoint is never resumed under a different setup;
+// maxSim bounds total simulated time across all segments.
+func (r *TrafficRig) NewSession(fingerprint string, maxSim sim.Tick) (*TrafficSession, error) {
+	mgr := checkpoint.NewManager(fingerprint)
+	mgr.Register("kernel", checkpoint.WrapKernel(r.K))
+	cc, err := checkpointable(r.Ctrl, "controller "+r.Ctrl.Name())
+	if err != nil {
+		return nil, err
+	}
+	mgr.Register("mc", cc)
+	mgr.Register("gen", r.Gen)
+	mgr.Register("stats", checkpoint.WrapStats(r.Reg))
+	return &TrafficSession{rig: r, mgr: mgr, deadline: maxSim}, nil
+}
+
+// Manager returns the checkpoint manager.
+func (s *TrafficSession) Manager() *checkpoint.Manager { return s.mgr }
+
+// Now returns the current simulated tick.
+func (s *TrafficSession) Now() sim.Tick { return s.rig.K.Now() }
+
+// Start arms the generator. Call exactly once for a fresh run; never after a
+// restore (the checkpoint carries the generator's event state).
+func (s *TrafficSession) Start() { s.rig.Gen.Start() }
+
+// Step advances one quantum. It reports completion; a watchdog trip surfaces
+// as the error, and exceeding maxSim is an error too.
+func (s *TrafficSession) Step() (bool, error) {
+	r := s.rig
+	if _, err := r.K.RunUntilErr(r.K.Now() + quantum); err != nil {
+		return false, err
+	}
+	if r.Gen.Done() {
+		if !r.Ctrl.Quiescent() {
+			if d, ok := r.Ctrl.(Drainer); ok {
+				d.Drain()
+			}
+			return false, nil
+		}
+		return true, nil
+	}
+	if r.K.Now() >= s.deadline {
+		return false, fmt.Errorf("system: simulation did not complete within %s", s.deadline)
+	}
+	return false, nil
+}
+
+// Close releases session resources (none for the single-kernel rig).
+func (s *TrafficSession) Close() {}
+
+// MultiChannelSession is a steppable MultiChannelRig run.
+type MultiChannelSession struct {
+	rig      *MultiChannelRig
+	mgr      *checkpoint.Manager
+	deadline sim.Tick
+}
+
+// NewSession wraps the multi-channel rig for supervised stepping; see
+// (*TrafficRig).NewSession for the contract.
+func (r *MultiChannelRig) NewSession(fingerprint string, maxSim sim.Tick) (*MultiChannelSession, error) {
+	mgr := checkpoint.NewManager(fingerprint)
+	mgr.Register("kernel", checkpoint.WrapKernel(r.K))
+	mgr.Register("xbar", r.Xbar)
+	for i, c := range r.Ctrls {
+		cc, err := checkpointable(c, "controller "+c.Name())
+		if err != nil {
+			return nil, err
+		}
+		mgr.Register(fmt.Sprintf("mc%d", i), cc)
+	}
+	for i, g := range r.Gens {
+		mgr.Register(fmt.Sprintf("gen%d", i), g)
+	}
+	mgr.Register("stats", checkpoint.WrapStats(r.Reg))
+	return &MultiChannelSession{rig: r, mgr: mgr, deadline: maxSim}, nil
+}
+
+// Manager returns the checkpoint manager.
+func (s *MultiChannelSession) Manager() *checkpoint.Manager { return s.mgr }
+
+// Now returns the current simulated tick.
+func (s *MultiChannelSession) Now() sim.Tick { return s.rig.K.Now() }
+
+// Start arms the generators (fresh runs only).
+func (s *MultiChannelSession) Start() {
+	for _, g := range s.rig.Gens {
+		g.Start()
+	}
+}
+
+// Step advances one quantum and reports completion.
+func (s *MultiChannelSession) Step() (bool, error) {
+	r := s.rig
+	if _, err := r.K.RunUntilErr(r.K.Now() + quantum); err != nil {
+		return false, err
+	}
+	for _, g := range r.Gens {
+		if !g.Done() {
+			if r.K.Now() >= s.deadline {
+				return false, fmt.Errorf("system: simulation did not complete within %s", s.deadline)
+			}
+			return false, nil
+		}
+	}
+	quiet := r.Xbar.Quiescent() && r.Xbar.InFlight() == 0
+	for _, c := range r.Ctrls {
+		if !c.Quiescent() {
+			if d, ok := c.(Drainer); ok {
+				d.Drain()
+			}
+			quiet = false
+		}
+	}
+	if !quiet && r.K.Now() >= s.deadline {
+		return false, fmt.Errorf("system: simulation did not complete within %s", s.deadline)
+	}
+	return quiet, nil
+}
+
+// Close releases session resources (none for the single-kernel rig).
+func (s *MultiChannelSession) Close() {}

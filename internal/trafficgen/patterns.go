@@ -45,8 +45,9 @@ type Random struct {
 	ReadPercent int
 	Seed        int64
 
-	rng *rand.Rand
-	mix *readWriteMix
+	rng   *rand.Rand
+	mix   *readWriteMix
+	draws uint64
 }
 
 // Next implements Pattern.
@@ -56,6 +57,7 @@ func (r *Random) Next() (mem.Addr, bool) {
 		r.mix = &readWriteMix{rng: rand.New(rand.NewSource(r.Seed + 1)), percent: r.ReadPercent}
 	}
 	span := uint64(r.End-r.Start) / r.Align
+	r.draws++
 	addr := r.Start + mem.Addr(uint64(r.rng.Int63n(int64(span)))*r.Align)
 	return addr, r.mix.isRead()
 }

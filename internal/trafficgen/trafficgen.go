@@ -195,10 +195,13 @@ func (g *Generator) RecvReqRetry() {
 }
 
 // readWriteMix decides request direction with a seeded RNG so runs are
-// reproducible; percent is the share of reads in [0,100].
+// reproducible; percent is the share of reads in [0,100]. draws counts RNG
+// consultations: math/rand state is not serializable, so checkpoints record
+// the draw count and restore replays that many draws from the seed.
 type readWriteMix struct {
 	rng     *rand.Rand
 	percent int
+	draws   uint64
 }
 
 func (m *readWriteMix) isRead() bool {
@@ -208,6 +211,17 @@ func (m *readWriteMix) isRead() bool {
 	case m.percent <= 0:
 		return false
 	default:
+		m.draws++
 		return m.rng.Intn(100) < m.percent
 	}
+}
+
+// discard fast-forwards the mix RNG by n draws (checkpoint restore). The
+// replayed calls are byte-identical to the live ones — same method, same
+// bound — so the generator state after the discard matches the saved run.
+func (m *readWriteMix) discard(n uint64) {
+	for i := uint64(0); i < n; i++ {
+		m.rng.Intn(100)
+	}
+	m.draws = n
 }
