@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Lint gate + analyzer self-check.
+#
+# Part 1: the repository itself must be clean under the default simlint
+# policy (exit 0, no output).
+#
+# Part 2: each analyzer must still find exactly what its golden file says it
+# finds in the fixture packages under internal/analysis/testdata/src. This
+# runs the driver end-to-end (not just the unit tests), so a broken driver
+# that silently reports nothing fails CI instead of passing it.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== simlint: repository must be clean under the default policy =="
+go run ./cmd/simlint ./...
+echo "clean"
+
+fail=0
+for fixture in detmap simtime ckptfields eventpool suppress; do
+    echo "== simlint self-check: $fixture =="
+    golden="internal/analysis/testdata/golden/$fixture.golden"
+    set +e
+    got=$(go run ./cmd/simlint -all "./internal/analysis/testdata/src/$fixture")
+    status=$?
+    set -e
+    if [ "$status" -ne 1 ]; then
+        echo "FAIL: simlint exited $status on fixture $fixture (expected 1: findings present)"
+        fail=1
+        continue
+    fi
+    if ! diff -u "$golden" <(printf '%s\n' "$got"); then
+        echo "FAIL: fixture $fixture findings differ from $golden"
+        fail=1
+    else
+        echo "ok ($(wc -l < "$golden") findings)"
+    fi
+done
+exit "$fail"

@@ -1,0 +1,66 @@
+// Command simlint runs the repository's determinism and protocol-invariant
+// static-analysis pass (internal/analysis) over the module and reports
+// findings as "file:line: [analyzer] message", exiting non-zero when any
+// finding survives configuration and //lint:allow suppression.
+//
+// Usage:
+//
+//	go run ./cmd/simlint ./...            # lint the module under the default policy
+//	go run ./cmd/simlint -list            # show the analyzer set
+//	go run ./cmd/simlint -all <pattern>   # ignore the per-package policy (CI self-check
+//	                                      # runs this over the fixture packages)
+//
+// The default policy (analysis.DefaultConfig) applies the sim-core rules only
+// where simulated time is authoritative and exempts wall-clock code — the
+// supervisor, the experiment harness, and the cmd/ front-ends.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	all := flag.Bool("all", false, "run every analyzer on every package, ignoring the per-package policy")
+	list := flag.Bool("list", false, "list registered analyzers and exit")
+	flag.Parse()
+
+	analyzers := analysis.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	var cfg *analysis.Config
+	if !*all {
+		cfg = analysis.DefaultConfig()
+		if err := cfg.Validate(analyzers); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+
+	pkgs, err := analysis.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	findings := analysis.Run(pkgs, analyzers, cfg)
+	if len(findings) == 0 {
+		return
+	}
+	cwd, _ := os.Getwd()
+	fmt.Print(analysis.Format(findings, cwd))
+	os.Exit(1)
+}

@@ -1,0 +1,170 @@
+// Package analysis is a small, stdlib-only static-analysis framework for the
+// simulator core, in the spirit of golang.org/x/tools/go/analysis but with no
+// external dependency (the module's go.mod has no require block, and keeping
+// it that way is deliberate). The paper's headline claim — an event-based
+// controller model fast and trustworthy enough to replace cycle-accurate
+// simulation — only holds while the reproduction stays deterministic:
+// bit-identical sharded runs and byte-identical checkpoint resume silently
+// break the moment someone ranges over a map into an output path, reads wall
+// clock inside a sim path, or adds a struct field without wiring it through
+// Save/Restore. Those invariants are cheap to enforce mechanically at go-vet
+// speed, the same way gem5 gates its event-queue discipline with lint tooling
+// rather than re-running regressions after the fact.
+//
+// An Analyzer inspects one type-checked package at a time and reports
+// findings through its Pass. The runner applies per-package configuration
+// (see Config) and //lint:allow suppression comments (see suppress.go), and
+// returns findings sorted by position. The driver lives in cmd/simlint.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named check over a type-checked package.
+type Analyzer struct {
+	// Name identifies the analyzer in findings, configuration, and
+	// //lint:allow directives. Lowercase, no spaces.
+	Name string
+	// Doc is a one-line description shown by `simlint -list`.
+	Doc string
+	// Run inspects pass.Pkg and reports findings via pass.Reportf.
+	Run func(*Pass)
+}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Pkg      *Package
+
+	findings *[]Finding
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.findings = append(*p.findings, Finding{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Finding is one reported problem.
+type Finding struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the finding as "file:line: [analyzer] message".
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Analyzer, f.Message)
+}
+
+// Analyzers returns the registered analyzer set, in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{Detmap, Simtime, Ckptfields, Eventpool}
+}
+
+// Run applies every analyzer to every package (subject to cfg; nil means "all
+// analyzers everywhere"), filters suppressed findings, and returns the
+// remainder sorted by (file, line, analyzer, message). Suppression directives
+// that are themselves malformed surface as findings from the pseudo-analyzer
+// "lint".
+func Run(pkgs []*Package, analyzers []*Analyzer, cfg *Config) []Finding {
+	known := make(map[string]bool, len(analyzers)+1)
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	var out []Finding
+	for _, pkg := range pkgs {
+		var raw []Finding
+		for _, a := range analyzers {
+			if cfg != nil && !cfg.Enabled(a.Name, pkg.Path) {
+				continue
+			}
+			pass := &Pass{Analyzer: a, Fset: pkg.Fset, Pkg: pkg, findings: &raw}
+			a.Run(pass)
+		}
+		out = append(out, applySuppressions(pkg, raw, known)...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return out
+}
+
+// Format renders findings one per line, with filenames relative to baseDir
+// when possible (so golden files and CI output are machine-independent).
+func Format(findings []Finding, baseDir string) string {
+	var sb strings.Builder
+	for _, f := range findings {
+		name := f.Pos.Filename
+		if baseDir != "" {
+			if rel, err := filepath.Rel(baseDir, name); err == nil && !strings.HasPrefix(rel, "..") {
+				name = filepath.ToSlash(rel)
+			}
+		}
+		fmt.Fprintf(&sb, "%s:%d: [%s] %s\n", name, f.Pos.Line, f.Analyzer, f.Message)
+	}
+	return sb.String()
+}
+
+// WithStack walks the AST under root, giving the callback the path of nodes
+// from root to n (inclusive). Returning false skips n's children.
+func WithStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		if !fn(n, stack) {
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		return true
+	})
+}
+
+// funcFor resolves a call expression to the *types.Func it invokes, or nil
+// (builtins, function-typed variables, type conversions).
+func funcFor(info *types.Info, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = info.Uses[fun.Sel]
+	}
+	f, _ := obj.(*types.Func)
+	return f
+}
+
+// pkgFunc reports whether f is the package-level function path.name (methods
+// never match: they have a receiver).
+func pkgFunc(f *types.Func, path, name string) bool {
+	if f == nil || f.Pkg() == nil || f.Name() != name || f.Pkg().Path() != path {
+		return false
+	}
+	sig, ok := f.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}

@@ -1,0 +1,102 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Config scopes analyzers to package sets. The determinism rules only bind
+// inside the simulated-time world: the supervisor and the experiment harness
+// measure host wall-clock on purpose, and the cmd/ front-ends print reports
+// in whatever order suits a human. Config expresses that split once, in the
+// driver, instead of scattering //lint:allow comments over code that was
+// never in scope.
+type Config struct {
+	// Only restricts an analyzer to packages under the listed import-path
+	// prefixes. An analyzer absent from Only (or mapped to an empty list)
+	// runs everywhere.
+	Only map[string][]string
+	// Exempt disables an analyzer for packages under the listed prefixes.
+	// Exempt wins over Only.
+	Exempt map[string][]string
+}
+
+// wallClockPkgs hold code that legitimately reads the host clock and formats
+// human-facing reports; sim-core ordering rules do not apply there.
+var wallClockPkgs = []string{
+	"repro/internal/supervisor",
+	"repro/internal/experiments",
+	"repro/cmd",
+}
+
+// simCorePkgs is where simulated time lives: everything here must be
+// reproducible from the seed and the configuration alone.
+var simCorePkgs = []string{
+	"repro/internal/sim",
+	"repro/internal/core",
+	"repro/internal/cyclesim",
+	"repro/internal/mem",
+	"repro/internal/xbar",
+	"repro/internal/trafficgen",
+	"repro/internal/faults",
+}
+
+// DefaultConfig is the policy cmd/simlint enforces on this module.
+func DefaultConfig() *Config {
+	return &Config{
+		Only: map[string][]string{
+			// simtime bans wall clock and the global math/rand source, which
+			// only matters where simulated time is authoritative.
+			"simtime": simCorePkgs,
+		},
+		Exempt: map[string][]string{
+			"detmap":    wallClockPkgs,
+			"eventpool": wallClockPkgs,
+		},
+	}
+}
+
+// Validate rejects configuration that names an unknown analyzer — a typo in
+// the config would otherwise silently disable nothing and enforce nothing.
+func (c *Config) Validate(analyzers []*Analyzer) error {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	var bad []string
+	for name := range c.Only {
+		if !known[name] {
+			bad = append(bad, name)
+		}
+	}
+	for name := range c.Exempt {
+		if !known[name] {
+			bad = append(bad, name)
+		}
+	}
+	if len(bad) > 0 {
+		sort.Strings(bad)
+		return fmt.Errorf("analysis: config names unknown analyzer(s): %s", strings.Join(bad, ", "))
+	}
+	return nil
+}
+
+// Enabled reports whether the named analyzer applies to the package at
+// import path pkgPath under this configuration.
+func (c *Config) Enabled(analyzer, pkgPath string) bool {
+	if only := c.Only[analyzer]; len(only) > 0 && !underAny(pkgPath, only) {
+		return false
+	}
+	return !underAny(pkgPath, c.Exempt[analyzer])
+}
+
+// underAny reports whether path equals one of the prefixes or lives below one.
+func underAny(path string, prefixes []string) bool {
+	for _, p := range prefixes {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}

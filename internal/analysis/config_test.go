@@ -1,0 +1,91 @@
+package analysis_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+func TestDefaultConfigValidates(t *testing.T) {
+	if err := analysis.DefaultConfig().Validate(analysis.Analyzers()); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+}
+
+// TestValidateUnknownAnalyzer: a typo in the config must fail fast, not
+// silently configure nothing.
+func TestValidateUnknownAnalyzer(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  analysis.Config
+	}{
+		{"only", analysis.Config{Only: map[string][]string{"detcap": {"repro/internal/sim"}}}},
+		{"exempt", analysis.Config{Exempt: map[string][]string{"evntpool": {"repro/cmd"}}}},
+		{"both", analysis.Config{
+			Only:   map[string][]string{"detcap": nil},
+			Exempt: map[string][]string{"evntpool": nil},
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.cfg.Validate(analysis.Analyzers())
+			if err == nil {
+				t.Fatal("config with unknown analyzer name validated")
+			}
+			if !strings.Contains(err.Error(), "detcap") && !strings.Contains(err.Error(), "evntpool") {
+				t.Errorf("error %q does not name the offending analyzer", err)
+			}
+		})
+	}
+}
+
+func TestEnabled(t *testing.T) {
+	cfg := analysis.DefaultConfig()
+	cases := []struct {
+		analyzer, pkg string
+		want          bool
+	}{
+		// simtime is restricted by Only to the sim core.
+		{"simtime", "repro/internal/sim", true},
+		{"simtime", "repro/internal/core", true},
+		{"simtime", "repro/internal/power", false},
+		{"simtime", "repro/internal/supervisor", false},
+		// Prefix match is path-segment aware: internal/simulator is not
+		// under internal/sim.
+		{"simtime", "repro/internal/simulator", false},
+		// detmap and eventpool run everywhere except wall-clock packages.
+		{"detmap", "repro/internal/stats", true},
+		{"detmap", "repro/internal/supervisor", false},
+		{"detmap", "repro/internal/experiments", false},
+		{"detmap", "repro/cmd", false},
+		{"detmap", "repro/cmd/latdist", false},
+		{"eventpool", "repro/internal/core", true},
+		{"eventpool", "repro/internal/experiments", false},
+		// ckptfields has no policy: enabled everywhere.
+		{"ckptfields", "repro/internal/supervisor", true},
+		{"ckptfields", "repro/internal/core", true},
+	}
+	for _, tc := range cases {
+		if got := cfg.Enabled(tc.analyzer, tc.pkg); got != tc.want {
+			t.Errorf("Enabled(%s, %s) = %v, want %v", tc.analyzer, tc.pkg, got, tc.want)
+		}
+	}
+}
+
+// TestExemptWinsOverOnly: a package matched by both lists stays disabled.
+func TestExemptWinsOverOnly(t *testing.T) {
+	cfg := &analysis.Config{
+		Only:   map[string][]string{"simtime": {"repro/internal"}},
+		Exempt: map[string][]string{"simtime": {"repro/internal/supervisor"}},
+	}
+	if err := cfg.Validate(analysis.Analyzers()); err != nil {
+		t.Fatal(err)
+	}
+	if !cfg.Enabled("simtime", "repro/internal/sim") {
+		t.Error("Only prefix should enable repro/internal/sim")
+	}
+	if cfg.Enabled("simtime", "repro/internal/supervisor") {
+		t.Error("Exempt must win over Only")
+	}
+}

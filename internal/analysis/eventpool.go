@@ -1,0 +1,96 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Eventpool guards the kernel's one-shot event free list. Kernel.Call and
+// Kernel.CallIn draw pooled events and recycle them the moment they fire;
+// the returned sequence number identifies that one scheduling only. Holding
+// the result beyond the enclosing statement — in a struct field, a slice, or
+// a map — is the static signature of code that plans to act on the event
+// later, after the kernel may already have recycled it for an unrelated
+// callback: the event-pool flavor of use-after-free. Checkpoint code
+// legitimately records the seq (it replays schedules in saved-seq order and
+// never dereferences the event), which is what //lint:allow is for.
+var Eventpool = &Analyzer{
+	Name: "eventpool",
+	Doc:  "flag retention of Kernel.Call/CallIn results in fields, slices, or maps",
+	Run:  runEventpool,
+}
+
+// isKernelCall reports whether call invokes Call or CallIn on the sim
+// kernel (matched by method set: a named type Kernel in a package ending in
+// "internal/sim", so fixtures exercising the analyzer resolve too).
+func isKernelCall(info *types.Info, call *ast.CallExpr) bool {
+	f := funcFor(info, call)
+	if f == nil || (f.Name() != "Call" && f.Name() != "CallIn") {
+		return false
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Name() != "Kernel" || named.Obj().Pkg() == nil {
+		return false
+	}
+	return strings.HasSuffix(named.Obj().Pkg().Path(), "internal/sim")
+}
+
+func runEventpool(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		WithStack(file, func(n ast.Node, stack []ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isKernelCall(info, call) {
+				return true
+			}
+			if len(stack) < 2 {
+				return true
+			}
+			switch parent := stack[len(stack)-2].(type) {
+			case *ast.AssignStmt:
+				// x.field = k.Call(...), s[i] = k.Call(...), m[k] = k.Call(...)
+				if len(parent.Lhs) != len(parent.Rhs) {
+					return true
+				}
+				for i, rhs := range parent.Rhs {
+					if rhs != ast.Expr(call) {
+						continue
+					}
+					switch lhs := ast.Unparen(parent.Lhs[i]).(type) {
+					case *ast.SelectorExpr:
+						pass.Reportf(call.Pos(), "%s seq stored in struct field %s outlives the pooled event; the kernel recycles it when it fires", callName(call), lhs.Sel.Name)
+					case *ast.IndexExpr:
+						pass.Reportf(call.Pos(), "%s seq stored in an indexed collection outlives the pooled event; the kernel recycles it when it fires", callName(call))
+					}
+				}
+			case *ast.CallExpr:
+				// append(s, k.Call(...))
+				if id, ok := ast.Unparen(parent.Fun).(*ast.Ident); ok && id.Name == "append" && info.Uses[id] != nil {
+					if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+						pass.Reportf(call.Pos(), "%s seq appended to a slice outlives the pooled event; the kernel recycles it when it fires", callName(call))
+					}
+				}
+			case *ast.KeyValueExpr, *ast.CompositeLit:
+				pass.Reportf(call.Pos(), "%s seq stored in a composite literal outlives the pooled event; the kernel recycles it when it fires", callName(call))
+			}
+			return true
+		})
+	}
+}
+
+// callName renders the called method for messages ("Kernel.Call" flavor).
+func callName(call *ast.CallExpr) string {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		return "Kernel." + sel.Sel.Name
+	}
+	return "Kernel.Call"
+}

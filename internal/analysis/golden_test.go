@@ -1,0 +1,153 @@
+package analysis_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// moduleRoot returns the repository root (two levels up from this package),
+// which is both the Load directory and the base for relative paths in golden
+// files.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Fatalf("module root %s has no go.mod: %v", root, err)
+	}
+	return root
+}
+
+// loadFixture type-checks one fixture package under testdata/src.
+func loadFixture(t *testing.T, name string) []*analysis.Package {
+	t.Helper()
+	root := moduleRoot(t)
+	pkgs, err := analysis.Load(root, "./internal/analysis/testdata/src/"+name)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", name, err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("fixture %s: got %d packages, want 1", name, len(pkgs))
+	}
+	return pkgs
+}
+
+// TestGolden runs every analyzer over each fixture package (no per-package
+// policy, like `simlint -all`) and compares the formatted findings against
+// the checked-in golden file.
+func TestGolden(t *testing.T) {
+	root := moduleRoot(t)
+	for _, name := range []string{"detmap", "simtime", "ckptfields", "eventpool", "suppress"} {
+		t.Run(name, func(t *testing.T) {
+			pkgs := loadFixture(t, name)
+			findings := analysis.Run(pkgs, analysis.Analyzers(), nil)
+			if len(findings) == 0 {
+				t.Fatalf("fixture %s produced no findings; each fixture must trip its analyzer", name)
+			}
+			got := analysis.Format(findings, root)
+			goldenPath := filepath.Join(root, "internal", "analysis", "testdata", "golden", name+".golden")
+			want, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatalf("reading golden: %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("findings differ from %s\n--- got ---\n%s--- want ---\n%s", goldenPath, got, want)
+			}
+		})
+	}
+}
+
+// TestSuppression pins the semantics the golden file encodes: a well-formed
+// //lint:allow (trailing or on the preceding line) silences its finding, a
+// reasonless or unknown-analyzer directive is itself a finding and silences
+// nothing, and a directive for a different analyzer does not suppress.
+func TestSuppression(t *testing.T) {
+	pkgs := loadFixture(t, "suppress")
+	findings := analysis.Run(pkgs, analysis.Analyzers(), nil)
+
+	byLine := map[int][]analysis.Finding{}
+	for _, f := range findings {
+		byLine[f.Pos.Line] = append(byLine[f.Pos.Line], f)
+	}
+
+	// Allowed (line 10) and AllowedAbove (line 16) are suppressed.
+	for _, line := range []int{10, 16} {
+		if fs := byLine[line]; len(fs) != 0 {
+			t.Errorf("line %d: suppressed call still reported: %v", line, fs)
+		}
+	}
+
+	// MissingReason: the reasonless directive is a "lint" finding and the
+	// simtime finding survives.
+	wantPair := func(line int, lintSubstr string) {
+		t.Helper()
+		var lint, simtime bool
+		for _, f := range byLine[line] {
+			switch f.Analyzer {
+			case "lint":
+				lint = strings.Contains(f.Message, lintSubstr)
+			case "simtime":
+				simtime = true
+			}
+		}
+		if !lint {
+			t.Errorf("line %d: missing [lint] finding containing %q; got %v", line, lintSubstr, byLine[line])
+		}
+		if !simtime {
+			t.Errorf("line %d: the bad directive must not suppress the simtime finding; got %v", line, byLine[line])
+		}
+	}
+	wantPair(22, "needs a reason")
+	wantPair(27, "unknown analyzer")
+
+	// WrongAnalyzer (line 32): directive names detmap, so simtime survives.
+	var wrongSurvives bool
+	for _, f := range byLine[32] {
+		if f.Analyzer == "simtime" {
+			wrongSurvives = true
+		}
+	}
+	if !wrongSurvives {
+		t.Errorf("line 32: //lint:allow detmap must not suppress a simtime finding; got %v", byLine[32])
+	}
+}
+
+// TestFindingString covers the plain rendering used by error paths.
+func TestFindingString(t *testing.T) {
+	pkgs := loadFixture(t, "simtime")
+	findings := analysis.Run(pkgs, analysis.Analyzers(), nil)
+	if len(findings) == 0 {
+		t.Fatal("no findings")
+	}
+	s := findings[0].String()
+	if !strings.Contains(s, "[simtime]") || !strings.Contains(s, "simtime.go:") {
+		t.Errorf("Finding.String() = %q; want file:line: [analyzer] message", s)
+	}
+}
+
+// TestRealTreeClean asserts the acceptance criterion directly: under the
+// default policy, simlint reports nothing on this repository.
+func TestRealTreeClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	root := moduleRoot(t)
+	pkgs, err := analysis.Load(root, "./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	cfg := analysis.DefaultConfig()
+	if err := cfg.Validate(analysis.Analyzers()); err != nil {
+		t.Fatalf("default config: %v", err)
+	}
+	findings := analysis.Run(pkgs, analysis.Analyzers(), cfg)
+	if len(findings) != 0 {
+		t.Errorf("tree is not lint-clean under the default policy:\n%s", analysis.Format(findings, root))
+	}
+}

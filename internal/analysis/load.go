@@ -1,0 +1,131 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+)
+
+// The loader resolves package patterns and import dependencies through the go
+// command (`go list`), which the module already requires to build, and
+// type-checks the target packages from source against compiler export data.
+// This keeps the framework stdlib-only — no golang.org/x/tools/go/packages —
+// while still giving analyzers full go/types information. Export data for
+// dependencies comes from `go list -deps -export`, which populates the build
+// cache as a side effect; the gc importer then reads those files directly.
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	Path  string // import path, e.g. repro/internal/sim
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// goList runs `go list` in dir with the given format and arguments and
+// returns the output lines.
+func goList(dir, format string, args []string) ([]string, error) {
+	cmd := exec.Command("go", append([]string{"list", "-f", format}, args...)...)
+	cmd.Dir = dir
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("analysis: go list %s: %w", strings.Join(args, " "), err)
+	}
+	var lines []string
+	for _, l := range strings.Split(string(out), "\n") {
+		if l != "" {
+			lines = append(lines, l)
+		}
+	}
+	return lines, nil
+}
+
+// Load resolves patterns (as the go command understands them, e.g. "./..." or
+// an explicit directory — explicit paths may name testdata packages, which
+// "..." deliberately skips) relative to dir, and returns the matched packages
+// parsed and type-checked. Test files are not loaded: the invariants simlint
+// enforces are about the simulator, not its harnesses.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	targets, err := goList(dir, `{{.ImportPath}}{{"\t"}}{{.Dir}}{{"\t"}}{{range .GoFiles}}{{.}} {{end}}`, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	// Export data for every dependency (and the targets themselves, which is
+	// harmless). -export compiles what is stale, so this is the slow step on
+	// a cold cache and near-free afterwards.
+	depLines, err := goList(dir, `{{.ImportPath}}{{"\t"}}{{.Export}}`, append([]string{"-deps", "-export"}, patterns...))
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(depLines))
+	for _, l := range depLines {
+		path, file, ok := strings.Cut(l, "\t")
+		if ok && file != "" {
+			exports[path] = file
+		}
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("analysis: no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", lookup)
+	var pkgs []*Package
+	for _, line := range targets {
+		parts := strings.SplitN(line, "\t", 3)
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("analysis: unexpected go list line %q", line)
+		}
+		path, pkgDir, fileList := parts[0], parts[1], strings.Fields(parts[2])
+		if len(fileList) == 0 {
+			continue
+		}
+		var files []*ast.File
+		for _, name := range fileList {
+			f, err := parser.ParseFile(fset, filepath.Join(pkgDir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("analysis: %w", err)
+			}
+			files = append(files, f)
+		}
+		info := &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+			Implicits:  map[ast.Node]types.Object{},
+			Scopes:     map[ast.Node]*types.Scope{},
+		}
+		conf := types.Config{Importer: imp, Sizes: types.SizesFor("gc", runtime.GOARCH)}
+		tpkg, err := conf.Check(path, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: type-checking %s: %w", path, err)
+		}
+		pkgs = append(pkgs, &Package{
+			Path:  path,
+			Dir:   pkgDir,
+			Fset:  fset,
+			Files: files,
+			Types: tpkg,
+			Info:  info,
+		})
+	}
+	return pkgs, nil
+}

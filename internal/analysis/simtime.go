@@ -1,0 +1,57 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Simtime forbids host wall-clock and the global math/rand source inside
+// sim-core packages. Simulated time is the only clock the model may observe:
+// a time.Now() in a scheduling decision makes two identical runs diverge, and
+// a draw from the process-global rand source breaks the draw-count replay the
+// checkpoint subsystem uses to resume generators bit-identically (every draw
+// must come from a seeded *rand.Rand the component owns, so its position in
+// the stream can be saved and replayed). The check flags any reference — not
+// just calls — so passing time.Now as a function value is caught too.
+var Simtime = &Analyzer{
+	Name: "simtime",
+	Doc:  "forbid time.Now/time.Since and the global math/rand source in sim-core packages",
+	Run:  runSimtime,
+}
+
+// randAllowed are the math/rand package-level functions that construct seeded
+// generators rather than drawing from the global source.
+var randAllowed = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+func runSimtime(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			f, ok := pass.Pkg.Info.Uses[id].(*types.Func)
+			if !ok || f.Pkg() == nil {
+				return true
+			}
+			if sig, ok := f.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true // methods (e.g. (*rand.Rand).Intn) are fine
+			}
+			switch f.Pkg().Path() {
+			case "time":
+				if f.Name() == "Now" || f.Name() == "Since" {
+					pass.Reportf(id.Pos(), "time.%s reads the host clock inside a sim path; use the kernel's simulated time", f.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				if !randAllowed[f.Name()] {
+					pass.Reportf(id.Pos(), "rand.%s draws from the global source; use a seeded *rand.Rand so draw-count replay stays valid", f.Name())
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,118 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Suppression: a `//lint:allow <analyzer> <reason>` comment silences that
+// analyzer's findings on its own line and on the line immediately below (so
+// both trailing comments and a comment line above the offending statement
+// work). The reason is mandatory — an allow that does not say why is exactly
+// the kind of unreviewable exception this pass exists to prevent, so a
+// reasonless or malformed directive is itself reported, under the
+// pseudo-analyzer name "lint", and cannot be suppressed.
+
+const allowPrefix = "//lint:allow"
+
+// allowDirective is one parsed //lint:allow comment.
+type allowDirective struct {
+	line     int
+	analyzer string
+	reason   string
+}
+
+// parseAllows extracts every //lint:allow directive in the package, reporting
+// malformed ones (no analyzer, no reason, unknown analyzer name) as findings.
+func parseAllows(pkg *Package, known map[string]bool) (map[string][]allowDirective, []Finding) {
+	byFile := make(map[string][]allowDirective)
+	var bad []Finding
+	report := func(pos token.Pos, msg string) {
+		bad = append(bad, Finding{Pos: pkg.Fset.Position(pos), Analyzer: "lint", Message: msg})
+	}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowPrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, allowPrefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // e.g. //lint:allowance — not ours
+				}
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					report(c.Pos(), "//lint:allow needs an analyzer name and a reason")
+					continue
+				}
+				name := fields[0]
+				if !known[name] {
+					report(c.Pos(), "//lint:allow names unknown analyzer "+strconvQuote(name))
+					continue
+				}
+				if len(fields) < 2 {
+					report(c.Pos(), "//lint:allow "+name+" needs a reason")
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				byFile[pos.Filename] = append(byFile[pos.Filename], allowDirective{
+					line:     pos.Line,
+					analyzer: name,
+					reason:   strings.Join(fields[1:], " "),
+				})
+			}
+		}
+	}
+	return byFile, bad
+}
+
+// strconvQuote is a tiny local quote to keep the import list short.
+func strconvQuote(s string) string { return `"` + s + `"` }
+
+// applySuppressions drops findings covered by a well-formed allow directive
+// and appends findings for malformed directives.
+func applySuppressions(pkg *Package, raw []Finding, known map[string]bool) []Finding {
+	allows, bad := parseAllows(pkg, known)
+	var out []Finding
+	for _, f := range raw {
+		if !suppressed(f, allows[f.Pos.Filename]) {
+			out = append(out, f)
+		}
+	}
+	return append(out, bad...)
+}
+
+// suppressed reports whether a directive in the finding's file covers it: the
+// analyzer matches and the directive sits on the finding's line or the line
+// above.
+func suppressed(f Finding, dirs []allowDirective) bool {
+	for _, d := range dirs {
+		if d.analyzer == f.Analyzer && (d.line == f.Pos.Line || d.line == f.Pos.Line-1) {
+			return true
+		}
+	}
+	return false
+}
+
+// fieldSkipReason returns the //ckpt:skip reason attached to a struct field,
+// with ok reporting whether any //ckpt:skip directive is present (the reason
+// may still be empty, which ckptfields reports).
+func fieldSkipReason(field *ast.Field) (reason string, ok bool) {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, "//ckpt:skip") {
+				continue
+			}
+			rest := strings.TrimPrefix(c.Text, "//ckpt:skip")
+			if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+				continue
+			}
+			return strings.TrimSpace(rest), true
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,57 @@
+// Package ckptfields is a fixture for the ckptfields analyzer: a component
+// with persisted fields, annotated config fields, and one field the
+// checkpoint hooks forgot.
+package ckptfields
+
+import "encoding/json"
+
+type compState struct {
+	A int `json:"a"`
+	B int `json:"b"`
+}
+
+// comp is a Checkpointable component.
+type comp struct {
+	a      int
+	b      int
+	cfg    int //ckpt:skip static configuration, rebuilt by the constructor
+	noWhy  int //ckpt:skip
+	missed int
+}
+
+// CheckpointSave persists a directly and b through a helper.
+func (c *comp) CheckpointSave() (any, error) {
+	st := compState{A: c.a}
+	fillB(c, &st)
+	return st, nil
+}
+
+// CheckpointRestore rebuilds the persisted fields.
+func (c *comp) CheckpointRestore(data []byte) error {
+	var st compState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return err
+	}
+	c.a = st.A
+	restoreB(c, st)
+	return nil
+}
+
+func fillB(c *comp, st *compState) {
+	st.B = c.b
+}
+
+func restoreB(c *comp, st compState) {
+	c.b = st.B
+}
+
+// plain has no checkpoint hooks; its fields are nobody's business.
+type plain struct {
+	x int
+	y int
+}
+
+// Use keeps the unexported types alive for the type checker.
+func Use() (any, any) {
+	return &comp{}, &plain{x: 1, y: 2}
+}

@@ -1,0 +1,54 @@
+// Package eventpool is a fixture for the eventpool analyzer: pooled one-shot
+// events from Kernel.Call/CallIn are recycled when they fire, so retaining
+// the returned seq in long-lived storage is the free-list use-after-free
+// signature.
+package eventpool
+
+import "repro/internal/sim"
+
+type holder struct {
+	seq  uint64
+	seqs []uint64
+	byID map[int]uint64
+}
+
+// BadField stores the seq in a struct field.
+func BadField(h *holder, k *sim.Kernel) {
+	h.seq = k.Call("evt", k.Now(), func() {})
+}
+
+// BadSlice stores the seq through a slice index.
+func BadSlice(h *holder, k *sim.Kernel) {
+	h.seqs[0] = k.CallIn("evt", 1, func() {})
+}
+
+// BadAppend retains the seq in a growing slice.
+func BadAppend(h *holder, k *sim.Kernel) {
+	h.seqs = append(h.seqs, k.Call("evt", k.Now(), func() {}))
+}
+
+// BadComposite retains the seq inside a composite literal.
+func BadComposite(k *sim.Kernel) holder {
+	return holder{seq: k.CallIn("evt", 1, func() {})}
+}
+
+// BadMap stores the seq in a map.
+func BadMap(h *holder, k *sim.Kernel) {
+	h.byID[0] = k.Call("evt", k.Now(), func() {})
+}
+
+// GoodLocal uses the seq within the statement's scope only.
+func GoodLocal(k *sim.Kernel) {
+	seq := k.Call("evt", k.Now(), func() {})
+	_ = seq
+}
+
+// GoodDiscard ignores the seq entirely.
+func GoodDiscard(k *sim.Kernel) {
+	k.CallIn("evt", 1, func() {})
+}
+
+// GoodArg passes the seq straight to a consumer.
+func GoodArg(k *sim.Kernel, use func(uint64)) {
+	use(k.Call("evt", k.Now(), func() {}))
+}

@@ -1,0 +1,45 @@
+// Package simtime is a fixture for the simtime analyzer: wall-clock reads
+// and global math/rand draws are violations; seeded *rand.Rand streams are
+// the sanctioned source of randomness.
+package simtime
+
+import (
+	"math/rand"
+	"time"
+)
+
+// BadNow reads the host clock.
+func BadNow() int64 {
+	return time.Now().UnixNano()
+}
+
+// BadSince measures host elapsed time.
+func BadSince(start time.Time) time.Duration {
+	return time.Since(start)
+}
+
+// BadNowValue passes time.Now as a function value.
+func BadNowValue() func() time.Time {
+	return time.Now
+}
+
+// BadGlobalRand draws from the process-global source.
+func BadGlobalRand() int {
+	return rand.Intn(10)
+}
+
+// BadGlobalFloat draws a float from the global source.
+func BadGlobalFloat() float64 {
+	return rand.Float64()
+}
+
+// GoodSeeded owns a seeded stream, so draw counts can be replayed.
+func GoodSeeded(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}
+
+// GoodDuration uses time only for unit arithmetic, never the clock.
+func GoodDuration(n int) time.Duration {
+	return time.Duration(n) * time.Nanosecond
+}

@@ -1,0 +1,33 @@
+// Package suppress is a fixture for //lint:allow handling: a well-formed
+// directive silences its finding, a reasonless directive is itself a
+// finding (and silences nothing), and an unknown analyzer name is rejected.
+package suppress
+
+import "time"
+
+// Allowed is suppressed by a well-formed directive with a reason.
+func Allowed() int64 {
+	return time.Now().UnixNano() //lint:allow simtime fixture exercises the suppression path
+}
+
+// AllowedAbove is suppressed by a directive on the preceding line.
+func AllowedAbove() int64 {
+	//lint:allow simtime fixture exercises the preceding-line form
+	return time.Now().UnixNano()
+}
+
+// MissingReason is NOT suppressed: the directive lacks a reason, which is
+// itself a finding.
+func MissingReason() int64 {
+	return time.Now().UnixNano() //lint:allow simtime
+}
+
+// UnknownAnalyzer is NOT suppressed: the directive names no known analyzer.
+func UnknownAnalyzer() int64 {
+	return time.Now().UnixNano() //lint:allow detcap typo in the analyzer name
+}
+
+// WrongAnalyzer is NOT suppressed: the directive allows a different analyzer.
+func WrongAnalyzer() int64 {
+	return time.Now().UnixNano() //lint:allow detmap wrong analyzer on purpose
+}

@@ -129,6 +129,7 @@ func (m *Manager) Restore(data []byte) error {
 		}
 	}
 	if len(b.Sections) != len(m.ids) {
+		//lint:allow detmap error path names one arbitrary orphan section; which one does not matter
 		for id := range b.Sections {
 			if _, ok := m.comps[id]; !ok {
 				return fmt.Errorf("checkpoint: section %q has no registered component (config mismatch?)", id)

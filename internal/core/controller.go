@@ -30,14 +30,14 @@ const (
 // §II-B; no per-cycle work happens anywhere.
 type Controller struct {
 	name string
-	cfg  Config
+	cfg  Config //ckpt:skip static configuration, guarded by the manager fingerprint
 	k    *sim.Kernel
-	dec  dram.Decoder
-	port *mem.ResponsePort
+	dec  dram.Decoder      //ckpt:skip derived from cfg.Spec by the constructor
+	port *mem.ResponsePort //ckpt:skip wiring, rebuilt by the constructor
 	// tim and org cache cfg.Spec fields: they are read on every scheduling
 	// decision and copying the structs there is measurable.
-	tim dram.Timing
-	org dram.Organization
+	tim dram.Timing       //ckpt:skip cached copy of cfg.Spec.Timing
+	org dram.Organization //ckpt:skip cached copy of cfg.Spec.Org
 
 	readQueue  []*dramPacket
 	writeQueue []*dramPacket

@@ -82,6 +82,9 @@ func (c *Controller) replayBurst(dp *dramPacket) bool {
 func (c *Controller) armReplay(dp *dramPacket, retryAt sim.Tick) {
 	rec := &replayRecord{dp: dp, when: retryAt}
 	c.pendingReplays = append(c.pendingReplays, rec)
+	// The seq is recorded only so CheckpointSave can reproduce same-tick
+	// ordering on restore; nothing ever touches the pooled event through it.
+	//lint:allow eventpool seq saved for checkpoint replay ordering, never used to reach the event
 	rec.seq = c.k.Call(c.name+".replay", retryAt, func() {
 		c.dropReplay(rec)
 		c.readQueue = append(c.readQueue, dp)

@@ -153,13 +153,13 @@ type respWait struct {
 // Controller is the cycle-based baseline controller.
 type Controller struct {
 	name string
-	cfg  Config
+	cfg  Config //ckpt:skip static configuration, guarded by the manager fingerprint
 	k    *sim.Kernel
-	dec  dram.Decoder
-	port *mem.ResponsePort
+	dec  dram.Decoder      //ckpt:skip derived from cfg.Spec by the constructor
+	port *mem.ResponsePort //ckpt:skip wiring, rebuilt by the constructor
 
-	tck    sim.Tick
-	cycles timingCycles
+	tck    sim.Tick     //ckpt:skip derived from cfg.Spec clock by the constructor
+	cycles timingCycles //ckpt:skip timing constants derived from cfg.Spec
 
 	queue   []*txn
 	resp    []respWait

@@ -145,11 +145,11 @@ type linkBack struct {
 // between two kernels. See the package comment above for the determinism
 // argument.
 type ShardLink struct {
-	latency sim.Tick
-	front   *linkFront
-	back    *linkBack
-	req     *pipe // front -> back (requests)
-	resp    *pipe // back -> front (responses)
+	latency sim.Tick   //ckpt:skip static configuration, part of the manager fingerprint
+	front   *linkFront //ckpt:skip wiring, rebuilt by the constructor
+	back    *linkBack  //ckpt:skip wiring, rebuilt by the constructor
+	req     *pipe      // front -> back (requests)
+	resp    *pipe      // back -> front (responses)
 }
 
 // NewShardLink builds a link between the frontend kernel and a channel

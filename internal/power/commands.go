@@ -73,6 +73,25 @@ func (t *CommandTrace) Commands() []Command {
 // Reset clears the trace.
 func (t *CommandTrace) Reset() { t.cmds = t.cmds[:0] }
 
+// bankKey identifies one bank of one rank in the open-bank reconstruction.
+type bankKey struct{ rank, bank int }
+
+// sortedOpenBanks returns the open-bank keys in (rank, bank) order, so the
+// close sweeps below process banks deterministically.
+func sortedOpenBanks(openSince map[bankKey]sim.Tick) []bankKey {
+	keys := make([]bankKey, 0, len(openSince))
+	for k := range openSince {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].rank != keys[j].rank {
+			return keys[i].rank < keys[j].rank
+		}
+		return keys[i].bank < keys[j].bank
+	})
+	return keys
+}
+
 // AnalyzeCommands reconstructs per-bank state from a command trace and
 // integrates the Micron currents over it, returning the power breakdown for
 // the window [0, elapsed). Commands may arrive slightly out of timestamp
@@ -96,7 +115,6 @@ func AnalyzeCommands(spec dram.Spec, cmds []Command, elapsed sim.Tick) Breakdown
 	// Reconstruct, per rank, the time during which at least one bank is
 	// active: ACT opens a bank, PRE closes it tRP later (the bank is still
 	// drawing active current while precharging).
-	type bankKey struct{ rank, bank int }
 	openSince := map[bankKey]sim.Tick{}
 	openCount := map[int]int{}
 	activeSince := map[int]sim.Tick{}
@@ -137,16 +155,18 @@ func AnalyzeCommands(spec dram.Spec, cmds []Command, elapsed sim.Tick) Breakdown
 			wrs++
 		case CmdREF:
 			refs++
-			// A refresh implies all banks of the rank are closed.
-			for k := range openSince {
+			// A refresh implies all banks of the rank are closed. Close in
+			// sorted key order: the report this feeds must be byte-identical
+			// across runs, and map order is not.
+			for _, k := range sortedOpenBanks(openSince) {
 				if k.rank == c.Rank {
 					closeBank(k, c.At)
 				}
 			}
 		}
 	}
-	// Close any still-open banks at the window end.
-	for k := range openSince {
+	// Close any still-open banks at the window end, again in sorted order.
+	for _, k := range sortedOpenBanks(openSince) {
 		closeBank(k, elapsed)
 	}
 

@@ -1,0 +1,45 @@
+package power
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestAnalyzeCommandsDeterministic guards the sorted-key close sweeps in
+// AnalyzeCommands: with many banks open across both ranks at a refresh and at
+// the window end, the reconstruction walks the openSince map, and the
+// resulting report must be byte-identical on every run. Before the sweeps
+// iterated over sorted keys, Go's randomized map order could visit banks in a
+// different order between runs; repeated in-process analyses of the same
+// trace exercise exactly that.
+func TestAnalyzeCommandsDeterministic(t *testing.T) {
+	spec := ddr3()
+	var cmds []Command
+	at := sim.Tick(0)
+	// Open every bank of both ranks, interleaved, with reads in between.
+	for b := 0; b < spec.Org.BanksPerRank; b++ {
+		for r := 0; r < 2; r++ {
+			cmds = append(cmds, Command{Kind: CmdACT, Rank: r, Bank: b, At: at})
+			at += spec.Timing.TRCD
+			cmds = append(cmds, Command{Kind: CmdRD, Rank: r, Bank: b, At: at})
+			at += spec.Timing.TBURST
+		}
+	}
+	// Refresh rank 0 with every bank still open (the multi-bank REF sweep),
+	// leave rank 1's banks open through the window end (the final sweep).
+	cmds = append(cmds, Command{Kind: CmdREF, Rank: 0, At: at})
+	elapsed := at + spec.Timing.TRFC + 100*sim.Nanosecond
+
+	first := fmt.Sprintf("%+v", AnalyzeCommands(spec, cmds, elapsed))
+	for i := 1; i < 50; i++ {
+		got := fmt.Sprintf("%+v", AnalyzeCommands(spec, cmds, elapsed))
+		if got != first {
+			t.Fatalf("run %d diverged:\n got %s\nwant %s", i, got, first)
+		}
+	}
+	if first == fmt.Sprintf("%+v", Breakdown{}) {
+		t.Fatal("breakdown is zero; the trace did not exercise the analyzer")
+	}
+}

@@ -236,14 +236,21 @@ func (d *Distribution) Count() uint64 { return d.total }
 // CountOf returns how often v was observed.
 func (d *Distribution) CountOf(v int64) uint64 { return d.counts[v] }
 
-// Mean returns the sample mean.
+// Mean returns the sample mean. Accumulation runs over sorted values: float
+// addition is not associative, so folding in map order would make the mean —
+// and every report containing it — differ between identical runs.
 func (d *Distribution) Mean() float64 {
 	if d.total == 0 {
 		return 0
 	}
+	keys := make([]int64, 0, len(d.counts))
+	for v := range d.counts {
+		keys = append(keys, v)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
 	var sum float64
-	for v, c := range d.counts {
-		sum += float64(v) * float64(c)
+	for _, v := range keys {
+		sum += float64(v) * float64(d.counts[v])
 	}
 	return sum / float64(d.total)
 }

@@ -186,6 +186,7 @@ func (r *Registry) RestoreState(data []byte) error {
 		delete(saved, s.Name())
 	}
 	if len(saved) > 0 {
+		//lint:allow detmap error path names one arbitrary leftover; which one does not matter
 		for name := range saved {
 			return fmt.Errorf("stats: checkpoint holds %q, which is not registered (config mismatch?)", name)
 		}

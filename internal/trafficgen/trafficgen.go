@@ -53,10 +53,10 @@ func (c Config) Validate() error {
 // Generator drives a memory port with a Pattern under a closed-loop
 // outstanding-request limit.
 type Generator struct {
-	cfg     Config
+	cfg     Config //ckpt:skip static configuration, guarded by the manager fingerprint
 	k       *sim.Kernel
 	pattern Pattern
-	port    *mem.RequestPort
+	port    *mem.RequestPort //ckpt:skip wiring, rebuilt by the constructor
 
 	issued      uint64
 	outstanding int
@@ -64,11 +64,13 @@ type Generator struct {
 	nextAllowed sim.Tick
 	tick        *sim.Event
 
-	reads, writes  *stats.Scalar
-	readLatency    *stats.Histogram
-	writeAckLat    *stats.Average
-	retriesWaited  *stats.Scalar
-	bytesRequested *stats.Scalar
+	// The stats objects live in the registry, which checkpoints separately
+	// through the stats adapter; the generator only holds handles.
+	reads, writes  *stats.Scalar    //ckpt:skip persisted by the stats registry adapter
+	readLatency    *stats.Histogram //ckpt:skip persisted by the stats registry adapter
+	writeAckLat    *stats.Average   //ckpt:skip persisted by the stats registry adapter
+	retriesWaited  *stats.Scalar    //ckpt:skip persisted by the stats registry adapter
+	bytesRequested *stats.Scalar    //ckpt:skip persisted by the stats registry adapter
 }
 
 // New builds a generator registering statistics under name.

@@ -181,8 +181,8 @@ func (q *outQueue) retry() {
 type Crossbar struct {
 	name string
 	k    *sim.Kernel
-	cfg  Config
-	rt   Route
+	cfg  Config //ckpt:skip static configuration, guarded by the manager fingerprint
+	rt   Route  //ckpt:skip routing function, rebuilt by the constructor
 
 	// Requestor side: one response port per attached requestor.
 	reqSides []*reqSide
@@ -193,9 +193,9 @@ type Crossbar struct {
 	// response must return to.
 	origin map[*mem.Packet]int
 
-	reqRouted  *stats.Scalar
-	respRouted *stats.Scalar
-	blockedReq *stats.Scalar
+	reqRouted  *stats.Scalar //ckpt:skip persisted by the stats registry adapter
+	respRouted *stats.Scalar //ckpt:skip persisted by the stats registry adapter
+	blockedReq *stats.Scalar //ckpt:skip persisted by the stats registry adapter
 }
 
 // reqSide is the crossbar's face toward one requestor.
