@@ -14,6 +14,7 @@ import (
 	"repro/internal/dram"
 	"repro/internal/experiments"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/power"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -337,7 +338,9 @@ func BenchmarkProtocolCheck(b *testing.B) {
 	k := sim.NewKernel()
 	reg := stats.NewRegistry("b")
 	cfg := core.DefaultConfig(spec)
-	cfg.CommandListener = trace.Record
+	hub := obs.NewHub()
+	hub.Attach(obs.CommandFunc(trace.Record))
+	cfg.Probes = hub
 	ctrl, err := core.NewController(k, cfg, reg, "mc")
 	if err != nil {
 		b.Fatal(err)
@@ -370,7 +373,9 @@ func BenchmarkControllerWithCommandTrace(b *testing.B) {
 	k := sim.NewKernel()
 	reg := stats.NewRegistry("b")
 	cfg := core.DefaultConfig(spec)
-	cfg.CommandListener = trace.Record
+	hub := obs.NewHub()
+	hub.Attach(obs.CommandFunc(trace.Record))
+	cfg.Probes = hub
 	ctrl, err := core.NewController(k, cfg, reg, "mc")
 	if err != nil {
 		b.Fatal(err)
@@ -389,4 +394,48 @@ func BenchmarkControllerWithCommandTrace(b *testing.B) {
 	}
 	b.StopTimer()
 	_ = ctrl
+}
+
+// benchControllerProbes drives the event controller with a linear read
+// stream under the given probe hub, so the cost of the obs emission sites
+// can be compared across hub configurations.
+func benchControllerProbes(b *testing.B, hub *obs.Hub) {
+	spec := dram.DDR3_1333_8x8()
+	k := sim.NewKernel()
+	reg := stats.NewRegistry("b")
+	cfg := core.DefaultConfig(spec)
+	cfg.Probes = hub
+	ctrl, err := core.NewController(k, cfg, reg, "mc")
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen, err := trafficgen.New(k, trafficgen.Config{
+		RequestBytes: 64, MaxOutstanding: 32, Count: uint64(b.N),
+	}, &trafficgen.Linear{Start: 0, End: 1 << 26, Step: 64, ReadPercent: 100}, reg, "gen")
+	if err != nil {
+		b.Fatal(err)
+	}
+	mem.Connect(gen.Port(), ctrl.Port())
+	b.ResetTimer()
+	gen.Start()
+	for !gen.Done() {
+		k.RunUntil(k.Now() + 10*sim.Microsecond)
+	}
+	b.StopTimer()
+	_ = ctrl
+}
+
+// BenchmarkNoProbeOverhead is the instrumented-but-disabled path: every obs
+// emission site compiled in, no hub attached, so each site costs one nil
+// check. The acceptance bar is throughput within 2% of the pre-hook
+// controller (compare against BenchmarkControllerWithCommandTrace for the
+// enabled cost, and historical Fig3 numbers for the pre-hook baseline).
+func BenchmarkNoProbeOverhead(b *testing.B) { benchControllerProbes(b, nil) }
+
+// BenchmarkNullProbeAttached measures the fan-out cost with one attached
+// probe that does nothing — the floor for any enabled-probe configuration.
+func BenchmarkNullProbeAttached(b *testing.B) {
+	hub := obs.NewHub()
+	hub.Attach(obs.CommandFunc(func(power.Command) {}))
+	benchControllerProbes(b, hub)
 }

@@ -19,6 +19,7 @@ import (
 	"os"
 
 	"repro/internal/experiments"
+	"repro/internal/experiments/cliconfig"
 	"repro/internal/supervisor"
 )
 
@@ -43,11 +44,11 @@ func stopCheck(ch <-chan os.Signal) func() bool {
 
 func main() {
 	figure := flag.Int("figure", 3, "paper figure to regenerate (3, 4 or 5)")
-	requests := flag.Uint64("requests", 4000, "requests per measurement point")
+	requests := cliconfig.AddRequests(flag.CommandLine, 4000, "requests per measurement point")
 	ablation := flag.String("ablation", "", "run a design ablation instead: pagepolicy, mapping, scheduler, writedrain, xaw, refresh, xorhash, prefetch, all")
-	channels := flag.Int("channels", 1, "interleave the sweep over this many DRAM channels (sharded rig when > 1)")
-	parallel := flag.Int("parallel", 1, "worker goroutines stepping channel shards (sharded rig only; results are worker-count independent)")
+	shard := cliconfig.AddShard(flag.CommandLine)
 	flag.Parse()
+	channels, parallel := &shard.Channels, &shard.Workers
 
 	notify, stopNotify := supervisor.NotifySignals()
 	defer stopNotify()

@@ -12,13 +12,21 @@
 // crashed segment (watchdog trip, injected panic) dumps a postmortem
 // checkpoint and is retried from the last good one up to -max-retries times.
 //
+// Observability: -trace writes a Chrome/Perfetto trace of the run (packet
+// lifecycles, per-bank command spans, refresh windows); -obs-http serves
+// live statistics snapshots and pprof; -obs-sample periodically samples
+// controller-internal state into the statistics registry. The trace
+// composes with checkpointing: a resumed run appends to the same file and
+// reproduces the uninterrupted trace byte for byte.
+//
 // Examples:
 //
 //	dramctrl -spec DDR3-1600-x64 -pattern linear -requests 50000
 //	dramctrl -spec WideIO-200-x128 -pattern dramaware -stride 4 -banks 4 -reads 67
 //	dramctrl -model cycle -pattern random -reads 50 -stats
 //	dramctrl -trace-in capture.txt
-//	dramctrl -pattern random -trace-out capture.txt
+//	dramctrl -pattern random -trace out.json     # load out.json in ui.perfetto.dev
+//	dramctrl -requests 100000 -obs-http localhost:6060
 //	dramctrl -requests 2000000 -checkpoint run.ckpt -checkpoint-every 1000000
 //	dramctrl -requests 2000000 -checkpoint run.ckpt -resume
 package main
@@ -28,15 +36,15 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
-	"time"
 
 	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/cyclesim"
 	"repro/internal/dram"
+	"repro/internal/experiments/cliconfig"
 	"repro/internal/faults"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/power"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -50,21 +58,11 @@ var errInterrupted = errors.New("interrupted")
 
 func main() {
 	var (
-		specName  = flag.String("spec", "DDR3-1600-x64", "memory spec name (see -list)")
-		list      = flag.Bool("list", false, "list available memory specs and exit")
-		model     = flag.String("model", "event", "controller model: event or cycle")
-		mappingS  = flag.String("mapping", "RoRaBaCoCh", "address mapping: RoRaBaCoCh, RoRaBaChCo, RoCoRaBaCh")
-		pageS     = flag.String("page", "open", "page policy: open, open-adaptive, closed, closed-adaptive")
-		schedS    = flag.String("sched", "frfcfs", "scheduler: fcfs or frfcfs")
-		pattern   = flag.String("pattern", "linear", "traffic: linear, random, dramaware")
-		reads     = flag.Int("reads", 100, "read percentage (0-100)")
-		requests  = flag.Uint64("requests", 10000, "number of requests")
-		reqBytes  = flag.Uint64("bytes", 64, "request size in bytes")
-		outst     = flag.Int("outstanding", 32, "max outstanding requests")
-		itt       = flag.Int64("itt", 0, "inter-transaction time in ns (0 = saturate)")
-		stride    = flag.Uint64("stride", 4, "dramaware: stride in bursts")
-		banks     = flag.Int("banks", 4, "dramaware: banks targeted")
-		seed      = flag.Int64("seed", 1, "pattern seed")
+		spec = cliconfig.AddSpec(flag.CommandLine, "DDR3-1600-x64")
+		list = flag.Bool("list", false, "list available memory specs and exit")
+		pol  = cliconfig.AddPolicy(flag.CommandLine, cliconfig.PolicyFlags{Model: true, Sched: true})
+		traf = cliconfig.AddTraffic(flag.CommandLine, 10000)
+
 		powerDown = flag.Int64("powerdown", 0, "power-down idle threshold in ns (0 = off, event model only)")
 		dumpStats = flag.Bool("stats", false, "dump the full statistics registry")
 		jsonStats = flag.String("json", "", "write the statistics registry as JSON to this file")
@@ -81,51 +79,33 @@ func main() {
 		maxEvents   = flag.Uint64("max-events", 0, "watchdog: abort after this many events (0 = off)")
 		maxSameTick = flag.Uint64("max-same-tick", 1_000_000, "watchdog: abort after this many events at one tick (0 = off)")
 
-		channels = flag.Int("channels", 1, "DRAM channels behind a crossbar (sharded rig when > 1)")
-		parallel = flag.Int("parallel", 1, "worker goroutines stepping channel shards (statistics are worker-count independent)")
-
-		ckptPath   = flag.String("checkpoint", "", "checkpoint file; written periodically, at interrupt, and at completion")
-		ckptEvery  = flag.Int64("checkpoint-every", 0, "checkpoint every N ns of simulated time (0 = only final/interrupt)")
-		ckptWall   = flag.Duration("checkpoint-wall", 0, "checkpoint every wall-clock interval, e.g. 30s (0 = off)")
-		resume     = flag.Bool("resume", false, "resume from -checkpoint if the file exists")
-		maxRetries = flag.Int("max-retries", 0, "rebuild-and-resume attempts after a crashed segment")
+		shard = cliconfig.AddShard(flag.CommandLine)
+		ckpt  = cliconfig.AddCheckpoint(flag.CommandLine)
+		obsF  = cliconfig.AddObs(flag.CommandLine)
 	)
 	flag.Parse()
 
-	sup := supFlags{
-		checkpoint: *ckptPath, everyNs: *ckptEvery, everyWall: *ckptWall,
-		resume: *resume, maxRetries: *maxRetries,
-	}
-
-	if *channels > 1 {
+	if shard.Sharded() {
 		err := runSharded(shardedFlags{
-			specName: *specName, model: *model, mapping: *mappingS, page: *pageS,
-			pattern: *pattern, reads: *reads, requests: *requests,
-			reqBytes: *reqBytes, outstanding: *outst, ittNs: *itt,
-			stride: *stride, banks: *banks, seed: *seed,
-			channels: *channels, workers: *parallel,
+			spec: spec, pol: pol, traf: traf, shard: shard,
 			dumpStats: *dumpStats, jsonStats: *jsonStats,
-			traceIn: *traceIn, traceOut: *traceOut, faultsOn: *berCorr != 0 || *berUncorr != 0 || *berTrans != 0,
-			sup: sup,
+			traceIn: *traceIn, traceOut: *traceOut,
+			faultsOn: *berCorr != 0 || *berUncorr != 0 || *berTrans != 0,
+			sup:      ckpt, obs: obsF,
 		})
 		exit(err)
 		return
 	}
 
 	if *list {
-		for _, s := range dram.AllSpecs() {
-			fmt.Printf("%-18s %3d-bit, BL%d, %d banks x %d ranks, %g GB/s peak\n",
-				s.Name, s.Org.BusWidthBits, s.Org.BurstLength,
-				s.Org.BanksPerRank, s.Org.RanksPerChannel, s.PeakBandwidth()/1e9)
-		}
+		cliconfig.ListSpecs(os.Stdout)
 		return
 	}
 	err := run(cfgFromFlags{
-		specName: *specName, model: *model, mapping: *mappingS, page: *pageS,
-		sched: *schedS, pattern: *pattern, reads: *reads, requests: *requests,
-		reqBytes: *reqBytes, outstanding: *outst, ittNs: *itt,
-		stride: *stride, banks: *banks, seed: *seed, powerDownNs: *powerDown,
-		dumpStats: *dumpStats, jsonStats: *jsonStats, traceIn: *traceIn, traceOut: *traceOut,
+		spec: spec, pol: pol, traf: traf,
+		powerDownNs: *powerDown,
+		dumpStats:   *dumpStats, jsonStats: *jsonStats,
+		traceIn: *traceIn, traceOut: *traceOut,
 		intervalNs: *interval,
 		faults: faults.Config{
 			Seed:                  *faultSeed,
@@ -135,7 +115,7 @@ func main() {
 		},
 		eccLatencyNs: *eccLatency, retryLimit: *retryLimit,
 		watchdog: sim.Watchdog{MaxEvents: *maxEvents, MaxSameTick: *maxSameTick},
-		sup:      sup,
+		sup:      ckpt, obs: obsF,
 	})
 	exit(err)
 }
@@ -153,74 +133,36 @@ func exit(err error) {
 	}
 }
 
-// supFlags is the supervision/checkpoint flag subset shared by the single-
-// and multi-channel paths.
-type supFlags struct {
-	checkpoint string
-	everyNs    int64
-	everyWall  time.Duration
-	resume     bool
-	maxRetries int
-}
-
-// enabled reports whether any checkpoint/resume behaviour was requested.
-func (s supFlags) enabled() bool { return s.checkpoint != "" || s.resume }
-
-// validate rejects inconsistent supervision flags.
-func (s supFlags) validate() error {
-	if s.resume && s.checkpoint == "" {
-		return fmt.Errorf("-resume needs -checkpoint")
-	}
-	if (s.everyNs != 0 || s.everyWall != 0) && s.checkpoint == "" {
-		return fmt.Errorf("-checkpoint-every/-checkpoint-wall need -checkpoint")
-	}
-	if s.everyNs < 0 || s.everyWall < 0 {
-		return fmt.Errorf("negative checkpoint interval")
-	}
-	return nil
-}
-
-// config assembles the supervisor configuration.
-func (s supFlags) config(notify <-chan os.Signal) supervisor.Config {
-	return supervisor.Config{
-		Checkpoint: s.checkpoint,
-		Every:      sim.Tick(s.everyNs) * sim.Nanosecond,
-		EveryWall:  s.everyWall,
-		Resume:     s.resume,
-		MaxRetries: s.maxRetries,
-		Notify:     notify,
-		Log:        os.Stderr,
-	}
-}
-
 type cfgFromFlags struct {
-	specName, model, mapping, page, sched, pattern string
-	reads                                          int
-	requests, reqBytes                             uint64
-	outstanding                                    int
-	ittNs                                          int64
-	stride                                         uint64
-	banks                                          int
-	seed, powerDownNs                              int64
-	dumpStats                                      bool
-	jsonStats                                      string
-	traceIn, traceOut                              string
-	intervalNs                                     int64
-	faults                                         faults.Config
-	eccLatencyNs                                   int64
-	retryLimit                                     int
-	watchdog                                       sim.Watchdog
-	sup                                            supFlags
+	spec *cliconfig.Spec
+	pol  *cliconfig.Policy
+	traf *cliconfig.Traffic
+
+	powerDownNs  int64
+	dumpStats    bool
+	jsonStats    string
+	traceIn      string
+	traceOut     string
+	intervalNs   int64
+	faults       faults.Config
+	eccLatencyNs int64
+	retryLimit   int
+	watchdog     sim.Watchdog
+	sup          *cliconfig.Checkpoint
+	obs          *cliconfig.Obs
 }
 
 // fingerprint canonicalizes every knob that shapes the simulated schedule,
-// so a checkpoint is never resumed under a different configuration.
+// so a checkpoint is never resumed under a different configuration. The
+// observability flags are deliberately absent: probes only observe, so a
+// traced resume of an untraced segment schedule is still the same schedule.
 func (f cfgFromFlags) fingerprint() string {
+	t := f.traf
 	return fmt.Sprintf("dramctrl spec=%s model=%s mapping=%s page=%s sched=%s pattern=%s "+
 		"reads=%d requests=%d bytes=%d outstanding=%d itt=%d stride=%d banks=%d seed=%d powerdown=%d "+
 		"faults=%d/%g/%g/%g ecc=%d retry=%d",
-		f.specName, f.model, f.mapping, f.page, f.sched, f.pattern,
-		f.reads, f.requests, f.reqBytes, f.outstanding, f.ittNs, f.stride, f.banks, f.seed, f.powerDownNs,
+		f.spec.Name, f.pol.Model, f.pol.Mapping, f.pol.Page, f.pol.Sched, t.Pattern,
+		t.Reads, t.Requests, t.Bytes, t.Outstanding, t.ITTNs, t.Stride, t.Banks, t.Seed, f.powerDownNs,
 		f.faults.Seed, f.faults.CorrectablePerBurst, f.faults.UncorrectablePerBurst, f.faults.TransientPerBurst,
 		f.eccLatencyNs, f.retryLimit)
 }
@@ -234,6 +176,7 @@ type controller interface {
 	RowHitRate() float64
 	AvgReadLatencyNs() float64
 	PowerStats() power.Activity
+	ObsSample() obs.Sample
 }
 
 // singleRig is one fully wired single-channel simulation; it is the
@@ -249,8 +192,13 @@ type singleRig struct {
 	gen      *trafficgen.Generator // nil when replaying a trace
 	done     func() bool
 	start    func()
+	startErr error
 	mon      *trafficgen.Monitor
 	series   *stats.Series
+	tw       *obs.TraceWriter
+	sink     *obs.TraceSink
+	sampler  *obs.SamplerProbe
+	live     *obs.LiveServer
 	mgr      *checkpoint.Manager
 	deadline sim.Tick
 }
@@ -262,14 +210,24 @@ func (r *singleRig) Manager() *checkpoint.Manager { return r.mgr }
 func (r *singleRig) Now() sim.Tick { return r.k.Now() }
 
 // Start implements supervisor.Session (fresh runs only; a restore carries
-// the source's event state).
+// the source's event state, and an already-started trace file).
 func (r *singleRig) Start() { r.start() }
 
 // Step implements supervisor.Session: one quantum, with watchdog trips
-// surfacing as diagnosable errors carrying the pending-event dump.
+// surfacing as diagnosable errors carrying the pending-event dump. Trace
+// lines buffered during the quantum flush to the file here, keeping memory
+// bounded regardless of run length.
 func (r *singleRig) Step() (bool, error) {
+	if r.startErr != nil {
+		return false, r.startErr
+	}
 	if _, err := r.k.RunUntilErr(r.k.Now() + 10*sim.Microsecond); err != nil {
 		return false, err
+	}
+	if r.sink != nil {
+		if err := r.sink.Flush(); err != nil {
+			return false, err
+		}
 	}
 	if r.done() {
 		if !r.ctrl.Quiescent() {
@@ -285,15 +243,19 @@ func (r *singleRig) Step() (bool, error) {
 }
 
 // Close implements supervisor.Session.
-func (r *singleRig) Close() {}
+func (r *singleRig) Close() {
+	if r.live != nil {
+		r.live.Close()
+	}
+}
 
 // buildSingle wires the single-channel rig from flags without starting it.
 func buildSingle(f cfgFromFlags) (*singleRig, error) {
-	spec, err := findSpec(f.specName)
+	spec, err := f.spec.Resolve()
 	if err != nil {
 		return nil, err
 	}
-	mapping, err := dram.ParseMapping(f.mapping)
+	mapping, err := f.pol.ParseMapping()
 	if err != nil {
 		return nil, err
 	}
@@ -304,29 +266,36 @@ func buildSingle(f cfgFromFlags) (*singleRig, error) {
 	r.mgr = checkpoint.NewManager(f.fingerprint())
 	r.mgr.Register("kernel", checkpoint.WrapKernel(k))
 
-	switch f.model {
+	// The observation hub must exist before the controller: the models
+	// snapshot it at construction (nil when no probe is attached, so the
+	// instrumented paths stay a single branch).
+	hub := obs.NewHub()
+	if f.obs.Tracing() {
+		tw, err := obs.NewTraceWriter(f.obs.TracePath)
+		if err != nil {
+			return nil, err
+		}
+		tracer := obs.NewTracer(0)
+		hub.Attach(tracer)
+		r.tw = tw
+		r.sink = obs.NewTraceSink(tw, tracer)
+	}
+
+	switch f.pol.Model {
 	case "event":
 		cfg := core.DefaultConfig(spec)
 		cfg.Mapping = mapping
 		cfg.PowerDownIdle = sim.Tick(f.powerDownNs) * sim.Nanosecond
-		switch f.page {
-		case "open":
-			cfg.Page = core.Open
-		case "open-adaptive":
-			cfg.Page = core.OpenAdaptive
-		case "closed":
-			cfg.Page = core.Closed
-		case "closed-adaptive":
-			cfg.Page = core.ClosedAdaptive
-		default:
-			return nil, fmt.Errorf("unknown page policy %q", f.page)
+		if cfg.Page, err = f.pol.CorePage(); err != nil {
+			return nil, err
 		}
-		if f.sched == "fcfs" {
+		if f.pol.Sched == "fcfs" {
 			cfg.Scheduling = core.FCFS
 		}
 		cfg.Faults = f.faults
 		cfg.ECCCorrectionLatency = sim.Tick(f.eccLatencyNs) * sim.Nanosecond
 		cfg.FaultRetryLimit = f.retryLimit
+		cfg.Probes = hub
 		c, err := core.NewController(k, cfg, reg, "mc")
 		if err != nil {
 			return nil, err
@@ -337,14 +306,18 @@ func buildSingle(f cfgFromFlags) (*singleRig, error) {
 		if f.faults.Enabled() {
 			return nil, fmt.Errorf("fault injection is only modelled by the event-based controller")
 		}
+		if _, err := f.pol.CorePage(); err != nil {
+			return nil, err
+		}
 		cfg := cyclesim.DefaultConfig(spec)
 		cfg.Mapping = mapping
-		if strings.HasPrefix(f.page, "closed") {
+		if f.pol.ClosedPage() {
 			cfg.Page = cyclesim.ClosedPage
 		}
-		if f.sched == "fcfs" {
+		if f.pol.Sched == "fcfs" {
 			cfg.Scheduling = cyclesim.FCFS
 		}
+		cfg.Probes = hub
 		c, err := cyclesim.NewController(k, cfg, reg, "mc")
 		if err != nil {
 			return nil, err
@@ -352,7 +325,7 @@ func buildSingle(f cfgFromFlags) (*singleRig, error) {
 		r.ctrl, r.drain = c, func() {}
 		r.mgr.Register("mc", c)
 	default:
-		return nil, fmt.Errorf("unknown model %q", f.model)
+		return nil, fmt.Errorf("unknown model %q", f.pol.Model)
 	}
 
 	// Optional capture monitor in front of the controller.
@@ -395,16 +368,11 @@ func buildSingle(f cfgFromFlags) (*singleRig, error) {
 			fmt.Printf("replaying %d trace records from %s\n", len(recs), f.traceIn)
 		}
 	} else {
-		pat, err := buildPattern(f, spec, mapping)
+		pat, err := f.traf.BuildPattern(spec, mapping, 1)
 		if err != nil {
 			return nil, err
 		}
-		gen, err := trafficgen.New(k, trafficgen.Config{
-			RequestBytes:     f.reqBytes,
-			MaxOutstanding:   f.outstanding,
-			Count:            f.requests,
-			InterTransaction: sim.Tick(f.ittNs) * sim.Nanosecond,
-		}, pat, reg, "gen")
+		gen, err := trafficgen.New(k, f.traf.GenConfig(), pat, reg, "gen")
 		if err != nil {
 			return nil, err
 		}
@@ -415,28 +383,75 @@ func buildSingle(f cfgFromFlags) (*singleRig, error) {
 		r.mgr.Register("gen", gen)
 	}
 	r.mgr.Register("stats", checkpoint.WrapStats(reg))
+	// The trace sink registers last: its save flushes every tracer, so the
+	// recorded file length covers all events up to the checkpoint tick.
+	if r.sink != nil {
+		r.mgr.Register("trace", r.sink)
+	}
+
+	// Live endpoint and periodic sampler (-obs-http / -obs-sample).
+	if f.obs.Sampling() {
+		if f.obs.HTTPAddr != "" {
+			live, err := obs.NewLiveServer(f.obs.HTTPAddr)
+			if err != nil {
+				return nil, err
+			}
+			r.live = live
+			fmt.Fprintf(os.Stderr, "dramctrl: live observation endpoint on http://%s/\n", live.Addr())
+		}
+		sampler, err := obs.NewSamplerProbe(k, reg, sim.Tick(f.obs.SampleNs)*sim.Nanosecond,
+			[]obs.SampledSource{{Name: "mc", Src: r.ctrl}},
+			func(now sim.Tick) {
+				if r.live != nil {
+					r.live.PublishStats(reg, now)
+					r.live.PublishSample(now, "mc", r.ctrl.ObsSample())
+				}
+			})
+		if err != nil {
+			return nil, err
+		}
+		r.sampler = sampler
+	}
 
 	if f.watchdog.Enabled() {
 		k.SetWatchdog(f.watchdog)
 	}
-	if r.series != nil {
-		innerStart := r.start
-		r.start = func() {
-			r.series.Start()
-			innerStart()
+
+	// Fresh-run arming, innermost first: trace header, series, sampler,
+	// then the traffic source. A restored run skips all of it — the trace
+	// file is truncated to the checkpoint's length instead, and the sampler
+	// is rejected alongside checkpointing.
+	innerStart := r.start
+	r.start = func() {
+		if r.tw != nil {
+			if err := r.tw.BeginFresh(); err != nil {
+				r.startErr = err
+				return
+			}
 		}
+		if r.series != nil {
+			r.series.Start()
+		}
+		if r.sampler != nil {
+			r.sampler.Start()
+		}
+		innerStart()
 	}
 	return r, nil
 }
 
 func run(f cfgFromFlags) error {
-	if err := f.sup.validate(); err != nil {
+	if err := f.sup.Validate(); err != nil {
 		return err
 	}
-	if f.sup.enabled() {
+	if err := f.obs.Validate(f.sup.Enabled()); err != nil {
+		return err
+	}
+	if f.sup.Enabled() {
 		// The trace monitor and the time series hold host-side state no
 		// component hook serializes; refuse the combination instead of
-		// resuming with silently empty captures.
+		// resuming with silently empty captures. (-trace is fine: the trace
+		// sink is a checkpoint component.)
 		if f.traceIn != "" || f.traceOut != "" {
 			return fmt.Errorf("checkpointing does not support trace capture/replay (drop -trace-in/-trace-out)")
 		}
@@ -448,7 +463,7 @@ func run(f cfgFromFlags) error {
 	var r *singleRig
 	notify, stopNotify := supervisor.NotifySignals()
 	defer stopNotify()
-	res, err := supervisor.Run(f.sup.config(notify), func() (supervisor.Session, error) {
+	res, err := supervisor.Run(f.sup.Config(notify), func() (supervisor.Session, error) {
 		rig, err := buildSingle(f)
 		if err != nil {
 			return nil, err
@@ -463,11 +478,21 @@ func run(f cfgFromFlags) error {
 		fmt.Printf("interrupted at %s; partial results:\n", res.Now)
 	}
 
+	if r.sink != nil {
+		// Terminate the JSON array so the file is strict JSON. A later
+		// -resume truncates back to the checkpointed length, terminator
+		// included, so the resumed file still matches an uninterrupted run.
+		if err := r.sink.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("trace written to %s (load in ui.perfetto.dev)\n", f.obs.TracePath)
+	}
+
 	if r.gen != nil {
 		fmt.Printf("mean read latency (generator): %.1f ns (p99 %.1f ns, %d samples)\n",
 			r.gen.ReadLatency().Mean(), r.gen.ReadLatency().Percentile(99), r.gen.ReadLatency().Count())
 	}
-	fmt.Printf("spec %s, model %s, mapping %s, page %s\n", r.spec.Name, f.model, r.mapping, f.page)
+	fmt.Printf("spec %s, model %s, mapping %s, page %s\n", r.spec.Name, f.pol.Model, r.mapping, f.pol.Page)
 	fmt.Printf("simulated %s in %d events\n", r.k.Now(), r.k.EventsExecuted())
 	fmt.Printf("bandwidth %.2f GB/s (%.1f%% bus utilisation), row hit rate %.1f%%\n",
 		r.ctrl.Bandwidth()/1e9, r.ctrl.BusUtilisation()*100, r.ctrl.RowHitRate()*100)
@@ -535,42 +560,4 @@ func run(f cfgFromFlags) error {
 		return errInterrupted
 	}
 	return nil
-}
-
-func findSpec(name string) (dram.Spec, error) {
-	for _, s := range dram.AllSpecs() {
-		if strings.EqualFold(s.Name, name) {
-			return s, nil
-		}
-	}
-	return dram.Spec{}, fmt.Errorf("unknown spec %q (use -list)", name)
-}
-
-func buildPattern(f cfgFromFlags, spec dram.Spec, mapping dram.Mapping) (trafficgen.Pattern, error) {
-	switch f.pattern {
-	case "linear":
-		return &trafficgen.Linear{
-			Start: 0, End: 1 << 28, Step: f.reqBytes,
-			ReadPercent: f.reads, Seed: f.seed,
-		}, nil
-	case "random":
-		return &trafficgen.Random{
-			Start: 0, End: 1 << 28, Align: f.reqBytes,
-			ReadPercent: f.reads, Seed: f.seed,
-		}, nil
-	case "dramaware":
-		dec, err := dram.NewDecoder(spec.Org, mapping, 1)
-		if err != nil {
-			return nil, err
-		}
-		p := &trafficgen.DRAMAware{
-			Decoder: dec, StrideBursts: f.stride, Banks: f.banks,
-			ReadPercent: f.reads, Seed: f.seed,
-		}
-		if err := p.Validate(); err != nil {
-			return nil, err
-		}
-		return p, nil
-	}
-	return nil, fmt.Errorf("unknown pattern %q", f.pattern)
 }

@@ -3,9 +3,10 @@ package main
 import (
 	"fmt"
 	"os"
-	"strings"
 
 	"repro/internal/dram"
+	"repro/internal/experiments/cliconfig"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/supervisor"
 	"repro/internal/system"
@@ -15,79 +16,117 @@ import (
 
 // shardedFlags is the flag subset the multi-channel sharded path supports.
 type shardedFlags struct {
-	specName, model, mapping, page, pattern string
-	reads                                   int
-	requests, reqBytes                      uint64
-	outstanding                             int
-	ittNs                                   int64
-	stride                                  uint64
-	banks                                   int
-	seed                                    int64
-	channels, workers                       int
-	dumpStats                               bool
-	jsonStats                               string
-	traceIn, traceOut                       string
-	faultsOn                                bool
-	sup                                     supFlags
+	spec  *cliconfig.Spec
+	pol   *cliconfig.Policy
+	traf  *cliconfig.Traffic
+	shard *cliconfig.Shard
+
+	dumpStats bool
+	jsonStats string
+	traceIn   string
+	traceOut  string
+	faultsOn  bool
+	sup       *cliconfig.Checkpoint
+	obs       *cliconfig.Obs
 }
 
 // fingerprint canonicalizes the sharded configuration. The worker count is
 // deliberately absent: statistics are worker-count independent, so a
-// checkpoint taken with -parallel 4 resumes fine under -parallel 1.
+// checkpoint taken with -parallel 4 resumes fine under -parallel 1. The
+// observability flags are absent too — probes only observe — but a traced
+// resume does need tracing enabled again (the trace sink is a strict
+// checkpoint component).
 func (f shardedFlags) fingerprint() string {
+	t := f.traf
 	return fmt.Sprintf("dramctrl-sharded spec=%s model=%s mapping=%s page=%s pattern=%s "+
 		"reads=%d requests=%d bytes=%d outstanding=%d itt=%d stride=%d banks=%d seed=%d channels=%d",
-		f.specName, f.model, f.mapping, f.page, f.pattern,
-		f.reads, f.requests, f.reqBytes, f.outstanding, f.ittNs, f.stride, f.banks, f.seed, f.channels)
+		f.spec.Name, f.pol.Model, f.pol.Mapping, f.pol.Page, t.Pattern,
+		t.Reads, t.Requests, t.Bytes, t.Outstanding, t.ITTNs, t.Stride, t.Banks, t.Seed, f.shard.Channels)
+}
+
+// shardTracePidStride spaces the per-tracer pid ranges so the frontend's
+// processes (crossbar) and each channel's processes land in disjoint,
+// stable id ranges regardless of how many components each shard emits.
+const shardTracePidStride = 1000
+
+// buildShardedTrace wires one tracer per hub: the frontend hub observes the
+// crossbar and the quantum barrier, each shard hub observes that channel's
+// controller. The sink drains them in this fixed order from the
+// single-threaded barrier, which is what makes the merged trace file
+// independent of the worker count.
+func buildShardedTrace(path string, channels int) (*obs.TraceWriter, *obs.TraceSink, *obs.Hub, []*obs.Hub, error) {
+	tw, err := obs.NewTraceWriter(path)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	frontHub := obs.NewHub()
+	frontTracer := obs.NewTracer(0)
+	frontHub.Attach(frontTracer)
+	tracers := []*obs.Tracer{frontTracer}
+	shardHubs := make([]*obs.Hub, channels)
+	for i := range shardHubs {
+		h := obs.NewHub()
+		t := obs.NewTracer((i + 1) * shardTracePidStride)
+		h.Attach(t)
+		shardHubs[i] = h
+		tracers = append(tracers, t)
+	}
+	return tw, obs.NewTraceSink(tw, tracers...), frontHub, shardHubs, nil
 }
 
 // buildShardedRig wires the parallel per-channel rig from flags.
-func buildShardedRig(f shardedFlags, spec dram.Spec, mapping dram.Mapping, kind system.Kind) (*system.ShardedRig, error) {
-	var pat trafficgen.Pattern
-	switch f.pattern {
-	case "linear":
-		pat = &trafficgen.Linear{
-			Start: 0, End: 1 << 28, Step: f.reqBytes,
-			ReadPercent: f.reads, Seed: f.seed,
-		}
-	case "random":
-		pat = &trafficgen.Random{
-			Start: 0, End: 1 << 28, Align: f.reqBytes,
-			ReadPercent: f.reads, Seed: f.seed,
-		}
-	case "dramaware":
-		dec, err := dram.NewDecoder(spec.Org, mapping, f.channels)
-		if err != nil {
-			return nil, err
-		}
-		p := &trafficgen.DRAMAware{
-			Decoder: dec, StrideBursts: f.stride, Banks: f.banks,
-			ReadPercent: f.reads, Seed: f.seed,
-		}
-		if err := p.Validate(); err != nil {
-			return nil, err
-		}
-		pat = p
-	default:
-		return nil, fmt.Errorf("unknown pattern %q", f.pattern)
+func buildShardedRig(f shardedFlags, spec dram.Spec, mapping dram.Mapping, kind system.Kind,
+	frontHub *obs.Hub, shardHubs []*obs.Hub) (*system.ShardedRig, error) {
+	pat, err := f.traf.BuildPattern(spec, mapping, f.shard.Channels)
+	if err != nil {
+		return nil, err
 	}
-
 	return system.NewShardedRig(system.ShardedConfig{
-		Kind:       kind,
-		Spec:       spec,
-		Mapping:    mapping,
-		ClosedPage: strings.HasPrefix(f.page, "closed"),
-		Channels:   f.channels,
-		Xbar:       xbar.Config{Latency: 2 * sim.Nanosecond, QueueDepth: 64},
-		Gens: []trafficgen.Config{{
-			RequestBytes:     f.reqBytes,
-			MaxOutstanding:   f.outstanding,
-			Count:            f.requests,
-			InterTransaction: sim.Tick(f.ittNs) * sim.Nanosecond,
-		}},
-		Patterns: []trafficgen.Pattern{pat},
-		Workers:  f.workers,
+		Kind:        kind,
+		Spec:        spec,
+		Mapping:     mapping,
+		ClosedPage:  f.pol.ClosedPage(),
+		Channels:    f.shard.Channels,
+		Xbar:        xbar.Config{Latency: 2 * sim.Nanosecond, QueueDepth: 64},
+		Gens:        []trafficgen.Config{f.traf.GenConfig()},
+		Patterns:    []trafficgen.Pattern{pat},
+		Workers:     f.shard.Workers,
+		FrontProbes: frontHub,
+		ShardProbes: shardHubs,
 	})
+}
+
+// tracedSession wraps the rig session with the trace lifecycle: the header
+// on fresh start, a file flush after every quantum, and error propagation.
+type tracedSession struct {
+	*system.ShardedSession
+	tw       *obs.TraceWriter
+	sink     *obs.TraceSink
+	startErr error
+}
+
+// Start implements supervisor.Session (fresh runs only).
+func (s *tracedSession) Start() {
+	if err := s.tw.BeginFresh(); err != nil {
+		s.startErr = err
+		return
+	}
+	s.ShardedSession.Start()
+}
+
+// Step implements supervisor.Session.
+func (s *tracedSession) Step() (bool, error) {
+	if s.startErr != nil {
+		return false, s.startErr
+	}
+	done, err := s.ShardedSession.Step()
+	if err != nil {
+		return done, err
+	}
+	if err := s.sink.Flush(); err != nil {
+		return done, err
+	}
+	return done, nil
 }
 
 // runSharded drives the parallel per-channel rig: crossbar and generator on
@@ -95,10 +134,18 @@ func buildShardedRig(f shardedFlags, spec dram.Spec, mapping dram.Mapping, kind 
 // -parallel worker goroutines. Statistics are identical for any worker
 // count; only host wall-clock changes. The run is supervised like the
 // single-channel path: shards checkpoint at quantum barriers, so -checkpoint
-// and -resume work unchanged.
+// and -resume work unchanged. With -trace, each shard's tracer buffers
+// privately during the quantum and the sink merges them in fixed order at
+// the barrier — the trace file is byte-identical for any -parallel value.
 func runSharded(f shardedFlags) error {
-	if err := f.sup.validate(); err != nil {
+	if err := f.sup.Validate(); err != nil {
 		return err
+	}
+	if err := f.obs.Validate(f.sup.Enabled()); err != nil {
+		return err
+	}
+	if f.obs.Sampling() {
+		return fmt.Errorf("-obs-sample/-obs-http are single-channel only (drop -channels)")
 	}
 	if f.traceIn != "" || f.traceOut != "" {
 		return fmt.Errorf("trace capture/replay is single-channel only (drop -channels)")
@@ -106,34 +153,51 @@ func runSharded(f shardedFlags) error {
 	if f.faultsOn {
 		return fmt.Errorf("fault injection is single-channel only (drop -channels)")
 	}
-	spec, err := findSpec(f.specName)
+	spec, err := f.spec.Resolve()
 	if err != nil {
 		return err
 	}
-	mapping, err := dram.ParseMapping(f.mapping)
+	mapping, err := f.pol.ParseMapping()
 	if err != nil {
 		return err
 	}
-	var kind system.Kind
-	switch f.model {
-	case "event":
-		kind = system.EventBased
-	case "cycle":
-		kind = system.CycleBased
-	default:
-		return fmt.Errorf("unknown model %q", f.model)
+	kind, err := f.pol.SystemKind()
+	if err != nil {
+		return err
 	}
 
 	var rig *system.ShardedRig
+	var sink *obs.TraceSink
 	notify, stopNotify := supervisor.NotifySignals()
 	defer stopNotify()
-	res, err := supervisor.Run(f.sup.config(notify), func() (supervisor.Session, error) {
-		r, err := buildShardedRig(f, spec, mapping, kind)
+	res, err := supervisor.Run(f.sup.Config(notify), func() (supervisor.Session, error) {
+		var tw *obs.TraceWriter
+		var frontHub *obs.Hub
+		var shardHubs []*obs.Hub
+		sink = nil
+		if f.obs.Tracing() {
+			var err error
+			tw, sink, frontHub, shardHubs, err = buildShardedTrace(f.obs.TracePath, f.shard.Channels)
+			if err != nil {
+				return nil, err
+			}
+		}
+		r, err := buildShardedRig(f, spec, mapping, kind, frontHub, shardHubs)
 		if err != nil {
 			return nil, err
 		}
 		rig = r
-		return r.NewSession(f.fingerprint(), 100*sim.Second)
+		sess, err := r.NewSession(f.fingerprint(), 100*sim.Second)
+		if err != nil {
+			return nil, err
+		}
+		if sink == nil {
+			return sess, nil
+		}
+		// The trace sink registers last: its save flushes every tracer, so
+		// the recorded file length covers all events up to the checkpoint.
+		sess.Manager().Register("trace", sink)
+		return &tracedSession{ShardedSession: sess, tw: tw, sink: sink}, nil
 	})
 	if err != nil {
 		return err
@@ -141,14 +205,20 @@ func runSharded(f shardedFlags) error {
 	if res.Interrupted {
 		fmt.Printf("interrupted at %s; partial results:\n", res.Now)
 	}
+	if sink != nil {
+		if err := sink.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("trace written to %s (load in ui.perfetto.dev)\n", f.obs.TracePath)
+	}
 
 	var events uint64
 	for _, k := range append([]*sim.Kernel{rig.Front}, rig.Chans...) {
 		events += k.EventsExecuted()
 	}
-	fmt.Printf("spec %s, model %s, mapping %s, page %s\n", spec.Name, f.model, mapping, f.page)
+	fmt.Printf("spec %s, model %s, mapping %s, page %s\n", spec.Name, f.pol.Model, mapping, f.pol.Page)
 	fmt.Printf("%d channels sharded over %d workers, lookahead %s\n",
-		f.channels, f.workers, rig.Lookahead())
+		f.shard.Channels, f.shard.Workers, rig.Lookahead())
 	fmt.Printf("simulated %s in %d events\n", rig.Front.Now(), events)
 	fmt.Printf("aggregate bandwidth %.2f GB/s (%.1f%% avg bus utilisation)\n",
 		rig.AggregateBandwidth()/1e9, rig.AvgBusUtilisation()*100)

@@ -12,11 +12,12 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/experiments/cliconfig"
 )
 
 func main() {
 	figure := flag.Int("figure", 6, "paper figure to regenerate (6 or 7)")
-	requests := flag.Uint64("requests", 20000, "read+write requests to issue")
+	requests := cliconfig.AddRequests(flag.CommandLine, 20000, "read+write requests to issue")
 	bins := flag.Float64("bin", 25, "histogram bin width for display (ns)")
 	flag.Parse()
 

@@ -7,17 +7,18 @@
 //
 //	protocheck -spec DDR3-1600-x64 -page closed -requests 50000
 //	protocheck -trace-in capture.txt -spec LPDDR3-1600-x32
+//	protocheck -spec DDR3-1600-x64 -trace run.json   # Perfetto trace + span citations
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
 	"repro/internal/core"
-	"repro/internal/dram"
+	"repro/internal/experiments/cliconfig"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/power"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -26,34 +27,28 @@ import (
 
 func main() {
 	var (
-		specName = flag.String("spec", "DDR3-1600-x64", "memory spec name")
-		pageS    = flag.String("page", "open", "page policy: open, open-adaptive, closed, closed-adaptive")
-		mappingS = flag.String("mapping", "RoRaBaCoCh", "address mapping")
-		requests = flag.Uint64("requests", 20000, "synthetic requests (ignored with -trace-in)")
+		spec     = cliconfig.AddSpec(flag.CommandLine, "DDR3-1600-x64")
+		pol      = cliconfig.AddPolicy(flag.CommandLine, cliconfig.PolicyFlags{})
+		requests = cliconfig.AddRequests(flag.CommandLine, 20000, "synthetic requests (ignored with -trace-in)")
 		reads    = flag.Int("reads", 67, "read percentage for synthetic traffic")
 		seed     = flag.Int64("seed", 1, "synthetic traffic seed")
 		traceIn  = flag.String("trace-in", "", "replay this trace file instead")
+		traceOut = flag.String("trace", "", "write a Chrome/Perfetto trace here; violations cite its spans")
 		maxShow  = flag.Int("show", 10, "maximum violations to print")
 	)
 	flag.Parse()
-	if err := run(*specName, *pageS, *mappingS, *requests, *reads, *seed, *traceIn, *maxShow); err != nil {
+	if err := run(spec, pol, *requests, *reads, *seed, *traceIn, *traceOut, *maxShow); err != nil {
 		fmt.Fprintln(os.Stderr, "protocheck:", err)
 		os.Exit(1)
 	}
 }
 
-func run(specName, pageS, mappingS string, requests uint64, reads int, seed int64, traceIn string, maxShow int) error {
-	var spec dram.Spec
-	found := false
-	for _, s := range dram.AllSpecs() {
-		if strings.EqualFold(s.Name, specName) {
-			spec, found = s, true
-		}
+func run(sf *cliconfig.Spec, pol *cliconfig.Policy, requests uint64, reads int, seed int64, traceIn, traceOut string, maxShow int) error {
+	spec, err := sf.Resolve()
+	if err != nil {
+		return err
 	}
-	if !found {
-		return fmt.Errorf("unknown spec %q", specName)
-	}
-	mapping, err := dram.ParseMapping(mappingS)
+	mapping, err := pol.ParseMapping()
 	if err != nil {
 		return err
 	}
@@ -61,20 +56,26 @@ func run(specName, pageS, mappingS string, requests uint64, reads int, seed int6
 	k := sim.NewKernel()
 	reg := stats.NewRegistry("protocheck")
 	var trace power.CommandTrace
+	hub := obs.NewHub()
+	hub.Attach(obs.CommandFunc(trace.Record))
+	var sink *obs.TraceSink
+	if traceOut != "" {
+		tw, err := obs.NewTraceWriter(traceOut)
+		if err != nil {
+			return err
+		}
+		if err := tw.BeginFresh(); err != nil {
+			return err
+		}
+		tracer := obs.NewTracer(0)
+		hub.Attach(tracer)
+		sink = obs.NewTraceSink(tw, tracer)
+	}
 	cfg := core.DefaultConfig(spec)
 	cfg.Mapping = mapping
-	cfg.CommandListener = trace.Record
-	switch pageS {
-	case "open":
-		cfg.Page = core.Open
-	case "open-adaptive":
-		cfg.Page = core.OpenAdaptive
-	case "closed":
-		cfg.Page = core.Closed
-	case "closed-adaptive":
-		cfg.Page = core.ClosedAdaptive
-	default:
-		return fmt.Errorf("unknown page policy %q", pageS)
+	cfg.Probes = hub
+	if cfg.Page, err = pol.CorePage(); err != nil {
+		return err
 	}
 	ctrl, err := core.NewController(k, cfg, reg, "mc")
 	if err != nil {
@@ -128,10 +129,21 @@ func run(specName, pageS, mappingS string, requests uint64, reads int, seed int6
 	if !done() {
 		return fmt.Errorf("simulation did not complete by %s", k.Now())
 	}
+	var cite func(power.Violation) string
+	if sink != nil {
+		if err := sink.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("trace written to %s\n", traceOut)
+		cite, err = traceCiter(traceOut)
+		if err != nil {
+			return err
+		}
+	}
 
 	violations := power.CheckTiming(spec, trace.Commands())
 	fmt.Printf("checked %d DRAM commands against %s (%s page, %s)\n",
-		trace.Len(), spec.Name, pageS, mapping)
+		trace.Len(), spec.Name, pol.Page, mapping)
 	if len(violations) == 0 {
 		fmt.Println("protocol clean: no timing violations")
 		return nil
@@ -143,7 +155,64 @@ func run(specName, pageS, mappingS string, requests uint64, reads int, seed int6
 			break
 		}
 		fmt.Printf("  %s\n", v)
+		if cite != nil {
+			if c := cite(v); c != "" {
+				fmt.Printf("    %s\n", c)
+			}
+		}
 	}
 	os.Exit(1)
 	return nil
+}
+
+// traceCiter reads the just-written trace back and returns a function that
+// locates the trace event a violating command rendered as, so findings can
+// be cross-referenced with the Perfetto view: RD/WR map to "burst" spans,
+// ACT/PRE to "cmd" instants, REF to "refresh" spans — all identified by
+// their exact tick-derived timestamp. When a packet-lifecycle firstCmd
+// marker shares the timestamp, its async span id is cited too.
+func traceCiter(path string) (func(power.Violation) string, error) {
+	_, events, err := obs.ReadTraceFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("reading back trace %s: %w", path, err)
+	}
+	byTs := make(map[string][]obs.TraceEvent)
+	for _, e := range events {
+		if e.Ph == "M" {
+			continue
+		}
+		byTs[e.Ts.String()] = append(byTs[e.Ts.String()], e)
+	}
+	return func(v power.Violation) string {
+		ts := fmt.Sprintf("%d.%06d", int64(v.Cmd.At)/1_000_000, int64(v.Cmd.At)%1_000_000)
+		var wantCat, wantName string
+		switch v.Cmd.Kind {
+		case power.CmdRD:
+			wantCat, wantName = "burst", "RD"
+		case power.CmdWR:
+			wantCat, wantName = "burst", "WR"
+		case power.CmdREF:
+			wantCat, wantName = "refresh", "REF"
+		default:
+			wantCat, wantName = "cmd", v.Cmd.Kind.String()
+		}
+		var spanID uint64
+		var haveSpan bool
+		for _, e := range byTs[ts] {
+			if e.Cat == "pkt" && e.Ph == "n" {
+				spanID, haveSpan = e.ID, true
+			}
+		}
+		for _, e := range byTs[ts] {
+			if e.Cat != wantCat || e.Name != wantName {
+				continue
+			}
+			c := fmt.Sprintf("trace: %s %q pid=%d tid=%d ts=%sus", e.Cat, e.Name, e.Pid, e.Tid, e.Ts)
+			if haveSpan {
+				c += fmt.Sprintf(" span=%d", spanID)
+			}
+			return c
+		}
+		return ""
+	}, nil
 }

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/experiments/cliconfig"
 )
 
 // benchReport is the -json output shape (checked in as BENCH_2.json).
@@ -40,7 +41,7 @@ type benchReport struct {
 }
 
 func main() {
-	requests := flag.Uint64("requests", 100000, "requests per case (larger = steadier timing)")
+	requests := cliconfig.AddRequests(flag.CommandLine, 100000, "requests per case (larger = steadier timing)")
 	parallel := flag.Int("parallel", 0, "also measure the sharded rig with up to N workers (0 = skip)")
 	jsonOut := flag.String("json", "", "write all measurements as JSON to this file")
 	flag.Parse()

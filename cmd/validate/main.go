@@ -5,6 +5,8 @@
 //	go run ./cmd/validate          # ~a minute
 //	go run ./cmd/validate -full    # full-size experiments
 //	go run ./cmd/validate -faults  # fault-injection / RAS checks only
+//	go run ./cmd/validate -trace run.json        # + observability self-check
+//	go run ./cmd/validate -trace-check run.json  # validate an existing trace
 package main
 
 import (
@@ -12,7 +14,15 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/core"
+	"repro/internal/dram"
 	"repro/internal/experiments"
+	"repro/internal/mem"
+	"repro/internal/obs"
+	"repro/internal/power"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trafficgen"
 )
 
 // check is one named assertion about an experiment outcome.
@@ -25,7 +35,22 @@ type check struct {
 func main() {
 	full := flag.Bool("full", false, "run full-size experiments (slower)")
 	faultsOnly := flag.Bool("faults", false, "run only the fault-injection / RAS checks")
+	traceOut := flag.String("trace", "", "also run the observability self-check, writing its Perfetto trace here")
+	traceCheck := flag.String("trace-check", "", "validate an existing Chrome trace file and exit")
 	flag.Parse()
+
+	if *traceCheck != "" {
+		sum, err := obs.ValidateTraceStrict(*traceCheck)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "validate:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: valid Chrome trace JSON: %d events, %d lifecycle spans (%d open), "+
+			"%d bursts, %d activates, %d refreshes, processes %v\n",
+			*traceCheck, sum.Events, sum.SpanBegins, sum.OpenSpans(),
+			sum.Bursts, sum.Activates, sum.Refreshes, sum.Processes)
+		return
+	}
 
 	sweepReq, latReq, powerReq, speedReq := uint64(1500), uint64(6000), uint64(1500), uint64(20000)
 	memOps := uint64(1000)
@@ -43,6 +68,9 @@ func main() {
 
 	if *faultsOnly {
 		faultChecks(add, memOps)
+		if *traceOut != "" {
+			traceChecks(add, *traceOut, memOps)
+		}
 		report(checks)
 		return
 	}
@@ -141,7 +169,94 @@ func main() {
 	}
 
 	faultChecks(add, memOps)
+	if *traceOut != "" {
+		traceChecks(add, *traceOut, memOps)
+	}
 	report(checks)
+}
+
+// traceChecks runs the observability self-check: a small traced run through
+// the event-based controller, then the written Chrome trace is re-read,
+// structurally validated, and its event counts reconciled against the
+// controller's own aggregate statistics — the trace must tell the same
+// story as the counters it is meant to explain.
+func traceChecks(add func(string, bool, string, ...any), path string, requests uint64) {
+	act, err := runTraced(path, requests)
+	if err != nil {
+		add("Trace self-check", false, "error: %v", err)
+		return
+	}
+	sum, err := obs.ValidateTraceStrict(path)
+	if err != nil {
+		add("Trace validity", false, "error: %v", err)
+		return
+	}
+	add("Trace validity", sum.Terminated, "%s: %d events, valid Chrome trace JSON", path, sum.Events)
+	add("Trace spans balanced", sum.OpenSpans() == 0,
+		"%d lifecycle begins, %d ends (%d open)", sum.SpanBegins, sum.SpanEnds, sum.OpenSpans())
+	add("Trace/stats bursts", uint64(sum.Bursts) == act.ReadBursts+act.WriteBursts,
+		"trace %d bursts vs controller %d+%d", sum.Bursts, act.ReadBursts, act.WriteBursts)
+	add("Trace/stats activates", uint64(sum.Activates) == act.Activations,
+		"trace %d ACTs vs controller %d", sum.Activates, act.Activations)
+	add("Trace/stats refreshes", uint64(sum.Refreshes) == act.Refreshes,
+		"trace %d REFs vs controller %d", sum.Refreshes, act.Refreshes)
+}
+
+// runTraced drives a short random-traffic run with the packet-lifecycle
+// tracer attached and returns the controller's aggregate activity counts.
+func runTraced(path string, requests uint64) (power.Activity, error) {
+	spec := dram.DDR3_1600_x64()
+	tw, err := obs.NewTraceWriter(path)
+	if err != nil {
+		return power.Activity{}, err
+	}
+	if err := tw.BeginFresh(); err != nil {
+		return power.Activity{}, err
+	}
+	tracer := obs.NewTracer(0)
+	hub := obs.NewHub()
+	hub.Attach(tracer)
+	sink := obs.NewTraceSink(tw, tracer)
+
+	k := sim.NewKernel()
+	reg := stats.NewRegistry("validate")
+	cfg := core.DefaultConfig(spec)
+	cfg.Probes = hub
+	ctrl, err := core.NewController(k, cfg, reg, "mc")
+	if err != nil {
+		return power.Activity{}, err
+	}
+	gen, err := trafficgen.New(k, trafficgen.Config{
+		RequestBytes:   64,
+		MaxOutstanding: 32,
+		Count:          requests,
+	}, &trafficgen.Random{
+		Start: 0, End: 1 << 28, Align: 64, ReadPercent: 67, Seed: 1,
+	}, reg, "gen")
+	if err != nil {
+		return power.Activity{}, err
+	}
+	mem.Connect(gen.Port(), ctrl.Port())
+	gen.Start()
+	for k.Now() < 100*sim.Second {
+		if _, err := k.RunUntilErr(k.Now() + 10*sim.Microsecond); err != nil {
+			return power.Activity{}, err
+		}
+		if gen.Done() {
+			if !ctrl.Quiescent() {
+				ctrl.Drain()
+				continue
+			}
+			break
+		}
+	}
+	if !gen.Done() {
+		return power.Activity{}, fmt.Errorf("traced run did not complete by %s", k.Now())
+	}
+	if err := sink.Close(); err != nil {
+		return power.Activity{}, err
+	}
+	return ctrl.PowerStats(), nil
 }
 
 // faultChecks validates the reliability extension: a seeded fault sweep is

@@ -40,6 +40,10 @@ var simCorePkgs = []string{
 	"repro/internal/xbar",
 	"repro/internal/trafficgen",
 	"repro/internal/faults",
+	// The observability layer renders probe events into traces that must be
+	// byte-identical across runs and worker counts, so it is held to the
+	// same determinism rules as the models it observes.
+	"repro/internal/obs",
 }
 
 // DefaultConfig is the policy cmd/simlint enforces on this module.

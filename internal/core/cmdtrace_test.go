@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/dram"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/power"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -22,7 +23,9 @@ func TestCommandTraceMatchesAggregatePower(t *testing.T) {
 	cfg := DefaultConfig(spec)
 	cfg.FrontendLatency = 0
 	cfg.BackendLatency = 0
-	cfg.CommandListener = trace.Record
+	hub := obs.NewHub()
+	hub.Attach(obs.CommandFunc(trace.Record))
+	cfg.Probes = hub
 	reg := stats.NewRegistry("t")
 	c, err := NewController(k, cfg, reg, "mc")
 	if err != nil {

@@ -14,7 +14,7 @@ import (
 
 	"repro/internal/dram"
 	"repro/internal/faults"
-	"repro/internal/power"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -137,10 +137,13 @@ type Config struct {
 	// idleness (0 disables; must exceed PowerDownIdle when both are set).
 	// The exit pays Timing.TXS and background drops to IDD6.
 	SelfRefreshIdle sim.Tick
-	// CommandListener, when set, receives every DRAM command the
-	// controller issues (ACT/PRE/RD/WR/REF with timestamps) — the hook for
-	// command-trace power models like DRAMPower (§III-E).
-	CommandListener func(power.Command)
+	// Probes, when non-nil and non-empty, receives the controller's
+	// observability events (queue admissions, DRAM commands, bursts,
+	// refreshes, drain episodes — see internal/obs). The constructor
+	// snapshots it via OrNil, so an empty hub costs nothing at run time.
+	// Probe configuration is an observation concern and is deliberately
+	// excluded from checkpoint fingerprints.
+	Probes *obs.Hub
 	// Refresh selects all-bank (paper) or per-bank (extension) refresh.
 	Refresh RefreshPolicy
 	// XORBankHash spreads same-bank strides across banks by XORing the

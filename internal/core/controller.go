@@ -6,6 +6,7 @@ import (
 	"repro/internal/dram"
 	"repro/internal/faults"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/power"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -95,6 +96,10 @@ type Controller struct {
 	// visible to the checkpoint machinery (see checkpoint.go).
 	pendingReplays []*replayRecord
 
+	// hub fans observability events out to attached probes; nil when no
+	// probe is configured, so the disabled path is one pointer comparison.
+	hub *obs.Hub //ckpt:skip observation fan-out, rebuilt by the constructor
+
 	st ctrlStats
 }
 
@@ -142,6 +147,7 @@ func NewController(k *sim.Kernel, cfg Config, reg *stats.Registry, name string) 
 		k:            k,
 		dec:          dec,
 		inWriteQueue: make(map[mem.Addr]int),
+		hub:          cfg.Probes.OrNil(),
 		startTick:    k.Now(),
 		tim:          cfg.Spec.Timing,
 		org:          cfg.Spec.Org,
@@ -305,10 +311,17 @@ func (c *Controller) addToReadQueue(pkt *mem.Packet) bool {
 	})
 	if c.readEntries+needed > c.cfg.ReadBufferSize {
 		c.retryReq = true
+		if c.hub != nil {
+			c.hub.Emit(obs.QueueRefuse{Src: c.name, At: now, Queue: obs.QueueRead, Depth: len(c.readQueue)})
+		}
 		return false
 	}
 	c.st.readReqs.Inc()
 	c.st.readQueueLen.Sample(float64(len(c.readQueue)))
+	if c.hub != nil {
+		c.hub.Emit(obs.PacketEnqueued{Src: c.name, At: now, Pkt: pkt, Queue: obs.QueueRead, Bursts: needed})
+		c.hub.Emit(obs.QueueAdmit{Src: c.name, At: now, Queue: obs.QueueRead, Depth: len(c.readQueue)})
+	}
 	tr := &transaction{pkt: pkt, remaining: needed, entries: needed}
 	c.burstRange(pkt, func(burstAddr, lo mem.Addr, size uint64) {
 		c.st.readBursts.Inc()
@@ -346,10 +359,17 @@ func (c *Controller) addToWriteQueue(pkt *mem.Packet) bool {
 	count := c.burstCount(pkt)
 	if len(c.writeQueue)+count > c.cfg.WriteBufferSize {
 		c.retryReq = true
+		if c.hub != nil {
+			c.hub.Emit(obs.QueueRefuse{Src: c.name, At: now, Queue: obs.QueueWrite, Depth: len(c.writeQueue)})
+		}
 		return false
 	}
 	c.st.writeReqs.Inc()
 	c.st.writeQueueLen.Sample(float64(len(c.writeQueue)))
+	if c.hub != nil {
+		c.hub.Emit(obs.PacketEnqueued{Src: c.name, At: now, Pkt: pkt, Queue: obs.QueueWrite, Bursts: count})
+		c.hub.Emit(obs.QueueAdmit{Src: c.name, At: now, Queue: obs.QueueWrite, Depth: len(c.writeQueue)})
+	}
 	c.burstRange(pkt, func(burstAddr, lo mem.Addr, size uint64) {
 		if c.inWriteQueue[burstAddr] > 0 && c.tryMergeWrite(burstAddr, lo, size) {
 			c.st.mergedWrBursts.Inc()
@@ -437,6 +457,9 @@ func (c *Controller) processRespondEvent() {
 			c.retryResp = true
 			return
 		}
+		if c.hub != nil {
+			c.hub.Emit(obs.ResponseSent{Src: c.name, At: now, Pkt: e.pkt})
+		}
 		c.respQueue = c.respQueue[1:]
 		if e.release > 0 {
 			c.readEntries -= e.release
@@ -516,6 +539,9 @@ func (c *Controller) processNextReqEvent() {
 			c.state = busWrite
 			c.writesThisTime = 0
 			c.st.rdWrTurnarounds.Inc()
+			if c.hub != nil {
+				c.hub.Emit(obs.WriteDrainEnter{Src: c.name, At: c.k.Now(), QueueLen: len(c.writeQueue)})
+			}
 		}
 	case busWrite:
 		if len(c.writeQueue) > 0 {
@@ -539,6 +565,9 @@ func (c *Controller) processNextReqEvent() {
 			c.state = busRead
 			c.readsThisTime = 0
 			c.st.rdWrTurnarounds.Inc()
+			if c.hub != nil {
+				c.hub.Emit(obs.WriteDrainExit{Src: c.name, At: c.k.Now(), Writes: c.writesThisTime})
+			}
 		}
 	}
 	if len(c.readQueue) > 0 || len(c.writeQueue) > 0 {
@@ -724,12 +753,21 @@ func (c *Controller) doDRAMAccess(p *dramPacket) {
 	dataEnd := cmdAt + t.TCL + t.TBURST
 	c.busBusyUntil = dataEnd
 	p.readyTime = dataEnd
-	if c.cfg.CommandListener != nil {
+	if c.hub != nil {
 		kind := power.CmdWR
 		if p.isRead {
 			kind = power.CmdRD
 		}
 		c.emitCommand(kind, p.coord.Rank, p.coord.Bank, cmdAt)
+		var sysPkt *mem.Packet
+		if p.parent != nil {
+			sysPkt = p.parent.pkt
+		}
+		c.hub.Emit(obs.BurstScheduled{
+			Src: c.name, At: cmdAt, Pkt: sysPkt, Read: p.isRead,
+			Rank: p.coord.Rank, Bank: p.coord.Bank, Row: p.coord.Row,
+			DataEnd: dataEnd,
+		})
 	}
 
 	burstBytes := org.BurstBytes()
@@ -805,11 +843,12 @@ func (c *Controller) queuedRowConflict(coord dram.Coord) bool {
 	return false
 }
 
-// emitCommand forwards a DRAM command to the configured listener.
+// emitCommand forwards a DRAM command to the attached probes.
 func (c *Controller) emitCommand(kind power.CommandKind, rankIdx, bankIdx int, at sim.Tick) {
-	if c.cfg.CommandListener != nil {
-		c.cfg.CommandListener(power.Command{Kind: kind, Rank: rankIdx, Bank: bankIdx, At: at})
+	if c.hub == nil {
+		return
 	}
+	c.hub.Emit(obs.DRAMCommand{Src: c.name, Cmd: power.Command{Kind: kind, Rank: rankIdx, Bank: bankIdx, At: at}})
 }
 
 // rankIndexOf resolves a rank pointer back to its index (ranks are few).
@@ -843,7 +882,7 @@ func (c *Controller) activateBank(rk *rank, b *bank, actAt sim.Tick, row int64) 
 	b.bytesAccessed = 0
 	rk.recordAct(actAt, c.cfg.Spec.Org.ActivationLimit)
 	c.st.activations.Inc()
-	if c.cfg.CommandListener != nil {
+	if c.hub != nil {
 		c.emitCommand(power.CmdACT, c.rankIndexOf(rk), c.bankIndexOf(rk, b), actAt)
 	}
 	if c.openBankCount == 0 {
@@ -868,7 +907,7 @@ func (c *Controller) prechargeBank(rk *rank, b *bank, preAt sim.Tick) {
 	b.rowAccesses = 0
 	b.bytesAccessed = 0
 	c.st.precharges.Inc()
-	if c.cfg.CommandListener != nil {
+	if c.hub != nil {
 		c.emitCommand(power.CmdPRE, c.rankIndexOf(rk), c.bankIndexOf(rk, b), preAt)
 	}
 	c.openBankCount--
@@ -934,6 +973,10 @@ func (c *Controller) refreshAllBanks(rankIdx int, rk *rank) {
 		b.refreshUntil = maxTick(b.refreshUntil, done)
 	}
 	c.emitCommand(power.CmdREF, rankIdx, 0, start)
+	if c.hub != nil {
+		c.hub.Emit(obs.RefreshStart{Src: c.name, At: start, Rank: rankIdx, Bank: -1, Until: done})
+		c.hub.Emit(obs.RefreshEnd{Src: c.name, At: done, Rank: rankIdx, Bank: -1})
+	}
 }
 
 // tRFCpbNum/tRFCpbDen scale tRFC down for per-bank refresh (LPDDR3-style:
@@ -961,5 +1004,9 @@ func (c *Controller) refreshOneBank(rankIdx int, rk *rank) {
 	b.actAllowedAt = maxTick(b.actAllowedAt, done)
 	b.refreshUntil = maxTick(b.refreshUntil, done)
 	c.emitCommand(power.CmdREF, rankIdx, rk.nextRefreshBank, start)
+	if c.hub != nil {
+		c.hub.Emit(obs.RefreshStart{Src: c.name, At: start, Rank: rankIdx, Bank: rk.nextRefreshBank, Until: done})
+		c.hub.Emit(obs.RefreshEnd{Src: c.name, At: done, Rank: rankIdx, Bank: rk.nextRefreshBank})
+	}
 	rk.nextRefreshBank = (rk.nextRefreshBank + 1) % len(rk.banks)
 }

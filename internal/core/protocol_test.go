@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/dram"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/power"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -36,7 +37,9 @@ func TestControllerObeysDRAMProtocol(t *testing.T) {
 		cfg.Refresh = RefreshPolicy(rng.Intn(2))
 		cfg.XORBankHash = rng.Intn(2) == 0
 		cfg.MinWritesPerSwitch = 1 + rng.Intn(16)
-		cfg.CommandListener = trace.Record
+		hub := obs.NewHub()
+		hub.Attach(obs.CommandFunc(trace.Record))
+		cfg.Probes = hub
 		reg := stats.NewRegistry("t")
 		c, err := NewController(k, cfg, reg, "mc")
 		if err != nil {

@@ -6,6 +6,7 @@ import (
 	"repro/internal/dram"
 	"repro/internal/faults"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/power"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -71,12 +72,14 @@ func TestRefreshStaggerAcrossRanks(t *testing.T) {
 	cfg := DefaultConfig(dram.DDR3_1600_x64_2R())
 	refRanks := map[sim.Tick][]int{}
 	total := 0
-	cfg.CommandListener = func(c power.Command) {
+	refHub := obs.NewHub()
+	refHub.Attach(obs.CommandFunc(func(c power.Command) {
 		if c.Kind == power.CmdREF {
 			refRanks[c.At] = append(refRanks[c.At], c.Rank)
 			total++
 		}
-	}
+	}))
+	cfg.Probes = refHub
 	reg := stats.NewRegistry("t")
 	if _, err := NewController(k, cfg, reg, "mc"); err != nil {
 		t.Fatal(err)
@@ -114,14 +117,16 @@ func TestScrubRespectsRefreshTiming(t *testing.T) {
 		at   sim.Tick
 	}
 	var cmds []cmdAt
-	cfg.CommandListener = func(c power.Command) {
+	cmdHub := obs.NewHub()
+	cmdHub.Attach(obs.CommandFunc(func(c power.Command) {
 		switch c.Kind {
 		case power.CmdREF:
 			refWindows[c.Rank] = append(refWindows[c.Rank], window{c.At, c.At + tm.TRFC})
 		case power.CmdACT, power.CmdRD, power.CmdWR:
 			cmds = append(cmds, cmdAt{c.Kind, c.Rank, c.At})
 		}
-	}
+	}))
+	cfg.Probes = cmdHub
 
 	h := &harness{k: k}
 	c, err := NewController(k, cfg, stats.NewRegistry("t"), "mc")

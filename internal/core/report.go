@@ -1,6 +1,9 @@
 package core
 
-import "repro/internal/power"
+import (
+	"repro/internal/obs"
+	"repro/internal/power"
+)
 
 // PowerStats returns the activity snapshot Micron's power model consumes
 // (paper §II-G), covering the window since construction or the last stats
@@ -58,6 +61,25 @@ func (c *Controller) RowHitRate() float64 {
 // AvgReadLatencyNs returns the mean read memory-access latency in ns
 // (including the static frontend/backend latencies).
 func (c *Controller) AvgReadLatencyNs() float64 { return c.st.memAccLat.Mean() }
+
+// ObsSample implements obs.SampleSource: an instantaneous snapshot of the
+// controller for the periodic time-series sampler.
+func (c *Controller) ObsSample() obs.Sample {
+	banks := make([]bool, 0, len(c.ranks)*c.org.BanksPerRank)
+	for _, rk := range c.ranks {
+		for i := range rk.banks {
+			banks = append(banks, rk.banks[i].openRow != rowClosed)
+		}
+	}
+	return obs.Sample{
+		ReadQueueLen:   len(c.readQueue),
+		WriteQueueLen:  len(c.writeQueue),
+		BusUtilisation: c.BusUtilisation(),
+		RowHitRate:     c.RowHitRate(),
+		BanksOpen:      banks,
+		Draining:       c.state == busWrite,
+	}
+}
 
 // ResetStatsWindow restarts the measurement window at the current tick
 // without touching DRAM state, so warm-up traffic can be excluded.

@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/dram"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -67,6 +68,10 @@ type Config struct {
 	// every cycle unconditionally, so the faithful default is false; set it
 	// to see how much of the cycle-based cost is pure idle ticking.
 	IdleSkip bool
+	// Probes, when non-nil and non-empty, receives the controller's
+	// observability events (see internal/obs); excluded from checkpoint
+	// fingerprints like every other observation setting.
+	Probes *obs.Hub
 }
 
 // DefaultConfig mirrors DRAMSim2's defaults for the given spec.
@@ -180,6 +185,10 @@ type Controller struct {
 	energy         EnergyBreakdown
 	lastMaintained int64
 
+	// hub fans observability events out to attached probes; nil when no
+	// probe is configured.
+	hub *obs.Hub //ckpt:skip observation fan-out, rebuilt by the constructor
+
 	st ctrlStats
 }
 
@@ -232,6 +241,7 @@ func NewController(k *sim.Kernel, cfg Config, reg *stats.Registry, name string) 
 		dec:    dec,
 		tck:    cfg.Spec.Timing.TCK,
 		cycles: toCycles(cfg.Spec.Timing),
+		hub:    cfg.Probes.OrNil(),
 	}
 	c.port = mem.NewResponsePort(name+".port", c, k)
 	c.ranks = make([]*crank, cfg.Spec.Org.RanksPerChannel)
@@ -284,15 +294,26 @@ func (c *Controller) cycleNow() int64 {
 // RecvTimingReq implements mem.Responder.
 func (c *Controller) RecvTimingReq(pkt *mem.Packet) bool {
 	count := c.burstCount(pkt)
+	isRead := pkt.Cmd == mem.ReadReq
+	queue := obs.QueueWrite
+	if isRead {
+		queue = obs.QueueRead
+	}
 	if len(c.queue)+count > c.cfg.TransQueueSize {
 		c.retryReq = true
+		if c.hub != nil {
+			c.hub.Emit(obs.QueueRefuse{Src: c.name, At: c.k.Now(), Queue: queue, Depth: len(c.queue)})
+		}
 		return false
 	}
-	isRead := pkt.Cmd == mem.ReadReq
 	if isRead {
 		c.st.readReqs.Inc()
 	} else {
 		c.st.writeReqs.Inc()
+	}
+	if c.hub != nil {
+		c.hub.Emit(obs.PacketEnqueued{Src: c.name, At: c.k.Now(), Pkt: pkt, Queue: queue, Bursts: count})
+		c.hub.Emit(obs.QueueAdmit{Src: c.name, At: c.k.Now(), Queue: queue, Depth: len(c.queue)})
 	}
 	parent := &parentReq{pkt: pkt, remaining: count}
 	burst := c.cfg.Spec.Org.BurstBytes()

@@ -1,9 +1,38 @@
 package cyclesim
 
 import (
+	"repro/internal/obs"
 	"repro/internal/power"
 	"repro/internal/sim"
 )
+
+// ObsSample implements obs.SampleSource: an instantaneous snapshot of the
+// controller for the periodic time-series sampler. The unified transaction
+// queue reports reads and writes separately so probes see the same shape as
+// the event-based model.
+func (c *Controller) ObsSample() obs.Sample {
+	reads, writes := 0, 0
+	for _, t := range c.queue {
+		if t.isRead {
+			reads++
+		} else {
+			writes++
+		}
+	}
+	banks := make([]bool, 0, len(c.ranks)*c.cfg.Spec.Org.BanksPerRank)
+	for _, rk := range c.ranks {
+		for i := range rk.banks {
+			banks = append(banks, rk.banks[i].openRow != rowClosed)
+		}
+	}
+	return obs.Sample{
+		ReadQueueLen:   reads,
+		WriteQueueLen:  writes,
+		BusUtilisation: c.BusUtilisation(),
+		RowHitRate:     c.RowHitRate(),
+		BanksOpen:      banks,
+	}
+}
 
 // PowerStats returns the Micron-model activity snapshot, mirroring the
 // event-based controller's method so the §III-C3 power comparison runs the

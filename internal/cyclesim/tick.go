@@ -1,6 +1,13 @@
 package cyclesim
 
-import "repro/internal/sim"
+import (
+	"repro/internal/obs"
+	"repro/internal/power"
+	"repro/internal/sim"
+)
+
+// ct converts a cycle number to kernel ticks for observability timestamps.
+func (c *Controller) ct(cycle int64) sim.Tick { return sim.Tick(cycle) * c.tck }
 
 // tick is the per-cycle evaluation: deliver due responses, issue at most one
 // DRAM command on the shared command bus, and re-arm for the next cycle.
@@ -37,6 +44,9 @@ func (c *Controller) drainResponses(cycle int64) {
 			c.retryResp = true
 			return
 		}
+		if c.hub != nil {
+			c.hub.Emit(obs.ResponseSent{Src: c.name, At: c.k.Now(), Pkt: e.pkt})
+		}
 		c.resp = c.resp[1:]
 	}
 }
@@ -44,7 +54,7 @@ func (c *Controller) drainResponses(cycle int64) {
 // refreshWork handles due refreshes; it returns true if refresh used the
 // command slot this cycle.
 func (c *Controller) refreshWork(cycle int64) bool {
-	for _, rk := range c.ranks {
+	for ri, rk := range c.ranks {
 		if cycle < rk.refreshDue {
 			continue
 		}
@@ -53,7 +63,7 @@ func (c *Controller) refreshWork(cycle int64) bool {
 			b := &rk.banks[i]
 			if b.openRow != rowClosed {
 				if cycle >= b.nextPre {
-					c.prechargeBank(b, cycle)
+					c.prechargeBank(b, ri, i, cycle)
 					return true
 				}
 				return false // wait for the precharge window
@@ -72,6 +82,13 @@ func (c *Controller) refreshWork(cycle int64) bool {
 		}
 		rk.refreshDue += c.cycles.tREFI
 		c.st.refreshes.Inc()
+		if c.hub != nil {
+			at := c.ct(cycle)
+			done := c.ct(cycle + c.cycles.tRFC)
+			c.hub.Emit(obs.DRAMCommand{Src: c.name, Cmd: power.Command{Kind: power.CmdREF, Rank: ri, At: at}})
+			c.hub.Emit(obs.RefreshStart{Src: c.name, At: at, Rank: ri, Bank: -1, Until: done})
+			c.hub.Emit(obs.RefreshEnd{Src: c.name, At: done, Rank: ri, Bank: -1})
+		}
 		return true
 	}
 	return false
@@ -106,12 +123,12 @@ func (c *Controller) scheduleCommand(cycle int64) {
 		switch {
 		case b.openRow == rowClosed:
 			if c.canActivate(rk, b, cycle) {
-				c.activateBank(rk, b, int64(t.coord.Row), cycle)
+				c.activateBank(rk, b, t.coord.Rank, t.coord.Bank, int64(t.coord.Row), cycle)
 				return
 			}
 		case b.openRow != int64(t.coord.Row):
 			if cycle >= b.nextPre {
-				c.prechargeBank(b, cycle)
+				c.prechargeBank(b, t.coord.Rank, t.coord.Bank, cycle)
 				return
 			}
 		}
@@ -145,7 +162,10 @@ func (c *Controller) canActivate(rk *crank, b *cbank, cycle int64) bool {
 	return true
 }
 
-func (c *Controller) activateBank(rk *crank, b *cbank, row, cycle int64) {
+func (c *Controller) activateBank(rk *crank, b *cbank, rankIdx, bankIdx int, row, cycle int64) {
+	if c.hub != nil {
+		c.hub.Emit(obs.DRAMCommand{Src: c.name, Cmd: power.Command{Kind: power.CmdACT, Rank: rankIdx, Bank: bankIdx, At: c.ct(cycle)}})
+	}
 	b.openRow = row
 	b.openedFresh = true
 	b.status = bankActivating
@@ -171,9 +191,12 @@ func (c *Controller) activateBank(rk *crank, b *cbank, row, cycle int64) {
 	c.openBankCount++
 }
 
-func (c *Controller) prechargeBank(b *cbank, cycle int64) {
+func (c *Controller) prechargeBank(b *cbank, rankIdx, bankIdx int, cycle int64) {
 	if b.openRow == rowClosed {
 		return
+	}
+	if c.hub != nil {
+		c.hub.Emit(obs.DRAMCommand{Src: c.name, Cmd: power.Command{Kind: power.CmdPRE, Rank: rankIdx, Bank: bankIdx, At: c.ct(cycle)}})
 	}
 	b.openRow = rowClosed
 	b.status = bankPrecharging
@@ -193,6 +216,18 @@ func (c *Controller) prechargeBank(b *cbank, cycle int64) {
 func (c *Controller) issueColumn(rk *crank, b *cbank, t *txn, i int, cycle int64) {
 	dataEnd := cycle + c.cycles.tCL + c.cycles.tBURST
 	c.busFree = dataEnd
+	if c.hub != nil {
+		kind := power.CmdWR
+		if t.isRead {
+			kind = power.CmdRD
+		}
+		c.hub.Emit(obs.DRAMCommand{Src: c.name, Cmd: power.Command{Kind: kind, Rank: t.coord.Rank, Bank: t.coord.Bank, At: c.ct(cycle)}})
+		c.hub.Emit(obs.BurstScheduled{
+			Src: c.name, At: c.ct(cycle), Pkt: t.parent.pkt, Read: t.isRead,
+			Rank: t.coord.Rank, Bank: t.coord.Bank, Row: t.coord.Row,
+			DataEnd: c.ct(dataEnd),
+		})
+	}
 
 	if b.openedFresh {
 		b.openedFresh = false
@@ -227,6 +262,9 @@ func (c *Controller) issueColumn(rk *crank, b *cbank, t *txn, i int, cycle int64
 	if c.cfg.Page == ClosedPage {
 		// Auto-precharge as soon as the bank's constraints allow.
 		pre := b.nextPre
+		if c.hub != nil {
+			c.hub.Emit(obs.DRAMCommand{Src: c.name, Cmd: power.Command{Kind: power.CmdPRE, Rank: t.coord.Rank, Bank: t.coord.Bank, At: c.ct(pre)}})
+		}
 		b.openRow = rowClosed
 		b.openedFresh = false
 		b.status = bankPrecharging

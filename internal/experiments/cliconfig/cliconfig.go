@@ -1,0 +1,316 @@
+// Package cliconfig extracts the flag-group boilerplate shared by the
+// command-line tools (dramctrl, bwsweep, latdist, speedup, protocheck):
+// each group registers a coherent set of flags on a FlagSet with the same
+// names and defaults the tools have always used, and offers the parsing /
+// resolution helpers that every main() used to duplicate (spec lookup,
+// mapping and page-policy parsing, traffic-pattern construction, the
+// supervisor configuration, the observability knobs).
+package cliconfig
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dram"
+	"repro/internal/sim"
+	"repro/internal/supervisor"
+	"repro/internal/system"
+	"repro/internal/trafficgen"
+)
+
+// --- Spec group ------------------------------------------------------------
+
+// Spec is the -spec flag group.
+type Spec struct {
+	Name string
+}
+
+// AddSpec registers -spec with the given default.
+func AddSpec(fs *flag.FlagSet, def string) *Spec {
+	s := &Spec{}
+	fs.StringVar(&s.Name, "spec", def, "memory spec name (see -list)")
+	return s
+}
+
+// Resolve looks the named spec up, case-insensitively.
+func (s *Spec) Resolve() (dram.Spec, error) {
+	for _, sp := range dram.AllSpecs() {
+		if strings.EqualFold(sp.Name, s.Name) {
+			return sp, nil
+		}
+	}
+	return dram.Spec{}, fmt.Errorf("unknown spec %q (use -list)", s.Name)
+}
+
+// ListSpecs prints the available specs, one per line.
+func ListSpecs(w io.Writer) {
+	for _, s := range dram.AllSpecs() {
+		fmt.Fprintf(w, "%-18s %3d-bit, BL%d, %d banks x %d ranks, %g GB/s peak\n",
+			s.Name, s.Org.BusWidthBits, s.Org.BurstLength,
+			s.Org.BanksPerRank, s.Org.RanksPerChannel, s.PeakBandwidth()/1e9)
+	}
+}
+
+// --- Policy group ----------------------------------------------------------
+
+// Policy is the controller-policy flag group: -mapping and -page always,
+// -model and -sched when the tool exposes them.
+type Policy struct {
+	Model   string
+	Mapping string
+	Page    string
+	Sched   string
+}
+
+// PolicyFlags selects the optional members of the policy group.
+type PolicyFlags struct {
+	Model bool
+	Sched bool
+}
+
+// AddPolicy registers the policy flags.
+func AddPolicy(fs *flag.FlagSet, opt PolicyFlags) *Policy {
+	p := &Policy{Model: "event", Sched: "frfcfs"}
+	if opt.Model {
+		fs.StringVar(&p.Model, "model", "event", "controller model: event or cycle")
+	}
+	fs.StringVar(&p.Mapping, "mapping", "RoRaBaCoCh", "address mapping: RoRaBaCoCh, RoRaBaChCo, RoCoRaBaCh")
+	fs.StringVar(&p.Page, "page", "open", "page policy: open, open-adaptive, closed, closed-adaptive")
+	if opt.Sched {
+		fs.StringVar(&p.Sched, "sched", "frfcfs", "scheduler: fcfs or frfcfs")
+	}
+	return p
+}
+
+// ParseMapping resolves the -mapping name.
+func (p *Policy) ParseMapping() (dram.Mapping, error) {
+	return dram.ParseMapping(p.Mapping)
+}
+
+// CorePage resolves -page to the event-based controller's policy enum.
+func (p *Policy) CorePage() (core.PagePolicy, error) {
+	switch p.Page {
+	case "open":
+		return core.Open, nil
+	case "open-adaptive":
+		return core.OpenAdaptive, nil
+	case "closed":
+		return core.Closed, nil
+	case "closed-adaptive":
+		return core.ClosedAdaptive, nil
+	}
+	return 0, fmt.Errorf("unknown page policy %q", p.Page)
+}
+
+// ClosedPage reports whether -page names a closed-page family policy, the
+// granularity the cycle-based model and the rig configuration use.
+func (p *Policy) ClosedPage() bool { return strings.HasPrefix(p.Page, "closed") }
+
+// SystemKind resolves -model to the rig controller kind.
+func (p *Policy) SystemKind() (system.Kind, error) {
+	switch p.Model {
+	case "event":
+		return system.EventBased, nil
+	case "cycle":
+		return system.CycleBased, nil
+	}
+	return 0, fmt.Errorf("unknown model %q", p.Model)
+}
+
+// --- Traffic group ---------------------------------------------------------
+
+// Traffic is the synthetic-traffic flag group of the full runner.
+type Traffic struct {
+	Pattern     string
+	Reads       int
+	Requests    uint64
+	Bytes       uint64
+	Outstanding int
+	ITTNs       int64
+	Stride      uint64
+	Banks       int
+	Seed        int64
+}
+
+// AddTraffic registers the traffic flags with the runner's defaults.
+func AddTraffic(fs *flag.FlagSet, defRequests uint64) *Traffic {
+	t := &Traffic{}
+	fs.StringVar(&t.Pattern, "pattern", "linear", "traffic: linear, random, dramaware")
+	fs.IntVar(&t.Reads, "reads", 100, "read percentage (0-100)")
+	fs.Uint64Var(&t.Requests, "requests", defRequests, "number of requests")
+	fs.Uint64Var(&t.Bytes, "bytes", 64, "request size in bytes")
+	fs.IntVar(&t.Outstanding, "outstanding", 32, "max outstanding requests")
+	fs.Int64Var(&t.ITTNs, "itt", 0, "inter-transaction time in ns (0 = saturate)")
+	fs.Uint64Var(&t.Stride, "stride", 4, "dramaware: stride in bursts")
+	fs.IntVar(&t.Banks, "banks", 4, "dramaware: banks targeted")
+	fs.Int64Var(&t.Seed, "seed", 1, "pattern seed")
+	return t
+}
+
+// GenConfig assembles the generator configuration.
+func (t *Traffic) GenConfig() trafficgen.Config {
+	return trafficgen.Config{
+		RequestBytes:     t.Bytes,
+		MaxOutstanding:   t.Outstanding,
+		Count:            t.Requests,
+		InterTransaction: sim.Tick(t.ITTNs) * sim.Nanosecond,
+	}
+}
+
+// BuildPattern constructs the selected traffic pattern. channels sizes the
+// dramaware pattern's address decoder (1 for a single-channel run).
+func (t *Traffic) BuildPattern(spec dram.Spec, mapping dram.Mapping, channels int) (trafficgen.Pattern, error) {
+	switch t.Pattern {
+	case "linear":
+		return &trafficgen.Linear{
+			Start: 0, End: 1 << 28, Step: t.Bytes,
+			ReadPercent: t.Reads, Seed: t.Seed,
+		}, nil
+	case "random":
+		return &trafficgen.Random{
+			Start: 0, End: 1 << 28, Align: t.Bytes,
+			ReadPercent: t.Reads, Seed: t.Seed,
+		}, nil
+	case "dramaware":
+		dec, err := dram.NewDecoder(spec.Org, mapping, channels)
+		if err != nil {
+			return nil, err
+		}
+		p := &trafficgen.DRAMAware{
+			Decoder: dec, StrideBursts: t.Stride, Banks: t.Banks,
+			ReadPercent: t.Reads, Seed: t.Seed,
+		}
+		if err := p.Validate(); err != nil {
+			return nil, err
+		}
+		return p, nil
+	}
+	return nil, fmt.Errorf("unknown pattern %q", t.Pattern)
+}
+
+// AddRequests registers the lone -requests flag the experiment regenerators
+// use, with each tool's own default and usage text.
+func AddRequests(fs *flag.FlagSet, def uint64, usage string) *uint64 {
+	return fs.Uint64("requests", def, usage)
+}
+
+// --- Sharding group --------------------------------------------------------
+
+// Shard is the -channels / -parallel flag group.
+type Shard struct {
+	Channels int
+	Workers  int
+}
+
+// AddShard registers the sharding flags (defaults: one channel, one worker).
+func AddShard(fs *flag.FlagSet) *Shard {
+	s := &Shard{}
+	fs.IntVar(&s.Channels, "channels", 1, "DRAM channels behind a crossbar (sharded rig when > 1)")
+	fs.IntVar(&s.Workers, "parallel", 1, "worker goroutines stepping channel shards (statistics are worker-count independent)")
+	return s
+}
+
+// Sharded reports whether the multi-channel rig was requested.
+func (s *Shard) Sharded() bool { return s.Channels > 1 }
+
+// --- Checkpoint group ------------------------------------------------------
+
+// Checkpoint is the supervision/checkpoint flag group shared by the single-
+// and multi-channel runner paths.
+type Checkpoint struct {
+	Path       string
+	EveryNs    int64
+	EveryWall  time.Duration
+	Resume     bool
+	MaxRetries int
+}
+
+// AddCheckpoint registers the checkpoint flags.
+func AddCheckpoint(fs *flag.FlagSet) *Checkpoint {
+	c := &Checkpoint{}
+	fs.StringVar(&c.Path, "checkpoint", "", "checkpoint file; written periodically, at interrupt, and at completion")
+	fs.Int64Var(&c.EveryNs, "checkpoint-every", 0, "checkpoint every N ns of simulated time (0 = only final/interrupt)")
+	fs.DurationVar(&c.EveryWall, "checkpoint-wall", 0, "checkpoint every wall-clock interval, e.g. 30s (0 = off)")
+	fs.BoolVar(&c.Resume, "resume", false, "resume from -checkpoint if the file exists")
+	fs.IntVar(&c.MaxRetries, "max-retries", 0, "rebuild-and-resume attempts after a crashed segment")
+	return c
+}
+
+// Enabled reports whether any checkpoint/resume behaviour was requested.
+func (c *Checkpoint) Enabled() bool { return c.Path != "" || c.Resume }
+
+// Validate rejects inconsistent supervision flags.
+func (c *Checkpoint) Validate() error {
+	if c.Resume && c.Path == "" {
+		return fmt.Errorf("-resume needs -checkpoint")
+	}
+	if (c.EveryNs != 0 || c.EveryWall != 0) && c.Path == "" {
+		return fmt.Errorf("-checkpoint-every/-checkpoint-wall need -checkpoint")
+	}
+	if c.EveryNs < 0 || c.EveryWall < 0 {
+		return fmt.Errorf("negative checkpoint interval")
+	}
+	return nil
+}
+
+// Config assembles the supervisor configuration.
+func (c *Checkpoint) Config(notify <-chan os.Signal) supervisor.Config {
+	return supervisor.Config{
+		Checkpoint: c.Path,
+		Every:      sim.Tick(c.EveryNs) * sim.Nanosecond,
+		EveryWall:  c.EveryWall,
+		Resume:     c.Resume,
+		MaxRetries: c.MaxRetries,
+		Notify:     notify,
+		Log:        os.Stderr,
+	}
+}
+
+// --- Observability group ---------------------------------------------------
+
+// Obs is the observability flag group: Perfetto trace output, the live HTTP
+// endpoint, and periodic state sampling.
+type Obs struct {
+	TracePath string
+	HTTPAddr  string
+	SampleNs  int64
+}
+
+// AddObs registers the observability flags.
+func AddObs(fs *flag.FlagSet) *Obs {
+	o := &Obs{}
+	fs.StringVar(&o.TracePath, "trace", "", "write a Chrome/Perfetto trace of the run to this file")
+	fs.StringVar(&o.HTTPAddr, "obs-http", "", "serve live stats snapshots and pprof on this address (e.g. localhost:6060)")
+	fs.Int64Var(&o.SampleNs, "obs-sample", 0, "sample controller state every N ns of simulated time (0 = off; implied 1ms by -obs-http)")
+	return o
+}
+
+// Tracing reports whether a trace file was requested.
+func (o *Obs) Tracing() bool { return o.TracePath != "" }
+
+// Sampling reports whether periodic sampling is active (after Validate has
+// applied the -obs-http implication).
+func (o *Obs) Sampling() bool { return o.SampleNs > 0 }
+
+// Validate checks the observability flags against the run mode and applies
+// the -obs-http sampling implication. The trace is checkpoint-compatible
+// (the sink is a checkpoint component); the sampler and the live endpoint
+// schedule host-driven work no component hook serializes, so they are
+// rejected alongside checkpointing, like -interval.
+func (o *Obs) Validate(checkpointing bool) error {
+	if o.SampleNs < 0 {
+		return fmt.Errorf("negative -obs-sample interval")
+	}
+	if o.HTTPAddr != "" && o.SampleNs == 0 {
+		o.SampleNs = 1_000_000 // 1 ms of simulated time between snapshots
+	}
+	if checkpointing && o.SampleNs > 0 {
+		return fmt.Errorf("checkpointing does not support -obs-sample/-obs-http (drop them or the -checkpoint flags)")
+	}
+	return nil
+}

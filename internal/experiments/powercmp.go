@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"repro/internal/dram"
+	"repro/internal/obs"
 	"repro/internal/power"
 	"repro/internal/sim"
 	"repro/internal/system"
@@ -12,19 +13,24 @@ import (
 )
 
 // PowerRow compares the Micron-model power of both controllers on one test
-// case (§III-C3: max difference 8%, average 3% in the paper).
+// case (§III-C3: max difference 8%, average 3% in the paper), plus a third
+// methodology: a DRAMPower-style analysis of the event controller's command
+// trace, captured through the observability hub.
 type PowerRow struct {
-	Case        string
-	EventMW     float64
-	CycleMW     float64
-	DiffPercent float64
+	Case         string
+	EventMW      float64
+	CycleMW      float64
+	TraceMW      float64
+	DiffPercent  float64
+	TraceDiffPct float64 // trace-based vs event-aggregate, same controller
 }
 
 // PowerResult is the full §III-C3 comparison.
 type PowerResult struct {
-	Rows       []PowerRow
-	MaxDiffPct float64
-	AvgDiffPct float64
+	Rows            []PowerRow
+	MaxDiffPct      float64
+	AvgDiffPct      float64
+	MaxTraceDiffPct float64
 }
 
 // powerCase is one traffic scenario for the power comparison.
@@ -53,7 +59,7 @@ func RunPowerComparison(requests uint64) (*PowerResult, error) {
 	res := &PowerResult{}
 	var sum float64
 	for _, pc := range cases {
-		run := func(kind system.Kind) (power.Activity, error) {
+		run := func(kind system.Kind, probes *obs.Hub) (power.Activity, error) {
 			dec, err := dram.NewDecoder(spec.Org, pc.mapping, 1)
 			if err != nil {
 				return power.Activity{}, err
@@ -70,6 +76,7 @@ func RunPowerComparison(requests uint64) (*PowerResult, error) {
 					Count:          requests,
 				},
 				Pattern: pattern,
+				Probes:  probes,
 			})
 			if err != nil {
 				return power.Activity{}, err
@@ -79,23 +86,32 @@ func RunPowerComparison(requests uint64) (*PowerResult, error) {
 			}
 			return rig.Ctrl.PowerStats(), nil
 		}
-		evAct, err := run(system.EventBased)
+		var cmds power.CommandTrace
+		hub := obs.NewHub()
+		hub.Attach(obs.CommandFunc(cmds.Record))
+		evAct, err := run(system.EventBased, hub)
 		if err != nil {
 			return nil, err
 		}
-		cyAct, err := run(system.CycleBased)
+		cyAct, err := run(system.CycleBased, nil)
 		if err != nil {
 			return nil, err
 		}
 		evMW := power.Compute(spec, evAct).TotalMW()
 		cyMW := power.Compute(spec, cyAct).TotalMW()
+		trMW := power.AnalyzeCommands(spec, cmds.Commands(), evAct.Elapsed).TotalMW()
 		diff := math.Abs(evMW-cyMW) / cyMW * 100
+		trDiff := math.Abs(trMW-evMW) / evMW * 100
 		res.Rows = append(res.Rows, PowerRow{
-			Case: pc.name, EventMW: evMW, CycleMW: cyMW, DiffPercent: diff,
+			Case: pc.name, EventMW: evMW, CycleMW: cyMW, TraceMW: trMW,
+			DiffPercent: diff, TraceDiffPct: trDiff,
 		})
 		sum += diff
 		if diff > res.MaxDiffPct {
 			res.MaxDiffPct = diff
+		}
+		if trDiff > res.MaxTraceDiffPct {
+			res.MaxTraceDiffPct = trDiff
 		}
 	}
 	res.AvgDiffPct = sum / float64(len(res.Rows))

@@ -60,12 +60,13 @@ func (p *pipe) offer(pkt *Packet, at sim.Tick) {
 	p.outbox = append(p.outbox, timedPkt{at: at, pkt: pkt})
 }
 
-// flush publishes the outbox to the destination shard and arms delivery.
-// Barrier-section only: it touches both sides' state and schedules on the
-// destination kernel.
-func (p *pipe) flush() {
-	if len(p.outbox) == 0 {
-		return
+// flush publishes the outbox to the destination shard and arms delivery,
+// returning the number of packets published. Barrier-section only: it
+// touches both sides' state and schedules on the destination kernel.
+func (p *pipe) flush() int {
+	n := len(p.outbox)
+	if n == 0 {
+		return 0
 	}
 	if p.outbox[0].at < p.dst.Now() {
 		// The quantum exceeded the link latency: the packet is due in the
@@ -76,6 +77,7 @@ func (p *pipe) flush() {
 	p.inbox = append(p.inbox, p.outbox...)
 	p.outbox = p.outbox[:0]
 	p.arm()
+	return n
 }
 
 // arm schedules the drain event for the head of the inbox. Source shards
@@ -182,8 +184,13 @@ func (l *ShardLink) BackPort() *RequestPort { return l.back.port }
 // Latency returns the one-way latency, i.e. the lookahead bound.
 func (l *ShardLink) Latency() sim.Tick { return l.latency }
 
-// Flush publishes both directions' pending traffic. Barrier-section only.
-func (l *ShardLink) Flush() { l.req.flush(); l.resp.flush() }
+// Flush publishes both directions' pending traffic, returning how many
+// requests and responses crossed — the observability layer reports them as
+// quantum-barrier events without mem needing to know about probes.
+// Barrier-section only.
+func (l *ShardLink) Flush() (requests, responses int) {
+	return l.req.flush(), l.resp.flush()
+}
 
 // Quiescent reports whether no packet is buffered in either direction. Only
 // meaningful between quanta.

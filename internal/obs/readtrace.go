@@ -1,0 +1,179 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Trace reading and validation: CI's smoke step, cmd/validate's
+// -trace-check mode, and the reconciliation tests all parse traces back
+// through this code, so "valid" means one thing everywhere.
+
+// TraceEvent is one decoded trace line.
+type TraceEvent struct {
+	Name string          `json:"name"`
+	Cat  string          `json:"cat"`
+	Ph   string          `json:"ph"`
+	Pid  int             `json:"pid"`
+	Tid  int             `json:"tid"`
+	Ts   json.Number     `json:"ts"`
+	Dur  json.Number     `json:"dur"`
+	ID   uint64          `json:"id"`
+	Args json.RawMessage `json:"args"`
+}
+
+// TraceSummary aggregates a parsed trace for reconciliation against
+// stats.Registry counts.
+type TraceSummary struct {
+	Events     int // event lines, metadata included, terminator excluded
+	SpanBegins int // packet-lifecycle "b" events
+	SpanEnds   int // packet-lifecycle "e" events
+	FirstCmds  int // "n" first-command markers
+	Bursts     int // cat=burst "X" spans (RD+WR)
+	ReadBursts int
+	Activates  int // ACT instants
+	Precharges int // PRE instants
+	Refreshes  int // cat=refresh spans
+	Refusals   int // cat=queue refuse instants
+	Drains     int // write-drain episodes
+	Quanta     int // shard quantum-flush markers
+	Processes  []string
+	Terminated bool // the "{}]" terminator was present (clean Close)
+}
+
+// OpenSpans returns lifecycle spans begun but not ended — in-flight packets
+// at end of trace.
+func (s *TraceSummary) OpenSpans() int { return s.SpanBegins - s.SpanEnds }
+
+// ReadTraceFile parses a trace file, validating each event line. It accepts
+// a file without the closing terminator (a crashed run) and reports that
+// via Terminated.
+func ReadTraceFile(path string) (*TraceSummary, []TraceEvent, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return parseTrace(raw)
+}
+
+// parseTrace decodes the line-oriented JSON-array layout the TraceWriter
+// produces.
+func parseTrace(raw []byte) (*TraceSummary, []TraceEvent, error) {
+	text := string(raw)
+	if !strings.HasPrefix(text, traceHeader) {
+		return nil, nil, fmt.Errorf("obs: trace does not start with the JSON array header")
+	}
+	body := text[len(traceHeader):]
+	sum := &TraceSummary{}
+	procs := map[int]string{}
+	var events []TraceEvent
+	for _, line := range strings.Split(body, "\n") {
+		line = strings.TrimSuffix(strings.TrimSpace(line), ",")
+		if line == "" {
+			continue
+		}
+		if line == "{}]" {
+			sum.Terminated = true
+			continue
+		}
+		var ev TraceEvent
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			return nil, nil, fmt.Errorf("obs: bad trace line %q: %w", line, err)
+		}
+		if err := checkEvent(ev); err != nil {
+			return nil, nil, fmt.Errorf("obs: invalid trace event %q: %w", line, err)
+		}
+		sum.Events++
+		switch {
+		case ev.Ph == "M" && ev.Name == "process_name":
+			var args struct {
+				Name string `json:"name"`
+			}
+			if json.Unmarshal(ev.Args, &args) == nil {
+				procs[ev.Pid] = args.Name
+			}
+		case ev.Cat == "pkt" && ev.Ph == "b":
+			sum.SpanBegins++
+		case ev.Cat == "pkt" && ev.Ph == "e":
+			sum.SpanEnds++
+		case ev.Cat == "pkt" && ev.Ph == "n":
+			sum.FirstCmds++
+		case ev.Cat == "burst" && ev.Ph == "X":
+			sum.Bursts++
+			if ev.Name == "RD" {
+				sum.ReadBursts++
+			}
+		case ev.Cat == "cmd" && ev.Name == "ACT":
+			sum.Activates++
+		case ev.Cat == "cmd" && ev.Name == "PRE":
+			sum.Precharges++
+		case ev.Cat == "refresh":
+			sum.Refreshes++
+		case ev.Cat == "queue" && strings.HasPrefix(ev.Name, "refuse."):
+			sum.Refusals++
+		case ev.Cat == "drain":
+			sum.Drains++
+		case ev.Cat == "quantum":
+			sum.Quanta++
+		}
+		events = append(events, ev)
+	}
+	for _, name := range procs {
+		sum.Processes = append(sum.Processes, name)
+	}
+	sort.Strings(sum.Processes)
+	return sum, events, nil
+}
+
+// checkEvent enforces the required keys per phase type.
+func checkEvent(ev TraceEvent) error {
+	if ev.Name == "" {
+		return fmt.Errorf("missing name")
+	}
+	if ev.Ph == "" {
+		return fmt.Errorf("missing ph")
+	}
+	if ev.Pid == 0 {
+		return fmt.Errorf("missing pid")
+	}
+	if ev.Ph == "M" {
+		return nil // metadata carries no timestamp
+	}
+	if ev.Ts == "" {
+		return fmt.Errorf("missing ts")
+	}
+	if ev.Cat == "" {
+		return fmt.Errorf("missing cat")
+	}
+	if ev.Ph == "X" && ev.Dur == "" {
+		return fmt.Errorf("complete event missing dur")
+	}
+	if (ev.Ph == "b" || ev.Ph == "e" || ev.Ph == "n") && ev.ID == 0 {
+		return fmt.Errorf("async event missing id")
+	}
+	return nil
+}
+
+// ValidateTraceStrict additionally requires the file to be one well-formed
+// JSON document (i.e. the run Closed its sink cleanly).
+func ValidateTraceStrict(path string) (*TraceSummary, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc []json.RawMessage
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return nil, fmt.Errorf("obs: trace is not a JSON array: %w", err)
+	}
+	sum, _, err := parseTrace(raw)
+	if err != nil {
+		return nil, err
+	}
+	if !sum.Terminated {
+		return nil, fmt.Errorf("obs: trace missing the closing terminator")
+	}
+	return sum, nil
+}

@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Periodic time-series sampling of controller-internal state that the
+// aggregate statistics cannot reconstruct after the fact: instantaneous
+// queue depths, the rolling bus-utilisation and row-hit figures, and which
+// banks hold an open row (per-bank state residency). Samples land in the
+// run's stats.Registry as averages, and an optional per-sample hook feeds
+// the live HTTP endpoint.
+
+// Sample is one instantaneous observation of a controller.
+type Sample struct {
+	ReadQueueLen   int
+	WriteQueueLen  int
+	BusUtilisation float64
+	RowHitRate     float64
+	BanksOpen      []bool // row-open state per bank, rank-major
+	Draining       bool   // bus currently in write-drain mode
+}
+
+// SampleSource is implemented by controllers that can be sampled. Both
+// memory-controller models implement it.
+type SampleSource interface {
+	ObsSample() Sample
+}
+
+// SamplerProbe periodically samples a set of sources into registry
+// averages. It is driven by the kernel (stats.Sampler), not by events, so
+// it is not a Probe; it lives here because it shares the observability
+// configuration surface (-obs-sample).
+type SamplerProbe struct {
+	sampler *stats.Sampler
+
+	sources []sampledSource
+	// onSample, when set, runs after each sampling pass on the kernel
+	// goroutine — the LiveServer uses it to publish a snapshot.
+	onSample func(now sim.Tick)
+}
+
+// sampledSource is one source with its pre-registered stats.
+type sampledSource struct {
+	src SampleSource
+
+	readDepth  *stats.Average
+	writeDepth *stats.Average
+	busUtil    *stats.Average
+	rowHit     *stats.Average
+	draining   *stats.Average
+	banksOpen  []*stats.Average // residency per bank, index-aligned with Sample.BanksOpen
+}
+
+// SampledSource names one controller to sample; Name prefixes its metrics
+// in the registry ("obs.<name>.readQueueDepth", ...).
+type SampledSource struct {
+	Name string
+	Src  SampleSource
+}
+
+// NewSamplerProbe builds a periodic sampler over the sources, registering
+// its time-series averages under reg ("obs." prefix). Call Start once the
+// kernel is ready; samples fire every interval at stats priority.
+func NewSamplerProbe(k *sim.Kernel, reg *stats.Registry, interval sim.Tick, sources []SampledSource, onSample func(now sim.Tick)) (*SamplerProbe, error) {
+	if len(sources) == 0 {
+		return nil, fmt.Errorf("obs: sampler needs at least one source")
+	}
+	p := &SamplerProbe{onSample: onSample}
+	obsReg := reg.Child("obs")
+	for _, s := range sources {
+		if s.Src == nil {
+			return nil, fmt.Errorf("obs: nil sample source %q", s.Name)
+		}
+		r := obsReg.Child(s.Name)
+		ss := sampledSource{
+			src:        s.Src,
+			readDepth:  r.NewAverage("readQueueDepth", "sampled read-queue depth"),
+			writeDepth: r.NewAverage("writeQueueDepth", "sampled write-queue depth"),
+			busUtil:    r.NewAverage("busUtilisation", "sampled data-bus utilisation"),
+			rowHit:     r.NewAverage("rowHitRate", "sampled row-hit rate"),
+			draining:   r.NewAverage("drainResidency", "fraction of samples in write-drain mode"),
+		}
+		for i := range s.Src.ObsSample().BanksOpen {
+			ss.banksOpen = append(ss.banksOpen,
+				r.NewAverage(fmt.Sprintf("bank%d.openResidency", i),
+					"fraction of samples with a row open in this bank"))
+		}
+		p.sources = append(p.sources, ss)
+	}
+	var err error
+	p.sampler, err = stats.NewSampler(k, interval, p.take)
+	if err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// take runs one sampling pass.
+func (p *SamplerProbe) take(now sim.Tick) {
+	for _, s := range p.sources {
+		sm := s.src.ObsSample()
+		s.readDepth.Sample(float64(sm.ReadQueueLen))
+		s.writeDepth.Sample(float64(sm.WriteQueueLen))
+		s.busUtil.Sample(sm.BusUtilisation)
+		s.rowHit.Sample(sm.RowHitRate)
+		s.draining.Sample(b2f(sm.Draining))
+		for i, open := range sm.BanksOpen {
+			if i < len(s.banksOpen) {
+				s.banksOpen[i].Sample(b2f(open))
+			}
+		}
+	}
+	if p.onSample != nil {
+		p.onSample(now)
+	}
+}
+
+// Start schedules the first sample one interval out.
+func (p *SamplerProbe) Start() { p.sampler.Start() }
+
+// Stop cancels future samples.
+func (p *SamplerProbe) Stop() { p.sampler.Stop() }
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -177,11 +177,22 @@ func AnalyzeCommands(spec dram.Spec, cmds []Command, elapsed sim.Tick) Breakdown
 	}
 	bg := p.VDD * (p.IDD3N*activeFrac + p.IDD2N*(1-activeFrac))
 
+	// Same saturation as Compute: with many banks pipelining their row
+	// cycles (closed-page stride traffic), acts*tRC can exceed the elapsed
+	// window; the incremental-over-background charge caps at full-time.
 	trc := (t.TRAS + t.TRP).Seconds()
-	actPre := p.VDD * (p.IDD0 - p.IDD3N) * float64(acts) * trc / elapsedSec
+	actShare := float64(acts) * trc / elapsedSec
+	if actShare > 1 {
+		actShare = 1
+	}
+	refShare := float64(refs) * t.TRFC.Seconds() / elapsedSec
+	if refShare > 1 {
+		refShare = 1
+	}
+	actPre := p.VDD * (p.IDD0 - p.IDD3N) * actShare
 	rd := p.VDD * (p.IDD4R - p.IDD3N) * float64(rds) * t.TBURST.Seconds() / elapsedSec
 	wr := p.VDD * (p.IDD4W - p.IDD3N) * float64(wrs) * t.TBURST.Seconds() / elapsedSec
-	ref := p.VDD * (p.IDD5 - p.IDD3N) * float64(refs) * t.TRFC.Seconds() / elapsedSec
+	ref := p.VDD * (p.IDD5 - p.IDD3N) * refShare
 	for _, v := range []*float64{&actPre, &rd, &wr, &ref} {
 		if *v < 0 {
 			*v = 0

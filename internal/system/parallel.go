@@ -8,6 +8,7 @@ import (
 	"repro/internal/cyclesim"
 	"repro/internal/dram"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/trafficgen"
@@ -71,6 +72,19 @@ type ShardedConfig struct {
 	// configurations, as in RigConfig.
 	TuneEvent func(*core.Config)
 	TuneCycle func(*cyclesim.Config)
+	// FrontProbes feeds observability events from the frontend shard (the
+	// crossbar, plus the rig's quantum-barrier events). Probes attached here
+	// run on the frontend kernel's goroutine only.
+	FrontProbes *obs.Hub
+	// ShardProbes optionally gives each channel shard its own hub (length
+	// must be 0 or Channels). Per-shard probes run on that shard's worker
+	// goroutine during quanta, so each must touch only its own state; merge
+	// results in OnQuantum, which runs in the single-threaded barrier.
+	ShardProbes []*obs.Hub
+	// OnQuantum, when set, runs in the single-threaded barrier section at
+	// the end of every Step — the place to drain per-shard probe buffers in
+	// deterministic shard order (e.g. obs.TraceSink.Flush).
+	OnQuantum func()
 }
 
 // ShardedRig is the parallel counterpart of MultiChannelRig: generators and
@@ -87,24 +101,28 @@ type ShardedRig struct {
 
 	workers   int
 	lookahead sim.Tick
+	frontHub  *obs.Hub // nil when no frontend probe is attached
+	onQuantum func()
 }
 
 // buildShardController builds one channel controller with the rig's tuning
 // hooks applied; cfg.Channels tells the address decoder how many channel
 // bits the crossbar already consumed.
-func buildShardController(k *sim.Kernel, cfg ShardedConfig, reg *stats.Registry, name string) (Controller, error) {
+func buildShardController(k *sim.Kernel, cfg ShardedConfig, reg *stats.Registry, hub *obs.Hub, name string) (Controller, error) {
 	switch cfg.Kind {
 	case EventBased:
 		c := MatchedEventConfig(cfg.Spec, cfg.Mapping, cfg.Channels, cfg.ClosedPage)
 		if cfg.TuneEvent != nil {
 			cfg.TuneEvent(&c)
 		}
+		c.Probes = hub
 		return core.NewController(k, c, reg, name)
 	case CycleBased:
 		c := MatchedCycleConfig(cfg.Spec, cfg.Mapping, cfg.Channels, cfg.ClosedPage)
 		if cfg.TuneCycle != nil {
 			cfg.TuneCycle(&c)
 		}
+		c.Probes = hub
 		return cyclesim.NewController(k, c, reg, name)
 	}
 	return nil, fmt.Errorf("system: unknown controller kind %d", cfg.Kind)
@@ -140,8 +158,14 @@ func NewShardedRig(cfg ShardedConfig) (*ShardedRig, error) {
 			gran *= 2
 		}
 	}
+	if len(cfg.ShardProbes) != 0 && len(cfg.ShardProbes) != cfg.Channels {
+		return nil, fmt.Errorf("system: ShardProbes must be empty or one hub per channel (%d given, %d channels)",
+			len(cfg.ShardProbes), cfg.Channels)
+	}
 	route := xbar.InterleaveRoute(cfg.Channels, gran)
-	xb, err := xbar.New(front, cfg.Xbar, route, reg, "xbar")
+	xcfg := cfg.Xbar
+	xcfg.Probes = cfg.FrontProbes
+	xb, err := xbar.New(front, xcfg, route, reg, "xbar")
 	if err != nil {
 		return nil, err
 	}
@@ -151,15 +175,22 @@ func NewShardedRig(cfg ShardedConfig) (*ShardedRig, error) {
 		Xbar:      xb,
 		workers:   cfg.Workers,
 		lookahead: lookahead,
+		frontHub:  cfg.FrontProbes.OrNil(),
+		onQuantum: cfg.OnQuantum,
 	}
 	for i := 0; i < cfg.Channels; i++ {
 		ck := sim.NewKernel()
 		// Each shard registers statistics in a private registry so hot
 		// counters are written by exactly one worker; the root absorbs the
 		// shard by reference, and the dump (always taken with workers
-		// parked) sees live values.
+		// parked) sees live values. Per-shard probe hubs follow the same
+		// ownership rule.
 		shardReg := stats.NewRegistry("sys")
-		ctrl, err := buildShardController(ck, cfg, shardReg, fmt.Sprintf("mc%d", i))
+		var shardHub *obs.Hub
+		if len(cfg.ShardProbes) > 0 {
+			shardHub = cfg.ShardProbes[i]
+		}
+		ctrl, err := buildShardController(ck, cfg, shardReg, shardHub, fmt.Sprintf("mc%d", i))
 		if err != nil {
 			return nil, err
 		}
@@ -315,8 +346,19 @@ func (s *ShardedSession) Step() (bool, error) {
 
 	// Barrier section: single-threaded. Publish cross-shard traffic, then
 	// check for completion and drive drains.
-	for _, l := range r.Links {
-		l.Flush()
+	for i, l := range r.Links {
+		reqs, resps := l.Flush()
+		if r.frontHub != nil && (reqs > 0 || resps > 0) {
+			r.frontHub.Emit(obs.ShardQuantumFlush{
+				Src: "rig", At: r.Front.Now(), Shard: i,
+				Requests: reqs, Responses: resps,
+			})
+		}
+	}
+	if r.onQuantum != nil {
+		// Still single-threaded: drain per-shard probe buffers in fixed
+		// shard order so merged output is worker-count independent.
+		r.onQuantum()
 	}
 	allDone := true
 	for _, g := range r.Gens {

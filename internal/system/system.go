@@ -15,6 +15,7 @@ import (
 	"repro/internal/cyclesim"
 	"repro/internal/dram"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/power"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -123,12 +124,14 @@ func buildTunedController(k *sim.Kernel, rc RigConfig, reg *stats.Registry, name
 		if rc.TuneEvent != nil {
 			rc.TuneEvent(&cfg)
 		}
+		cfg.Probes = rc.Probes
 		return core.NewController(k, cfg, reg, name)
 	case CycleBased:
 		cfg := MatchedCycleConfig(rc.Spec, rc.Mapping, 1, rc.ClosedPage)
 		if rc.TuneCycle != nil {
 			rc.TuneCycle(&cfg)
 		}
+		cfg.Probes = rc.Probes
 		return cyclesim.NewController(k, cfg, reg, name)
 	}
 	return nil, fmt.Errorf("system: unknown controller kind %d", rc.Kind)
@@ -157,6 +160,9 @@ type RigConfig struct {
 	// studies and experiments that stress one policy knob).
 	TuneEvent func(*core.Config)
 	TuneCycle func(*cyclesim.Config)
+	// Probes feeds observability events from the controller (see
+	// internal/obs); nil or empty disables instrumentation.
+	Probes *obs.Hub
 }
 
 // NewTrafficRig builds the generator-over-controller rig.

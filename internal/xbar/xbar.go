@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -83,6 +84,10 @@ type Config struct {
 	// PacketInterval optionally throttles each output to one packet per
 	// interval, modelling finite crossbar throughput (0 = unlimited).
 	PacketInterval sim.Tick
+	// Probes, when non-nil and non-empty, receives the crossbar's
+	// observability events (see internal/obs); excluded from checkpoint
+	// fingerprints like every other observation setting.
+	Probes *obs.Hub
 }
 
 // DefaultConfig returns a modest single-cycle-ish crossbar.
@@ -196,6 +201,10 @@ type Crossbar struct {
 	reqRouted  *stats.Scalar //ckpt:skip persisted by the stats registry adapter
 	respRouted *stats.Scalar //ckpt:skip persisted by the stats registry adapter
 	blockedReq *stats.Scalar //ckpt:skip persisted by the stats registry adapter
+
+	// hub fans observability events out to attached probes; nil when no
+	// probe is configured.
+	hub *obs.Hub //ckpt:skip observation fan-out, rebuilt by the constructor
 }
 
 // reqSide is the crossbar's face toward one requestor.
@@ -226,7 +235,7 @@ func New(k *sim.Kernel, cfg Config, rt Route, reg *stats.Registry, name string) 
 	if rt == nil {
 		return nil, fmt.Errorf("xbar: nil route")
 	}
-	x := &Crossbar{name: name, k: k, cfg: cfg, rt: rt, origin: make(map[*mem.Packet]int)}
+	x := &Crossbar{name: name, k: k, cfg: cfg, rt: rt, origin: make(map[*mem.Packet]int), hub: cfg.Probes.OrNil()}
 	r := reg.Child(name)
 	x.reqRouted = r.NewScalar("reqRouted", "requests routed")
 	x.respRouted = r.NewScalar("respRouted", "responses routed")
@@ -293,12 +302,28 @@ func (rs *reqSide) RecvTimingReq(pkt *mem.Packet) bool {
 	if q.full() {
 		rs.waitingRetry = true
 		x.blockedReq.Inc()
+		if x.hub != nil {
+			x.hub.Emit(obs.QueueRefuse{Src: x.name, At: x.k.Now(), Queue: xbarQueue(pkt), Depth: len(q.items)})
+		}
 		return false
 	}
 	x.origin[pkt] = rs.index
 	x.reqRouted.Inc()
 	q.push(pkt)
+	if x.hub != nil {
+		queue := xbarQueue(pkt)
+		x.hub.Emit(obs.PacketEnqueued{Src: x.name, At: x.k.Now(), Pkt: pkt, Queue: queue, Bursts: 1})
+		x.hub.Emit(obs.QueueAdmit{Src: x.name, At: x.k.Now(), Queue: queue, Depth: len(q.items) - 1})
+	}
 	return true
+}
+
+// xbarQueue classifies a routed packet for queue observability events.
+func xbarQueue(pkt *mem.Packet) obs.Queue {
+	if pkt.Cmd == mem.ReadReq {
+		return obs.QueueRead
+	}
+	return obs.QueueWrite
 }
 
 // RecvRespRetry implements mem.Responder: the requestor can take responses
@@ -320,6 +345,9 @@ func (ms *memSide) RecvTimingResp(pkt *mem.Packet) bool {
 	delete(x.origin, pkt)
 	x.respRouted.Inc()
 	q.push(pkt)
+	if x.hub != nil {
+		x.hub.Emit(obs.ResponseSent{Src: x.name, At: x.k.Now(), Pkt: pkt})
+	}
 	return true
 }
 
