@@ -1,0 +1,138 @@
+#!/usr/bin/env bash
+# Farm smoke test: the simfarm job server must survive a worker being
+# SIGKILLed mid-point and still produce a merged result byte-identical to the
+# single-process CLI run of the same grid; a resubmission must be served
+# entirely from the fingerprint cache; and a killed worker's point must
+# resume from its periodic checkpoint bit-identically.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+workdir=$(mktemp -d)
+srv_pid=""
+cleanup() {
+    [ -n "$srv_pid" ] && kill -9 "$srv_pid" 2>/dev/null || true
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+go build -o "$workdir/simfarm" ./cmd/simfarm
+go build -o "$workdir/explore" ./cmd/explore
+
+echo "== phase A: worker kill -9 mid-point, checkpoint resume is bit-identical"
+ptdir="$workdir/pt"
+mkdir -p "$ptdir"
+# A sweep point slow enough (~2s) that the kill lands mid-simulation.
+cat > "$ptdir/point.json" <<'EOF'
+{"kind":"sweep","figure":3,"requests":300000,"stride":1,"banks":1}
+EOF
+"$workdir/simfarm" -worker -point "$ptdir/point.json" -out "$ptdir/clean.json" \
+    -ckpt-dir "$ptdir" -ckpt-every 200ms 2>/dev/null
+"$workdir/simfarm" -worker -point "$ptdir/point.json" -out "$ptdir/resumed.json" \
+    -ckpt-dir "$ptdir" -ckpt-every 200ms 2>"$ptdir/victim.log" &
+victim=$!
+for _ in $(seq 1 100); do
+    [ -f "$ptdir/point-event.ckpt" ] && break
+    sleep 0.05
+done
+sleep 0.5
+kill -9 "$victim" 2>/dev/null || true
+wait "$victim" 2>/dev/null || true
+if [ -f "$ptdir/resumed.json" ]; then
+    echo "FAIL: victim worker finished before the kill; grow requests" >&2
+    exit 1
+fi
+"$workdir/simfarm" -worker -point "$ptdir/point.json" -out "$ptdir/resumed.json" \
+    -ckpt-dir "$ptdir" -ckpt-every 200ms 2>"$ptdir/resume.log"
+grep -q "supervisor: resumed from" "$ptdir/resume.log" || {
+    echo "FAIL: killed point did not resume from its checkpoint:" >&2
+    cat "$ptdir/resume.log" >&2
+    exit 1
+}
+cmp "$ptdir/clean.json" "$ptdir/resumed.json" || {
+    echo "FAIL: resumed point differs from the uninterrupted one" >&2
+    exit 1
+}
+echo "killed worker's point resumed bit-identically"
+
+echo "== phase B: server survives a worker kill; merged result == single-process run"
+"$workdir/explore" -memops 100000 -cores 8 -json "$workdir/ref.json" >/dev/null
+addr=127.0.0.1:7163
+"$workdir/simfarm" -addr "$addr" -data "$workdir/farm.d" -workers 2 \
+    -attempts 3 -backoff-base 100ms -ckpt-every 300ms 2>"$workdir/server.log" &
+srv_pid=$!
+for _ in $(seq 1 100); do
+    curl -fsS "http://$addr/healthz" >/dev/null 2>&1 && break
+    sleep 0.1
+done
+curl -fsS "http://$addr/healthz" >/dev/null || {
+    echo "FAIL: server never became healthy" >&2
+    cat "$workdir/server.log" >&2
+    exit 1
+}
+curl -fsS -X POST "http://$addr/jobs" -d '{"type":"explore","memOps":100000,"cores":8}' >/dev/null
+sleep 2
+victim_pid=$(curl -fsS "http://$addr/workers" | grep -o '"pid": [0-9]*' | head -1 | grep -o '[0-9]*')
+if [ -z "$victim_pid" ]; then
+    echo "FAIL: no busy worker to kill (job too fast?)" >&2
+    exit 1
+fi
+echo "kill -9 worker pid $victim_pid mid-point"
+kill -9 "$victim_pid"
+status=running
+for _ in $(seq 1 600); do
+    status=$(curl -fsS "http://$addr/jobs/j1" | grep -o '"status": "[a-z]*"' | head -1 | cut -d'"' -f4)
+    [ "$status" != running ] && break
+    sleep 0.2
+done
+if [ "$status" != done ]; then
+    echo "FAIL: job finished '$status', want done" >&2
+    curl -fsS "http://$addr/jobs/j1" >&2 || true
+    exit 1
+fi
+curl -fsS "http://$addr/jobs/j1" | grep -q '"attempts": 2' || {
+    echo "FAIL: no point shows a second attempt — did the kill land?" >&2
+    curl -fsS "http://$addr/jobs/j1" >&2
+    exit 1
+}
+curl -fsS "http://$addr/jobs/j1/result" > "$workdir/merged.json"
+cmp "$workdir/ref.json" "$workdir/merged.json" || {
+    echo "FAIL: farm-merged result differs from single-process explore -json" >&2
+    exit 1
+}
+echo "merged result is byte-identical to the single-process run"
+
+echo "== phase C: resubmission is served entirely from the cache"
+resp=$(curl -fsS -X POST "http://$addr/jobs" -d '{"type":"explore","memOps":100000,"cores":8}')
+echo "$resp" | grep -q '"points": 3' && echo "$resp" | grep -q '"cached": 3' || {
+    echo "FAIL: resubmit not fully cached: $resp" >&2
+    exit 1
+}
+curl -fsS "http://$addr/jobs/j2/result" > "$workdir/cached.json"
+cmp "$workdir/ref.json" "$workdir/cached.json" || {
+    echo "FAIL: cache-served result differs" >&2
+    exit 1
+}
+echo "resubmitted job: 3/3 points from cache, result identical"
+
+echo "== graceful shutdown persists the queue"
+kill -INT "$srv_pid"
+for _ in $(seq 1 100); do
+    kill -0 "$srv_pid" 2>/dev/null || break
+    sleep 0.1
+done
+if kill -0 "$srv_pid" 2>/dev/null; then
+    echo "FAIL: server ignored SIGINT" >&2
+    exit 1
+fi
+srv_pid=""
+[ -f "$workdir/farm.d/state.json" ] || {
+    echo "FAIL: shutdown left no persisted queue" >&2
+    exit 1
+}
+grep -q '"id": "j1"' "$workdir/farm.d/state.json" || {
+    echo "FAIL: persisted queue lost job j1" >&2
+    exit 1
+}
+echo "server drained and persisted state.json"
+
+echo "farm smoke: OK"

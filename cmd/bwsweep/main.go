@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/checkpoint"
 	"repro/internal/experiments"
 	"repro/internal/experiments/cliconfig"
 	"repro/internal/supervisor"
@@ -46,6 +47,7 @@ func main() {
 	figure := flag.Int("figure", 3, "paper figure to regenerate (3, 4 or 5)")
 	requests := cliconfig.AddRequests(flag.CommandLine, 4000, "requests per measurement point")
 	ablation := flag.String("ablation", "", "run a design ablation instead: pagepolicy, mapping, scheduler, writedrain, xaw, refresh, xorhash, prefetch, all")
+	jsonOut := flag.String("json", "", "write the sweep result as JSON to this file (atomic temp+rename)")
 	shard := cliconfig.AddShard(flag.CommandLine)
 	flag.Parse()
 	channels, parallel := &shard.Channels, &shard.Workers
@@ -95,6 +97,20 @@ func main() {
 	if interrupted {
 		fmt.Printf("interrupted; partial results (%d of %d points):\n",
 			len(res.Rows), len(spec.Strides)*len(spec.Banks))
+	}
+
+	// The JSON result is written atomically (temp+rename, the checkpoint
+	// files' pattern), so a crash mid-write can never leave a torn file.
+	if *jsonOut != "" {
+		enc, err := experiments.EncodeResultJSON(experiments.NewSweepJSON(res, interrupted))
+		if err == nil {
+			err = checkpoint.WriteFileAtomic(*jsonOut, enc)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bwsweep:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("result written to %s\n", *jsonOut)
 	}
 
 	fmt.Printf("%s\n", spec.Name)

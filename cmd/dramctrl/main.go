@@ -36,6 +36,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/checkpoint"
 	"repro/internal/core"
@@ -242,10 +243,11 @@ func (r *singleRig) Step() (bool, error) {
 	return false, nil
 }
 
-// Close implements supervisor.Session.
+// Close implements supervisor.Session. The live endpoint drains in-flight
+// requests instead of dropping them — this is the SIGINT/SIGTERM exit path.
 func (r *singleRig) Close() {
 	if r.live != nil {
-		r.live.Close()
+		r.live.Shutdown(2 * time.Second) //nolint:errcheck // force-closed on a stuck drain
 	}
 }
 

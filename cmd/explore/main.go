@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/checkpoint"
 	"repro/internal/experiments"
 	"repro/internal/supervisor"
 )
@@ -18,6 +19,7 @@ import (
 func main() {
 	memOps := flag.Uint64("memops", 3000, "memory operations per core")
 	cores := flag.Int("cores", 16, "number of cores")
+	jsonOut := flag.String("json", "", "write the result as JSON to this file (atomic temp+rename)")
 	flag.Parse()
 
 	// SIGINT/SIGTERM finish the memory system being measured, flush the
@@ -46,6 +48,20 @@ func main() {
 	}
 	if interrupted {
 		fmt.Printf("interrupted; partial results (%d of 3 memory systems, IPC not normalised):\n", len(res.Rows))
+	}
+
+	// The JSON result is written atomically (temp+rename, the checkpoint
+	// files' pattern), so a crash mid-write can never leave a torn file.
+	if *jsonOut != "" {
+		enc, err := experiments.EncodeResultJSON(experiments.NewFig9JSON(res, *memOps, *cores, interrupted))
+		if err == nil {
+			err = checkpoint.WriteFileAtomic(*jsonOut, enc)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "explore:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("result written to %s\n", *jsonOut)
 	}
 
 	fmt.Printf("Memory technology exploration (Figure 9): %d-core canneal, shared 8 MB LLC\n", *cores)

@@ -1,0 +1,194 @@
+// Command simfarm is the fault-tolerant distributed sweep service: an
+// HTTP/JSON job server that expands design-space-exploration jobs (the
+// bwsweep and explore grids) into points and fans them out to worker
+// subprocesses, with bounded deterministic retries, mid-point checkpoint
+// resume, a fingerprint-keyed result cache, and graceful signal-driven
+// shutdown that persists the queue for restart.
+//
+// Three modes share the binary:
+//
+//	simfarm -addr localhost:7070 -data farm.d -workers 4     # server
+//	simfarm -worker -point p.json -out r.json -ckpt-dir d    # one point (spawned by the server)
+//	simfarm -submit -addr localhost:7070 -type sweep -figure 3 -wait -o fig3.json
+//
+// A job's merged result is byte-identical to the single-process CLI run of
+// the same grid (bwsweep/explore -json) — points are deterministic and both
+// paths share one canonical encoder.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/farm"
+	"repro/internal/supervisor"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "localhost:7070", "HTTP listen address (server) or server address (submit)")
+		dataDir = flag.String("data", "simfarm.d", "server state directory (cache, work dirs, results, queue)")
+		workers = flag.Int("workers", 2, "worker subprocess slots")
+
+		attempts    = flag.Int("attempts", 3, "tries per point before it is reported failed")
+		backoffBase = flag.Duration("backoff-base", 200*time.Millisecond, "base delay before a point's first retry (0 disables backoff)")
+		backoffMax  = flag.Duration("backoff-max", 10*time.Second, "cap on retry delays")
+		backoffSeed = flag.Uint64("backoff-seed", 1, "seed for the deterministic retry jitter")
+		timeout     = flag.Duration("point-timeout", 0, "kill a worker running longer than this (0 = unbounded)")
+		ckptEvery   = flag.Duration("ckpt-every", 2*time.Second, "worker mid-point checkpoint cadence (0 = only at completion)")
+
+		workerMode = flag.Bool("worker", false, "run one point and exit (spawned by the server)")
+		pointPath  = flag.String("point", "", "worker: point JSON file")
+		outPath    = flag.String("out", "", "worker: result JSON file")
+		ckptDir    = flag.String("ckpt-dir", "", "worker: mid-point checkpoint directory (empty disables)")
+
+		submitMode = flag.Bool("submit", false, "submit a job to a running server and exit")
+		jobType    = flag.String("type", "sweep", "submit: job type (sweep or explore)")
+		figure     = flag.Int("figure", 3, "submit: sweep figure (3, 4 or 5)")
+		requests   = flag.Uint64("requests", 0, "submit: requests per sweep point (0 = server default)")
+		memOps     = flag.Uint64("memops", 0, "submit: memory ops per core for explore (0 = server default)")
+		cores      = flag.Int("cores", 0, "submit: core count for explore (0 = server default)")
+		wait       = flag.Bool("wait", false, "submit: poll until the job finishes")
+		output     = flag.String("o", "", "submit: with -wait, write the merged result to this file")
+	)
+	flag.Parse()
+
+	var err error
+	switch {
+	case *workerMode:
+		err = runWorker(*pointPath, *outPath, *ckptDir, *ckptEvery)
+	case *submitMode:
+		err = runSubmit(*addr, farm.JobSpec{
+			Type: *jobType, Figure: *figure, Requests: *requests,
+			MemOps: *memOps, Cores: *cores,
+		}, *wait, *output)
+	default:
+		err = runServer(*addr, *dataDir, *workers, farm.RetryPolicy{
+			MaxAttempts: *attempts,
+			Backoff: supervisor.Backoff{
+				Base: *backoffBase, Max: *backoffMax, Seed: *backoffSeed,
+			},
+		}, *timeout, *ckptEvery)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simfarm:", err)
+		os.Exit(1)
+	}
+}
+
+func runWorker(point, out, ckptDir string, every time.Duration) error {
+	if point == "" || out == "" {
+		return fmt.Errorf("-worker needs -point and -out")
+	}
+	return farm.Worker(farm.WorkerOptions{
+		PointPath: point,
+		OutPath:   out,
+		CkptDir:   ckptDir,
+		EveryWall: every,
+		Log:       os.Stderr,
+	})
+}
+
+func runServer(addr, dataDir string, workers int, retry farm.RetryPolicy, timeout, ckptEvery time.Duration) error {
+	self, err := os.Executable()
+	if err != nil {
+		return fmt.Errorf("locating worker binary: %w", err)
+	}
+	srv, err := farm.NewServer(farm.ServerConfig{
+		Addr:         addr,
+		DataDir:      dataDir,
+		Workers:      workers,
+		Retry:        retry,
+		PointTimeout: timeout,
+		Exec:         farm.SubprocessExecutor(self, "-ckpt-every", ckptEvery.String()),
+		Log:          os.Stderr,
+	})
+	if err != nil {
+		return err
+	}
+	notify, stop := supervisor.NotifySignals()
+	defer stop()
+	return srv.Run(notify)
+}
+
+func runSubmit(addr string, spec farm.JobSpec, wait bool, output string) error {
+	base := "http://" + addr
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(base+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("submit: %s: %s", resp.Status, bytes.TrimSpace(data))
+	}
+	var sub struct {
+		ID     string `json:"id"`
+		Points int    `json:"points"`
+		Cached int    `json:"cached"`
+	}
+	if err := json.Unmarshal(data, &sub); err != nil {
+		return fmt.Errorf("submit response: %w", err)
+	}
+	fmt.Printf("job %s: %d points (%d cached)\n", sub.ID, sub.Points, sub.Cached)
+	if !wait {
+		return nil
+	}
+	for {
+		st, err := jobStatus(base, sub.ID)
+		if err != nil {
+			return err
+		}
+		if st != "running" {
+			fmt.Printf("job %s: %s\n", sub.ID, st)
+			break
+		}
+		time.Sleep(250 * time.Millisecond)
+	}
+	res, err := http.Get(base + "/jobs/" + sub.ID + "/result")
+	if err != nil {
+		return err
+	}
+	merged, _ := io.ReadAll(res.Body)
+	res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		return fmt.Errorf("result: %s: %s", res.Status, bytes.TrimSpace(merged))
+	}
+	if output == "" {
+		os.Stdout.Write(merged)
+		return nil
+	}
+	if err := os.WriteFile(output, merged, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("result written to %s\n", output)
+	return nil
+}
+
+func jobStatus(base, id string) (string, error) {
+	resp, err := http.Get(base + "/jobs/" + id)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("job status: %s", resp.Status)
+	}
+	var st struct {
+		Status string `json:"status"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return "", err
+	}
+	return st.Status, nil
+}

@@ -44,6 +44,10 @@ var simCorePkgs = []string{
 	// byte-identical across runs and worker counts, so it is held to the
 	// same determinism rules as the models it observes.
 	"repro/internal/obs",
+	// The sweep farm's scheduling decisions (retry budgets, backoff delays,
+	// queue order, merged results) must be reproducible; wall clock appears
+	// only at explicitly allowed measurement boundaries.
+	"repro/internal/farm",
 }
 
 // DefaultConfig is the policy cmd/simlint enforces on this module.

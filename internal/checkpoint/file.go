@@ -139,31 +139,41 @@ func (m *Manager) Restore(data []byte) error {
 	return ctx.commit()
 }
 
-// SaveFile writes a checkpoint atomically: the image lands in a temp file in
-// the same directory and is renamed over path, so a crash mid-write can
-// never leave a half-written checkpoint under the real name.
+// WriteFileAtomic writes data to path via a temp file in the same directory
+// and a rename, so a crash mid-write can never leave a torn file under the
+// real name. Checkpoint images, experiment result files and the sweep farm's
+// cache entries and queue state all go through this helper — anything a
+// restart trusts must be whole or absent.
+func WriteFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("write %s: %w", tmpName, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("close %s: %w", tmpName, err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	return nil
+}
+
+// SaveFile writes a checkpoint atomically (see WriteFileAtomic).
 func (m *Manager) SaveFile(path string) error {
 	img, err := m.Save()
 	if err != nil {
 		return err
 	}
-	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
-	if err != nil {
-		return fmt.Errorf("checkpoint: %w", err)
-	}
-	tmpName := tmp.Name()
-	if _, err := tmp.Write(img); err != nil {
-		tmp.Close()
-		os.Remove(tmpName)
-		return fmt.Errorf("checkpoint: write %s: %w", tmpName, err)
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmpName)
-		return fmt.Errorf("checkpoint: close %s: %w", tmpName, err)
-	}
-	if err := os.Rename(tmpName, path); err != nil {
-		os.Remove(tmpName)
+	if err := WriteFileAtomic(path, img); err != nil {
 		return fmt.Errorf("checkpoint: %w", err)
 	}
 	return nil

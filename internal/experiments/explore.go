@@ -95,11 +95,7 @@ func RunFig9Stoppable(memOps uint64, cores int, stop func() bool) (*Fig9Result, 
 		}
 		res.Rows = append(res.Rows, row)
 	}
-	// Normalise IPC to DDR3 (first row).
-	base := res.Rows[0].IPC
-	for i := range res.Rows {
-		res.Rows[i].NormIPC = res.Rows[i].IPC / base
-	}
+	NormalizeFig9(res)
 	return res, nil
 }
 

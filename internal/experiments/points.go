@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/supervisor"
+	"repro/internal/system"
+)
+
+// Point-level entry points for the sweep farm (internal/farm): a distributed
+// sweep fans individual measurement points out to worker processes, so each
+// point must be runnable on its own — and, for crash recovery, resumable from
+// a periodic checkpoint so a re-run point is bit-identical to an
+// uninterrupted one. The single-process drivers (RunSweep, RunFig9) and the
+// farm workers share these functions, which is what makes a farm-merged
+// result byte-identical to a single-process run of the same grid.
+
+// SpecForFigure returns the bandwidth-sweep spec for one paper figure.
+func SpecForFigure(figure int, requests uint64) (SweepSpec, error) {
+	switch figure {
+	case 3:
+		return Fig3Spec(requests), nil
+	case 4:
+		return Fig4Spec(requests), nil
+	case 5:
+		return Fig5Spec(requests), nil
+	}
+	return SweepSpec{}, fmt.Errorf("experiments: figure %d is not a bandwidth sweep (want 3, 4 or 5)", figure)
+}
+
+// PointCheckpoint configures mid-point crash recovery for one sweep point:
+// the worker checkpoints each model's rig into Dir on a wall-clock cadence,
+// and a re-run of the same point resumes from the newest image instead of
+// starting over. Checkpoint resume is bit-identical (see internal/checkpoint),
+// so a point that was killed and resumed reports exactly the utilisation an
+// uninterrupted run would have.
+type PointCheckpoint struct {
+	// Dir holds the per-model checkpoint files; "" disables checkpointing.
+	Dir string
+	// EveryWall is the wall-clock checkpoint cadence (0 = only at completion).
+	EveryWall time.Duration
+	// Log receives supervisor diagnostics; nil discards them.
+	Log io.Writer
+}
+
+// RunSweepPoint measures one (stride, banks) sweep point on both models,
+// optionally under supervision with periodic checkpoints (ck non-nil with a
+// Dir). The row it returns is identical to the one RunSweep computes for the
+// same point.
+func RunSweepPoint(s SweepSpec, stride uint64, banks int, ck *PointCheckpoint) (SweepRow, error) {
+	row := SweepRow{StrideBursts: stride, Banks: banks}
+	supervised := ck != nil && ck.Dir != ""
+	run := func(kind system.Kind, name string) (float64, error) {
+		if !supervised {
+			return runPoint(kind, s, stride, banks)
+		}
+		path := fmt.Sprintf("%s/point-%s.ckpt", ck.Dir, name)
+		return runPointSupervised(kind, s, stride, banks, path, ck.EveryWall, ck.Log)
+	}
+	ev, err := run(system.EventBased, "event")
+	if err != nil {
+		return row, err
+	}
+	cy, err := run(system.CycleBased, "cycle")
+	if err != nil {
+		return row, err
+	}
+	row.EventUtil, row.CycleUtil = ev, cy
+	return row, nil
+}
+
+// sweepPointFingerprint canonicalizes everything that shapes one point's
+// simulated schedule, so a checkpoint is never resumed under a different
+// point, model or grid configuration.
+func sweepPointFingerprint(kind system.Kind, s SweepSpec, stride uint64, banks int) string {
+	return fmt.Sprintf("sweeppoint fig=%d spec=%s mapping=%s closed=%t reads=%d requests=%d model=%s stride=%d banks=%d",
+		s.Figure, s.Spec.Name, s.Mapping, s.ClosedPage, s.ReadPct, s.Requests, kind, stride, banks)
+}
+
+// runPointSupervised is runPoint under internal/supervisor: the rig steps in
+// quanta (the same quanta TrafficRig.Run uses, so the measured utilisation is
+// the same float), checkpoints periodically, and resumes from an existing
+// checkpoint file bit-identically.
+func runPointSupervised(kind system.Kind, s SweepSpec, stride uint64, banks int, ckptPath string, everyWall time.Duration, log io.Writer) (float64, error) {
+	var rig *system.TrafficRig
+	res, err := supervisor.Run(supervisor.Config{
+		Checkpoint: ckptPath,
+		EveryWall:  everyWall,
+		Resume:     true,
+		Log:        log,
+	}, func() (supervisor.Session, error) {
+		r, err := buildPointRig(kind, s, stride, banks)
+		if err != nil {
+			return nil, err
+		}
+		rig = r
+		return r.NewSession(sweepPointFingerprint(kind, s, stride, banks), sim.Second)
+	})
+	if err != nil {
+		return 0, err
+	}
+	if !res.Done {
+		return 0, fmt.Errorf("experiments: %s point stride=%d banks=%d did not complete", kind, stride, banks)
+	}
+	return rig.Ctrl.BusUtilisation(), nil
+}
+
+// buildPointRig wires the single-channel rig for one sweep point; runPoint
+// and runPointSupervised share it so both paths simulate the same schedule.
+func buildPointRig(kind system.Kind, s SweepSpec, stride uint64, banks int) (*system.TrafficRig, error) {
+	pattern, err := sweepPattern(s, stride, banks, 1)
+	if err != nil {
+		return nil, err
+	}
+	return system.NewTrafficRig(system.RigConfig{
+		Kind:       kind,
+		Spec:       s.Spec,
+		Mapping:    s.Mapping,
+		ClosedPage: s.ClosedPage,
+		Gen:        trafficGenConfig(s),
+		Pattern:    pattern,
+	})
+}
+
+// NumExplorePoints returns the number of memory systems in the §IV-B case
+// study — the explore grid's point count.
+func NumExplorePoints() int { return len(Fig9Configs()) }
+
+// RunExplorePoint measures one memory system of the case study. NormIPC is
+// left zero: normalisation needs the DDR3 baseline, so it happens at merge
+// time (NormalizeFig9).
+func RunExplorePoint(memOps uint64, cores, index int) (Fig9Row, error) {
+	configs := Fig9Configs()
+	if index < 0 || index >= len(configs) {
+		return Fig9Row{}, fmt.Errorf("experiments: explore point %d out of range (have %d memory systems)", index, len(configs))
+	}
+	return runFig9Config(configs[index], memOps, cores)
+}
+
+// NormalizeFig9 fills every row's NormIPC relative to the first (DDR3) row.
+// Call only on a complete result — a partial one has no trustworthy baseline.
+func NormalizeFig9(res *Fig9Result) {
+	if len(res.Rows) == 0 {
+		return
+	}
+	base := res.Rows[0].IPC
+	for i := range res.Rows {
+		res.Rows[i].NormIPC = res.Rows[i].IPC / base
+	}
+}

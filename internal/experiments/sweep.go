@@ -103,12 +103,11 @@ func Fig5Spec(requests uint64) SweepSpec {
 	return s
 }
 
-// runPoint measures one model at one sweep point and returns the bus
-// utilisation.
-func runPoint(kind system.Kind, s SweepSpec, stride uint64, banks int) (float64, error) {
-	dec, err := dram.NewDecoder(s.Spec.Org, s.Mapping, 1)
+// sweepPattern builds the DRAM-aware pattern for one sweep point.
+func sweepPattern(s SweepSpec, stride uint64, banks, channels int) (trafficgen.Pattern, error) {
+	dec, err := dram.NewDecoder(s.Spec.Org, s.Mapping, channels)
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
 	pattern := &trafficgen.DRAMAware{
 		Decoder:      dec,
@@ -118,20 +117,24 @@ func runPoint(kind system.Kind, s SweepSpec, stride uint64, banks int) (float64,
 		Seed:         1,
 	}
 	if err := pattern.Validate(); err != nil {
-		return 0, err
+		return nil, err
 	}
-	rig, err := system.NewTrafficRig(system.RigConfig{
-		Kind:       kind,
-		Spec:       s.Spec,
-		Mapping:    s.Mapping,
-		ClosedPage: s.ClosedPage,
-		Gen: trafficgen.Config{
-			RequestBytes:   s.Spec.Org.BurstBytes(),
-			MaxOutstanding: 32,
-			Count:          s.Requests,
-		},
-		Pattern: pattern,
-	})
+	return pattern, nil
+}
+
+// trafficGenConfig is the generator configuration every sweep point uses.
+func trafficGenConfig(s SweepSpec) trafficgen.Config {
+	return trafficgen.Config{
+		RequestBytes:   s.Spec.Org.BurstBytes(),
+		MaxOutstanding: 32,
+		Count:          s.Requests,
+	}
+}
+
+// runPoint measures one model at one sweep point and returns the bus
+// utilisation.
+func runPoint(kind system.Kind, s SweepSpec, stride uint64, banks int) (float64, error) {
+	rig, err := buildPointRig(kind, s, stride, banks)
 	if err != nil {
 		return 0, err
 	}
@@ -144,18 +147,8 @@ func runPoint(kind system.Kind, s SweepSpec, stride uint64, banks int) (float64,
 // runShardedPoint measures one model at one sweep point on the sharded
 // multi-channel rig and returns the average per-channel bus utilisation.
 func runShardedPoint(kind system.Kind, s SweepSpec, stride uint64, banks, channels, workers int) (float64, error) {
-	dec, err := dram.NewDecoder(s.Spec.Org, s.Mapping, channels)
+	pattern, err := sweepPattern(s, stride, banks, channels)
 	if err != nil {
-		return 0, err
-	}
-	pattern := &trafficgen.DRAMAware{
-		Decoder:      dec,
-		StrideBursts: stride,
-		Banks:        banks,
-		ReadPercent:  s.ReadPct,
-		Seed:         1,
-	}
-	if err := pattern.Validate(); err != nil {
 		return 0, err
 	}
 	rig, err := system.NewShardedRig(system.ShardedConfig{

@@ -1,0 +1,68 @@
+package farm
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/checkpoint"
+)
+
+// Cache is the on-disk point-result cache: one JSON file per point,
+// named by the point fingerprint (schema version + canonical key), written
+// atomically. Because point results are deterministic, a hit is as good as a
+// re-run — a resubmitted job completes without simulating anything.
+type Cache struct {
+	dir string
+}
+
+// cacheEntry stores the key alongside the result so a fingerprint collision
+// (or a stale file from a buggy build) is detected instead of trusted.
+type cacheEntry struct {
+	Key    string       `json:"key"`
+	Result *PointResult `json:"result"`
+}
+
+// NewCache opens (creating if needed) a cache rooted at dir.
+func NewCache(dir string) (*Cache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("farm: cache dir: %w", err)
+	}
+	return &Cache{dir: dir}, nil
+}
+
+func (c *Cache) path(p Point) string {
+	return filepath.Join(c.dir, p.Fingerprint()+".json")
+}
+
+// Get returns the cached result for p, or nil on any miss — absent file,
+// unreadable JSON, key mismatch. A damaged entry is just a miss: the point
+// re-runs and Put overwrites it.
+func (c *Cache) Get(p Point) *PointResult {
+	data, err := os.ReadFile(c.path(p))
+	if err != nil {
+		return nil
+	}
+	var e cacheEntry
+	if err := json.Unmarshal(data, &e); err != nil {
+		return nil
+	}
+	if e.Key != p.Key() || e.Result == nil || e.Result.Key != p.Key() {
+		return nil
+	}
+	return e.Result
+}
+
+// Put stores res as p's result, atomically (temp+rename), so a crash mid-Put
+// can never leave a torn entry for Get to trip over.
+func (c *Cache) Put(p Point, res *PointResult) error {
+	data, err := json.MarshalIndent(cacheEntry{Key: p.Key(), Result: res}, "", "  ")
+	if err != nil {
+		return fmt.Errorf("farm: cache encode: %w", err)
+	}
+	if err := checkpoint.WriteFileAtomic(c.path(p), append(data, '\n')); err != nil {
+		return fmt.Errorf("farm: cache write: %w", err)
+	}
+	return nil
+}

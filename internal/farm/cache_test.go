@@ -1,0 +1,73 @@
+package farm
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func TestCacheRoundTrip(t *testing.T) {
+	c, err := NewCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Point{Kind: "sweep", Figure: 3, Requests: 100, Stride: 4, Banks: 2}
+	if got := c.Get(p); got != nil {
+		t.Fatalf("empty cache returned %+v", got)
+	}
+	res := &PointResult{Key: p.Key(), Sweep: &experiments.SweepRow{StrideBursts: 4, Banks: 2, EventUtil: 0.5, CycleUtil: 0.25}}
+	if err := c.Put(p, res); err != nil {
+		t.Fatal(err)
+	}
+	got := c.Get(p)
+	if got == nil || got.Sweep == nil || got.Sweep.EventUtil != 0.5 {
+		t.Fatalf("cache hit returned %+v", got)
+	}
+	// A different point never hits another point's entry.
+	q := p
+	q.Banks = 8
+	if got := c.Get(q); got != nil {
+		t.Fatalf("point %s hit %s's entry", q.Key(), p.Key())
+	}
+}
+
+func TestCacheCorruptionIsAMiss(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Point{Kind: "explore", MemOps: 10, Cores: 2, Config: 0}
+	res := &PointResult{Key: p.Key(), Fig9: &experiments.Fig9Row{Name: "DDR3", IPC: 1}}
+	if err := c.Put(p, res); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, p.Fingerprint()+".json")
+	if err := os.WriteFile(path, []byte("{torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Get(p); got != nil {
+		t.Fatalf("corrupted entry served as a hit: %+v", got)
+	}
+	// Put repairs the entry.
+	if err := c.Put(p, res); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Get(p); got == nil {
+		t.Fatal("repaired entry still missing")
+	}
+	// An entry whose stored key disagrees with its filename is a miss too.
+	other := Point{Kind: "explore", MemOps: 10, Cores: 2, Config: 1}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, other.Fingerprint()+".json"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Get(other); got != nil {
+		t.Fatalf("key-mismatched entry served as a hit: %+v", got)
+	}
+}

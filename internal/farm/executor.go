@@ -1,0 +1,140 @@
+package farm
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"time"
+
+	"repro/internal/checkpoint"
+)
+
+// Attempt is one try at one point, handed to an Executor.
+type Attempt struct {
+	// Job and Index identify the point within its job (for labelling).
+	Job   string
+	Index int
+	// Attempt is 1-based.
+	Attempt int
+	// Point is the work itself.
+	Point Point
+	// Dir is the point's scratch directory: point.json, result.json,
+	// worker.log and mid-point checkpoints live here. It is per-point, not
+	// per-attempt, so a retried attempt finds the previous attempt's
+	// checkpoints and resumes from them.
+	Dir string
+	// Timeout bounds the attempt's wall-clock runtime; 0 = unbounded. A
+	// worker that exceeds it is killed (and counts as a failed attempt).
+	Timeout time.Duration
+}
+
+// ErrAborted reports that the server is shutting down and deliberately
+// stopped the attempt; the point goes back to the queue, not to the retry
+// accounting.
+var ErrAborted = errors.New("farm: attempt aborted by shutdown")
+
+// spawnError marks a failure to even start the worker process — the slot's
+// problem, not the point's — so the scheduler retires the slot instead of
+// burning the point's retry budget.
+type spawnError struct{ err error }
+
+func (e spawnError) Error() string { return "farm: spawn worker: " + e.err.Error() }
+func (e spawnError) Unwrap() error { return e.err }
+
+// IsSpawnError reports whether err was a worker-spawn failure.
+func IsSpawnError(err error) bool {
+	var se spawnError
+	return errors.As(err, &se)
+}
+
+// Executor runs one attempt to completion (or failure). onStart receives the
+// worker's PID as soon as it is known (0 for in-process executors); closing
+// stop aborts the attempt with ErrAborted. Implementations must be safe for
+// concurrent use by multiple slots.
+type Executor func(a Attempt, onStart func(pid int), stop <-chan struct{}) (*PointResult, error)
+
+// SubprocessExecutor runs attempts as worker subprocesses of bin (normally
+// the simfarm binary itself, re-invoked with -worker). Process isolation is
+// the fault boundary: a worker that crashes, hangs, or is kill -9'd takes
+// down only its own attempt, and the server kills it on timeout or shutdown.
+func SubprocessExecutor(bin string, extraArgs ...string) Executor {
+	return func(a Attempt, onStart func(pid int), stop <-chan struct{}) (*PointResult, error) {
+		if err := os.MkdirAll(a.Dir, 0o755); err != nil {
+			return nil, spawnError{err}
+		}
+		pointFile := filepath.Join(a.Dir, "point.json")
+		resultFile := filepath.Join(a.Dir, "result.json")
+		pj, err := json.Marshal(a.Point)
+		if err != nil {
+			return nil, spawnError{err}
+		}
+		if err := checkpoint.WriteFileAtomic(pointFile, append(pj, '\n')); err != nil {
+			return nil, spawnError{err}
+		}
+		// A stale result from a previous attempt must never be mistaken for
+		// this attempt's output.
+		if err := os.Remove(resultFile); err != nil && !os.IsNotExist(err) {
+			return nil, spawnError{err}
+		}
+
+		args := append([]string{
+			"-worker",
+			"-point", pointFile,
+			"-out", resultFile,
+			"-ckpt-dir", a.Dir,
+		}, extraArgs...)
+		cmd := exec.Command(bin, args...)
+		logf, err := os.OpenFile(filepath.Join(a.Dir, "worker.log"),
+			os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, spawnError{err}
+		}
+		defer logf.Close()
+		fmt.Fprintf(logf, "--- %s point %d attempt %d: %s\n", a.Job, a.Index, a.Attempt, a.Point.Key())
+		cmd.Stdout = logf
+		cmd.Stderr = logf
+		if err := cmd.Start(); err != nil {
+			return nil, spawnError{err}
+		}
+		onStart(cmd.Process.Pid)
+
+		waitCh := make(chan error, 1)
+		go func() { waitCh <- cmd.Wait() }()
+		var timeoutCh <-chan time.Time
+		if a.Timeout > 0 {
+			t := time.NewTimer(a.Timeout)
+			defer t.Stop()
+			timeoutCh = t.C
+		}
+		select {
+		case werr := <-waitCh:
+			if werr != nil {
+				return nil, fmt.Errorf("farm: worker (pid %d): %w", cmd.Process.Pid, werr)
+			}
+		case <-timeoutCh:
+			cmd.Process.Kill() //nolint:errcheck
+			<-waitCh
+			return nil, fmt.Errorf("farm: worker (pid %d) exceeded %s timeout, killed", cmd.Process.Pid, a.Timeout)
+		case <-stop:
+			cmd.Process.Kill() //nolint:errcheck
+			<-waitCh
+			return nil, ErrAborted
+		}
+
+		data, err := os.ReadFile(resultFile)
+		if err != nil {
+			return nil, fmt.Errorf("farm: worker exited 0 but wrote no result: %w", err)
+		}
+		var res PointResult
+		if err := json.Unmarshal(data, &res); err != nil {
+			return nil, fmt.Errorf("farm: worker result: %w", err)
+		}
+		if res.Key != a.Point.Key() {
+			return nil, fmt.Errorf("farm: worker result key %q does not match point %q", res.Key, a.Point.Key())
+		}
+		return &res, nil
+	}
+}

@@ -1,0 +1,149 @@
+package farm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func TestPointKeysAndFingerprints(t *testing.T) {
+	a := Point{Kind: "sweep", Figure: 3, Requests: 4000, Stride: 8, Banks: 4}
+	b := a
+	b.Stride = 16
+	if a.Key() == b.Key() {
+		t.Fatal("different points share a key")
+	}
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("different points share a fingerprint")
+	}
+	if a.Fingerprint() != a.Fingerprint() {
+		t.Fatal("fingerprint is not stable")
+	}
+	for _, r := range a.Fingerprint() {
+		if !strings.ContainsRune("0123456789abcdef", r) {
+			t.Fatalf("fingerprint %q is not filename-safe hex", a.Fingerprint())
+		}
+	}
+	e := Point{Kind: "explore", MemOps: 3000, Cores: 16, Config: 1}
+	if err := e.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(e.Key(), "config=1") {
+		t.Fatalf("explore key %q misses the config index", e.Key())
+	}
+}
+
+func TestPointValidateRejectsNonsense(t *testing.T) {
+	bad := []Point{
+		{},
+		{Kind: "sweep", Figure: 9, Requests: 10, Stride: 1, Banks: 1},
+		{Kind: "sweep", Figure: 3, Requests: 10, Stride: 0, Banks: 1},
+		{Kind: "explore", MemOps: 10, Cores: 2, Config: 99},
+		{Kind: "explore", MemOps: 0, Cores: 2, Config: 0},
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("point %+v validated, want error", p)
+		}
+	}
+}
+
+func TestJobExpansionMatchesSingleProcessOrder(t *testing.T) {
+	spec := JobSpec{Type: "sweep", Figure: 3, Requests: 123}
+	pts, err := spec.Points()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := experiments.SpecForFigure(3, 123)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != len(s.Banks)*len(s.Strides) {
+		t.Fatalf("expanded %d points, want %d", len(pts), len(s.Banks)*len(s.Strides))
+	}
+	// runSweepWith iterates banks outer, strides inner; Merge depends on the
+	// expansion matching exactly.
+	i := 0
+	for _, banks := range s.Banks {
+		for _, stride := range s.Strides {
+			if pts[i].Banks != banks || pts[i].Stride != stride {
+				t.Fatalf("point %d is (stride=%d banks=%d), want (stride=%d banks=%d)",
+					i, pts[i].Stride, pts[i].Banks, stride, banks)
+			}
+			i++
+		}
+	}
+
+	ex := JobSpec{Type: "explore", MemOps: 50, Cores: 2}
+	epts, err := ex.Points()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(epts) != experiments.NumExplorePoints() {
+		t.Fatalf("explore expanded %d points, want %d", len(epts), experiments.NumExplorePoints())
+	}
+	for i, p := range epts {
+		if p.Config != i {
+			t.Fatalf("explore point %d has config %d", i, p.Config)
+		}
+	}
+
+	if _, err := (JobSpec{Type: "mystery"}).Points(); err == nil {
+		t.Fatal("unknown job type expanded")
+	}
+}
+
+func TestNormalizeDefaultsMatchCLIs(t *testing.T) {
+	s := JobSpec{Type: "sweep"}
+	s.Normalize()
+	if s.Figure != 3 || s.Requests != 4000 {
+		t.Fatalf("sweep defaults = fig %d, %d requests; want fig 3, 4000 (the bwsweep defaults)", s.Figure, s.Requests)
+	}
+	e := JobSpec{Type: "explore"}
+	e.Normalize()
+	if e.MemOps != 3000 || e.Cores != 16 {
+		t.Fatalf("explore defaults = %d memops, %d cores; want 3000, 16 (the explore defaults)", e.MemOps, e.Cores)
+	}
+}
+
+// TestMergePartialExplore checks the merge semantics around failures: a nil
+// result marks the output partial and suppresses IPC normalisation, exactly
+// like an interrupted CLI run.
+func TestMergePartialExplore(t *testing.T) {
+	spec := JobSpec{Type: "explore", MemOps: 100, Cores: 2}
+	pts, err := spec.Points()
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := make([]*PointResult, len(pts))
+	for i, p := range pts {
+		results[i] = &PointResult{Key: p.Key(), Fig9: &experiments.Fig9Row{Name: "m", IPC: float64(i + 1)}}
+	}
+	results[1] = nil // one failed point
+
+	data, err := spec.Merge(results, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(data)
+	if !strings.Contains(out, `"partial": true`) || !strings.Contains(out, `"normalized": false`) {
+		t.Fatalf("partial merge output wrong:\n%s", out)
+	}
+	if strings.Count(out, `"name"`) != len(pts)-1 {
+		t.Fatalf("partial merge should carry %d rows:\n%s", len(pts)-1, out)
+	}
+
+	// Complete merges normalise against the first row.
+	for i, p := range pts {
+		results[i] = &PointResult{Key: p.Key(), Fig9: &experiments.Fig9Row{Name: "m", IPC: float64(i + 1)}}
+	}
+	data, err = spec.Merge(results, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out = string(data)
+	if !strings.Contains(out, `"normalized": true`) || !strings.Contains(out, `"normIPC": 2,`) {
+		t.Fatalf("complete merge should normalise IPC:\n%s", out)
+	}
+}

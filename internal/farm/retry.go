@@ -1,0 +1,35 @@
+package farm
+
+import (
+	"time"
+
+	"repro/internal/supervisor"
+)
+
+// RetryPolicy bounds and paces point re-runs. The schedule is fully
+// deterministic: delays come from supervisor.Backoff, a pure function of
+// (seed, point key, attempt) — no wall clock, no global rand.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries per point (minimum 1).
+	MaxAttempts int
+	// Backoff paces attempts 2..MaxAttempts; the zero value retries
+	// immediately.
+	Backoff supervisor.Backoff
+}
+
+// Attempts returns the effective attempt budget.
+func (r RetryPolicy) Attempts() int {
+	if r.MaxAttempts < 1 {
+		return 1
+	}
+	return r.MaxAttempts
+}
+
+// Delay returns the pause before running attempt n (1-based) of the point
+// identified by key. The first attempt never waits.
+func (r RetryPolicy) Delay(key string, attempt int) time.Duration {
+	if attempt <= 1 {
+		return 0
+	}
+	return r.Backoff.Delay(key, attempt-1)
+}

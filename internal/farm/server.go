@@ -1,0 +1,709 @@
+package farm
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/obs"
+)
+
+// ServerConfig shapes a farm server.
+type ServerConfig struct {
+	// Addr is the HTTP listen address ("localhost:7070", ":0", ...).
+	Addr string
+	// DataDir roots all farm state: cache/, work/, results/, state.json.
+	DataDir string
+	// Workers is the worker-slot count (minimum 1).
+	Workers int
+	// Retry bounds and paces per-point re-runs.
+	Retry RetryPolicy
+	// PointTimeout kills a worker that runs longer than this wall-clock
+	// budget (0 = unbounded); the attempt counts as failed and retries.
+	PointTimeout time.Duration
+	// Exec runs attempts; normally SubprocessExecutor(self, ...).
+	Exec Executor
+	// Log receives one-line scheduler diagnostics; nil discards them.
+	Log io.Writer
+}
+
+// pointRun is one point's scheduling state within a job.
+type pointRun struct {
+	Point    Point
+	Status   string // "pending", "running", "done", "failed", "cached"
+	Attempts int
+	LastErr  string
+	res      *PointResult
+}
+
+// settled reports that the point needs no more work.
+func (pr *pointRun) settled() bool {
+	return pr.Status == "done" || pr.Status == "cached" || pr.Status == "failed"
+}
+
+// job is one submitted grid.
+type job struct {
+	id     string
+	spec   JobSpec
+	status string // "running", "done", "partial"
+	points []*pointRun
+}
+
+// slot is one worker slot: a token for "at most one subprocess at a time".
+// A crashed or killed worker frees its slot and the next attempt spawns a
+// replacement subprocess; a slot whose spawns themselves keep failing is
+// retired, shrinking the pool.
+type slot struct {
+	id         int
+	busy       bool
+	retired    bool
+	spawnFails int
+	// What the slot is running (valid while busy).
+	jobID   string
+	index   int
+	attempt int
+	pid     int
+}
+
+// spawnFailLimit retires a slot after this many consecutive spawn failures.
+const spawnFailLimit = 3
+
+// Server is the simfarm job server. All mutable state sits behind mu; the
+// HTTP handlers and the per-attempt goroutines only ever touch it locked.
+type Server struct {
+	cfg   ServerConfig
+	log   io.Writer
+	cache *Cache
+	hs    *obs.HTTPServer
+
+	mu       sync.Mutex
+	jobs     []*job // submission order — every listing iterates this slice
+	byID     map[string]*job
+	pending  []pendingRef // FIFO of runnable points
+	slots    []*slot
+	nextSeq  int
+	draining bool
+
+	stopCh chan struct{} // closed on shutdown; aborts in-flight attempts
+	wg     sync.WaitGroup
+}
+
+// pendingRef names one queued point.
+type pendingRef struct {
+	j   *job
+	idx int
+}
+
+// NewServer builds a server over DataDir, restoring any persisted job queue
+// from a previous process (results of finished points reload from the
+// cache; unfinished points re-queue).
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if cfg.Exec == nil {
+		return nil, fmt.Errorf("farm: ServerConfig.Exec is required")
+	}
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	log := cfg.Log
+	if log == nil {
+		log = io.Discard
+	}
+	for _, sub := range []string{"work", "results"} {
+		if err := os.MkdirAll(filepath.Join(cfg.DataDir, sub), 0o755); err != nil {
+			return nil, fmt.Errorf("farm: data dir: %w", err)
+		}
+	}
+	cache, err := NewCache(filepath.Join(cfg.DataDir, "cache"))
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:     cfg,
+		log:     log,
+		cache:   cache,
+		byID:    map[string]*job{},
+		nextSeq: 1,
+		stopCh:  make(chan struct{}),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.slots = append(s.slots, &slot{id: i})
+	}
+	if err := s.restore(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Start binds the HTTP endpoint and begins dispatching queued work.
+func (s *Server) Start() error {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /{$}", s.handleIndex)
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs", s.handleJobs)
+	mux.HandleFunc("GET /jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /workers", s.handleWorkers)
+	hs, err := obs.StartHTTPServer(s.cfg.Addr, mux)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.hs = hs
+	s.dispatchLocked()
+	s.mu.Unlock()
+	fmt.Fprintf(s.log, "farm: serving on %s (%d worker slots)\n", hs.Addr(), len(s.slots))
+	return nil
+}
+
+// Addr returns the bound HTTP address (useful with ":0").
+func (s *Server) Addr() string { return s.hs.Addr() }
+
+// Run starts the server and blocks until a signal arrives on notify, then
+// shuts down gracefully: in-flight workers are killed (their checkpoints
+// survive for resume), the queue is persisted for restart, and the HTTP
+// listener drains.
+func (s *Server) Run(notify <-chan os.Signal) error {
+	if err := s.Start(); err != nil {
+		return err
+	}
+	sig := <-notify
+	fmt.Fprintf(s.log, "farm: %v: shutting down gracefully\n", sig)
+	return s.Shutdown()
+}
+
+// Shutdown stops dispatch, aborts in-flight attempts, persists the queue and
+// drains the HTTP server.
+func (s *Server) Shutdown() error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil
+	}
+	s.draining = true
+	close(s.stopCh)
+	s.mu.Unlock()
+	s.wg.Wait() // every aborted attempt re-queues its point first
+	s.mu.Lock()
+	s.persistLocked()
+	s.mu.Unlock()
+	if s.hs != nil {
+		return s.hs.Shutdown(2 * time.Second)
+	}
+	return nil
+}
+
+// dispatchLocked fills every free slot from the pending queue (FIFO). If the
+// whole pool has been retired the queue can never drain, so the remaining
+// points fail outright rather than pend forever.
+func (s *Server) dispatchLocked() {
+	if s.draining {
+		return
+	}
+	live := 0
+	for _, sl := range s.slots {
+		if !sl.retired {
+			live++
+		}
+	}
+	if live == 0 {
+		for _, ref := range s.pending {
+			pr := ref.j.points[ref.idx]
+			pr.Status = "failed"
+			pr.LastErr = "no worker slots left (all retired)"
+			fmt.Fprintf(s.log, "farm: %s point %d failed: %s\n", ref.j.id, ref.idx, pr.LastErr)
+		}
+		refs := s.pending
+		s.pending = nil
+		for _, ref := range refs {
+			s.finalizeJobLocked(ref.j)
+		}
+		return
+	}
+	for _, sl := range s.slots {
+		if sl.busy || sl.retired || len(s.pending) == 0 {
+			continue
+		}
+		ref := s.pending[0]
+		s.pending = s.pending[1:]
+		pr := ref.j.points[ref.idx]
+		pr.Status = "running"
+		pr.Attempts++
+		sl.busy = true
+		sl.jobID = ref.j.id
+		sl.index = ref.idx
+		sl.attempt = pr.Attempts
+		sl.pid = 0
+		s.wg.Add(1)
+		go s.runAttempt(sl, ref.j, ref.idx, pr.Attempts)
+	}
+}
+
+// runAttempt executes one try of one point on one slot, then hands the
+// outcome back to the scheduler. Runs unlocked except for state handoffs.
+func (s *Server) runAttempt(sl *slot, j *job, idx, attempt int) {
+	defer s.wg.Done()
+	pt := j.points[idx].Point
+	key := pt.Key()
+
+	// Deterministic backoff before re-runs; shutdown cuts the wait short.
+	if d := s.cfg.Retry.Delay(key, attempt); d > 0 {
+		fmt.Fprintf(s.log, "farm: %s point %d: backing off %s before attempt %d\n", j.id, idx, d, attempt)
+		t := time.NewTimer(d)
+		select {
+		case <-t.C:
+		case <-s.stopCh:
+			t.Stop()
+			s.finishAttempt(sl, j, idx, nil, ErrAborted)
+			return
+		}
+	}
+
+	a := Attempt{
+		Job:     j.id,
+		Index:   idx,
+		Attempt: attempt,
+		Point:   pt,
+		Dir:     filepath.Join(s.cfg.DataDir, "work", j.id, fmt.Sprintf("p%03d", idx)),
+		Timeout: s.cfg.PointTimeout,
+	}
+	// Wall-clock measurement boundary: attempt duration feeds the log line
+	// only, never a scheduling decision.
+	start := time.Now() //lint:allow simtime attempt wall duration is reporting only
+	res, err := s.cfg.Exec(a, func(pid int) {
+		s.mu.Lock()
+		sl.pid = pid
+		s.mu.Unlock()
+	}, s.stopCh)
+	wall := time.Since(start) //lint:allow simtime attempt wall duration is reporting only
+	if err == nil {
+		fmt.Fprintf(s.log, "farm: %s point %d done in %s (attempt %d)\n", j.id, idx, wall.Round(time.Millisecond), attempt)
+	}
+	s.finishAttempt(sl, j, idx, res, err)
+}
+
+// finishAttempt folds one attempt's outcome back into the scheduler state.
+func (s *Server) finishAttempt(sl *slot, j *job, idx int, res *PointResult, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	pr := j.points[idx]
+	sl.busy = false
+	sl.pid = 0
+	sl.jobID = ""
+
+	switch {
+	case err == nil:
+		sl.spawnFails = 0
+		pr.Status = "done"
+		pr.res = res
+		pr.LastErr = ""
+		if cerr := s.cache.Put(pr.Point, res); cerr != nil {
+			fmt.Fprintf(s.log, "farm: %v\n", cerr)
+		}
+	case errors.Is(err, ErrAborted):
+		// Shutdown, not failure: the attempt never counts and the point
+		// re-queues so a restarted server picks it straight back up.
+		pr.Status = "pending"
+		pr.Attempts--
+		s.pending = append(s.pending, pendingRef{j, idx})
+	case IsSpawnError(err):
+		// The slot couldn't even start a worker — its problem, not the
+		// point's. Re-queue the point without burning its budget and retire
+		// the slot once spawning has failed repeatedly: the pool shrinks and
+		// the survivors keep draining the queue.
+		pr.Status = "pending"
+		pr.Attempts--
+		s.pending = append(s.pending, pendingRef{j, idx})
+		sl.spawnFails++
+		fmt.Fprintf(s.log, "farm: slot %d: %v (%d/%d)\n", sl.id, err, sl.spawnFails, spawnFailLimit)
+		if sl.spawnFails >= spawnFailLimit {
+			sl.retired = true
+			live := 0
+			for _, other := range s.slots {
+				if !other.retired {
+					live++
+				}
+			}
+			fmt.Fprintf(s.log, "farm: slot %d retired after %d spawn failures; pool shrinks to %d\n",
+				sl.id, sl.spawnFails, live)
+		}
+	default:
+		pr.LastErr = err.Error()
+		if pr.Attempts < s.cfg.Retry.Attempts() {
+			fmt.Fprintf(s.log, "farm: %s point %d attempt %d failed (%v); will retry %d/%d\n",
+				j.id, idx, pr.Attempts, err, pr.Attempts, s.cfg.Retry.Attempts()-1)
+			pr.Status = "pending"
+			s.pending = append(s.pending, pendingRef{j, idx})
+		} else {
+			fmt.Fprintf(s.log, "farm: %s point %d failed permanently after %d attempts: %v\n",
+				j.id, idx, pr.Attempts, err)
+			pr.Status = "failed"
+		}
+	}
+
+	s.finalizeJobLocked(j)
+	s.persistLocked()
+	s.dispatchLocked()
+}
+
+// finalizeJobLocked merges and writes the job result once every point has
+// settled. Failed points make the result partial — the job still completes
+// and reports what it measured.
+func (s *Server) finalizeJobLocked(j *job) {
+	if j.status != "running" {
+		return
+	}
+	failed := 0
+	for _, pr := range j.points {
+		if !pr.settled() {
+			return
+		}
+		if pr.Status == "failed" {
+			failed++
+		}
+	}
+	results := make([]*PointResult, len(j.points))
+	for i, pr := range j.points {
+		results[i] = pr.res
+	}
+	data, err := j.spec.Merge(results, failed > 0)
+	if err != nil {
+		fmt.Fprintf(s.log, "farm: %s merge: %v\n", j.id, err)
+		j.status = "partial"
+		return
+	}
+	path := s.resultPath(j.id)
+	if err := checkpoint.WriteFileAtomic(path, data); err != nil {
+		fmt.Fprintf(s.log, "farm: %s result: %v\n", j.id, err)
+		j.status = "partial"
+		return
+	}
+	if failed > 0 {
+		j.status = "partial"
+	} else {
+		j.status = "done"
+	}
+	fmt.Fprintf(s.log, "farm: %s %s (%d/%d points, %d failed) -> %s\n",
+		j.id, j.status, len(j.points)-failed, len(j.points), failed, path)
+}
+
+func (s *Server) resultPath(id string) string {
+	return filepath.Join(s.cfg.DataDir, "results", id+".json")
+}
+
+// --- HTTP handlers -------------------------------------------------------
+
+// submitResponse answers POST /jobs.
+type submitResponse struct {
+	ID     string `json:"id"`
+	Points int    `json:"points"`
+	Cached int    `json:"cached"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		http.Error(w, "bad job spec: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	spec.Normalize()
+	pts, err := spec.Points()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		http.Error(w, "server is draining", http.StatusServiceUnavailable)
+		return
+	}
+	j := &job{id: fmt.Sprintf("j%d", s.nextSeq), spec: spec, status: "running"}
+	s.nextSeq++
+	cached := 0
+	for i, pt := range pts {
+		pr := &pointRun{Point: pt, Status: "pending"}
+		if res := s.cache.Get(pt); res != nil {
+			pr.Status = "cached"
+			pr.res = res
+			cached++
+		}
+		j.points = append(j.points, pr)
+		if pr.Status == "pending" {
+			s.pending = append(s.pending, pendingRef{j, i})
+		}
+	}
+	s.jobs = append(s.jobs, j)
+	s.byID[j.id] = j
+	fmt.Fprintf(s.log, "farm: %s submitted: %s, %d points (%d cached)\n", j.id, describe(spec), len(pts), cached)
+	s.finalizeJobLocked(j) // a fully-cached job completes without dispatch
+	s.persistLocked()
+	s.dispatchLocked()
+	resp := submitResponse{ID: j.id, Points: len(pts), Cached: cached}
+	s.mu.Unlock()
+
+	writeJSON(w, resp)
+}
+
+func describe(spec JobSpec) string {
+	if spec.Type == "sweep" {
+		return fmt.Sprintf("sweep fig=%d requests=%d", spec.Figure, spec.Requests)
+	}
+	return fmt.Sprintf("explore memops=%d cores=%d", spec.MemOps, spec.Cores)
+}
+
+// jobSummary answers GET /jobs and heads GET /jobs/{id}.
+type jobSummary struct {
+	ID      string `json:"id"`
+	Type    string `json:"type"`
+	Status  string `json:"status"`
+	Points  int    `json:"points"`
+	Done    int    `json:"done"`
+	Cached  int    `json:"cached"`
+	Failed  int    `json:"failed"`
+	Running int    `json:"running"`
+	Pending int    `json:"pending"`
+}
+
+func summarize(j *job) jobSummary {
+	sum := jobSummary{ID: j.id, Type: j.spec.Type, Status: j.status, Points: len(j.points)}
+	for _, pr := range j.points {
+		switch pr.Status {
+		case "done":
+			sum.Done++
+		case "cached":
+			sum.Cached++
+		case "failed":
+			sum.Failed++
+		case "running":
+			sum.Running++
+		default:
+			sum.Pending++
+		}
+	}
+	return sum
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	out := make([]jobSummary, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		out = append(out, summarize(j))
+	}
+	s.mu.Unlock()
+	writeJSON(w, out)
+}
+
+// pointStatus is one row of GET /jobs/{id}.
+type pointStatus struct {
+	Index    int    `json:"index"`
+	Key      string `json:"key"`
+	Status   string `json:"status"`
+	Attempts int    `json:"attempts"`
+	LastErr  string `json:"lastErr,omitempty"`
+}
+
+type jobDetail struct {
+	jobSummary
+	Spec      JobSpec       `json:"spec"`
+	PointRuns []pointStatus `json:"pointRuns"`
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	j, ok := s.byID[r.PathValue("id")]
+	if !ok {
+		s.mu.Unlock()
+		http.NotFound(w, r)
+		return
+	}
+	out := jobDetail{jobSummary: summarize(j), Spec: j.spec}
+	for i, pr := range j.points {
+		out.PointRuns = append(out.PointRuns, pointStatus{
+			Index: i, Key: pr.Point.Key(), Status: pr.Status,
+			Attempts: pr.Attempts, LastErr: pr.LastErr,
+		})
+	}
+	s.mu.Unlock()
+	writeJSON(w, out)
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	j, ok := s.byID[r.PathValue("id")]
+	finished := ok && j.status != "running"
+	var path string
+	if ok {
+		path = s.resultPath(j.id)
+	}
+	s.mu.Unlock()
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	if !finished {
+		http.Error(w, "job still running", http.StatusConflict)
+		return
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		http.Error(w, "result unavailable: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(data) //nolint:errcheck
+}
+
+// workerStatus is one row of GET /workers.
+type workerStatus struct {
+	Slot       int    `json:"slot"`
+	State      string `json:"state"` // "idle", "busy", "retired"
+	Job        string `json:"job,omitempty"`
+	Point      int    `json:"point,omitempty"`
+	Attempt    int    `json:"attempt,omitempty"`
+	PID        int    `json:"pid,omitempty"`
+	SpawnFails int    `json:"spawnFails,omitempty"`
+}
+
+func (s *Server) handleWorkers(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	out := make([]workerStatus, 0, len(s.slots))
+	for _, sl := range s.slots {
+		ws := workerStatus{Slot: sl.id, State: "idle", SpawnFails: sl.spawnFails}
+		switch {
+		case sl.retired:
+			ws.State = "retired"
+		case sl.busy:
+			ws.State = "busy"
+			ws.Job = sl.jobID
+			ws.Point = sl.index
+			ws.Attempt = sl.attempt
+			ws.PID = sl.pid
+		}
+		out = append(out, ws)
+	}
+	s.mu.Unlock()
+	writeJSON(w, out)
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "simfarm sweep service")
+	fmt.Fprintln(w, "  POST /jobs              submit a job spec")
+	fmt.Fprintln(w, "  GET  /jobs              list jobs")
+	fmt.Fprintln(w, "  GET  /jobs/{id}         job detail with per-point status")
+	fmt.Fprintln(w, "  GET  /jobs/{id}/result  merged result (when finished)")
+	fmt.Fprintln(w, "  GET  /workers           worker slot health")
+	fmt.Fprintln(w, "  GET  /healthz           readiness probe")
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck
+}
+
+// --- persistence ---------------------------------------------------------
+
+// stateVersion versions state.json; a mismatch starts fresh rather than
+// misreading an old layout.
+const stateVersion = 1
+
+type persistedPoint struct {
+	Status string `json:"status"`
+}
+
+type persistedJob struct {
+	ID     string           `json:"id"`
+	Spec   JobSpec          `json:"spec"`
+	Status string           `json:"status"`
+	Points []persistedPoint `json:"points"`
+}
+
+type persistedState struct {
+	Version int            `json:"version"`
+	NextSeq int            `json:"nextSeq"`
+	Jobs    []persistedJob `json:"jobs"`
+}
+
+func (s *Server) statePath() string { return filepath.Join(s.cfg.DataDir, "state.json") }
+
+// persistLocked writes the queue snapshot atomically; a crash between writes
+// loses at most the latest transition, never the file's integrity.
+func (s *Server) persistLocked() {
+	st := persistedState{Version: stateVersion, NextSeq: s.nextSeq}
+	for _, j := range s.jobs {
+		pj := persistedJob{ID: j.id, Spec: j.spec, Status: j.status}
+		for _, pr := range j.points {
+			pj.Points = append(pj.Points, persistedPoint{Status: pr.Status})
+		}
+		st.Jobs = append(st.Jobs, pj)
+	}
+	data, err := json.MarshalIndent(st, "", "  ")
+	if err != nil {
+		fmt.Fprintf(s.log, "farm: persist: %v\n", err)
+		return
+	}
+	if err := checkpoint.WriteFileAtomic(s.statePath(), append(data, '\n')); err != nil {
+		fmt.Fprintf(s.log, "farm: persist: %v\n", err)
+	}
+}
+
+// restore rebuilds jobs from state.json. Finished points reload from the
+// result cache (a cache miss just re-queues them); running, pending and
+// failed points re-queue with a fresh attempt budget — the restart is the
+// operator's "try again".
+func (s *Server) restore() error {
+	data, err := os.ReadFile(s.statePath())
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("farm: restore: %w", err)
+	}
+	var st persistedState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return fmt.Errorf("farm: restore %s: %w", s.statePath(), err)
+	}
+	if st.Version != stateVersion {
+		fmt.Fprintf(s.log, "farm: ignoring state.json version %d (want %d)\n", st.Version, stateVersion)
+		return nil
+	}
+	s.nextSeq = st.NextSeq
+	for _, pj := range st.Jobs {
+		pts, err := pj.Spec.Points()
+		if err != nil || len(pts) != len(pj.Points) {
+			fmt.Fprintf(s.log, "farm: dropping job %s on restore (grid changed?)\n", pj.ID)
+			continue
+		}
+		j := &job{id: pj.ID, spec: pj.Spec, status: "running"}
+		requeued := 0
+		for i, pt := range pts {
+			pr := &pointRun{Point: pt, Status: "pending"}
+			if prev := pj.Points[i].Status; prev == "done" || prev == "cached" {
+				if res := s.cache.Get(pt); res != nil {
+					pr.Status = prev
+					pr.res = res
+				}
+			}
+			j.points = append(j.points, pr)
+			if pr.Status == "pending" {
+				s.pending = append(s.pending, pendingRef{j, i})
+				requeued++
+			}
+		}
+		s.jobs = append(s.jobs, j)
+		s.byID[j.id] = j
+		s.finalizeJobLocked(j) // nothing to re-run -> rebuild the merged result now
+		fmt.Fprintf(s.log, "farm: restored %s: %d points, %d re-queued\n", j.id, len(j.points), requeued)
+	}
+	return nil
+}

@@ -2,16 +2,61 @@ package obs
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
 	"strconv"
 	"sync"
+	"time"
 
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
+
+// HTTPServer is the shared host-facing HTTP plumbing: a bound listener, a
+// background Serve goroutine, a /healthz readiness endpoint, and a graceful,
+// connection-draining Shutdown. The -obs-http live endpoint and the simfarm
+// job server both build on it, so SIGINT/SIGTERM drain in-flight requests the
+// same way everywhere instead of each server dying mid-response.
+type HTTPServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// StartHTTPServer binds addr ("localhost:6060", ":0", ...), registers
+// /healthz on mux, and serves in the background until Shutdown or Close.
+func StartHTTPServer(addr string, mux *http.ServeMux) (*HTTPServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: http endpoint: %w", err)
+	}
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	h := &HTTPServer{ln: ln, srv: &http.Server{Handler: mux}}
+	go h.srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Close
+	return h, nil
+}
+
+// Addr returns the bound address (useful with ":0").
+func (h *HTTPServer) Addr() string { return h.ln.Addr().String() }
+
+// Shutdown stops accepting connections and drains in-flight requests for up
+// to grace, then force-closes whatever is left. Safe to call more than once.
+func (h *HTTPServer) Shutdown(grace time.Duration) error {
+	ctx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	if err := h.srv.Shutdown(ctx); err != nil {
+		return h.srv.Close()
+	}
+	return nil
+}
+
+// Close stops the server immediately without draining.
+func (h *HTTPServer) Close() error { return h.srv.Close() }
 
 // Live observation endpoint (-obs-http). The simulation goroutine never
 // serves HTTP: at each sampling tick it *publishes* pre-rendered JSON
@@ -23,12 +68,12 @@ import (
 // Routes:
 //
 //	/           index
+//	/healthz    readiness probe
 //	/stats      latest stats.Registry snapshot (JSON object)
 //	/series     recent per-controller samples (JSON array, bounded history)
 //	/debug/pprof/...  the standard pprof handlers
 type LiveServer struct {
-	ln  net.Listener
-	srv *http.Server
+	hs *HTTPServer
 
 	mu        sync.Mutex
 	statsSnap []byte   // latest registry dump, or nil before the first publish
@@ -43,11 +88,7 @@ const maxSeriesRows = 4096
 // NewLiveServer starts listening on addr ("localhost:6060", ":0", ...) and
 // serves in the background until Close.
 func NewLiveServer(addr string) (*LiveServer, error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("obs: live endpoint: %w", err)
-	}
-	s := &LiveServer{ln: ln}
+	s := &LiveServer{}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", s.handleIndex)
 	mux.HandleFunc("/stats", s.handleStats)
@@ -57,16 +98,23 @@ func NewLiveServer(addr string) (*LiveServer, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	s.srv = &http.Server{Handler: mux}
-	go s.srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Close
+	hs, err := StartHTTPServer(addr, mux)
+	if err != nil {
+		return nil, err
+	}
+	s.hs = hs
 	return s, nil
 }
 
 // Addr returns the bound address (useful with ":0").
-func (s *LiveServer) Addr() string { return s.ln.Addr().String() }
+func (s *LiveServer) Addr() string { return s.hs.Addr() }
 
-// Close stops the listener.
-func (s *LiveServer) Close() error { return s.srv.Close() }
+// Close stops the listener immediately, without draining.
+func (s *LiveServer) Close() error { return s.hs.Close() }
+
+// Shutdown drains in-flight requests for up to grace before closing — the
+// SIGINT/SIGTERM path, so a scraper mid-GET sees a complete response.
+func (s *LiveServer) Shutdown(grace time.Duration) error { return s.hs.Shutdown(grace) }
 
 // PublishStats renders the registry and swaps it in as the /stats snapshot.
 // Call from the simulation goroutine only (typically the sampler hook).
@@ -119,6 +167,7 @@ func (s *LiveServer) handleIndex(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintln(w, "dramctrl live observation endpoint")
+	fmt.Fprintln(w, "  /healthz      readiness probe")
 	fmt.Fprintln(w, "  /stats        latest registry snapshot (JSON)")
 	fmt.Fprintln(w, "  /series       recent controller samples (JSON)")
 	fmt.Fprintln(w, "  /debug/pprof  runtime profiles")

@@ -1,0 +1,119 @@
+package supervisor
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func schedule(b Backoff, key string, n int) []time.Duration {
+	out := make([]time.Duration, 0, n)
+	for i := 1; i <= n; i++ {
+		out = append(out, b.Delay(key, i))
+	}
+	return out
+}
+
+func TestBackoffScheduleDeterministic(t *testing.T) {
+	b := Backoff{Base: 10 * time.Millisecond, Max: time.Second, Seed: 42}
+	first := schedule(b, "point-3", 8)
+	second := schedule(b, "point-3", 8)
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("attempt %d: %s then %s — schedule not deterministic", i+1, first[i], second[i])
+		}
+	}
+	// The jittered exponential stays inside [base*2^(n-1), 1.5*base*2^(n-1)]
+	// until the cap takes over, and never exceeds the cap.
+	for i, d := range first {
+		lo := 10 * time.Millisecond << i
+		hi := lo + lo/2
+		if hi > time.Second {
+			hi = time.Second
+		}
+		if lo > time.Second {
+			lo = time.Second
+		}
+		if d < lo || d > hi {
+			t.Fatalf("attempt %d: delay %s outside [%s, %s]", i+1, d, lo, hi)
+		}
+	}
+	// A different seed must shift at least one delay (jitter actually jitters).
+	other := schedule(Backoff{Base: 10 * time.Millisecond, Max: time.Second, Seed: 43}, "point-3", 8)
+	same := true
+	for i := range first {
+		if first[i] != other[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("seeds 42 and 43 produced identical schedules; jitter ignores the seed")
+	}
+	// Different keys spread out too, from the same seed.
+	if b.Delay("point-3", 1) == b.Delay("point-4", 1) {
+		t.Fatal("different keys got identical first delays; jitter ignores the key")
+	}
+}
+
+func TestBackoffZeroAndBounds(t *testing.T) {
+	var zero Backoff
+	if d := zero.Delay("k", 3); d != 0 {
+		t.Fatalf("zero backoff delayed %s, want 0", d)
+	}
+	b := Backoff{Base: time.Millisecond, Max: 50 * time.Millisecond}
+	if d := b.Delay("k", 0); d != 0 {
+		t.Fatalf("attempt 0 delayed %s, want 0", d)
+	}
+	// A huge attempt number must not overflow past the cap.
+	if d := b.Delay("k", 10_000); d != 50*time.Millisecond {
+		t.Fatalf("attempt 10000 delayed %s, want the 50ms cap", d)
+	}
+}
+
+// TestDeterministicFailureIsBoundedAndPaced drives a session that fails the
+// same way on every rebuild: the supervisor must sleep the deterministic
+// backoff schedule between attempts, stop at MaxRetries, and report the
+// failure — not retry forever.
+func TestDeterministicFailureIsBoundedAndPaced(t *testing.T) {
+	var slept []time.Duration
+	defer func(orig func(time.Duration)) { sleepRetry = orig }(sleepRetry)
+	sleepRetry = func(d time.Duration) { slept = append(slept, d) }
+
+	b := Backoff{Base: 5 * time.Millisecond, Max: 100 * time.Millisecond, Seed: 7}
+	h := &harness{total: 10, failAt: 4, nFail: 100} // fails deterministically, every segment
+	var log bytes.Buffer
+	res, err := Run(Config{
+		Checkpoint: filepath.Join(t.TempDir(), "run.ckpt"),
+		Every:      2 * sim.Microsecond, // sim-periodic checkpoints so retries resume
+		MaxRetries: 3,
+		Backoff:    b,
+		Log:        &log,
+	}, h.factory)
+	if err == nil || !strings.Contains(err.Error(), "injected fault") {
+		t.Fatalf("err = %v, want the deterministic failure reported", err)
+	}
+	if res.Done {
+		t.Fatal("a point that fails deterministically was reported as done")
+	}
+	// Retries counts failures that were retried or gave up: 3 retried + the
+	// final give-up. The budget bounds the loop; it does not run forever.
+	if res.Retries != 4 {
+		t.Fatalf("retries = %d, want 4 (3 retried + 1 gave up)", res.Retries)
+	}
+	if h.builds != 4 {
+		t.Fatalf("builds = %d, want 4 (initial + 3 retries)", h.builds)
+	}
+	want := []time.Duration{b.Delay("segment", 1), b.Delay("segment", 2), b.Delay("segment", 3)}
+	if len(slept) != len(want) {
+		t.Fatalf("slept %d times (%v), want %d", len(slept), slept, len(want))
+	}
+	for i := range want {
+		if slept[i] != want[i] {
+			t.Fatalf("retry %d slept %s, want %s (deterministic schedule)", i+1, slept[i], want[i])
+		}
+	}
+}

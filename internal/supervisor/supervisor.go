@@ -12,7 +12,9 @@ package supervisor
 import (
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"io"
+	"math"
 	"os"
 	"os/signal"
 	"syscall"
@@ -21,6 +23,55 @@ import (
 	"repro/internal/checkpoint"
 	"repro/internal/sim"
 )
+
+// Backoff computes the delay before a retry: exponential growth from Base,
+// capped at Max, plus bounded jitter. The schedule is a pure function of the
+// configuration, the retry key and the attempt number — no wall clock and no
+// global rand in the decision path — so two runs of the same failing
+// workload produce the same delays, and a test can assert the whole schedule
+// up front. (Sleeping the delay out is the caller's business; computing it is
+// deterministic.)
+type Backoff struct {
+	// Base is the delay before the first retry; 0 disables backoff.
+	Base time.Duration
+	// Max caps every computed delay (0 = uncapped).
+	Max time.Duration
+	// Factor is the per-attempt growth (values <= 1 mean 2).
+	Factor float64
+	// Seed drives the jitter; the same seed reproduces the same schedule.
+	Seed uint64
+}
+
+// Delay returns the pause before retry attempt n (1-based) of the work
+// identified by key. Jitter adds up to half the exponential delay, derived
+// from (Seed, key, attempt) by hashing, so concurrent retries of different
+// points spread out without any randomness source.
+func (b Backoff) Delay(key string, attempt int) time.Duration {
+	if b.Base <= 0 || attempt <= 0 {
+		return 0
+	}
+	factor := b.Factor
+	if factor <= 1 {
+		factor = 2
+	}
+	exp := math.Min(float64(attempt-1), 40) // past 2^40 the cap decides anyway
+	d := float64(b.Base) * math.Pow(factor, exp)
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%s|%d", b.Seed, key, attempt)
+	frac := float64(h.Sum64()%(1<<20)) / float64(1<<20) // [0, 1)
+	d += d / 2 * frac
+	if b.Max > 0 && d > float64(b.Max) {
+		d = float64(b.Max)
+	}
+	if d > float64(math.MaxInt64) {
+		d = float64(math.MaxInt64)
+	}
+	return time.Duration(d)
+}
+
+// sleepRetry pauses between retries; a variable so tests can record the
+// schedule instead of sleeping it out.
+var sleepRetry = time.Sleep
 
 // Session is one runnable, checkpointable simulation. Between Step calls the
 // simulation must be at a valid checkpoint boundary (kernels parked, shard
@@ -67,6 +118,10 @@ type Config struct {
 	// MaxRetries bounds rebuild-and-resume attempts after segment failures;
 	// once exhausted the last failure is returned.
 	MaxRetries int
+	// Backoff paces the retries: retry n sleeps Backoff.Delay("segment", n)
+	// before rebuilding. The zero value retries immediately (the historical
+	// behaviour).
+	Backoff Backoff
 	// Notify delivers shutdown signals (see NotifySignals); nil disables
 	// graceful-stop handling.
 	Notify <-chan os.Signal
@@ -144,6 +199,10 @@ func Run(cfg Config, factory Factory) (Result, error) {
 		} else {
 			fmt.Fprintf(st.log, "supervisor: segment failed (%v); retry %d/%d from scratch\n",
 				segErr, st.res.Retries, st.cfg.MaxRetries)
+		}
+		if d := st.cfg.Backoff.Delay("segment", st.res.Retries); d > 0 {
+			fmt.Fprintf(st.log, "supervisor: backing off %s before retry %d\n", d, st.res.Retries)
+			sleepRetry(d)
 		}
 	}
 }

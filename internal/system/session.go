@@ -66,6 +66,14 @@ func (s *TrafficSession) Start() { s.rig.Gen.Start() }
 // as the error, and exceeding maxSim is an error too.
 func (s *TrafficSession) Step() (bool, error) {
 	r := s.rig
+	// A session restored from a completion checkpoint already sits at the
+	// boundary where the run finished. Advancing another quantum would move
+	// Now past the recorded completion time and skew every time-normalised
+	// statistic (bus utilisation divides by Now), so completion must be
+	// detected before stepping, not after.
+	if r.Gen.Done() && r.Ctrl.Quiescent() {
+		return true, nil
+	}
 	if _, err := r.K.RunUntilErr(r.K.Now() + quantum); err != nil {
 		return false, err
 	}
@@ -127,9 +135,34 @@ func (s *MultiChannelSession) Start() {
 	}
 }
 
+// done reports whether the whole system is complete and quiescent — the
+// run's stopping condition, also checked at entry to Step so a session
+// restored from a completion checkpoint does not advance past its recorded
+// end time.
+func (s *MultiChannelSession) done() bool {
+	r := s.rig
+	for _, g := range r.Gens {
+		if !g.Done() {
+			return false
+		}
+	}
+	if !r.Xbar.Quiescent() || r.Xbar.InFlight() != 0 {
+		return false
+	}
+	for _, c := range r.Ctrls {
+		if !c.Quiescent() {
+			return false
+		}
+	}
+	return true
+}
+
 // Step advances one quantum and reports completion.
 func (s *MultiChannelSession) Step() (bool, error) {
 	r := s.rig
+	if s.done() {
+		return true, nil
+	}
 	if _, err := r.K.RunUntilErr(r.K.Now() + quantum); err != nil {
 		return false, err
 	}
