@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Bench guardrail: the sharded rig's parallel scaling must not silently rot.
+# Reruns the parallel speedup measurement with GOMAXPROCS pinned above 1 (so
+# the sharded path really runs multi-threaded) and compares every
+# (case, channels, workers) row against the committed BENCH_3.json baseline:
+#
+#   - determinism (parallel stats byte-match serial) is enforced always —
+#     cmd/speedup itself exits nonzero on a diverged row, and benchcmp
+#     re-checks both reports' flags;
+#   - the scaling comparison (speedup within 25% of baseline) is skipped for
+#     rows undersubscribed in either run, because a host with fewer hardware
+#     threads than workers measures goroutine overhead, not scaling.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+
+: "${BENCH_GOMAXPROCS:=4}"
+if [ "$BENCH_GOMAXPROCS" -le 1 ]; then
+    echo "FAIL: BENCH_GOMAXPROCS must be > 1 (the guardrail exists to exercise the multi-threaded path)" >&2
+    exit 1
+fi
+
+# Must match the flags BENCH_3.json was generated with (see README): the
+# comparator rejects mismatched adaptive quanta.
+echo "== regenerate parallel measurement (GOMAXPROCS=$BENCH_GOMAXPROCS)"
+GOMAXPROCS="$BENCH_GOMAXPROCS" go run ./cmd/speedup \
+    -requests 20000 -parallel 4 -lookahead-quanta 8 \
+    -json "$workdir/bench.json" >"$workdir/bench.out"
+tail -n +1 "$workdir/bench.out" | sed -n '/Sharded multi-channel rig/,$p'
+
+echo "== compare against committed BENCH_3.json"
+go run ./ci/benchcmp BENCH_3.json "$workdir/bench.json"
+
+echo "PASS: bench guardrail"

@@ -1,0 +1,127 @@
+// Command benchcmp compares two `speedup -json` reports for the CI bench
+// guardrail. It enforces two things, with different strictness:
+//
+//   - Determinism is unconditional: every parallel row in either report must
+//     have byte-matched its serial run. A nondeterministic row is a
+//     correctness bug regardless of the host.
+//   - Scaling is conditional: a row's speedup may not regress more than the
+//     tolerance below the committed baseline's — but only when the row was
+//     genuinely parallel in BOTH reports. A row stamped undersubscribed
+//     (more workers than hardware threads) measures goroutine overhead, not
+//     scaling, and is skipped with a note instead of failing the build on
+//     whatever machine CI happened to land on.
+//
+// Usage: benchcmp BASELINE.json CURRENT.json
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+// tolerance is the fraction of the baseline speedup a row may lose before
+// the guardrail trips. Wall-clock ratios on shared CI hosts are noisy;
+// 25% catches "the barrier got serialized" without flaking on scheduler
+// jitter.
+const tolerance = 0.25
+
+// report mirrors the slice of cmd/speedup's -json output the guardrail
+// reads.
+type report struct {
+	Parallel *experiments.ParallelResult `json:"parallelSpeedup"`
+}
+
+func load(path string) (*experiments.ParallelResult, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if rep.Parallel == nil || len(rep.Parallel.Rows) == 0 {
+		return nil, fmt.Errorf("%s: no parallelSpeedup section (was speedup run with -parallel?)", path)
+	}
+	return rep.Parallel, nil
+}
+
+func rowKey(r experiments.ParallelRow) string {
+	return fmt.Sprintf("%s/ch%d/w%d", r.Case, r.Channels, r.Workers)
+}
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintln(os.Stderr, "usage: benchcmp BASELINE.json CURRENT.json")
+		os.Exit(2)
+	}
+	base, err := load(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(2)
+	}
+	cur, err := load(os.Args[2])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(2)
+	}
+
+	fail := false
+	if base.AdaptiveQuanta != cur.AdaptiveQuanta {
+		fmt.Fprintf(os.Stderr, "benchcmp: FAIL: baseline ran with adaptive quanta %d, current with %d — not comparable\n",
+			base.AdaptiveQuanta, cur.AdaptiveQuanta)
+		fail = true
+	}
+
+	// Determinism: enforced on every row of both reports, undersubscribed or
+	// not.
+	for _, rep := range []struct {
+		name string
+		res  *experiments.ParallelResult
+	}{{"baseline", base}, {"current", cur}} {
+		for _, r := range rep.res.Rows {
+			if !r.Deterministic {
+				fmt.Fprintf(os.Stderr, "benchcmp: FAIL: %s row %s is nondeterministic\n", rep.name, rowKey(r))
+				fail = true
+			}
+		}
+	}
+
+	curRows := make(map[string]experiments.ParallelRow, len(cur.Rows))
+	for _, r := range cur.Rows {
+		curRows[rowKey(r)] = r
+	}
+	for _, b := range base.Rows {
+		key := rowKey(b)
+		c, ok := curRows[key]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchcmp: FAIL: baseline row %s missing from current run\n", key)
+			fail = true
+			continue
+		}
+		if b.Workers <= 1 {
+			continue // speedup is 1.0 by definition
+		}
+		if b.Undersubscribed || c.Undersubscribed {
+			fmt.Printf("benchcmp: skip %s scaling check (undersubscribed: baseline=%v current=%v)\n",
+				key, b.Undersubscribed, c.Undersubscribed)
+			continue
+		}
+		floor := b.Speedup * (1 - tolerance)
+		if c.Speedup < floor {
+			fmt.Fprintf(os.Stderr, "benchcmp: FAIL: %s speedup %.2fx regressed below %.2fx (baseline %.2fx - %d%%)\n",
+				key, c.Speedup, floor, b.Speedup, int(tolerance*100))
+			fail = true
+		} else {
+			fmt.Printf("benchcmp: ok %s: %.2fx vs baseline %.2fx\n", key, c.Speedup, b.Speedup)
+		}
+	}
+
+	if fail {
+		os.Exit(1)
+	}
+	fmt.Println("benchcmp: all checks passed")
+}

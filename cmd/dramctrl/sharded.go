@@ -33,15 +33,18 @@ type shardedFlags struct {
 // fingerprint canonicalizes the sharded configuration. The worker count is
 // deliberately absent: statistics are worker-count independent, so a
 // checkpoint taken with -parallel 4 resumes fine under -parallel 1. The
-// observability flags are absent too — probes only observe — but a traced
-// resume does need tracing enabled again (the trace sink is a strict
-// checkpoint component).
+// lookahead quanta IS present: adaptive widening shifts the barrier
+// schedule, so a checkpoint taken under one -lookahead-quanta must not be
+// resumed under another. The observability flags are absent too — probes
+// only observe — but a traced resume does need tracing enabled again (the
+// trace sink is a strict checkpoint component).
 func (f shardedFlags) fingerprint() string {
 	t := f.traf
 	return fmt.Sprintf("dramctrl-sharded spec=%s model=%s mapping=%s page=%s pattern=%s "+
-		"reads=%d requests=%d bytes=%d outstanding=%d itt=%d stride=%d banks=%d seed=%d channels=%d",
+		"reads=%d requests=%d bytes=%d outstanding=%d itt=%d stride=%d banks=%d seed=%d channels=%d quanta=%d",
 		f.spec.Name, f.pol.Model, f.pol.Mapping, f.pol.Page, t.Pattern,
-		t.Reads, t.Requests, t.Bytes, t.Outstanding, t.ITTNs, t.Stride, t.Banks, t.Seed, f.shard.Channels)
+		t.Reads, t.Requests, t.Bytes, t.Outstanding, t.ITTNs, t.Stride, t.Banks, t.Seed,
+		f.shard.Channels, f.shard.Quanta)
 }
 
 // shardTracePidStride spaces the per-tracer pid ranges so the frontend's
@@ -82,17 +85,18 @@ func buildShardedRig(f shardedFlags, spec dram.Spec, mapping dram.Mapping, kind 
 		return nil, err
 	}
 	return system.NewShardedRig(system.ShardedConfig{
-		Kind:        kind,
-		Spec:        spec,
-		Mapping:     mapping,
-		ClosedPage:  f.pol.ClosedPage(),
-		Channels:    f.shard.Channels,
-		Xbar:        xbar.Config{Latency: 2 * sim.Nanosecond, QueueDepth: 64},
-		Gens:        []trafficgen.Config{f.traf.GenConfig()},
-		Patterns:    []trafficgen.Pattern{pat},
-		Workers:     f.shard.Workers,
-		FrontProbes: frontHub,
-		ShardProbes: shardHubs,
+		Kind:           kind,
+		Spec:           spec,
+		Mapping:        mapping,
+		ClosedPage:     f.pol.ClosedPage(),
+		Channels:       f.shard.Channels,
+		Xbar:           xbar.Config{Latency: 2 * sim.Nanosecond, QueueDepth: 64},
+		Gens:           []trafficgen.Config{f.traf.GenConfig()},
+		Patterns:       []trafficgen.Pattern{pat},
+		Workers:        f.shard.Workers,
+		AdaptiveQuanta: f.shard.Quanta,
+		FrontProbes:    frontHub,
+		ShardProbes:    shardHubs,
 	})
 }
 

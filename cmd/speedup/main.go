@@ -5,10 +5,13 @@
 // the event-based approach pays off most.
 //
 // With -parallel N it additionally measures the sharded multi-channel rig:
-// wall-clock time with 1 worker (serial) versus up to N workers for 2- and
-// 4-channel systems, asserting bit-identical statistics along the way. With
-// -json FILE the whole measurement (plus host CPU information) is written as
-// JSON — this is how BENCH_2.json is produced.
+// wall-clock time with 1 worker (serial) versus up to N workers for 2-, 4-
+// and 8-channel systems plus a spaced (sub-saturation) case, asserting
+// bit-identical statistics along the way. -lookahead-quanta widens the
+// barrier quantum adaptively (see system.ShardedConfig). With -json FILE the
+// whole measurement (plus host CPU information and an undersubscription
+// stamp) is written as JSON — this is how BENCH_2.json and BENCH_3.json are
+// produced.
 package main
 
 import (
@@ -43,6 +46,7 @@ type benchReport struct {
 func main() {
 	requests := cliconfig.AddRequests(flag.CommandLine, 100000, "requests per case (larger = steadier timing)")
 	parallel := flag.Int("parallel", 0, "also measure the sharded rig with up to N workers (0 = skip)")
+	quanta := flag.Int("lookahead-quanta", 8, "adaptive lookahead widening for the sharded measurement (1 = fixed quantum)")
 	jsonOut := flag.String("json", "", "write all measurements as JSON to this file")
 	flag.Parse()
 
@@ -71,23 +75,33 @@ func main() {
 		if *parallel > 2 {
 			workers = append(workers, *parallel)
 		}
-		par, err = experiments.RunParallelSpeedup(*requests/4, []int{2, 4}, workers)
+		par, err = experiments.RunParallelSpeedup(*requests/4, []int{2, 4, 8}, workers, *quanta)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "speedup:", err)
 			os.Exit(1)
 		}
-		fmt.Printf("\nSharded multi-channel rig (host: %d CPUs, GOMAXPROCS %d):\n\n",
-			par.HostCPUs, par.GoMaxProcs)
-		fmt.Printf("%-10s %-9s %12s %10s %9s %6s\n",
-			"channels", "workers", "host", "GB/s", "speedup", "det")
+		fmt.Printf("\nSharded multi-channel rig (host: %d CPUs, GOMAXPROCS %d, lookahead quanta %d):\n\n",
+			par.HostCPUs, par.GoMaxProcs, par.AdaptiveQuanta)
+		fmt.Printf("%-12s %-10s %-9s %12s %10s %10s %9s %6s\n",
+			"case", "channels", "workers", "host", "GB/s", "barriers", "speedup", "det")
 		for _, row := range par.Rows {
-			fmt.Printf("%-10d %-9d %12v %10.2f %8.2fx %6v\n",
-				row.Channels, row.Workers, row.Host.Round(time.Microsecond),
-				row.AggregateGBs, row.Speedup, row.Deterministic)
+			mark := ""
+			if row.Undersubscribed {
+				mark = " *"
+			}
+			fmt.Printf("%-12s %-10d %-9d %12v %10.2f %10d %8.2fx %6v%s\n",
+				row.Case, row.Channels, row.Workers, row.Host.Round(time.Microsecond),
+				row.AggregateGBs, row.Barriers, row.Speedup, row.Deterministic, mark)
 			if !row.Deterministic {
 				fmt.Fprintln(os.Stderr, "speedup: parallel run diverged from serial statistics")
 				os.Exit(1)
 			}
+		}
+		if par.Undersubscribed {
+			fmt.Fprintf(os.Stderr, "speedup: warning: rows marked * asked for more workers than the "+
+				"host can run (%d CPUs, GOMAXPROCS %d); their speedups measure goroutine overhead, "+
+				"not scaling, and the JSON is stamped undersubscribed\n",
+				par.HostCPUs, par.GoMaxProcs)
 		}
 	}
 

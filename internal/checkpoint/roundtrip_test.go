@@ -181,7 +181,7 @@ func TestTrafficRigResumeBitIdentical(t *testing.T) {
 	}
 }
 
-func buildShardedRig(t *testing.T, kind system.Kind, workers int, requests uint64) *system.ShardedRig {
+func buildShardedRig(t *testing.T, kind system.Kind, workers, quanta int, requests uint64) *system.ShardedRig {
 	t.Helper()
 	rig, err := system.NewShardedRig(system.ShardedConfig{
 		Kind:     kind,
@@ -194,8 +194,9 @@ func buildShardedRig(t *testing.T, kind system.Kind, workers int, requests uint6
 			MaxOutstanding: 32,
 			Count:          requests,
 		}},
-		Patterns: []trafficgen.Pattern{randomPattern()},
-		Workers:  workers,
+		Patterns:       []trafficgen.Pattern{randomPattern()},
+		Workers:        workers,
+		AdaptiveQuanta: quanta,
 	})
 	if err != nil {
 		t.Fatalf("build sharded rig: %v", err)
@@ -207,75 +208,80 @@ func buildShardedRig(t *testing.T, kind system.Kind, workers int, requests uint6
 // barrier and resumes it — under the same and under a different worker count
 // (the fingerprint deliberately excludes workers: statistics are worker-count
 // independent). Every final dump must match the serial uninterrupted run.
+// The quanta axis covers the adaptive lookahead: AdaptiveQuanta changes the
+// barrier schedule, so it is PART of the fingerprint, and a kill-and-resume
+// under any worker count must replay the same adaptive horizon decisions.
 func TestShardedResumeBitIdentical(t *testing.T) {
 	const requests = 2000
 	for _, kind := range []system.Kind{system.EventBased, system.CycleBased} {
-		t.Run(kind.String(), func(t *testing.T) {
-			fp := "roundtrip/sharded-" + kind.String()
-			deadline := sim.Second
+		for _, quanta := range []int{1, 8} {
+			t.Run(fmt.Sprintf("%s-q%d", kind, quanta), func(t *testing.T) {
+				fp := fmt.Sprintf("roundtrip/sharded-%s-q%d", kind, quanta)
+				deadline := sim.Second
 
-			ref := buildShardedRig(t, kind, 1, requests)
-			rs, err := ref.NewSession(fp, deadline)
-			if err != nil {
-				t.Fatalf("session: %v", err)
-			}
-			rs.Start()
-			runToEnd(t, rs)
-			rs.Close()
-			want := dumpStats(t, ref.Reg)
-			endTick := rs.Now()
+				ref := buildShardedRig(t, kind, 1, quanta, requests)
+				rs, err := ref.NewSession(fp, deadline)
+				if err != nil {
+					t.Fatalf("session: %v", err)
+				}
+				rs.Start()
+				runToEnd(t, rs)
+				rs.Close()
+				want := dumpStats(t, ref.Reg)
+				endTick := rs.Now()
 
-			for _, w := range []struct{ save, resume int }{
-				{save: 1, resume: 1},
-				{save: 3, resume: 3},
-				{save: 3, resume: 1}, // cross-worker-count resume
-			} {
-				name := fmt.Sprintf("save-w%d-resume-w%d", w.save, w.resume)
-				t.Run(name, func(t *testing.T) {
-					mid := buildShardedRig(t, kind, w.save, requests)
-					ms, err := mid.NewSession(fp, deadline)
-					if err != nil {
-						t.Fatalf("session: %v", err)
-					}
-					ms.Start()
-					for ms.Now() < endTick/3 {
-						done, err := ms.Step()
+				for _, w := range []struct{ save, resume int }{
+					{save: 1, resume: 1},
+					{save: 3, resume: 3},
+					{save: 3, resume: 1}, // cross-worker-count resume
+				} {
+					name := fmt.Sprintf("save-w%d-resume-w%d", w.save, w.resume)
+					t.Run(name, func(t *testing.T) {
+						mid := buildShardedRig(t, kind, w.save, quanta, requests)
+						ms, err := mid.NewSession(fp, deadline)
 						if err != nil {
-							t.Fatalf("step: %v", err)
+							t.Fatalf("session: %v", err)
 						}
-						if done {
-							t.Fatalf("run finished at %s, before the checkpoint point", ms.Now())
+						ms.Start()
+						for ms.Now() < endTick/3 {
+							done, err := ms.Step()
+							if err != nil {
+								t.Fatalf("step: %v", err)
+							}
+							if done {
+								t.Fatalf("run finished at %s, before the checkpoint point", ms.Now())
+							}
 						}
-					}
-					// Between Steps every shard is parked at the barrier and
-					// all link outboxes are flushed: the only state in which a
-					// sharded checkpoint is valid.
-					img, err := ms.Manager().Save()
-					ms.Close()
-					if err != nil {
-						t.Fatalf("save at %s: %v", ms.Now(), err)
-					}
+						// Between Steps every shard is parked at the barrier and
+						// all link outboxes are flushed: the only state in which a
+						// sharded checkpoint is valid.
+						img, err := ms.Manager().Save()
+						ms.Close()
+						if err != nil {
+							t.Fatalf("save at %s: %v", ms.Now(), err)
+						}
 
-					res := buildShardedRig(t, kind, w.resume, requests)
-					ss, err := res.NewSession(fp, deadline)
-					if err != nil {
-						t.Fatalf("session: %v", err)
-					}
-					if err := ss.Manager().Restore(img); err != nil {
-						t.Fatalf("restore: %v", err)
-					}
-					runToEnd(t, ss)
-					ss.Close()
+						res := buildShardedRig(t, kind, w.resume, quanta, requests)
+						ss, err := res.NewSession(fp, deadline)
+						if err != nil {
+							t.Fatalf("session: %v", err)
+						}
+						if err := ss.Manager().Restore(img); err != nil {
+							t.Fatalf("restore: %v", err)
+						}
+						runToEnd(t, ss)
+						ss.Close()
 
-					if ss.Now() != endTick {
-						t.Errorf("resumed run ended at %s, uninterrupted at %s", ss.Now(), endTick)
-					}
-					if got := dumpStats(t, res.Reg); !bytes.Equal(got, want) {
-						t.Errorf("resumed sharded statistics differ from serial uninterrupted run\nuninterrupted: %s\nresumed:       %s", want, got)
-					}
-				})
-			}
-		})
+						if ss.Now() != endTick {
+							t.Errorf("resumed run ended at %s, uninterrupted at %s", ss.Now(), endTick)
+						}
+						if got := dumpStats(t, res.Reg); !bytes.Equal(got, want) {
+							t.Errorf("resumed sharded statistics differ from serial uninterrupted run\nuninterrupted: %s\nresumed:       %s", want, got)
+						}
+					})
+				}
+			})
+		}
 	}
 }
 

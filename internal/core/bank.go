@@ -8,39 +8,42 @@ import (
 // rowClosed marks a bank with no open row.
 const rowClosed = -1
 
-// bank is the controller's view of one DRAM bank: exactly the simplified
-// state machine the paper describes — an open row plus the earliest ticks at
-// which the next activate, precharge and column access may occur.
-type bank struct {
-	// openRow is the currently open row, or rowClosed.
-	openRow int64
-	// actAllowedAt is the earliest tick for the next activate (advanced by
-	// precharge completion and refresh).
-	actAllowedAt sim.Tick
-	// preAllowedAt is the earliest tick for the next precharge (advanced by
-	// tRAS after activate, tRTP after reads, tWR after write data).
-	preAllowedAt sim.Tick
-	// colAllowedAt is the earliest tick for a column access (tRCD after the
-	// activate that opened the row).
-	colAllowedAt sim.Tick
-	// refreshUntil is the end of the bank's current refresh blackout. A row
-	// can be logically "open" during the blackout (an access issued while
-	// refreshing books its activate for afterwards), and the scheduler must
-	// not treat such a row as a ready hit.
-	refreshUntil sim.Tick
-	// rowAccesses counts column accesses to the currently open row, for the
-	// optional MaxAccessesPerRow cap.
-	rowAccesses int
-	// bytesAccessed accumulates data moved for the open row, feeding the
-	// bytes-per-activate statistic.
-	bytesAccessed uint64
-}
-
 // rank groups the banks sharing activation-window and turnaround
 // constraints. With the single-rank organisations of the paper this is also
 // effectively the channel.
+//
+// Bank state lives in structure-of-arrays layout: FR-FCFS compares every
+// queued burst against its bank on every scheduling decision, and that scan
+// reads only three of the seven per-bank fields (openRow, refreshUntil,
+// colAllowedAt). As parallel slices those three are dense arrays the scan
+// walks front to back — three cache lines for an 8-bank rank — instead of
+// striding across 64-byte bank structs and dragging the precharge/statistics
+// fields through the cache with them. The remaining fields keep the same
+// per-bank indexing; only their storage moved.
 type rank struct {
-	banks []bank
+	// openRow is each bank's currently open row, or rowClosed.
+	openRow []int64
+	// actAllowedAt is the earliest tick for a bank's next activate (advanced
+	// by precharge completion and refresh).
+	actAllowedAt []sim.Tick
+	// preAllowedAt is the earliest tick for a bank's next precharge (advanced
+	// by tRAS after activate, tRTP after reads, tWR after write data).
+	preAllowedAt []sim.Tick
+	// colAllowedAt is the earliest tick for a column access (tRCD after the
+	// activate that opened the row).
+	colAllowedAt []sim.Tick
+	// refreshUntil is the end of each bank's current refresh blackout. A row
+	// can be logically "open" during the blackout (an access issued while
+	// refreshing books its activate for afterwards), and the scheduler must
+	// not treat such a row as a ready hit.
+	refreshUntil []sim.Tick
+	// rowAccesses counts column accesses to the currently open row, for the
+	// optional MaxAccessesPerRow cap.
+	rowAccesses []int
+	// bytesAccessed accumulates data moved for the open row, feeding the
+	// bytes-per-activate statistic.
+	bytesAccessed []uint64
+
 	// lastActAt is the most recent activate, enforcing tRRD.
 	lastActAt sim.Tick
 	// actWindow holds the ticks of the last ActivationLimit activates,
@@ -61,12 +64,25 @@ type rank struct {
 const neverTick = -sim.Second
 
 func newRank(org dram.Organization) *rank {
-	r := &rank{banks: make([]bank, org.BanksPerRank), lastActAt: neverTick}
-	for i := range r.banks {
-		r.banks[i].openRow = rowClosed
+	n := org.BanksPerRank
+	r := &rank{
+		openRow:       make([]int64, n),
+		actAllowedAt:  make([]sim.Tick, n),
+		preAllowedAt:  make([]sim.Tick, n),
+		colAllowedAt:  make([]sim.Tick, n),
+		refreshUntil:  make([]sim.Tick, n),
+		rowAccesses:   make([]int, n),
+		bytesAccessed: make([]uint64, n),
+		lastActAt:     neverTick,
+	}
+	for i := range r.openRow {
+		r.openRow[i] = rowClosed
 	}
 	return r
 }
+
+// numBanks returns the number of banks in the rank.
+func (r *rank) numBanks() int { return len(r.openRow) }
 
 // earliestActByWindow returns the earliest tick a new activate may issue
 // given the tXAW rolling-window constraint.
@@ -86,7 +102,10 @@ func (r *rank) recordAct(at sim.Tick, limit int) {
 	}
 	r.actWindow = append(r.actWindow, at)
 	if len(r.actWindow) > limit {
-		r.actWindow = r.actWindow[len(r.actWindow)-limit:]
+		// Shift down instead of re-slicing: actWindow[n-limit:] would strand
+		// the front capacity and make the append above reallocate forever.
+		n := copy(r.actWindow, r.actWindow[len(r.actWindow)-limit:])
+		r.actWindow = r.actWindow[:n]
 	}
 }
 

@@ -250,13 +250,12 @@ func (c *Controller) CheckpointSave(pt mem.PacketTable) (any, error) {
 			WrAllowedAt:     rk.wrAllowedAt,
 			NextRefreshBank: rk.nextRefreshBank,
 		}
-		for i := range rk.banks {
-			b := &rk.banks[i]
+		for i := 0; i < rk.numBanks(); i++ {
 			rs.Banks = append(rs.Banks, bankState{
-				OpenRow:      b.openRow,
-				ActAllowedAt: b.actAllowedAt, PreAllowedAt: b.preAllowedAt,
-				ColAllowedAt: b.colAllowedAt, RefreshUntil: b.refreshUntil,
-				RowAccesses: b.rowAccesses, BytesAccessed: b.bytesAccessed,
+				OpenRow:      rk.openRow[i],
+				ActAllowedAt: rk.actAllowedAt[i], PreAllowedAt: rk.preAllowedAt[i],
+				ColAllowedAt: rk.colAllowedAt[i], RefreshUntil: rk.refreshUntil[i],
+				RowAccesses: rk.rowAccesses[i], BytesAccessed: rk.bytesAccessed[i],
 			})
 		}
 		st.Ranks = append(st.Ranks, rs)
@@ -357,9 +356,9 @@ func (c *Controller) CheckpointRestore(pl mem.PacketLookup, rs sim.Restorer, dat
 
 	for ri, rkst := range st.Ranks {
 		rk := c.ranks[ri]
-		if len(rkst.Banks) != len(rk.banks) {
+		if len(rkst.Banks) != rk.numBanks() {
 			return fmt.Errorf("core: %s: rank %d has %d banks in checkpoint, %d in config",
-				c.name, ri, len(rkst.Banks), len(rk.banks))
+				c.name, ri, len(rkst.Banks), rk.numBanks())
 		}
 		rk.lastActAt = rkst.LastActAt
 		rk.actWindow = append(rk.actWindow[:0], rkst.ActWindow...)
@@ -367,14 +366,13 @@ func (c *Controller) CheckpointRestore(pl mem.PacketLookup, rs sim.Restorer, dat
 		rk.wrAllowedAt = rkst.WrAllowedAt
 		rk.nextRefreshBank = rkst.NextRefreshBank
 		for bi, bst := range rkst.Banks {
-			b := &rk.banks[bi]
-			b.openRow = bst.OpenRow
-			b.actAllowedAt = bst.ActAllowedAt
-			b.preAllowedAt = bst.PreAllowedAt
-			b.colAllowedAt = bst.ColAllowedAt
-			b.refreshUntil = bst.RefreshUntil
-			b.rowAccesses = bst.RowAccesses
-			b.bytesAccessed = bst.BytesAccessed
+			rk.openRow[bi] = bst.OpenRow
+			rk.actAllowedAt[bi] = bst.ActAllowedAt
+			rk.preAllowedAt[bi] = bst.PreAllowedAt
+			rk.colAllowedAt[bi] = bst.ColAllowedAt
+			rk.refreshUntil[bi] = bst.RefreshUntil
+			rk.rowAccesses[bi] = bst.RowAccesses
+			rk.bytesAccessed[bi] = bst.BytesAccessed
 		}
 	}
 

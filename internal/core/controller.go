@@ -100,6 +100,16 @@ type Controller struct {
 	// probe is configured, so the disabled path is one pointer comparison.
 	hub *obs.Hub //ckpt:skip observation fan-out, rebuilt by the constructor
 
+	// dpFree and trFree recycle burst descriptors and chopped-read
+	// transactions: every request allocates one descriptor per burst, which
+	// makes them the controller's dominant steady-state allocation. Freed at
+	// burst completion, reused at the next enqueue — plain LIFO lists, so
+	// reuse order is a pure function of simulation state and parallel runs
+	// stay deterministic. Live descriptors are serialized individually by
+	// the checkpoint machinery; the free lists are disposable cache.
+	dpFree []*dramPacket  //ckpt:skip allocation cache, never holds live state
+	trFree []*transaction //ckpt:skip allocation cache, never holds live state
+
 	st ctrlStats
 }
 
@@ -322,14 +332,16 @@ func (c *Controller) addToReadQueue(pkt *mem.Packet) bool {
 		c.hub.Emit(obs.PacketEnqueued{Src: c.name, At: now, Pkt: pkt, Queue: obs.QueueRead, Bursts: needed})
 		c.hub.Emit(obs.QueueAdmit{Src: c.name, At: now, Queue: obs.QueueRead, Depth: len(c.readQueue)})
 	}
-	tr := &transaction{pkt: pkt, remaining: needed, entries: needed}
+	tr := c.newTxn()
+	tr.pkt, tr.remaining, tr.entries = pkt, needed, needed
 	c.burstRange(pkt, func(burstAddr, lo mem.Addr, size uint64) {
 		c.st.readBursts.Inc()
 		if c.canForwardFromWriteQueue(burstAddr, lo, size) {
 			c.st.servicedByWrQ.Inc()
 			return
 		}
-		dp := &dramPacket{
+		dp := c.newDP()
+		*dp = dramPacket{
 			isRead:    true,
 			coord:     c.dec.Decode(burstAddr),
 			burstAddr: burstAddr,
@@ -344,8 +356,9 @@ func (c *Controller) addToReadQueue(pkt *mem.Packet) bool {
 	c.readEntries += needed
 	if needed == 0 {
 		// Entirely satisfied by the write queue: only the static frontend
-		// latency applies.
+		// latency applies. No burst references the transaction.
 		c.queueResponse(pkt, now+c.cfg.FrontendLatency, 0)
+		c.freeTxn(tr)
 	} else {
 		c.kickScheduler()
 	}
@@ -375,7 +388,8 @@ func (c *Controller) addToWriteQueue(pkt *mem.Packet) bool {
 			c.st.mergedWrBursts.Inc()
 			return
 		}
-		dp := &dramPacket{
+		dp := c.newDP()
+		*dp = dramPacket{
 			isRead:    false,
 			coord:     c.dec.Decode(burstAddr),
 			burstAddr: burstAddr,
@@ -460,7 +474,11 @@ func (c *Controller) processRespondEvent() {
 		if c.hub != nil {
 			c.hub.Emit(obs.ResponseSent{Src: c.name, At: now, Pkt: e.pkt})
 		}
-		c.respQueue = c.respQueue[1:]
+		// Pop by copy rather than re-slicing: respQueue[1:] would strand the
+		// front capacity and make insertResp reallocate every cycle. The
+		// queue is short (bounded by the read buffer), so the copy is cheap.
+		n := copy(c.respQueue, c.respQueue[1:])
+		c.respQueue = c.respQueue[:n]
 		if e.release > 0 {
 			c.readEntries -= e.release
 			c.maybeSendReqRetry()
@@ -522,12 +540,14 @@ func (c *Controller) processNextReqEvent() {
 				if dp.readyTime > tr.lastReady {
 					tr.lastReady = dp.readyTime
 				}
+				c.freeDP(dp)
 				if tr.remaining == 0 {
 					if tr.poisoned {
 						tr.pkt.Poisoned = true
 					}
 					release := c.transactionEntries(tr)
 					c.queueResponse(tr.pkt, tr.lastReady+c.cfg.FrontendLatency+c.cfg.BackendLatency, release)
+					c.freeTxn(tr)
 				}
 			}
 			// Forced switch at the high watermark.
@@ -554,6 +574,7 @@ func (c *Controller) processNextReqEvent() {
 			}
 			c.doDRAMAccess(dp)
 			c.writesThisTime++
+			c.freeDP(dp)
 			c.maybeSendReqRetry()
 		}
 		// Switch back to reads when the write queue is empty, when we are
@@ -626,16 +647,16 @@ func (c *Controller) chooseNext(q []*dramPacket) int {
 		if p.priority < minPri {
 			continue
 		}
-		b := &c.ranks[p.coord.Rank].banks[p.coord.Bank]
+		rk, bi := c.ranks[p.coord.Rank], p.coord.Bank
 		// A row opened during a refresh blackout is not a ready hit: its
 		// activate is booked for after the blackout, so preferring it over
 		// a genuinely ready request in another rank wastes the window.
 		// (Power-down and self-refresh are channel-wide here, so they block
 		// all candidates equally and need no per-bank gate.)
-		if b.openRow != int64(p.coord.Row) || b.refreshUntil > now {
+		if rk.openRow[bi] != int64(p.coord.Row) || rk.refreshUntil[bi] > now {
 			continue
 		}
-		if b.colAllowedAt <= minColAt {
+		if rk.colAllowedAt[bi] <= minColAt {
 			// Seamless hit: issuing it leaves no bus idle gap. Taking the
 			// first queued one is gem5's FCFS-among-seamless rule.
 			return i
@@ -675,16 +696,15 @@ func (c *Controller) chooseNext(q []*dramPacket) int {
 func (c *Controller) rawIssueAt(p *dramPacket) sim.Tick {
 	t := &c.tim
 	now := c.k.Now()
-	rk := c.ranks[p.coord.Rank]
-	b := &rk.banks[p.coord.Bank]
+	rk, bi := c.ranks[p.coord.Rank], p.coord.Bank
 
-	colReady := b.colAllowedAt
-	if b.openRow != int64(p.coord.Row) {
-		actAt := maxTick(now, b.actAllowedAt,
+	colReady := rk.colAllowedAt[bi]
+	if rk.openRow[bi] != int64(p.coord.Row) {
+		actAt := maxTick(now, rk.actAllowedAt[bi],
 			rk.lastActAt+t.TRRD,
 			rk.earliestActByWindow(c.cfg.Spec.Org.ActivationLimit, t.TXAW))
-		if b.openRow != rowClosed {
-			actAt = maxTick(actAt, maxTick(now, b.preAllowedAt)+t.TRP)
+		if rk.openRow[bi] != rowClosed {
+			actAt = maxTick(actAt, maxTick(now, rk.preAllowedAt[bi])+t.TRP)
 		}
 		colReady = actAt + t.TRCD
 	}
@@ -720,31 +740,31 @@ func (c *Controller) doDRAMAccess(p *dramPacket) {
 	t := &c.tim
 	org := &c.org
 	now := c.k.Now()
-	rk := c.ranks[p.coord.Rank]
-	b := &rk.banks[p.coord.Bank]
+	ri, bi := p.coord.Rank, p.coord.Bank
+	rk := c.ranks[ri]
 
 	row := int64(p.coord.Row)
-	if b.openRow == row {
+	if rk.openRow[bi] == row {
 		if p.isRead {
 			c.st.readRowHits.Inc()
 		} else {
 			c.st.writeRowHits.Inc()
 		}
 	} else {
-		if b.openRow != rowClosed {
-			c.prechargeBank(rk, b, maxTick(now, b.preAllowedAt))
+		if rk.openRow[bi] != rowClosed {
+			c.prechargeBank(ri, rk, bi, maxTick(now, rk.preAllowedAt[bi]))
 		}
-		actAt := maxTick(now, b.actAllowedAt,
+		actAt := maxTick(now, rk.actAllowedAt[bi],
 			rk.lastActAt+t.TRRD,
 			rk.earliestActByWindow(org.ActivationLimit, t.TXAW))
-		c.activateBank(rk, b, actAt, row)
+		c.activateBank(ri, rk, bi, actAt, row)
 	}
 
 	dirAllowed := rk.rdAllowedAt
 	if !p.isRead {
 		dirAllowed = rk.wrAllowedAt
 	}
-	cmdAt := maxTick(now, b.colAllowedAt, dirAllowed)
+	cmdAt := maxTick(now, rk.colAllowedAt[bi], dirAllowed)
 	// The command may overlap in-flight data; only the data transfer itself
 	// serialises on the bus.
 	if cmdAt+t.TCL < c.busBusyUntil {
@@ -772,14 +792,14 @@ func (c *Controller) doDRAMAccess(p *dramPacket) {
 
 	burstBytes := org.BurstBytes()
 	if p.isRead {
-		b.preAllowedAt = maxTick(b.preAllowedAt, cmdAt+t.TRTP)
+		rk.preAllowedAt[bi] = maxTick(rk.preAllowedAt[bi], cmdAt+t.TRTP)
 		rk.wrAllowedAt = maxTick(rk.wrAllowedAt, dataEnd+t.TRTW)
 		c.st.bytesRead.Add(float64(burstBytes))
 		lat := (p.readyTime - p.entryTime).Nanoseconds()
 		c.st.rdQLat.Sample(lat)
 		c.st.memAccLat.Sample(lat + (c.cfg.FrontendLatency + c.cfg.BackendLatency).Nanoseconds())
 	} else {
-		b.preAllowedAt = maxTick(b.preAllowedAt, dataEnd+t.TWR)
+		rk.preAllowedAt[bi] = maxTick(rk.preAllowedAt[bi], dataEnd+t.TWR)
 		rk.rdAllowedAt = maxTick(rk.rdAllowedAt, dataEnd+t.TWTR)
 		c.st.bytesWritten.Add(float64(burstBytes))
 		if !p.scrub {
@@ -789,30 +809,30 @@ func (c *Controller) doDRAMAccess(p *dramPacket) {
 			c.st.wrQLat.Sample((now - p.entryTime).Nanoseconds())
 		}
 	}
-	b.rowAccesses++
-	b.bytesAccessed += burstBytes
+	rk.rowAccesses[bi]++
+	rk.bytesAccessed[bi] += burstBytes
 
-	c.applyPagePolicy(rk, b, p)
+	c.applyPagePolicy(ri, rk, bi, p)
 }
 
 // applyPagePolicy decides whether the row stays open after an access.
-func (c *Controller) applyPagePolicy(rk *rank, b *bank, p *dramPacket) {
+func (c *Controller) applyPagePolicy(ri int, rk *rank, bi int, p *dramPacket) {
 	switch c.cfg.Page {
 	case Closed:
-		c.prechargeBank(rk, b, b.preAllowedAt)
+		c.prechargeBank(ri, rk, bi, rk.preAllowedAt[bi])
 	case ClosedAdaptive:
 		// Keep the row open only if more accesses to it are queued.
 		if !c.queuedRowHit(p.coord) {
-			c.prechargeBank(rk, b, b.preAllowedAt)
+			c.prechargeBank(ri, rk, bi, rk.preAllowedAt[bi])
 		}
 	case OpenAdaptive:
 		// Close early if a conflicting access is queued and no hit is.
 		if c.queuedRowConflict(p.coord) && !c.queuedRowHit(p.coord) {
-			c.prechargeBank(rk, b, b.preAllowedAt)
+			c.prechargeBank(ri, rk, bi, rk.preAllowedAt[bi])
 		}
 	case Open:
-		if c.cfg.MaxAccessesPerRow > 0 && b.rowAccesses >= c.cfg.MaxAccessesPerRow {
-			c.prechargeBank(rk, b, b.preAllowedAt)
+		if c.cfg.MaxAccessesPerRow > 0 && rk.rowAccesses[bi] >= c.cfg.MaxAccessesPerRow {
+			c.prechargeBank(ri, rk, bi, rk.preAllowedAt[bi])
 		}
 	}
 }
@@ -851,39 +871,19 @@ func (c *Controller) emitCommand(kind power.CommandKind, rankIdx, bankIdx int, a
 	c.hub.Emit(obs.DRAMCommand{Src: c.name, Cmd: power.Command{Kind: kind, Rank: rankIdx, Bank: bankIdx, At: at}})
 }
 
-// rankIndexOf resolves a rank pointer back to its index (ranks are few).
-func (c *Controller) rankIndexOf(rk *rank) int {
-	for i, r := range c.ranks {
-		if r == rk {
-			return i
-		}
-	}
-	return 0
-}
-
-// bankIndexOf resolves a bank pointer within a rank.
-func (c *Controller) bankIndexOf(rk *rank, b *bank) int {
-	for i := range rk.banks {
-		if &rk.banks[i] == b {
-			return i
-		}
-	}
-	return 0
-}
-
 // activateBank opens a row at actAt and records the activate for
 // tRRD/tXAW accounting and statistics.
-func (c *Controller) activateBank(rk *rank, b *bank, actAt sim.Tick, row int64) {
+func (c *Controller) activateBank(ri int, rk *rank, bi int, actAt sim.Tick, row int64) {
 	t := &c.tim
-	b.openRow = row
-	b.colAllowedAt = actAt + t.TRCD
-	b.preAllowedAt = maxTick(b.preAllowedAt, actAt+t.TRAS)
-	b.rowAccesses = 0
-	b.bytesAccessed = 0
+	rk.openRow[bi] = row
+	rk.colAllowedAt[bi] = actAt + t.TRCD
+	rk.preAllowedAt[bi] = maxTick(rk.preAllowedAt[bi], actAt+t.TRAS)
+	rk.rowAccesses[bi] = 0
+	rk.bytesAccessed[bi] = 0
 	rk.recordAct(actAt, c.cfg.Spec.Org.ActivationLimit)
 	c.st.activations.Inc()
 	if c.hub != nil {
-		c.emitCommand(power.CmdACT, c.rankIndexOf(rk), c.bankIndexOf(rk, b), actAt)
+		c.emitCommand(power.CmdACT, ri, bi, actAt)
 	}
 	if c.openBankCount == 0 {
 		d := actAt - c.allPrechargedSince
@@ -896,19 +896,19 @@ func (c *Controller) activateBank(rk *rank, b *bank, actAt sim.Tick, row int64) 
 
 // prechargeBank closes a bank's row at preAt (tRP later the bank can
 // activate again) and records statistics.
-func (c *Controller) prechargeBank(rk *rank, b *bank, preAt sim.Tick) {
-	if b.openRow == rowClosed {
+func (c *Controller) prechargeBank(ri int, rk *rank, bi int, preAt sim.Tick) {
+	if rk.openRow[bi] == rowClosed {
 		return
 	}
 	t := &c.tim
-	c.st.bytesPerActivate.Sample(float64(b.bytesAccessed))
-	b.openRow = rowClosed
-	b.actAllowedAt = maxTick(b.actAllowedAt, preAt+t.TRP)
-	b.rowAccesses = 0
-	b.bytesAccessed = 0
+	c.st.bytesPerActivate.Sample(float64(rk.bytesAccessed[bi]))
+	rk.openRow[bi] = rowClosed
+	rk.actAllowedAt[bi] = maxTick(rk.actAllowedAt[bi], preAt+t.TRP)
+	rk.rowAccesses[bi] = 0
+	rk.bytesAccessed[bi] = 0
 	c.st.precharges.Inc()
 	if c.hub != nil {
-		c.emitCommand(power.CmdPRE, c.rankIndexOf(rk), c.bankIndexOf(rk, b), preAt)
+		c.emitCommand(power.CmdPRE, ri, bi, preAt)
 	}
 	c.openBankCount--
 	if c.openBankCount == 0 {
@@ -934,7 +934,7 @@ func (c *Controller) processRefresh(rankIdx int) {
 
 	var interval sim.Tick
 	if c.cfg.Refresh == RefreshPerBank {
-		interval = t.TREFI / sim.Tick(len(rk.banks))
+		interval = t.TREFI / sim.Tick(rk.numBanks())
 		c.refreshOneBank(rankIdx, rk)
 	} else {
 		interval = t.TREFI
@@ -956,21 +956,19 @@ func (c *Controller) refreshAllBanks(rankIdx int, rk *rank) {
 	t := &c.tim
 	now := c.k.Now()
 	start := now
-	for i := range rk.banks {
-		b := &rk.banks[i]
-		if b.openRow != rowClosed {
-			preAt := maxTick(now, b.preAllowedAt)
-			c.prechargeBank(rk, b, preAt)
+	for i := 0; i < rk.numBanks(); i++ {
+		if rk.openRow[i] != rowClosed {
+			preAt := maxTick(now, rk.preAllowedAt[i])
+			c.prechargeBank(rankIdx, rk, i, preAt)
 			start = maxTick(start, preAt+t.TRP)
 		} else {
-			start = maxTick(start, b.actAllowedAt)
+			start = maxTick(start, rk.actAllowedAt[i])
 		}
 	}
 	done := start + t.TRFC
-	for i := range rk.banks {
-		b := &rk.banks[i]
-		b.actAllowedAt = maxTick(b.actAllowedAt, done)
-		b.refreshUntil = maxTick(b.refreshUntil, done)
+	for i := 0; i < rk.numBanks(); i++ {
+		rk.actAllowedAt[i] = maxTick(rk.actAllowedAt[i], done)
+		rk.refreshUntil[i] = maxTick(rk.refreshUntil[i], done)
 	}
 	c.emitCommand(power.CmdREF, rankIdx, 0, start)
 	if c.hub != nil {
@@ -991,22 +989,22 @@ const (
 func (c *Controller) refreshOneBank(rankIdx int, rk *rank) {
 	t := &c.tim
 	now := c.k.Now()
-	b := &rk.banks[rk.nextRefreshBank]
+	bi := rk.nextRefreshBank
 	start := now
-	if b.openRow != rowClosed {
-		preAt := maxTick(now, b.preAllowedAt)
-		c.prechargeBank(rk, b, preAt)
+	if rk.openRow[bi] != rowClosed {
+		preAt := maxTick(now, rk.preAllowedAt[bi])
+		c.prechargeBank(rankIdx, rk, bi, preAt)
 		start = maxTick(start, preAt+t.TRP)
 	} else {
-		start = maxTick(start, b.actAllowedAt)
+		start = maxTick(start, rk.actAllowedAt[bi])
 	}
 	done := start + t.TRFC*tRFCpbNum/tRFCpbDen
-	b.actAllowedAt = maxTick(b.actAllowedAt, done)
-	b.refreshUntil = maxTick(b.refreshUntil, done)
-	c.emitCommand(power.CmdREF, rankIdx, rk.nextRefreshBank, start)
+	rk.actAllowedAt[bi] = maxTick(rk.actAllowedAt[bi], done)
+	rk.refreshUntil[bi] = maxTick(rk.refreshUntil[bi], done)
+	c.emitCommand(power.CmdREF, rankIdx, bi, start)
 	if c.hub != nil {
-		c.hub.Emit(obs.RefreshStart{Src: c.name, At: start, Rank: rankIdx, Bank: rk.nextRefreshBank, Until: done})
-		c.hub.Emit(obs.RefreshEnd{Src: c.name, At: done, Rank: rankIdx, Bank: rk.nextRefreshBank})
+		c.hub.Emit(obs.RefreshStart{Src: c.name, At: start, Rank: rankIdx, Bank: bi, Until: done})
+		c.hub.Emit(obs.RefreshEnd{Src: c.name, At: done, Rank: rankIdx, Bank: bi})
 	}
-	rk.nextRefreshBank = (rk.nextRefreshBank + 1) % len(rk.banks)
+	rk.nextRefreshBank = (bi + 1) % rk.numBanks()
 }

@@ -113,7 +113,8 @@ func (c *Controller) queueScrub(dp *dramPacket) {
 		c.st.droppedScrubs.Inc()
 		return
 	}
-	w := &dramPacket{
+	w := c.newDP()
+	*w = dramPacket{
 		isRead:    false,
 		coord:     dp.coord,
 		burstAddr: dp.burstAddr,

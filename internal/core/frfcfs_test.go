@@ -37,8 +37,8 @@ func TestEstimateIssueChargesBusyBus(t *testing.T) {
 	// bank ready sooner.
 	a := mkRead(0, 0, 3, 0)
 	b := mkRead(0, 1, 7, 1*sim.Nanosecond)
-	c.ranks[0].banks[0].actAllowedAt = 10 * sim.Nanosecond
-	c.ranks[0].banks[1].actAllowedAt = 5 * sim.Nanosecond
+	c.ranks[0].actAllowedAt[0] = 10 * sim.Nanosecond
+	c.ranks[0].actAllowedAt[1] = 5 * sim.Nanosecond
 	q := []*dramPacket{a, b}
 
 	// Idle bus: bank state decides; the sooner bank wins.
@@ -72,12 +72,12 @@ func TestChooseNextPrefersSeamlessHit(t *testing.T) {
 	tm := &c.tim
 
 	c.busBusyUntil = 100 * sim.Nanosecond
-	stall := &c.ranks[0].banks[0]
-	stall.openRow = 3
-	stall.colAllowedAt = c.busBusyUntil + 50*sim.Nanosecond // hit, but stalls the bus
-	seamless := &c.ranks[0].banks[1]
-	seamless.openRow = 7
-	seamless.colAllowedAt = c.busBusyUntil - tm.TCL // ready the moment the bus frees
+	rk := c.ranks[0]
+	const stall, seamless = 0, 1
+	rk.openRow[stall] = 3
+	rk.colAllowedAt[stall] = c.busBusyUntil + 50*sim.Nanosecond // hit, but stalls the bus
+	rk.openRow[seamless] = 7
+	rk.colAllowedAt[seamless] = c.busBusyUntil - tm.TCL // ready the moment the bus frees
 
 	q := []*dramPacket{mkRead(0, 0, 3, 0), mkRead(0, 1, 7, 1)}
 	if got := c.chooseNext(q); got != 1 {
@@ -86,14 +86,14 @@ func TestChooseNextPrefersSeamlessHit(t *testing.T) {
 
 	// Make the first hit seamless too: queue order resumes (FCFS among
 	// seamless hits).
-	stall.colAllowedAt = c.busBusyUntil - tm.TCL
+	rk.colAllowedAt[stall] = c.busBusyUntil - tm.TCL
 	if got := c.chooseNext(q); got != 0 {
 		t.Fatalf("chooseNext = %d, want 0 (first seamless hit in queue order)", got)
 	}
 
 	// No seamless hit at all: the first ready hit still beats misses.
-	stall.colAllowedAt = c.busBusyUntil + 50*sim.Nanosecond
-	seamless.colAllowedAt = c.busBusyUntil + 80*sim.Nanosecond
+	rk.colAllowedAt[stall] = c.busBusyUntil + 50*sim.Nanosecond
+	rk.colAllowedAt[seamless] = c.busBusyUntil + 80*sim.Nanosecond
 	if got := c.chooseNext(q); got != 0 {
 		t.Fatalf("chooseNext = %d, want 0 (first non-seamless hit as fallback)", got)
 	}
@@ -126,11 +126,11 @@ func TestChooseNextSkipsHitInRefreshingBank(t *testing.T) {
 	c := h.c
 	now := h.k.Now()
 
-	refreshing := &c.ranks[0].banks[0]
-	refreshing.openRow = 5
-	refreshing.refreshUntil = now + 100*sim.Nanosecond
-	refreshing.actAllowedAt = refreshing.refreshUntil
-	refreshing.colAllowedAt = refreshing.refreshUntil + c.tim.TRCD
+	rk := c.ranks[0]
+	rk.openRow[0] = 5
+	rk.refreshUntil[0] = now + 100*sim.Nanosecond
+	rk.actAllowedAt[0] = rk.refreshUntil[0]
+	rk.colAllowedAt[0] = rk.refreshUntil[0] + c.tim.TRCD
 
 	hit := mkRead(0, 0, 5, 0)  // row hit, but the bank is mid-refresh
 	miss := mkRead(0, 1, 8, 1) // closed bank, ready immediately
@@ -142,8 +142,8 @@ func TestChooseNextSkipsHitInRefreshingBank(t *testing.T) {
 
 	// Blackout over: the hit is genuinely ready again and must be preferred
 	// — the gate only suppresses hits during the blackout.
-	refreshing.refreshUntil = now
-	refreshing.colAllowedAt = now
+	rk.refreshUntil[0] = now
+	rk.colAllowedAt[0] = now
 	if got := c.chooseNext(q); got != 0 {
 		t.Fatalf("after refresh: chooseNext = %d, want 0 (row hit preferred)", got)
 	}
@@ -156,13 +156,13 @@ func TestRefreshStampsBlackout(t *testing.T) {
 	c := h.c
 
 	c.refreshAllBanks(0, c.ranks[0])
-	for i := range c.ranks[0].banks {
-		b := &c.ranks[0].banks[i]
-		if b.refreshUntil <= h.k.Now() {
-			t.Fatalf("bank %d: refreshUntil = %s not stamped by all-bank refresh", i, b.refreshUntil)
+	rk := c.ranks[0]
+	for i := 0; i < rk.numBanks(); i++ {
+		if rk.refreshUntil[i] <= h.k.Now() {
+			t.Fatalf("bank %d: refreshUntil = %s not stamped by all-bank refresh", i, rk.refreshUntil[i])
 		}
-		if b.refreshUntil != b.actAllowedAt {
-			t.Fatalf("bank %d: blackout %s disagrees with actAllowedAt %s", i, b.refreshUntil, b.actAllowedAt)
+		if rk.refreshUntil[i] != rk.actAllowedAt[i] {
+			t.Fatalf("bank %d: blackout %s disagrees with actAllowedAt %s", i, rk.refreshUntil[i], rk.actAllowedAt[i])
 		}
 	}
 }

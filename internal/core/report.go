@@ -67,8 +67,8 @@ func (c *Controller) AvgReadLatencyNs() float64 { return c.st.memAccLat.Mean() }
 func (c *Controller) ObsSample() obs.Sample {
 	banks := make([]bool, 0, len(c.ranks)*c.org.BanksPerRank)
 	for _, rk := range c.ranks {
-		for i := range rk.banks {
-			banks = append(banks, rk.banks[i].openRow != rowClosed)
+		for i := range rk.openRow {
+			banks = append(banks, rk.openRow[i] != rowClosed)
 		}
 	}
 	return obs.Sample{

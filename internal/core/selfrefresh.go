@@ -54,11 +54,10 @@ func (c *Controller) exitSelfRefresh() {
 	c.selfRefreshTime += now - c.selfRefreshSince
 	wake := now + c.tim.TXS
 	for ri, rk := range c.ranks {
-		for i := range rk.banks {
-			b := &rk.banks[i]
-			b.actAllowedAt = maxTick(b.actAllowedAt, wake)
-			b.colAllowedAt = maxTick(b.colAllowedAt, wake)
-			b.preAllowedAt = maxTick(b.preAllowedAt, wake)
+		for i := 0; i < rk.numBanks(); i++ {
+			rk.actAllowedAt[i] = maxTick(rk.actAllowedAt[i], wake)
+			rk.colAllowedAt[i] = maxTick(rk.colAllowedAt[i], wake)
+			rk.preAllowedAt[i] = maxTick(rk.preAllowedAt[i], wake)
 		}
 		// The DRAM refreshed itself; restart the external cadence.
 		c.refreshDue[ri] = now + c.tim.TREFI

@@ -201,17 +201,20 @@ func AddRequests(fs *flag.FlagSet, def uint64, usage string) *uint64 {
 
 // --- Sharding group --------------------------------------------------------
 
-// Shard is the -channels / -parallel flag group.
+// Shard is the -channels / -parallel / -lookahead-quanta flag group.
 type Shard struct {
 	Channels int
 	Workers  int
+	Quanta   int
 }
 
-// AddShard registers the sharding flags (defaults: one channel, one worker).
+// AddShard registers the sharding flags (defaults: one channel, one worker,
+// fixed quantum).
 func AddShard(fs *flag.FlagSet) *Shard {
 	s := &Shard{}
 	fs.IntVar(&s.Channels, "channels", 1, "DRAM channels behind a crossbar (sharded rig when > 1)")
 	fs.IntVar(&s.Workers, "parallel", 1, "worker goroutines stepping channel shards (statistics are worker-count independent)")
+	fs.IntVar(&s.Quanta, "lookahead-quanta", 1, "widen the barrier quantum up to N lookaheads when shards are idle (changes the schedule; part of the checkpoint fingerprint)")
 	return s
 }
 

@@ -3,28 +3,49 @@ package experiments
 import "testing"
 
 // The parallel measurement itself must observe determinism: every worker
-// count's statistics dump byte-matches the serial run, and the simulated
-// traffic (aggregate bandwidth) is identical.
+// count's statistics dump byte-matches the serial run (per case), and the
+// simulated traffic (aggregate bandwidth) matches its case's serial row.
+// Undersubscription stamping must agree between rows and the aggregate.
 func TestRunParallelSpeedupDeterministic(t *testing.T) {
-	res, err := RunParallelSpeedup(300, []int{2}, []int{2, 3})
+	res, err := RunParallelSpeedup(300, []int{2}, []int{2, 3}, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(res.Rows) != 3 {
-		t.Fatalf("got %d rows, want 3", len(res.Rows))
+	// 3 rows (w=1,2,3) per case, two cases (saturating, spaced).
+	if len(res.Rows) != 6 {
+		t.Fatalf("got %d rows, want 6", len(res.Rows))
 	}
-	serial := res.Rows[0]
+	if res.AdaptiveQuanta != 4 {
+		t.Fatalf("adaptive quanta not recorded: %d", res.AdaptiveQuanta)
+	}
+	serialGBs := map[string]float64{}
+	anyUnder := false
+	for _, row := range res.Rows {
+		if row.Workers == 1 {
+			serialGBs[row.Case] = row.AggregateGBs
+		}
+	}
 	for _, row := range res.Rows {
 		if !row.Deterministic {
-			t.Fatalf("ch=%d w=%d: stats diverged from serial run", row.Channels, row.Workers)
+			t.Fatalf("%s ch=%d w=%d: stats diverged from serial run", row.Case, row.Channels, row.Workers)
 		}
-		if row.AggregateGBs != serial.AggregateGBs {
-			t.Fatalf("ch=%d w=%d: bandwidth %.3f != serial %.3f",
-				row.Channels, row.Workers, row.AggregateGBs, serial.AggregateGBs)
+		if row.AggregateGBs != serialGBs[row.Case] {
+			t.Fatalf("%s ch=%d w=%d: bandwidth %.3f != serial %.3f",
+				row.Case, row.Channels, row.Workers, row.AggregateGBs, serialGBs[row.Case])
 		}
-		if row.Host <= 0 || row.Speedup <= 0 {
-			t.Fatalf("ch=%d w=%d: empty timing", row.Channels, row.Workers)
+		if row.Host <= 0 || row.Speedup <= 0 || row.Barriers == 0 {
+			t.Fatalf("%s ch=%d w=%d: empty timing", row.Case, row.Channels, row.Workers)
 		}
+		if row.Undersubscribed {
+			anyUnder = true
+		}
+		if want := row.Workers > hardwareParallelism(); row.Undersubscribed != want {
+			t.Fatalf("%s ch=%d w=%d: undersubscribed=%v, want %v (hw=%d)",
+				row.Case, row.Channels, row.Workers, row.Undersubscribed, want, hardwareParallelism())
+		}
+	}
+	if res.Undersubscribed != anyUnder {
+		t.Fatalf("aggregate undersubscribed=%v but rows say %v", res.Undersubscribed, anyUnder)
 	}
 	if res.HostCPUs <= 0 || res.GoMaxProcs <= 0 {
 		t.Fatal("host info not recorded")

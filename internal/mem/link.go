@@ -55,8 +55,15 @@ func newPipe(name string, dst *sim.Kernel) *pipe {
 	return p
 }
 
-// offer queues pkt for delivery at destination tick at.
+// offer queues pkt for delivery at destination tick at. Due order must be
+// nondecreasing: arm relies on the inbox head never changing while the drain
+// event is armed, so a scheduler change that reordered offers would silently
+// reorder deliveries. Enforce it here rather than trusting the comment.
 func (p *pipe) offer(pkt *Packet, at sim.Tick) {
+	if n := len(p.outbox); n > 0 && at < p.outbox[n-1].at {
+		panic(fmt.Sprintf("mem: link %q offered out of order: packet due %s after packet due %s",
+			p.name, at, p.outbox[n-1].at))
+	}
 	p.outbox = append(p.outbox, timedPkt{at: at, pkt: pkt})
 }
 
@@ -68,11 +75,17 @@ func (p *pipe) flush() int {
 	if n == 0 {
 		return 0
 	}
-	if p.outbox[0].at < p.dst.Now() {
-		// The quantum exceeded the link latency: the packet is due in the
-		// destination's past and determinism is already lost. Fail loudly.
-		panic(fmt.Sprintf("mem: link %q lookahead violated: packet due %s, destination at %s",
-			p.name, p.outbox[0].at, p.dst.Now()))
+	// Lookahead check: every published packet must be due at or after the
+	// destination clock. With fixed quanta the head alone would do (offers
+	// are nondecreasing), but under adaptive lookahead the quantum widens
+	// and narrows between barriers, so validate every entry — a violated
+	// entry anywhere means the packet is due in the destination's past and
+	// determinism is already lost. Fail loudly.
+	for i := range p.outbox {
+		if p.outbox[i].at < p.dst.Now() {
+			panic(fmt.Sprintf("mem: link %q lookahead violated: packet %d/%d due %s, destination at %s",
+				p.name, i, n, p.outbox[i].at, p.dst.Now()))
+		}
 	}
 	p.inbox = append(p.inbox, p.outbox...)
 	p.outbox = p.outbox[:0]

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 )
 
@@ -62,6 +63,16 @@ func (a qentry) before(b qentry) bool {
 		return a.pri < b.pri
 	}
 	return a.seq < b.seq
+}
+
+// compareQentry is before as a three-way comparison for slices.SortFunc.
+// Entries are never equal (seq is unique), so the b-before-a probe fully
+// determines the order.
+func compareQentry(a, b qentry) int {
+	if a.before(b) {
+		return -1
+	}
+	return 1
 }
 
 // farHeap is a hand-rolled binary min-heap of entries beyond the bucket
@@ -252,6 +263,21 @@ func (k *Kernel) recycle(e *Event) {
 // completes. Pending events stay queued.
 func (k *Kernel) Stop() { k.stopped = true }
 
+// PeekNext returns the tick of the earliest pending event without executing
+// anything, and reports whether one exists. It is the primitive behind the
+// sharded rig's adaptive conservative lookahead: no component on this kernel
+// can act — and in particular cannot emit cross-shard traffic — before this
+// tick. Peeking settles the drain cursor exactly as the next Run/RunUntil
+// would, so it is deterministic and safe between runs; it must only be
+// called from the goroutine that owns the kernel (in a sharded run, the
+// single-threaded barrier section).
+func (k *Kernel) PeekNext() (Tick, bool) {
+	if !k.settle() {
+		return 0, false
+	}
+	return k.head().when, true
+}
+
 // enqueue places a live entry in the ring (near) or the far heap. The caller
 // has already validated when >= now, so bucketOf(ent.when) can precede
 // curBucket only when the cursor was parked ahead of now by a previous run
@@ -390,8 +416,11 @@ func (k *Kernel) settle() bool {
 		slot := &k.buckets[k.curBucket&bucketMask]
 		if !k.curSorted {
 			if len(*slot) > 1 {
-				s := *slot
-				sort.Slice(s, func(i, j int) bool { return s[i].before(s[j]) })
+				// slices.SortFunc, not sort.Slice: the latter builds a
+				// reflect-based swapper on every call, which is the event
+				// loop's only steady-state allocation. The order is total
+				// (seq breaks all ties), so an unstable sort is exact.
+				slices.SortFunc(*slot, compareQentry)
 			}
 			k.curIdx = 0
 			k.curSorted = true

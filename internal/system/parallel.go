@@ -68,6 +68,14 @@ type ShardedConfig struct {
 	// Lookahead is the one-way channel-link latency and the barrier
 	// quantum. 0 defaults to the crossbar latency (or 1ns if that is 0).
 	Lookahead sim.Tick
+	// AdaptiveQuanta widens the barrier quantum when the system is idle: a
+	// value Q > 1 lets Step advance up to Q*Lookahead per barrier, bounded
+	// by the earliest pending event plus the lookahead (see Step for the
+	// safety argument). 0 or 1 keeps the fixed quantum. The adaptive and
+	// fixed schedules are EACH deterministic and worker-count independent,
+	// but they differ from each other (barrier ticks shift event sequence
+	// numbers), so AdaptiveQuanta belongs in any checkpoint fingerprint.
+	AdaptiveQuanta int
 	// TuneEvent and TuneCycle optionally adjust the matched controller
 	// configurations, as in RigConfig.
 	TuneEvent func(*core.Config)
@@ -99,10 +107,11 @@ type ShardedRig struct {
 	Ctrls []Controller
 	Links []*mem.ShardLink
 
-	workers   int
-	lookahead sim.Tick
-	frontHub  *obs.Hub // nil when no frontend probe is attached
-	onQuantum func()
+	workers        int
+	lookahead      sim.Tick
+	adaptiveQuanta int
+	frontHub       *obs.Hub // nil when no frontend probe is attached
+	onQuantum      func()
 }
 
 // buildShardController builds one channel controller with the rig's tuning
@@ -170,13 +179,14 @@ func NewShardedRig(cfg ShardedConfig) (*ShardedRig, error) {
 		return nil, err
 	}
 	rig := &ShardedRig{
-		Front:     front,
-		Reg:       reg,
-		Xbar:      xb,
-		workers:   cfg.Workers,
-		lookahead: lookahead,
-		frontHub:  cfg.FrontProbes.OrNil(),
-		onQuantum: cfg.OnQuantum,
+		Front:          front,
+		Reg:            reg,
+		Xbar:           xb,
+		workers:        cfg.Workers,
+		lookahead:      lookahead,
+		adaptiveQuanta: cfg.AdaptiveQuanta,
+		frontHub:       cfg.FrontProbes.OrNil(),
+		onQuantum:      cfg.OnQuantum,
 	}
 	for i := 0; i < cfg.Channels; i++ {
 		ck := sim.NewKernel()
@@ -216,11 +226,35 @@ func NewShardedRig(cfg ShardedConfig) (*ShardedRig, error) {
 // Lookahead returns the barrier quantum (= link latency).
 func (r *ShardedRig) Lookahead() sim.Tick { return r.lookahead }
 
+// ShardPanic identifies one shard kernel's recovered panic: which worker
+// goroutine ran it, which kernel it was, and the original panic value.
+type ShardPanic struct {
+	Worker int    // worker index (0-based)
+	Kernel string // "front" or "chan<N>"
+	Value  any    // the recovered panic value
+}
+
+// ShardPanicError aggregates every shard panic from one quantum. With
+// several workers more than one shard can fail in the same quantum; keeping
+// only one (the old behaviour kept whichever worker reported last) hides
+// the others and makes the surviving report depend on goroutine timing.
+type ShardPanicError struct {
+	Panics []ShardPanic
+}
+
+func (e *ShardPanicError) Error() string {
+	s := fmt.Sprintf("system: %d shard panic(s) in quantum:", len(e.Panics))
+	for _, p := range e.Panics {
+		s += fmt.Sprintf(" [worker %d, kernel %s: %v]", p.Worker, p.Kernel, p.Value)
+	}
+	return s
+}
+
 // shardWorker is one persistent goroutine stepping a fixed subset of
 // kernels each quantum.
 type shardWorker struct {
 	limit chan sim.Tick
-	done  chan any // nil, or a recovered panic value
+	done  chan []ShardPanic // empty slice (as nil) on success
 }
 
 // ShardedSession is a steppable ShardedRig run: each Step advances every
@@ -236,13 +270,15 @@ type ShardedSession struct {
 	kernels []*sim.Kernel
 	nw      int
 	workers []*shardWorker
+	steps   uint64
 }
 
 // NewSession builds the rig's checkpoint manager and spins up the worker
 // goroutines; see (*TrafficRig).NewSession for the contract. The worker
 // count deliberately stays out of the fingerprint callers should build:
 // statistics are worker-count independent, so a checkpoint taken with one
-// worker count may be resumed with another.
+// worker count may be resumed with another. AdaptiveQuanta, by contrast,
+// MUST go into the fingerprint — it changes the schedule (see horizon).
 func (r *ShardedRig) NewSession(fingerprint string, maxSim sim.Tick) (*ShardedSession, error) {
 	mgr := checkpoint.NewManager(fingerprint)
 	mgr.Register("front", checkpoint.WrapKernel(r.Front))
@@ -277,26 +313,50 @@ func (r *ShardedRig) NewSession(fingerprint string, maxSim sim.Tick) (*ShardedSe
 	}
 	if s.nw > 1 {
 		for j := 0; j < s.nw; j++ {
-			w := &shardWorker{limit: make(chan sim.Tick), done: make(chan any, 1)}
+			j := j
+			w := &shardWorker{limit: make(chan sim.Tick), done: make(chan []ShardPanic, 1)}
 			var mine []*sim.Kernel
+			var names []string
 			for i := j; i < len(s.kernels); i += s.nw {
 				mine = append(mine, s.kernels[i])
+				names = append(names, s.kernelName(i))
 			}
 			go func() {
 				for limit := range w.limit {
-					w.done <- func() (pv any) {
-						defer func() { pv = recover() }()
-						for _, k := range mine {
-							k.RunUntil(limit)
+					// Recover per kernel, not per batch: a panicking shard
+					// must not stop the worker from finishing its remaining
+					// kernels, and the handoff to the coordinator always
+					// completes — so the pool stays in a defined state and
+					// Close can never hang on a dead worker.
+					var pvs []ShardPanic
+					for i, k := range mine {
+						if pv := runShardKernel(k, limit); pv != nil {
+							pvs = append(pvs, ShardPanic{Worker: j, Kernel: names[i], Value: pv})
 						}
-						return nil
-					}()
+					}
+					w.done <- pvs
 				}
 			}()
 			s.workers = append(s.workers, w)
 		}
 	}
 	return s, nil
+}
+
+// kernelName labels s.kernels[i] for panic attribution.
+func (s *ShardedSession) kernelName(i int) string {
+	if i == 0 {
+		return "front"
+	}
+	return fmt.Sprintf("chan%d", i-1)
+}
+
+// runShardKernel advances one kernel to the barrier, translating a panic
+// into a returned value.
+func runShardKernel(k *sim.Kernel, limit sim.Tick) (pv any) {
+	defer func() { pv = recover() }()
+	k.RunUntil(limit)
+	return nil
 }
 
 // Manager returns the checkpoint manager.
@@ -315,34 +375,91 @@ func (s *ShardedSession) Start() {
 
 // stepKernels runs every kernel to the barrier tick. The channel send/receive
 // pairs give the coordinator-worker handoff the happens-before edges the
-// memory model (and the race detector) require. A panic in any shard is
-// re-raised on the calling goroutine.
+// memory model (and the race detector) require. Shard panics are collected
+// from EVERY worker — the handoff always completes before anything is
+// re-raised — and re-thrown as one *ShardPanicError carrying worker and
+// kernel identity for each.
 func (s *ShardedSession) stepKernels(limit sim.Tick) {
+	var pvs []ShardPanic
 	if s.nw <= 1 {
-		for _, k := range s.kernels {
-			k.RunUntil(limit)
+		for i, k := range s.kernels {
+			if pv := runShardKernel(k, limit); pv != nil {
+				pvs = append(pvs, ShardPanic{Worker: 0, Kernel: s.kernelName(i), Value: pv})
+			}
 		}
-		return
-	}
-	for _, w := range s.workers {
-		w.limit <- limit
-	}
-	var pv any
-	for _, w := range s.workers {
-		if v := <-w.done; v != nil {
-			pv = v
+	} else {
+		for _, w := range s.workers {
+			w.limit <- limit
+		}
+		for _, w := range s.workers {
+			pvs = append(pvs, <-w.done...)
 		}
 	}
-	if pv != nil {
-		panic(pv)
+	if len(pvs) > 0 {
+		panic(&ShardPanicError{Panics: pvs})
 	}
 }
 
-// Step advances one lookahead quantum plus the barrier section and reports
-// completion.
+// Steps returns how many barriers the session has executed; with
+// AdaptiveQuanta > 1 this is the measure of how much barrier overhead the
+// widened horizon saved.
+func (s *ShardedSession) Steps() uint64 { return s.steps }
+
+// horizon picks the barrier tick for the next quantum.
+//
+// The conservative baseline is now+L (L = link latency = lookahead): any
+// packet a shard offers during the quantum is due at its send tick plus L,
+// which is at or after the barrier, so it always lands in the receiving
+// shard's future. AdaptiveQuanta Q > 1 widens that when the system is idle.
+// Let E = the earliest pending event across ALL kernels (between Steps every
+// outbox is flushed, so all future work — including every in-flight
+// cross-shard packet — sits in some kernel's queue). No kernel does anything
+// before E, so no offer is made before E, so nothing can be due before E+L:
+// a barrier at min(E+L, now+Q*L) preserves the invariant. E >= now always
+// (events are never scheduled in the past), hence the adaptive horizon never
+// shrinks below the baseline. With no events pending anywhere the quantum
+// jumps straight to the cap — idle stretches cost 1/Q of the barriers.
+//
+// The choice of horizon shifts barrier ticks and therefore event sequence
+// numbers, so adaptive and fixed runs are two DIFFERENT deterministic
+// schedules; each one is still a pure function of the configuration,
+// independent of worker count (horizon inputs are read single-threaded at
+// the barrier).
+func (s *ShardedSession) horizon() sim.Tick {
+	r := s.rig
+	now := r.Front.Now()
+	limit := now + r.lookahead
+	if r.adaptiveQuanta <= 1 {
+		return limit
+	}
+	hcap := now + r.lookahead*sim.Tick(r.adaptiveQuanta)
+	eMin := sim.Tick(0)
+	pending := false
+	for _, k := range s.kernels {
+		if t, ok := k.PeekNext(); ok && (!pending || t < eMin) {
+			eMin, pending = t, true
+		}
+	}
+	if !pending {
+		return hcap
+	}
+	if h := eMin + r.lookahead; h < hcap {
+		hcap = h
+	}
+	if hcap < limit {
+		// Unreachable while events are never scheduled in the past; keep the
+		// conservative floor anyway so a kernel bug degrades to the fixed
+		// quantum instead of a causality violation.
+		return limit
+	}
+	return hcap
+}
+
+// Step advances one quantum plus the barrier section and reports completion.
 func (s *ShardedSession) Step() (bool, error) {
 	r := s.rig
-	s.stepKernels(r.Front.Now() + r.lookahead)
+	s.stepKernels(s.horizon())
+	s.steps++
 
 	// Barrier section: single-threaded. Publish cross-shard traffic, then
 	// check for completion and drive drains.

@@ -2,6 +2,8 @@ package system
 
 import (
 	"bytes"
+	"fmt"
+	"strings"
 	"testing"
 
 	"repro/internal/dram"
@@ -135,6 +137,166 @@ func TestShardedSpreadsWork(t *testing.T) {
 		if !l.Quiescent() {
 			t.Fatal("link not quiescent after completed run")
 		}
+	}
+}
+
+// adaptiveConfig is shardedConfig with the adaptive horizon enabled; spaced
+// throttles the generators so the system has idle stretches where the
+// horizon actually widens (a saturating workload pins it near the floor).
+func adaptiveConfig(channels, workers, quanta int, spaced bool) ShardedConfig {
+	cfg := shardedConfig(EventBased, channels, workers, false)
+	cfg.AdaptiveQuanta = quanta
+	if spaced {
+		for i := range cfg.Gens {
+			cfg.Gens[i].Count = 120
+			cfg.Gens[i].InterTransaction = 200 * sim.Nanosecond
+		}
+	}
+	return cfg
+}
+
+// sessionStats runs a sharded rig through an explicit session so the test
+// can read the barrier count alongside the stats dump.
+func sessionStats(t *testing.T, cfg ShardedConfig) (string, sim.Tick, uint64) {
+	t.Helper()
+	rig, err := NewShardedRig(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := rig.NewSession("", rig.Front.Now()+50*sim.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.Start()
+	for {
+		done, err := s.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done {
+			break
+		}
+	}
+	var buf bytes.Buffer
+	if err := rig.Reg.DumpJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String(), rig.Front.Now(), s.Steps()
+}
+
+// The adaptive horizon keeps the tentpole claim: for every quanta value the
+// run is bit-identical across worker counts and repeatable, on both a
+// saturating workload (horizon pinned near the floor) and a spaced one
+// (horizon actually widening). Under -race this also exercises the adaptive
+// path for data races.
+func TestShardedAdaptiveDeterministicAcrossWorkers(t *testing.T) {
+	for _, quanta := range []int{4, 64} {
+		for _, spaced := range []bool{false, true} {
+			t.Run(fmt.Sprintf("q%d_spaced%v", quanta, spaced), func(t *testing.T) {
+				serial, serialNow, _ := sessionStats(t, adaptiveConfig(2, 1, quanta, spaced))
+				for _, workers := range []int{2, 4} {
+					par, parNow, _ := sessionStats(t, adaptiveConfig(2, workers, quanta, spaced))
+					if par != serial {
+						t.Fatalf("workers=%d adaptive stats differ from serial run", workers)
+					}
+					if parNow != serialNow {
+						t.Fatalf("workers=%d finished at %s, serial at %s", workers, parNow, serialNow)
+					}
+				}
+				again, _, _ := sessionStats(t, adaptiveConfig(2, 3, quanta, spaced))
+				if again != serial {
+					t.Fatal("repeated adaptive run diverged")
+				}
+			})
+		}
+	}
+}
+
+// The adaptive horizon is the point of the feature: on a spaced workload it
+// must execute materially fewer barriers than the fixed quantum for the same
+// workload. (The completion tick is a barrier tick, so it may differ between
+// the two schedules — that is the documented schedule difference, not an
+// event-timing change.)
+func TestShardedAdaptiveFewerBarriers(t *testing.T) {
+	_, _, fixedSteps := sessionStats(t, adaptiveConfig(2, 1, 1, true))
+	_, _, adptSteps := sessionStats(t, adaptiveConfig(2, 1, 64, true))
+	if adptSteps*2 >= fixedSteps {
+		t.Fatalf("adaptive ran %d barriers vs fixed %d: expected at least a 2x reduction on a spaced workload",
+			adptSteps, fixedSteps)
+	}
+}
+
+// Two shards panicking in the same quantum must BOTH be reported, each with
+// its worker and kernel identity — and the session must stay closeable (the
+// worker pool survives its shards' panics).
+func TestShardedMultiPanicAttribution(t *testing.T) {
+	for _, workers := range []int{0, 5} {
+		t.Run(fmt.Sprintf("workers%d", workers), func(t *testing.T) {
+			cfg := shardedConfig(EventBased, 4, workers, false)
+			rig, err := NewShardedRig(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, err := rig.NewSession("", rig.Front.Now()+50*sim.Millisecond)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s.Close()
+			// Plant a bomb in two different shards, due inside the first
+			// quantum.
+			for _, ci := range []int{1, 3} {
+				ci := ci
+				k := rig.Chans[ci]
+				k.Schedule(sim.NewEvent("boom", func() { panic(fmt.Sprintf("boom-chan%d", ci)) }), k.Now())
+			}
+			s.Start()
+			var spe *ShardPanicError
+			func() {
+				defer func() {
+					r := recover()
+					var ok bool
+					if spe, ok = r.(*ShardPanicError); !ok {
+						t.Fatalf("expected *ShardPanicError, got %T: %v", r, r)
+					}
+				}()
+				for {
+					if done, err := s.Step(); done || err != nil {
+						t.Fatalf("step returned (%v, %v) instead of panicking", done, err)
+					}
+				}
+			}()
+			if len(spe.Panics) != 2 {
+				t.Fatalf("got %d panics, want 2: %v", len(spe.Panics), spe)
+			}
+			seen := map[string]int{}
+			for _, p := range spe.Panics {
+				seen[p.Kernel] = p.Worker
+				want := fmt.Sprintf("boom-%s", p.Kernel)
+				if p.Value != want {
+					t.Fatalf("kernel %s carries value %v, want %q", p.Kernel, p.Value, want)
+				}
+			}
+			if _, ok := seen["chan1"]; !ok {
+				t.Fatalf("chan1 panic missing: %v", spe)
+			}
+			if _, ok := seen["chan3"]; !ok {
+				t.Fatalf("chan3 panic missing: %v", spe)
+			}
+			if workers == 5 {
+				// Round-robin assignment: kernels[2]=chan1 -> worker 2,
+				// kernels[4]=chan3 -> worker 4.
+				if seen["chan1"] != 2 || seen["chan3"] != 4 {
+					t.Fatalf("worker attribution wrong: %v", seen)
+				}
+			}
+			msg := spe.Error()
+			if !strings.Contains(msg, "chan1") || !strings.Contains(msg, "chan3") {
+				t.Fatalf("error string drops a shard: %s", msg)
+			}
+			// deferred Close must return promptly; if a worker deadlocked on
+			// its done channel the test times out here.
+		})
 	}
 }
 

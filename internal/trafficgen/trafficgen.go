@@ -64,6 +64,12 @@ type Generator struct {
 	nextAllowed sim.Tick
 	tick        *sim.Event
 
+	// pool recycles this generator's packets: a request is drawn on issue
+	// and released when its response is consumed, so a closed-loop stream
+	// allocates nothing in steady state. The pool is single-threaded with
+	// the generator's kernel; packets in flight are never in it.
+	pool mem.PacketPool //ckpt:skip allocation cache only; in-flight packets are saved by the packet table
+
 	// The stats objects live in the registry, which checkpoints separately
 	// through the stats adapter; the generator only holds handles.
 	reads, writes  *stats.Scalar    //ckpt:skip persisted by the stats registry adapter
@@ -128,10 +134,10 @@ func (g *Generator) issueLoop() {
 		addr, isRead := g.pattern.Next()
 		var pkt *mem.Packet
 		if isRead {
-			pkt = mem.NewRead(addr, g.cfg.RequestBytes, g.cfg.RequestorID, now)
+			pkt = g.pool.NewRead(addr, g.cfg.RequestBytes, g.cfg.RequestorID, now)
 			g.reads.Inc()
 		} else {
-			pkt = mem.NewWrite(addr, g.cfg.RequestBytes, g.cfg.RequestorID, now)
+			pkt = g.pool.NewWrite(addr, g.cfg.RequestBytes, g.cfg.RequestorID, now)
 			g.writes.Inc()
 		}
 		g.issued++
@@ -169,7 +175,9 @@ func (g *Generator) rearm() {
 	g.k.Schedule(g.tick, when)
 }
 
-// RecvTimingResp implements mem.Requestor.
+// RecvTimingResp implements mem.Requestor. The generator created the packet,
+// so once the response is consumed here the transaction has fully left the
+// memory system and the packet returns to the pool.
 func (g *Generator) RecvTimingResp(pkt *mem.Packet) bool {
 	lat := (g.k.Now() - pkt.IssueTick).Nanoseconds()
 	if pkt.Cmd == mem.ReadResp {
@@ -178,6 +186,7 @@ func (g *Generator) RecvTimingResp(pkt *mem.Packet) bool {
 		g.writeAckLat.Sample(lat)
 	}
 	g.outstanding--
+	g.pool.Put(pkt)
 	g.rearm()
 	return true
 }
