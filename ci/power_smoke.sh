@@ -1,0 +1,103 @@
+#!/usr/bin/env bash
+# Low-power smoke test: a bursty run with power-down and self-refresh enabled
+# must (a) produce a command stream the protocol oracle finds violation-free —
+# including the PDE/PDX/SRE/SRX transitions and their tCKE/tXP/tXS spacing —
+# (b) record and replay that stream through the -cmd-trace file format with
+# the same verdict, and (c) survive a kill -9 landing inside a low-power
+# interval: the resumed run's final statistics AND Perfetto trace must be
+# byte-identical to an uninterrupted reference run.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+
+go build -o "$workdir/dramctrl" ./cmd/dramctrl
+go build -o "$workdir/protocheck" ./cmd/protocheck
+go build -o "$workdir/validate" ./cmd/validate
+
+# Bursty traffic with both idle thresholds armed: every 16th request is
+# followed by a multi-microsecond gap, so ranks cycle through power-down and
+# deepen into self-refresh constantly.
+lp=(-pattern bursty -reads 67 -requests 20000 -seed 7
+    -burst-off-ns 5000 -powerdown 300 -selfrefresh 2000)
+
+echo "== oracle: bursty PD+SR run is violation-free (1 rank, open page)"
+"$workdir/protocheck" "${lp[@]}" -spec DDR3-1600-x64 >/dev/null
+
+echo "== oracle: 2-rank staggered wake, closed page"
+"$workdir/protocheck" "${lp[@]}" -spec DDR3-1600-x64-2R -page closed >/dev/null
+
+echo "== oracle: recorded command stream replays with the same verdict"
+"$workdir/protocheck" "${lp[@]}" -spec DDR3-1600-x64 \
+    -cmd-trace "$workdir/cmds.txt" >/dev/null
+grep -q "SRE" "$workdir/cmds.txt" || {
+    echo "FAIL: recorded stream contains no self-refresh entry" >&2
+    exit 1
+}
+"$workdir/protocheck" -spec DDR3-1600-x64 -cmd-trace-in "$workdir/cmds.txt" >/dev/null
+
+echo "== recording is deterministic"
+"$workdir/protocheck" "${lp[@]}" -spec DDR3-1600-x64 \
+    -cmd-trace "$workdir/cmds2.txt" >/dev/null
+cmp "$workdir/cmds.txt" "$workdir/cmds2.txt"
+
+echo "== reference: uninterrupted bursty PD+SR run with stats and trace"
+# Enough requests (in host time) that the kill below lands mid-run; with
+# self-refresh residency above half the simulated time, the surviving
+# checkpoint is overwhelmingly likely to sit inside a low-power interval —
+# and the roundtrip matrix in internal/checkpoint pins the exact mid-PD /
+# mid-SR instants deterministically.
+args=(-spec DDR3-1600-x64 -pattern bursty -reads 67 -requests 400000 -seed 7
+      -burst-off-ns 5000 -powerdown 300 -selfrefresh 2000)
+"$workdir/dramctrl" "${args[@]}" -json "$workdir/ref.json" \
+    -trace "$workdir/ref-trace.json" >"$workdir/ref.log"
+grep -q "self-refresh time" "$workdir/ref.log" || {
+    echo "FAIL: reference run never entered self-refresh" >&2
+    cat "$workdir/ref.log" >&2
+    exit 1
+}
+"$workdir/validate" -trace-check "$workdir/ref-trace.json"
+
+echo "== victim: periodic checkpoints, then kill -9"
+"$workdir/dramctrl" "${args[@]}" -json "$workdir/victim.json" \
+    -trace "$workdir/crash-trace.json" \
+    -checkpoint "$workdir/run.ckpt" -checkpoint-every 50000 \
+    >/dev/null 2>"$workdir/victim.log" &
+pid=$!
+for _ in $(seq 1 300); do
+    [ -f "$workdir/run.ckpt" ] && break
+    sleep 0.1
+done
+if ! [ -f "$workdir/run.ckpt" ]; then
+    echo "FAIL: no checkpoint appeared before the kill" >&2
+    kill -9 "$pid" 2>/dev/null || true
+    exit 1
+fi
+kill -9 "$pid"
+wait "$pid" 2>/dev/null || true
+if [ -f "$workdir/victim.json" ]; then
+    echo "FAIL: victim finished before the kill; grow -requests" >&2
+    exit 1
+fi
+
+echo "== resume and compare stats + trace byte-for-byte"
+"$workdir/dramctrl" "${args[@]}" -json "$workdir/resumed.json" \
+    -trace "$workdir/crash-trace.json" \
+    -checkpoint "$workdir/run.ckpt" -resume >/dev/null 2>"$workdir/resume.log"
+grep -q "supervisor: resumed from" "$workdir/resume.log" || {
+    echo "FAIL: resume did not load the checkpoint:" >&2
+    cat "$workdir/resume.log" >&2
+    exit 1
+}
+if ! cmp "$workdir/ref.json" "$workdir/resumed.json"; then
+    echo "FAIL: resumed statistics differ from the uninterrupted run" >&2
+    exit 1
+fi
+if ! cmp "$workdir/ref-trace.json" "$workdir/crash-trace.json"; then
+    echo "FAIL: resumed trace differs from the uninterrupted run" >&2
+    exit 1
+fi
+echo "resumed stats and trace are byte-identical to the uninterrupted run"
+
+echo "PASS: power smoke"

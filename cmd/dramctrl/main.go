@@ -64,12 +64,13 @@ func main() {
 		pol  = cliconfig.AddPolicy(flag.CommandLine, cliconfig.PolicyFlags{Model: true, Sched: true})
 		traf = cliconfig.AddTraffic(flag.CommandLine, 10000)
 
-		powerDown = flag.Int64("powerdown", 0, "power-down idle threshold in ns (0 = off, event model only)")
-		dumpStats = flag.Bool("stats", false, "dump the full statistics registry")
-		jsonStats = flag.String("json", "", "write the statistics registry as JSON to this file")
-		traceIn   = flag.String("trace-in", "", "replay this trace file instead of a synthetic pattern")
-		traceOut  = flag.String("trace-out", "", "capture the request stream to this trace file")
-		interval  = flag.Int64("interval", 0, "print a bandwidth sample every N ns of simulated time (0 = off)")
+		powerDown   = flag.Int64("powerdown", 0, "power-down idle threshold in ns (0 = off, event model only)")
+		selfRefresh = flag.Int64("selfrefresh", 0, "self-refresh idle threshold in ns (0 = off, event model only; must exceed -powerdown when both are set)")
+		dumpStats   = flag.Bool("stats", false, "dump the full statistics registry")
+		jsonStats   = flag.String("json", "", "write the statistics registry as JSON to this file")
+		traceIn     = flag.String("trace-in", "", "replay this trace file instead of a synthetic pattern")
+		traceOut    = flag.String("trace-out", "", "capture the request stream to this trace file")
+		interval    = flag.Int64("interval", 0, "print a bandwidth sample every N ns of simulated time (0 = off)")
 
 		faultSeed   = flag.Uint64("fault-seed", 42, "fault injector seed (event model)")
 		berCorr     = flag.Float64("ber-correctable", 0, "correctable errors per read burst (0-1, event model)")
@@ -89,6 +90,7 @@ func main() {
 	if shard.Sharded() {
 		err := runSharded(shardedFlags{
 			spec: spec, pol: pol, traf: traf, shard: shard,
+			powerDownNs: *powerDown, selfRefreshNs: *selfRefresh,
 			dumpStats: *dumpStats, jsonStats: *jsonStats,
 			traceIn: *traceIn, traceOut: *traceOut,
 			faultsOn: *berCorr != 0 || *berUncorr != 0 || *berTrans != 0,
@@ -104,8 +106,8 @@ func main() {
 	}
 	err := run(cfgFromFlags{
 		spec: spec, pol: pol, traf: traf,
-		powerDownNs: *powerDown,
-		dumpStats:   *dumpStats, jsonStats: *jsonStats,
+		powerDownNs: *powerDown, selfRefreshNs: *selfRefresh,
+		dumpStats: *dumpStats, jsonStats: *jsonStats,
 		traceIn: *traceIn, traceOut: *traceOut,
 		intervalNs: *interval,
 		faults: faults.Config{
@@ -139,7 +141,9 @@ type cfgFromFlags struct {
 	pol  *cliconfig.Policy
 	traf *cliconfig.Traffic
 
-	powerDownNs  int64
+	powerDownNs   int64
+	selfRefreshNs int64
+
 	dumpStats    bool
 	jsonStats    string
 	traceIn      string
@@ -160,10 +164,11 @@ type cfgFromFlags struct {
 func (f cfgFromFlags) fingerprint() string {
 	t := f.traf
 	return fmt.Sprintf("dramctrl spec=%s model=%s mapping=%s page=%s sched=%s pattern=%s "+
-		"reads=%d requests=%d bytes=%d outstanding=%d itt=%d stride=%d banks=%d seed=%d powerdown=%d "+
-		"faults=%d/%g/%g/%g ecc=%d retry=%d",
+		"reads=%d requests=%d bytes=%d outstanding=%d itt=%d stride=%d banks=%d burston=%d burstoff=%d seed=%d "+
+		"powerdown=%d selfrefresh=%d faults=%d/%g/%g/%g ecc=%d retry=%d",
 		f.spec.Name, f.pol.Model, f.pol.Mapping, f.pol.Page, f.pol.Sched, t.Pattern,
-		t.Reads, t.Requests, t.Bytes, t.Outstanding, t.ITTNs, t.Stride, t.Banks, t.Seed, f.powerDownNs,
+		t.Reads, t.Requests, t.Bytes, t.Outstanding, t.ITTNs, t.Stride, t.Banks, t.BurstOn, t.BurstOffNs, t.Seed,
+		f.powerDownNs, f.selfRefreshNs,
 		f.faults.Seed, f.faults.CorrectablePerBurst, f.faults.UncorrectablePerBurst, f.faults.TransientPerBurst,
 		f.eccLatencyNs, f.retryLimit)
 }
@@ -288,6 +293,7 @@ func buildSingle(f cfgFromFlags) (*singleRig, error) {
 		cfg := core.DefaultConfig(spec)
 		cfg.Mapping = mapping
 		cfg.PowerDownIdle = sim.Tick(f.powerDownNs) * sim.Nanosecond
+		cfg.SelfRefreshIdle = sim.Tick(f.selfRefreshNs) * sim.Nanosecond
 		if cfg.Page, err = f.pol.CorePage(); err != nil {
 			return nil, err
 		}
@@ -514,6 +520,10 @@ func run(f cfgFromFlags) error {
 	if act.PowerDownTime > 0 {
 		fmt.Printf("power-down time: %s (%.1f%% of run)\n", act.PowerDownTime,
 			float64(act.PowerDownTime)/float64(act.Elapsed)*100)
+	}
+	if act.SelfRefreshTime > 0 {
+		fmt.Printf("self-refresh time: %s (%.1f%% of run)\n", act.SelfRefreshTime,
+			float64(act.SelfRefreshTime)/float64(act.Elapsed)*100)
 	}
 
 	if r.series != nil {

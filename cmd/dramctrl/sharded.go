@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/core"
 	"repro/internal/dram"
 	"repro/internal/experiments/cliconfig"
 	"repro/internal/obs"
@@ -20,6 +21,9 @@ type shardedFlags struct {
 	pol   *cliconfig.Policy
 	traf  *cliconfig.Traffic
 	shard *cliconfig.Shard
+
+	powerDownNs   int64
+	selfRefreshNs int64
 
 	dumpStats bool
 	jsonStats string
@@ -41,10 +45,11 @@ type shardedFlags struct {
 func (f shardedFlags) fingerprint() string {
 	t := f.traf
 	return fmt.Sprintf("dramctrl-sharded spec=%s model=%s mapping=%s page=%s pattern=%s "+
-		"reads=%d requests=%d bytes=%d outstanding=%d itt=%d stride=%d banks=%d seed=%d channels=%d quanta=%d",
+		"reads=%d requests=%d bytes=%d outstanding=%d itt=%d stride=%d banks=%d burston=%d burstoff=%d seed=%d "+
+		"powerdown=%d selfrefresh=%d channels=%d quanta=%d",
 		f.spec.Name, f.pol.Model, f.pol.Mapping, f.pol.Page, t.Pattern,
-		t.Reads, t.Requests, t.Bytes, t.Outstanding, t.ITTNs, t.Stride, t.Banks, t.Seed,
-		f.shard.Channels, f.shard.Quanta)
+		t.Reads, t.Requests, t.Bytes, t.Outstanding, t.ITTNs, t.Stride, t.Banks, t.BurstOn, t.BurstOffNs, t.Seed,
+		f.powerDownNs, f.selfRefreshNs, f.shard.Channels, f.shard.Quanta)
 }
 
 // shardTracePidStride spaces the per-tracer pid ranges so the frontend's
@@ -84,11 +89,19 @@ func buildShardedRig(f shardedFlags, spec dram.Spec, mapping dram.Mapping, kind 
 	if err != nil {
 		return nil, err
 	}
+	var tune func(*core.Config)
+	if f.powerDownNs > 0 || f.selfRefreshNs > 0 {
+		tune = func(c *core.Config) {
+			c.PowerDownIdle = sim.Tick(f.powerDownNs) * sim.Nanosecond
+			c.SelfRefreshIdle = sim.Tick(f.selfRefreshNs) * sim.Nanosecond
+		}
+	}
 	return system.NewShardedRig(system.ShardedConfig{
 		Kind:           kind,
 		Spec:           spec,
 		Mapping:        mapping,
 		ClosedPage:     f.pol.ClosedPage(),
+		TuneEvent:      tune,
 		Channels:       f.shard.Channels,
 		Xbar:           xbar.Config{Latency: 2 * sim.Nanosecond, QueueDepth: 64},
 		Gens:           []trafficgen.Config{f.traf.GenConfig()},

@@ -14,8 +14,13 @@ import (
 
 func main() {
 	requests := flag.Uint64("requests", 5000, "requests per test case")
+	savings := flag.Bool("savings", false, "run the bursty-traffic low-power savings comparison instead")
 	flag.Parse()
 
+	if *savings {
+		runSavings(*requests)
+		return
+	}
 	res, err := experiments.RunPowerComparison(*requests)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "powercmp:", err)
@@ -33,4 +38,25 @@ func main() {
 		res.MaxDiffPct, res.AvgDiffPct, res.MaxTraceDiffPct)
 	fmt.Println("(paper reports max 8%, average 3%; trace column is the DRAMPower-style")
 	fmt.Println(" command-trace analysis of the event controller, via the obs hub)")
+}
+
+// runSavings prints the bursty-traffic low-power savings table: the same
+// request stream under no low-power states, power-down only, and power-down
+// with self-refresh.
+func runSavings(requests uint64) {
+	res, err := experiments.RunPowerSavings(requests)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "powercmp:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("DRAM low-power savings on bursty traffic, Micron model, %d requests/case\n\n", requests)
+	fmt.Printf("%-20s %11s %11s %11s %8s %8s %7s %7s\n",
+		"case", "active (mW)", "PD (mW)", "PD+SR (mW)", "PD save", "SR save", "PD res", "SR res")
+	for _, row := range res.Rows {
+		fmt.Printf("%-20s %11.1f %11.1f %11.1f %7.1f%% %7.1f%% %6.1f%% %6.1f%%\n",
+			row.Case, row.ActiveMW, row.PDMW, row.PDSRMW,
+			row.PDSavePct, row.SRSavePct, row.PDResidency*100, row.SRResidency*100)
+	}
+	fmt.Println("\n(power-down pays off within short gaps; self-refresh needs gaps long")
+	fmt.Println(" enough to absorb its tXS/tXSDLL exit cost — savings grow with gap length)")
 }

@@ -5,9 +5,16 @@
 // checker — a configuration linter: if a policy combination ever produced
 // an illegal command schedule, this is the tool that would catch it.
 //
+// The captured command stream can also be written out (-cmd-trace) and
+// replayed later through the checker alone (-cmd-trace-in), which turns the
+// checker into a record/replay timing oracle: archive the schedule a run
+// produced, re-verify it offline against any spec revision, no simulation
+// required.
+//
 //	protocheck -spec DDR3-1600-x64 -page closed -requests 50000
 //	protocheck -trace-in capture.txt -spec LPDDR3-1600-x32
-//	protocheck -spec DDR3-1600-x64 -trace run.json   # Perfetto trace + span citations
+//	protocheck -pattern bursty -powerdown 500 -selfrefresh 3000 -cmd-trace cmds.txt
+//	protocheck -cmd-trace-in cmds.txt -spec DDR3-1600-x64
 package main
 
 import (
@@ -16,6 +23,7 @@ import (
 	"os"
 
 	"repro/internal/core"
+	"repro/internal/dram"
 	"repro/internal/experiments/cliconfig"
 	"repro/internal/mem"
 	"repro/internal/obs"
@@ -29,21 +37,24 @@ func main() {
 	var (
 		spec     = cliconfig.AddSpec(flag.CommandLine, "DDR3-1600-x64")
 		pol      = cliconfig.AddPolicy(flag.CommandLine, cliconfig.PolicyFlags{})
-		requests = cliconfig.AddRequests(flag.CommandLine, 20000, "synthetic requests (ignored with -trace-in)")
-		reads    = flag.Int("reads", 67, "read percentage for synthetic traffic")
-		seed     = flag.Int64("seed", 1, "synthetic traffic seed")
-		traceIn  = flag.String("trace-in", "", "replay this trace file instead")
+		traffic  = cliconfig.AddTraffic(flag.CommandLine, 20000)
+		traceIn  = flag.String("trace-in", "", "replay this request trace file instead of synthetic traffic")
 		traceOut = flag.String("trace", "", "write a Chrome/Perfetto trace here; violations cite its spans")
+		cmdOut   = flag.String("cmd-trace", "", "record the verified DRAM command stream to this file")
+		cmdIn    = flag.String("cmd-trace-in", "", "check a recorded DRAM command stream (no simulation)")
+		pdIdleNs = flag.Int64("powerdown", 0, "power-down after N ns of rank idleness (0 = off)")
+		srIdleNs = flag.Int64("selfrefresh", 0, "self-refresh after N ns of rank idleness (0 = off)")
 		maxShow  = flag.Int("show", 10, "maximum violations to print")
 	)
 	flag.Parse()
-	if err := run(spec, pol, *requests, *reads, *seed, *traceIn, *traceOut, *maxShow); err != nil {
+	if err := run(spec, pol, traffic, *traceIn, *traceOut, *cmdOut, *cmdIn, *pdIdleNs, *srIdleNs, *maxShow); err != nil {
 		fmt.Fprintln(os.Stderr, "protocheck:", err)
 		os.Exit(1)
 	}
 }
 
-func run(sf *cliconfig.Spec, pol *cliconfig.Policy, requests uint64, reads int, seed int64, traceIn, traceOut string, maxShow int) error {
+func run(sf *cliconfig.Spec, pol *cliconfig.Policy, traffic *cliconfig.Traffic,
+	traceIn, traceOut, cmdOut, cmdIn string, pdIdleNs, srIdleNs int64, maxShow int) error {
 	spec, err := sf.Resolve()
 	if err != nil {
 		return err
@@ -51,6 +62,22 @@ func run(sf *cliconfig.Spec, pol *cliconfig.Policy, requests uint64, reads int, 
 	mapping, err := pol.ParseMapping()
 	if err != nil {
 		return err
+	}
+
+	// Oracle replay mode: no simulation, just the checker over a recorded
+	// command stream.
+	if cmdIn != "" {
+		f, err := os.Open(cmdIn)
+		if err != nil {
+			return err
+		}
+		cmds, err := power.ReadCommands(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("replaying %d recorded DRAM commands from %s\n", len(cmds), cmdIn)
+		return report(spec, pol, mapping, cmds, nil, maxShow)
 	}
 
 	k := sim.NewKernel()
@@ -74,6 +101,8 @@ func run(sf *cliconfig.Spec, pol *cliconfig.Policy, requests uint64, reads int, 
 	cfg := core.DefaultConfig(spec)
 	cfg.Mapping = mapping
 	cfg.Probes = hub
+	cfg.PowerDownIdle = sim.Tick(pdIdleNs) * sim.Nanosecond
+	cfg.SelfRefreshIdle = sim.Tick(srIdleNs) * sim.Nanosecond
 	if cfg.Page, err = pol.CorePage(); err != nil {
 		return err
 	}
@@ -99,13 +128,11 @@ func run(sf *cliconfig.Spec, pol *cliconfig.Policy, requests uint64, reads int, 
 		done = player.Done
 		fmt.Printf("replaying %d records from %s\n", len(recs), traceIn)
 	} else {
-		gen, err := trafficgen.New(k, trafficgen.Config{
-			RequestBytes:   64,
-			MaxOutstanding: 32,
-			Count:          requests,
-		}, &trafficgen.Random{
-			Start: 0, End: 1 << 28, Align: 64, ReadPercent: reads, Seed: seed,
-		}, reg, "gen")
+		pattern, err := traffic.BuildPattern(spec, mapping, 1)
+		if err != nil {
+			return err
+		}
+		gen, err := trafficgen.New(k, traffic.GenConfig(), pattern, reg, "gen")
 		if err != nil {
 			return err
 		}
@@ -129,6 +156,11 @@ func run(sf *cliconfig.Spec, pol *cliconfig.Policy, requests uint64, reads int, 
 	if !done() {
 		return fmt.Errorf("simulation did not complete by %s", k.Now())
 	}
+	// Close any open low-power interval so the recorded stream is balanced:
+	// a replayed oracle sees the same PDE/PDX pairing the live checker did.
+	// (The exit commands are stamped at their future exit ticks; nothing runs
+	// after them, so the stream stays ordered.)
+	ctrl.WakeAllRanks()
 	var cite func(power.Violation) string
 	if sink != nil {
 		if err := sink.Close(); err != nil {
@@ -141,9 +173,31 @@ func run(sf *cliconfig.Spec, pol *cliconfig.Policy, requests uint64, reads int, 
 		}
 	}
 
-	violations := power.CheckTiming(spec, trace.Commands())
+	cmds := trace.Commands()
+	if cmdOut != "" {
+		f, err := os.Create(cmdOut)
+		if err != nil {
+			return err
+		}
+		if err := power.WriteCommands(f, cmds); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("command trace written to %s (%d commands)\n", cmdOut, len(cmds))
+	}
+	return report(spec, pol, mapping, cmds, cite, maxShow)
+}
+
+// report runs the checker and prints the verdict; it exits non-zero on any
+// violation so CI can gate on a clean protocol.
+func report(spec dram.Spec, pol *cliconfig.Policy, mapping dram.Mapping,
+	cmds []power.Command, cite func(power.Violation) string, maxShow int) error {
+	violations := power.CheckTiming(spec, cmds)
 	fmt.Printf("checked %d DRAM commands against %s (%s page, %s)\n",
-		trace.Len(), spec.Name, pol.Page, mapping)
+		len(cmds), spec.Name, pol.Page, mapping)
 	if len(violations) == 0 {
 		fmt.Println("protocol clean: no timing violations")
 		return nil

@@ -46,9 +46,9 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("%s: valid Chrome trace JSON: %d events, %d lifecycle spans (%d open), "+
-			"%d bursts, %d activates, %d refreshes, processes %v\n",
+			"%d bursts, %d activates, %d refreshes, %d power spans, processes %v\n",
 			*traceCheck, sum.Events, sum.SpanBegins, sum.OpenSpans(),
-			sum.Bursts, sum.Activates, sum.Refreshes, sum.Processes)
+			sum.Bursts, sum.Activates, sum.Refreshes, sum.PowerSpans, sum.Processes)
 		return
 	}
 
@@ -200,6 +200,24 @@ func traceChecks(add func(string, bool, string, ...any), path string, requests u
 		"trace %d ACTs vs controller %d", sum.Activates, act.Activations)
 	add("Trace/stats refreshes", uint64(sum.Refreshes) == act.Refreshes,
 		"trace %d REFs vs controller %d", sum.Refreshes, act.Refreshes)
+	// Power-state residency must reconcile exactly: the traced PD/SR span
+	// durations (fixed-point timestamps invert back to ticks) equal the
+	// controller's per-rank residency counters. WakeAllRanks closed every
+	// interval before the snapshot, so there is no open-interval slack.
+	var pdSum, srSum sim.Tick
+	for _, d := range act.PrePDTime {
+		pdSum += d
+	}
+	for _, d := range act.ActPDTime {
+		pdSum += d
+	}
+	for _, d := range act.SRTime {
+		srSum += d
+	}
+	add("Trace/stats power residency",
+		sum.PowerSpans > 0 && sum.PDTicks == int64(pdSum) && sum.SRTicks == int64(srSum),
+		"trace %d spans, PD %d ticks vs controller %d, SR %d vs %d",
+		sum.PowerSpans, sum.PDTicks, int64(pdSum), sum.SRTicks, int64(srSum))
 }
 
 // runTraced drives a short random-traffic run with the packet-lifecycle
@@ -222,6 +240,10 @@ func runTraced(path string, requests uint64) (power.Activity, error) {
 	reg := stats.NewRegistry("validate")
 	cfg := core.DefaultConfig(spec)
 	cfg.Probes = hub
+	// Low-power states on and bursty traffic, so the trace carries PD/SR
+	// spans for the residency reconciliation check.
+	cfg.PowerDownIdle = 300 * sim.Nanosecond
+	cfg.SelfRefreshIdle = 2 * sim.Microsecond
 	ctrl, err := core.NewController(k, cfg, reg, "mc")
 	if err != nil {
 		return power.Activity{}, err
@@ -230,8 +252,9 @@ func runTraced(path string, requests uint64) (power.Activity, error) {
 		RequestBytes:   64,
 		MaxOutstanding: 32,
 		Count:          requests,
-	}, &trafficgen.Random{
+	}, &trafficgen.Bursty{
 		Start: 0, End: 1 << 28, Align: 64, ReadPercent: 67, Seed: 1,
+		BurstLen: 16, OffTime: 5 * sim.Microsecond,
 	}, reg, "gen")
 	if err != nil {
 		return power.Activity{}, err
@@ -253,6 +276,9 @@ func runTraced(path string, requests uint64) (power.Activity, error) {
 	if !gen.Done() {
 		return power.Activity{}, fmt.Errorf("traced run did not complete by %s", k.Now())
 	}
+	// Close any open low-power interval so trace spans and residency
+	// counters cover identical time.
+	ctrl.WakeAllRanks()
 	if err := sink.Close(); err != nil {
 		return power.Activity{}, err
 	}

@@ -356,6 +356,231 @@ func TestMultiChannelResumeBitIdentical(t *testing.T) {
 	}
 }
 
+// lowPowerPattern is the bursty workload the low-power roundtrip cases share:
+// every 16th request is followed by a multi-microsecond off period, long
+// enough for ranks to enter power-down and then deepen into self-refresh.
+func lowPowerPattern() trafficgen.Pattern {
+	return &trafficgen.Bursty{
+		Start: 0, End: 1 << 26, Align: 64, ReadPercent: 67, Seed: 5,
+		BurstLen: 16, OffTime: 5 * sim.Microsecond,
+	}
+}
+
+// tuneLowPower arms both idle thresholds on the event controller.
+func tuneLowPower(c *core.Config) {
+	c.Page = core.Open
+	c.PowerDownIdle = 300 * sim.Nanosecond
+	c.SelfRefreshIdle = 2 * sim.Microsecond
+}
+
+// anyRankLowPower reports whether any rank of ctrl is currently powered down
+// or in self-refresh.
+func anyRankLowPower(ctrl *core.Controller, ranks int) (pd, sr bool) {
+	for ri := 0; ri < ranks; ri++ {
+		p, s := ctrl.RankLowPower(ri)
+		pd, sr = pd || p, sr || s
+	}
+	return pd, sr
+}
+
+// TestResumeMidLowPower checkpoints the single rig at two adversarial
+// instants — while a rank is mid-power-down and while it is mid-self-refresh —
+// and requires the resumed runs to be byte-identical to the uninterrupted one.
+// The CKE FSM fields (state, entry tick, residency accumulators, pending idle
+// timers) all live in the checkpoint; any one missing shows up here.
+func TestResumeMidLowPower(t *testing.T) {
+	const requests = 3000
+	spec := dram.DDR3_1600_x64_2R()
+	build := func() *system.TrafficRig {
+		rig, err := system.NewTrafficRig(system.RigConfig{
+			Kind:    system.EventBased,
+			Spec:    spec,
+			Mapping: dram.RoRaBaCoCh,
+			Gen: trafficgen.Config{
+				RequestBytes:   64,
+				MaxOutstanding: 16,
+				Count:          requests,
+			},
+			Pattern:   lowPowerPattern(),
+			TuneEvent: tuneLowPower,
+		})
+		if err != nil {
+			t.Fatalf("build rig: %v", err)
+		}
+		return rig
+	}
+	const fp = "roundtrip/lowpower"
+	deadline := sim.Second
+
+	ref := build()
+	rs, err := ref.NewSession(fp, deadline)
+	if err != nil {
+		t.Fatalf("session: %v", err)
+	}
+	rs.Start()
+	runToEnd(t, rs)
+	want := dumpStats(t, ref.Reg)
+	endTick := rs.Now()
+	refCtrl := ref.Ctrl.(*core.Controller)
+	if refCtrl.PowerDownTime() == 0 || refCtrl.SelfRefreshTime() == 0 {
+		t.Fatalf("workload never entered low power (pd %s, sr %s) — nothing to test",
+			refCtrl.PowerDownTime(), refCtrl.SelfRefreshTime())
+	}
+
+	for _, mode := range []string{"mid-powerdown", "mid-selfrefresh"} {
+		t.Run(mode, func(t *testing.T) {
+			mid := build()
+			ms, err := mid.NewSession(fp, deadline)
+			if err != nil {
+				t.Fatalf("session: %v", err)
+			}
+			ms.Start()
+			ctrl := mid.Ctrl.(*core.Controller)
+			for {
+				done, err := ms.Step()
+				if err != nil {
+					t.Fatalf("step: %v", err)
+				}
+				if done {
+					t.Fatalf("run finished without hitting a %s instant", mode)
+				}
+				pd, sr := anyRankLowPower(ctrl, spec.Org.RanksPerChannel)
+				if (mode == "mid-powerdown" && pd) || (mode == "mid-selfrefresh" && sr) {
+					break
+				}
+			}
+			img, err := ms.Manager().Save()
+			if err != nil {
+				t.Fatalf("save at %s: %v", ms.Now(), err)
+			}
+
+			res := build()
+			ss, err := res.NewSession(fp, deadline)
+			if err != nil {
+				t.Fatalf("session: %v", err)
+			}
+			if err := ss.Manager().Restore(img); err != nil {
+				t.Fatalf("restore: %v", err)
+			}
+			// The restored image must agree that the rank is still in the
+			// low-power state it was saved in.
+			pd, sr := anyRankLowPower(res.Ctrl.(*core.Controller), spec.Org.RanksPerChannel)
+			if mode == "mid-powerdown" && !pd {
+				t.Error("restored rig lost the power-down state")
+			}
+			if mode == "mid-selfrefresh" && !sr {
+				t.Error("restored rig lost the self-refresh state")
+			}
+			runToEnd(t, ss)
+
+			if ss.Now() != endTick {
+				t.Errorf("resumed run ended at %s, uninterrupted at %s", ss.Now(), endTick)
+			}
+			if got := dumpStats(t, res.Reg); !bytes.Equal(got, want) {
+				t.Errorf("resumed %s statistics differ from uninterrupted run\nuninterrupted: %s\nresumed:       %s", mode, want, got)
+			}
+		})
+	}
+}
+
+// TestShardedResumeMidLowPower is the sharded variant: checkpoints are only
+// legal at quantum barriers, so the test saves at the first barrier where any
+// channel's controller sits in a low-power state, and resumes under a
+// different worker count.
+func TestShardedResumeMidLowPower(t *testing.T) {
+	const requests = 2000
+	build := func(workers int) *system.ShardedRig {
+		rig, err := system.NewShardedRig(system.ShardedConfig{
+			Kind:     system.EventBased,
+			Spec:     dram.DDR3_1600_x64(),
+			Mapping:  dram.RoRaBaCoCh,
+			Channels: 2,
+			Xbar:     xbar.Config{Latency: 2 * sim.Nanosecond, QueueDepth: 64},
+			Gens: []trafficgen.Config{{
+				RequestBytes:   64,
+				MaxOutstanding: 32,
+				Count:          requests,
+			}},
+			Patterns:       []trafficgen.Pattern{lowPowerPattern()},
+			TuneEvent:      tuneLowPower,
+			Workers:        workers,
+			AdaptiveQuanta: 8,
+		})
+		if err != nil {
+			t.Fatalf("build sharded rig: %v", err)
+		}
+		return rig
+	}
+	const fp = "roundtrip/lowpower-sharded"
+	deadline := sim.Second
+
+	ref := build(1)
+	rs, err := ref.NewSession(fp, deadline)
+	if err != nil {
+		t.Fatalf("session: %v", err)
+	}
+	rs.Start()
+	runToEnd(t, rs)
+	rs.Close()
+	want := dumpStats(t, ref.Reg)
+	endTick := rs.Now()
+
+	mid := build(3)
+	ms, err := mid.NewSession(fp, deadline)
+	if err != nil {
+		t.Fatalf("session: %v", err)
+	}
+	ms.Start()
+	saved := false
+	var img []byte
+	for {
+		done, err := ms.Step()
+		if err != nil {
+			t.Fatalf("step: %v", err)
+		}
+		if done {
+			break
+		}
+		inLP := false
+		for _, c := range mid.Ctrls {
+			pd, sr := anyRankLowPower(c.(*core.Controller), 1)
+			if pd || sr {
+				inLP = true
+			}
+		}
+		if inLP {
+			img, err = ms.Manager().Save()
+			if err != nil {
+				t.Fatalf("save at %s: %v", ms.Now(), err)
+			}
+			saved = true
+			break
+		}
+	}
+	ms.Close()
+	if !saved {
+		t.Fatal("no quantum barrier found with a controller in a low-power state")
+	}
+
+	res := build(1)
+	ss, err := res.NewSession(fp, deadline)
+	if err != nil {
+		t.Fatalf("session: %v", err)
+	}
+	if err := ss.Manager().Restore(img); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	runToEnd(t, ss)
+	ss.Close()
+
+	if ss.Now() != endTick {
+		t.Errorf("resumed run ended at %s, uninterrupted at %s", ss.Now(), endTick)
+	}
+	if got := dumpStats(t, res.Reg); !bytes.Equal(got, want) {
+		t.Errorf("resumed sharded low-power statistics differ from serial uninterrupted run\nuninterrupted: %s\nresumed:       %s", want, got)
+	}
+}
+
 // TestResumeWithFaultsMidReplay checkpoints a fault-injected run — transient
 // rates high enough that read bursts are essentially always parked in a
 // replay backoff at the save point — and requires the resumed run to report

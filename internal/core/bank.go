@@ -50,13 +50,38 @@ type rank struct {
 	// enforcing tXAW.
 	actWindow []sim.Tick
 	// rdAllowedAt is the earliest tick for a read column command, advanced
-	// by tWTR after write data.
+	// by tWTR after write data and by tXSDLL after a self-refresh exit.
 	rdAllowedAt sim.Tick
 	// wrAllowedAt is the earliest tick for a write column command, advanced
 	// by tRTW after read data.
 	wrAllowedAt sim.Tick
 	// nextRefreshBank round-robins per-bank refresh.
 	nextRefreshBank int
+
+	// Per-rank CKE state machine (extension, see cke.go).
+	//
+	// cke is the rank's current power state; ckeSince the tick the state was
+	// entered (the PDE/SRE command time, which can sit slightly in the
+	// future when entry had to wait for precharges). ckeOKAt is the earliest
+	// tick CKE may toggle again after a wake — a PDE/SRE is itself a
+	// command, so it pays tXP/tXS like any other.
+	cke      ckeState
+	ckeSince sim.Tick
+	ckeOKAt  sim.Tick
+	// busyUntil is the latest booked command or data time on the rank. The
+	// event model stamps commands into the future, so "queue empty" alone
+	// does not mean the bus is quiet — CKE must stay high until then.
+	busyUntil sim.Tick
+	// idleSince is the end of the rank's last demand work (refresh excluded):
+	// the anchor for the power-down/self-refresh idle thresholds, so a
+	// refresh waking the rank mid-gap does not restart the idle clock — a
+	// self-refresh threshold longer than tREFI could otherwise never fire.
+	idleSince sim.Tick
+	// prePDTime, actPDTime and srTime accumulate closed residency intervals
+	// per state, feeding the IDD2P/IDD3P/IDD6 split of the power model.
+	prePDTime sim.Tick
+	actPDTime sim.Tick
+	srTime    sim.Tick
 }
 
 // neverTick is far enough in the past that adding any timing constraint to

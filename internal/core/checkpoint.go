@@ -80,7 +80,9 @@ type bankState struct {
 	BytesAccessed uint64   `json:"bytesAccessed,omitempty"`
 }
 
-// rankState mirrors rank.
+// rankState mirrors rank, including the per-rank CKE state machine and its
+// two idle-timer events — a checkpoint taken mid-power-down or mid-self-
+// refresh resumes inside that state with residency accounting intact.
 type rankState struct {
 	Banks           []bankState `json:"banks"`
 	LastActAt       sim.Tick    `json:"lastActAt"`
@@ -88,6 +90,18 @@ type rankState struct {
 	RdAllowedAt     sim.Tick    `json:"rdAllowedAt"`
 	WrAllowedAt     sim.Tick    `json:"wrAllowedAt"`
 	NextRefreshBank int         `json:"nextRefreshBank,omitempty"`
+
+	Cke       int      `json:"cke,omitempty"`
+	CkeSince  sim.Tick `json:"ckeSince"`
+	CkeOKAt   sim.Tick `json:"ckeOKAt"`
+	BusyUntil sim.Tick `json:"busyUntil"`
+	IdleSince sim.Tick `json:"idleSince"`
+	PrePDTime sim.Tick `json:"prePDTime,omitempty"`
+	ActPDTime sim.Tick `json:"actPDTime,omitempty"`
+	SRTime    sim.Tick `json:"srTime,omitempty"`
+
+	PowerDown   sim.EventState `json:"powerDown"`
+	SelfRefresh sim.EventState `json:"selfRefresh"`
 }
 
 // ctrlState is the controller's full serialized image.
@@ -120,15 +134,7 @@ type ctrlState struct {
 	PrechargeAllTime   sim.Tick `json:"prechargeAllTime"`
 	StartTick          sim.Tick `json:"startTick"`
 
-	PowerDown      sim.EventState `json:"powerDown"`
-	PoweredDown    bool           `json:"poweredDown,omitempty"`
-	PowerDownSince sim.Tick       `json:"powerDownSince"`
-	PowerDownTime  sim.Tick       `json:"powerDownTime"`
-
-	SelfRefresh      sim.EventState `json:"selfRefresh"`
-	SelfRefreshing   bool           `json:"selfRefreshing,omitempty"`
-	SelfRefreshSince sim.Tick       `json:"selfRefreshSince"`
-	SelfRefreshTime  sim.Tick       `json:"selfRefreshTime"`
+	LastWakeAt sim.Tick `json:"lastWakeAt"`
 
 	Faults *faults.State `json:"faults,omitempty"`
 }
@@ -189,15 +195,7 @@ func (c *Controller) CheckpointSave(pt mem.PacketTable) (any, error) {
 		PrechargeAllTime:   c.prechargeAllTime,
 		StartTick:          c.startTick,
 
-		PowerDown:      c.powerDownEvent.Capture(),
-		PoweredDown:    c.poweredDown,
-		PowerDownSince: c.powerDownSince,
-		PowerDownTime:  c.powerDownTime,
-
-		SelfRefresh:      c.selfRefreshEvent.Capture(),
-		SelfRefreshing:   c.selfRefreshing,
-		SelfRefreshSince: c.selfRefreshSince,
-		SelfRefreshTime:  c.selfRefreshTime,
+		LastWakeAt: c.lastWakeAt,
 	}
 	for _, ev := range c.refreshEvents {
 		st.Refresh = append(st.Refresh, ev.Capture())
@@ -242,13 +240,25 @@ func (c *Controller) CheckpointSave(pt mem.PacketTable) (any, error) {
 		st.Replays = append(st.Replays, replayState{DP: saveDP(rec.dp, txnIdx), When: rec.when, Seq: rec.seq})
 	}
 
-	for _, rk := range c.ranks {
+	for ri, rk := range c.ranks {
 		rs := rankState{
 			LastActAt:       rk.lastActAt,
 			ActWindow:       append([]sim.Tick(nil), rk.actWindow...),
 			RdAllowedAt:     rk.rdAllowedAt,
 			WrAllowedAt:     rk.wrAllowedAt,
 			NextRefreshBank: rk.nextRefreshBank,
+
+			Cke:       int(rk.cke),
+			CkeSince:  rk.ckeSince,
+			CkeOKAt:   rk.ckeOKAt,
+			BusyUntil: rk.busyUntil,
+			IdleSince: rk.idleSince,
+			PrePDTime: rk.prePDTime,
+			ActPDTime: rk.actPDTime,
+			SRTime:    rk.srTime,
+
+			PowerDown:   c.pdEvents[ri].Capture(),
+			SelfRefresh: c.srEvents[ri].Capture(),
 		}
 		for i := 0; i < rk.numBanks(); i++ {
 			rs.Banks = append(rs.Banks, bankState{
@@ -288,14 +298,16 @@ func (c *Controller) CheckpointRestore(pl mem.PacketLookup, rs sim.Restorer, dat
 	}
 
 	// Phase 1: silence everything the constructor armed.
-	for _, ev := range []*sim.Event{c.nextReqEvent, c.respondEvent, c.powerDownEvent, c.selfRefreshEvent} {
+	for _, ev := range []*sim.Event{c.nextReqEvent, c.respondEvent} {
 		if ev.Scheduled() {
 			c.k.Deschedule(ev)
 		}
 	}
-	for _, ev := range c.refreshEvents {
-		if ev.Scheduled() {
-			c.k.Deschedule(ev)
+	for _, evs := range [][]*sim.Event{c.refreshEvents, c.pdEvents, c.srEvents} {
+		for _, ev := range evs {
+			if ev.Scheduled() {
+				c.k.Deschedule(ev)
+			}
 		}
 	}
 
@@ -347,12 +359,7 @@ func (c *Controller) CheckpointRestore(pl mem.PacketLookup, rs sim.Restorer, dat
 	c.allPrechargedSince = st.AllPrechargedSince
 	c.prechargeAllTime = st.PrechargeAllTime
 	c.startTick = st.StartTick
-	c.poweredDown = st.PoweredDown
-	c.powerDownSince = st.PowerDownSince
-	c.powerDownTime = st.PowerDownTime
-	c.selfRefreshing = st.SelfRefreshing
-	c.selfRefreshSince = st.SelfRefreshSince
-	c.selfRefreshTime = st.SelfRefreshTime
+	c.lastWakeAt = st.LastWakeAt
 
 	for ri, rkst := range st.Ranks {
 		rk := c.ranks[ri]
@@ -365,6 +372,14 @@ func (c *Controller) CheckpointRestore(pl mem.PacketLookup, rs sim.Restorer, dat
 		rk.rdAllowedAt = rkst.RdAllowedAt
 		rk.wrAllowedAt = rkst.WrAllowedAt
 		rk.nextRefreshBank = rkst.NextRefreshBank
+		rk.cke = ckeState(rkst.Cke)
+		rk.ckeSince = rkst.CkeSince
+		rk.ckeOKAt = rkst.CkeOKAt
+		rk.busyUntil = rkst.BusyUntil
+		rk.idleSince = rkst.IdleSince
+		rk.prePDTime = rkst.PrePDTime
+		rk.actPDTime = rkst.ActPDTime
+		rk.srTime = rkst.SRTime
 		for bi, bst := range rkst.Banks {
 			rk.openRow[bi] = bst.OpenRow
 			rk.actAllowedAt[bi] = bst.ActAllowedAt
@@ -390,10 +405,12 @@ func (c *Controller) CheckpointRestore(pl mem.PacketLookup, rs sim.Restorer, dat
 	}
 	deferEvent(c.nextReqEvent, st.NextReq)
 	deferEvent(c.respondEvent, st.Respond)
-	deferEvent(c.powerDownEvent, st.PowerDown)
-	deferEvent(c.selfRefreshEvent, st.SelfRefresh)
 	for i, es := range st.Refresh {
 		deferEvent(c.refreshEvents[i], es)
+	}
+	for i, rkst := range st.Ranks {
+		deferEvent(c.pdEvents[i], rkst.PowerDown)
+		deferEvent(c.srEvents[i], rkst.SelfRefresh)
 	}
 	for _, rp := range st.Replays {
 		dp, err := loadDP(rp.DP, txns)

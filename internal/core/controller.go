@@ -73,17 +73,13 @@ type Controller struct {
 	prechargeAllTime   sim.Tick
 	startTick          sim.Tick
 
-	// Power-down state (extension, see powerdown.go).
-	powerDownEvent *sim.Event
-	poweredDown    bool
-	powerDownSince sim.Tick
-	powerDownTime  sim.Tick
-
-	// Self-refresh state (extension, see selfrefresh.go).
-	selfRefreshEvent *sim.Event
-	selfRefreshing   bool
-	selfRefreshSince sim.Tick
-	selfRefreshTime  sim.Tick
+	// Per-rank CKE state machine (extension, see cke.go): one power-down and
+	// one self-refresh idle timer per rank; the CKE state itself lives in the
+	// rank structs. lastWakeAt is the most recent CKE-raise tick across all
+	// ranks, staggering simultaneous wake-ups by a clock each.
+	pdEvents   []*sim.Event
+	srEvents   []*sim.Event
+	lastWakeAt sim.Tick
 
 	// Fault-injection / ECC state (extension, see ecc.go). inj is nil when
 	// fault modelling is disabled — the common case pays one nil check per
@@ -178,13 +174,19 @@ func NewController(k *sim.Kernel, cfg Config, reg *stats.Registry, name string) 
 	c.allPrechargedSince = k.Now()
 	c.nextReqEvent = sim.NewEvent(name+".nextReq", c.processNextReqEvent)
 	c.respondEvent = sim.NewEvent(name+".respond", c.processRespondEvent)
-	c.powerDownEvent = sim.NewEvent(name+".powerDown", c.processPowerDown)
-	if cfg.PowerDownIdle > 0 {
-		k.Schedule(c.powerDownEvent, k.Now()+cfg.PowerDownIdle)
-	}
-	c.selfRefreshEvent = sim.NewEvent(name+".selfRefresh", c.processSelfRefresh)
-	if cfg.SelfRefreshIdle > 0 {
-		k.Schedule(c.selfRefreshEvent, k.Now()+cfg.SelfRefreshIdle)
+	c.lastWakeAt = neverTick
+	c.pdEvents = make([]*sim.Event, len(c.ranks))
+	c.srEvents = make([]*sim.Event, len(c.ranks))
+	for i := range c.ranks {
+		i := i
+		c.pdEvents[i] = sim.NewEvent(fmt.Sprintf("%s.powerDown%d", name, i), func() { c.processRankPowerDown(i) })
+		c.srEvents[i] = sim.NewEvent(fmt.Sprintf("%s.selfRefresh%d", name, i), func() { c.processRankSelfRefresh(i) })
+		if cfg.PowerDownIdle > 0 {
+			k.Schedule(c.pdEvents[i], k.Now()+cfg.PowerDownIdle)
+		}
+		if cfg.SelfRefreshIdle > 0 {
+			k.Schedule(c.srEvents[i], k.Now()+cfg.SelfRefreshIdle)
+		}
 	}
 	for i := range c.ranks {
 		i := i
@@ -259,11 +261,10 @@ func (c *Controller) Drain() {
 	c.kickScheduler()
 }
 
-// RecvTimingReq implements mem.Responder.
+// RecvTimingReq implements mem.Responder. Rank wake-up happens per burst at
+// enqueue time (see wakeRank): only the ranks the request actually touches
+// leave their low-power states.
 func (c *Controller) RecvTimingReq(pkt *mem.Packet) bool {
-	// Any arriving request wakes a powered-down or self-refreshing channel.
-	c.exitSelfRefresh()
-	c.exitPowerDown()
 	switch pkt.Cmd {
 	case mem.ReadReq:
 		return c.addToReadQueue(pkt)
@@ -351,6 +352,7 @@ func (c *Controller) addToReadQueue(pkt *mem.Packet) bool {
 			priority:  c.priorityOf(pkt.RequestorID),
 			entryTime: now,
 		}
+		c.wakeRank(dp.coord.Rank)
 		c.readQueue = append(c.readQueue, dp)
 	})
 	c.readEntries += needed
@@ -398,6 +400,7 @@ func (c *Controller) addToWriteQueue(pkt *mem.Packet) bool {
 			priority:  c.priorityOf(pkt.RequestorID),
 			entryTime: now,
 		}
+		c.wakeRank(dp.coord.Rank)
 		c.writeQueue = append(c.writeQueue, dp)
 		c.inWriteQueue[burstAddr]++
 		c.st.writeBursts.Inc()
@@ -487,8 +490,7 @@ func (c *Controller) processRespondEvent() {
 	if len(c.respQueue) > 0 && !c.respondEvent.Scheduled() {
 		c.k.Schedule(c.respondEvent, c.respQueue[0].sendAt)
 	}
-	c.schedulePowerDownCheck()
-	c.scheduleSelfRefreshCheck()
+	c.scheduleLowPowerChecks()
 }
 
 // maybeSendReqRetry wakes a requestor blocked on a full queue.
@@ -519,8 +521,7 @@ func (c *Controller) processNextReqEvent() {
 			// draining for the end of a run).
 			if len(c.writeQueue) == 0 ||
 				(len(c.writeQueue) <= c.cfg.writeLowMark() && !c.draining) {
-				c.schedulePowerDownCheck()
-				c.scheduleSelfRefreshCheck()
+				c.scheduleLowPowerChecks()
 				return // idle until a new request arrives
 			}
 			switchToWrites = true
@@ -651,8 +652,10 @@ func (c *Controller) chooseNext(q []*dramPacket) int {
 		// A row opened during a refresh blackout is not a ready hit: its
 		// activate is booked for after the blackout, so preferring it over
 		// a genuinely ready request in another rank wastes the window.
-		// (Power-down and self-refresh are channel-wide here, so they block
-		// all candidates equally and need no per-bank gate.)
+		// (No power-state gate is needed: a burst only enters a queue after
+		// wakeRank, so every candidate's rank has CKE high by construction;
+		// the post-wake tXP/tXS costs are already folded into the per-bank
+		// allowed-at times this scan reads.)
 		if rk.openRow[bi] != int64(p.coord.Row) || rk.refreshUntil[bi] > now {
 			continue
 		}
@@ -742,6 +745,11 @@ func (c *Controller) doDRAMAccess(p *dramPacket) {
 	now := c.k.Now()
 	ri, bi := p.coord.Rank, p.coord.Bank
 	rk := c.ranks[ri]
+	// Service is the single choke point every burst passes through, so the
+	// rank is guaranteed awake (paying tXP/tXS through the allowed-at
+	// arrays) before any command below is stamped — even for writes that
+	// parked below the drain watermark while the rank slept.
+	c.wakeRank(ri)
 
 	row := int64(p.coord.Row)
 	if rk.openRow[bi] == row {
@@ -772,6 +780,8 @@ func (c *Controller) doDRAMAccess(p *dramPacket) {
 	}
 	dataEnd := cmdAt + t.TCL + t.TBURST
 	c.busBusyUntil = dataEnd
+	rk.busyUntil = maxTick(rk.busyUntil, dataEnd)
+	rk.idleSince = maxTick(rk.idleSince, dataEnd)
 	p.readyTime = dataEnd
 	if c.hub != nil {
 		kind := power.CmdWR
@@ -881,6 +891,7 @@ func (c *Controller) activateBank(ri int, rk *rank, bi int, actAt sim.Tick, row 
 	rk.rowAccesses[bi] = 0
 	rk.bytesAccessed[bi] = 0
 	rk.recordAct(actAt, c.cfg.Spec.Org.ActivationLimit)
+	rk.busyUntil = maxTick(rk.busyUntil, actAt)
 	c.st.activations.Inc()
 	if c.hub != nil {
 		c.emitCommand(power.CmdACT, ri, bi, actAt)
@@ -906,6 +917,7 @@ func (c *Controller) prechargeBank(ri int, rk *rank, bi int, preAt sim.Tick) {
 	rk.actAllowedAt[bi] = maxTick(rk.actAllowedAt[bi], preAt+t.TRP)
 	rk.rowAccesses[bi] = 0
 	rk.bytesAccessed[bi] = 0
+	rk.busyUntil = maxTick(rk.busyUntil, preAt)
 	c.st.precharges.Inc()
 	if c.hub != nil {
 		c.emitCommand(power.CmdPRE, ri, bi, preAt)
@@ -925,11 +937,18 @@ func (c *Controller) processRefresh(rankIdx int) {
 	now := c.k.Now()
 	rk := c.ranks[rankIdx]
 
-	if c.selfRefreshing {
-		// The DRAM is refreshing itself; just keep the cadence alive.
+	if rk.cke == ckeSelfRefresh {
+		// The rank is refreshing itself; just keep the cadence alive (the
+		// self-refresh exit will restart it a full interval out anyway).
 		c.refreshDue[rankIdx] = now + t.TREFI
-		c.k.Schedule(c.refreshEvents[rankIdx], c.refreshDue[rankIdx])
+		c.k.Reschedule(c.refreshEvents[rankIdx], c.refreshDue[rankIdx])
 		return
+	}
+	if rk.cke.inPowerDown() {
+		// Refresh is the controller's job while merely powered down: wake
+		// the rank (paying tCKE/tXP — leavePowerDown pushes the per-bank
+		// allowed-at times, which the refresh start respects below).
+		c.wakeRank(rankIdx)
 	}
 
 	var interval sim.Tick
@@ -949,6 +968,9 @@ func (c *Controller) processRefresh(rankIdx int) {
 		c.refreshDue[rankIdx] = next
 	}
 	c.k.Schedule(c.refreshEvents[rankIdx], next)
+	// An idle rank can head back to a low-power state after the refresh (the
+	// blackout end gates the entry via lowPowerBlockedUntil).
+	c.scheduleLowPowerChecks()
 }
 
 // refreshAllBanks closes every bank and blocks the rank for tRFC.
@@ -970,6 +992,7 @@ func (c *Controller) refreshAllBanks(rankIdx int, rk *rank) {
 		rk.actAllowedAt[i] = maxTick(rk.actAllowedAt[i], done)
 		rk.refreshUntil[i] = maxTick(rk.refreshUntil[i], done)
 	}
+	rk.busyUntil = maxTick(rk.busyUntil, done)
 	c.emitCommand(power.CmdREF, rankIdx, 0, start)
 	if c.hub != nil {
 		c.hub.Emit(obs.RefreshStart{Src: c.name, At: start, Rank: rankIdx, Bank: -1, Until: done})
@@ -1001,6 +1024,7 @@ func (c *Controller) refreshOneBank(rankIdx int, rk *rank) {
 	done := start + t.TRFC*tRFCpbNum/tRFCpbDen
 	rk.actAllowedAt[bi] = maxTick(rk.actAllowedAt[bi], done)
 	rk.refreshUntil[bi] = maxTick(rk.refreshUntil[bi], done)
+	rk.busyUntil = maxTick(rk.busyUntil, done)
 	c.emitCommand(power.CmdREF, rankIdx, bi, start)
 	if c.hub != nil {
 		c.hub.Emit(obs.RefreshStart{Src: c.name, At: start, Rank: rankIdx, Bank: bi, Until: done})

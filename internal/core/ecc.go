@@ -124,6 +124,7 @@ func (c *Controller) queueScrub(dp *dramPacket) {
 		entryTime: c.k.Now(),
 		scrub:     true,
 	}
+	c.wakeRank(w.coord.Rank)
 	c.writeQueue = append(c.writeQueue, w)
 	c.inWriteQueue[w.burstAddr]++
 	c.st.scrubWrites.Inc()

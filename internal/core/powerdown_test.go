@@ -14,8 +14,11 @@ import (
 func TestPowerDownEntry(t *testing.T) {
 	h := newHarness(t, func(c *Config) { c.PowerDownIdle = 100 * sim.Nanosecond })
 	h.k.RunUntil(2 * sim.Microsecond)
-	if !h.c.poweredDown {
+	if !h.c.ranks[0].cke.inPowerDown() {
 		t.Fatal("idle controller did not power down")
+	}
+	if h.c.ranks[0].cke != ckePrePD {
+		t.Fatalf("rank with no open rows entered %v, want precharge power-down", h.c.ranks[0].cke)
 	}
 	pd := h.c.PowerDownTime()
 	// Powered down from ~100 ns to 2 us.
@@ -31,7 +34,7 @@ func TestPowerDownEntry(t *testing.T) {
 func TestPowerDownDisabledByDefault(t *testing.T) {
 	h := newHarness(t, nil)
 	h.k.RunUntil(2 * sim.Microsecond)
-	if h.c.poweredDown || h.c.PowerDownTime() != 0 {
+	if h.c.ranks[0].cke != ckeActive || h.c.PowerDownTime() != 0 {
 		t.Fatal("power-down occurred with the feature disabled")
 	}
 }
@@ -64,7 +67,7 @@ func TestPowerDownReentry(t *testing.T) {
 	if h.c.st.powerDowns.Value() != 2 {
 		t.Fatalf("powerDowns = %v, want 2 (before and after the access)", h.c.st.powerDowns.Value())
 	}
-	if h.c.poweredDown != true {
+	if !h.c.ranks[0].cke.inPowerDown() {
 		t.Fatal("controller should be powered down again")
 	}
 }

@@ -3,16 +3,39 @@ package core
 import (
 	"repro/internal/obs"
 	"repro/internal/power"
+	"repro/internal/sim"
 )
 
 // PowerStats returns the activity snapshot Micron's power model consumes
 // (paper §II-G), covering the window since construction or the last stats
-// reset; the current all-precharged interval is closed at now.
+// reset; the current all-precharged interval is closed at now, as is any
+// rank's open low-power interval (without waking the rank).
 func (c *Controller) PowerStats() power.Activity {
 	now := c.k.Now()
 	preAll := c.prechargeAllTime
 	if c.openBankCount == 0 && now > c.allPrechargedSince {
 		preAll += now - c.allPrechargedSince
+	}
+	n := len(c.ranks)
+	prePD := make([]sim.Tick, n)
+	actPD := make([]sim.Tick, n)
+	sr := make([]sim.Tick, n)
+	var prePDSum, actPDSum, srSum sim.Tick
+	for ri, rk := range c.ranks {
+		prePD[ri], actPD[ri], sr[ri] = rk.prePDTime, rk.actPDTime, rk.srTime
+		if now > rk.ckeSince {
+			switch rk.cke {
+			case ckePrePD:
+				prePD[ri] += now - rk.ckeSince
+			case ckeActPD:
+				actPD[ri] += now - rk.ckeSince
+			case ckeSelfRefresh:
+				sr[ri] += now - rk.ckeSince
+			}
+		}
+		prePDSum += prePD[ri]
+		actPDSum += actPD[ri]
+		srSum += sr[ri]
 	}
 	burst := float64(c.cfg.Spec.Org.BurstBytes())
 	return power.Activity{
@@ -22,8 +45,12 @@ func (c *Controller) PowerStats() power.Activity {
 		WriteBursts:      uint64(c.st.bytesWritten.Value() / burst),
 		Refreshes:        uint64(c.st.refreshes.Value()),
 		PrechargeAllTime: preAll,
-		PowerDownTime:    c.PowerDownTime(),
-		SelfRefreshTime:  c.SelfRefreshTime(),
+		PowerDownTime:    (prePDSum + actPDSum) / sim.Tick(n),
+		ActPowerDownTime: actPDSum / sim.Tick(n),
+		SelfRefreshTime:  srSum / sim.Tick(n),
+		PrePDTime:        prePD,
+		ActPDTime:        actPD,
+		SRTime:           sr,
 	}
 }
 
@@ -66,18 +93,24 @@ func (c *Controller) AvgReadLatencyNs() float64 { return c.st.memAccLat.Mean() }
 // controller for the periodic time-series sampler.
 func (c *Controller) ObsSample() obs.Sample {
 	banks := make([]bool, 0, len(c.ranks)*c.org.BanksPerRank)
+	pd := make([]bool, 0, len(c.ranks))
+	sr := make([]bool, 0, len(c.ranks))
 	for _, rk := range c.ranks {
 		for i := range rk.openRow {
 			banks = append(banks, rk.openRow[i] != rowClosed)
 		}
+		pd = append(pd, rk.cke.inPowerDown())
+		sr = append(sr, rk.cke == ckeSelfRefresh)
 	}
 	return obs.Sample{
-		ReadQueueLen:   len(c.readQueue),
-		WriteQueueLen:  len(c.writeQueue),
-		BusUtilisation: c.BusUtilisation(),
-		RowHitRate:     c.RowHitRate(),
-		BanksOpen:      banks,
-		Draining:       c.state == busWrite,
+		ReadQueueLen:    len(c.readQueue),
+		WriteQueueLen:   len(c.writeQueue),
+		BusUtilisation:  c.BusUtilisation(),
+		RowHitRate:      c.RowHitRate(),
+		BanksOpen:       banks,
+		Draining:        c.state == busWrite,
+		RankPowerDown:   pd,
+		RankSelfRefresh: sr,
 	}
 }
 
@@ -87,13 +120,14 @@ func (c *Controller) ResetStatsWindow() {
 	now := c.k.Now()
 	c.startTick = now
 	c.prechargeAllTime = 0
-	c.powerDownTime = 0
-	if c.poweredDown {
-		c.powerDownSince = now
-	}
-	c.selfRefreshTime = 0
-	if c.selfRefreshing {
-		c.selfRefreshSince = now
+	for _, rk := range c.ranks {
+		rk.prePDTime, rk.actPDTime, rk.srTime = 0, 0, 0
+		// Re-anchor an in-progress low-power interval at the window start —
+		// unless its entry command is dated in the future (self-refresh entry
+		// waiting on precharges), which stays where it is.
+		if rk.cke != ckeActive && rk.ckeSince < now {
+			rk.ckeSince = now
+		}
 	}
 	if c.openBankCount == 0 {
 		c.allPrechargedSince = now

@@ -18,7 +18,7 @@ func TestSelfRefreshEntry(t *testing.T) {
 	})
 	tm := h.c.cfg.Spec.Timing
 	h.k.RunUntil(10 * tm.TREFI)
-	if !h.c.selfRefreshing {
+	if h.c.ranks[0].cke != ckeSelfRefresh {
 		t.Fatal("idle controller did not enter self-refresh")
 	}
 	if h.c.st.selfRefreshes.Value() != 1 {
@@ -41,7 +41,8 @@ func TestSelfRefreshEntry(t *testing.T) {
 	}
 }
 
-// Exiting self-refresh costs tXS, which exceeds the power-down exit tXP.
+// Exiting self-refresh costs tXS — and for the read itself tXSDLL, the
+// DLL-relock latency, which on DDR3 dominates the activate path (tXS + tRCD).
 func TestSelfRefreshExitLatency(t *testing.T) {
 	run := func(srIdle sim.Tick) sim.Tick {
 		h := newHarness(t, func(c *Config) { c.SelfRefreshIdle = srIdle })
@@ -54,9 +55,11 @@ func TestSelfRefreshExitLatency(t *testing.T) {
 	}
 	withSR := run(200 * sim.Nanosecond)
 	withoutSR := run(0)
-	txs := dram.DDR3_1600_x64().Timing.TXS
-	if withSR != withoutSR+txs {
-		t.Fatalf("self-refresh exit cost = %s, want %s + tXS(%s)", withSR, withoutSR, txs)
+	tm := dram.DDR3_1600_x64().Timing
+	extra := maxTick(tm.TXS+tm.TRCD, tm.TXSDLL) - tm.TRCD
+	if withSR != withoutSR+extra {
+		t.Fatalf("self-refresh exit cost = %s, want %s + %s (tXS %s, tXSDLL %s, tRCD %s)",
+			withSR, withoutSR, extra, tm.TXS, tm.TXSDLL, tm.TRCD)
 	}
 }
 

@@ -53,6 +53,16 @@ type Timing struct {
 	// TXS is the self-refresh exit latency (extension; typically around
 	// tRFC plus a margin; 0 if never used).
 	TXS sim.Tick
+	// TCKE is the minimum time CKE must stay in one state after a
+	// power-down entry or exit (extension; 0 if never used).
+	TCKE sim.Tick
+	// TCKESR is the minimum CKE-low time of a self-refresh interval
+	// (extension; JEDEC sets it to tCKE plus one clock).
+	TCKESR sim.Tick
+	// TXSDLL is the self-refresh exit latency for commands that need the
+	// DLL re-locked — reads — while tXS covers the rest (extension; for
+	// interfaces without a DLL it equals tXS).
+	TXSDLL sim.Tick
 }
 
 // Organization describes the physical structure of one memory channel as the
@@ -137,6 +147,7 @@ func (t Timing) Validate() error {
 	for _, it := range []item{
 		{"tWTR", t.TWTR}, {"tRTW", t.TRTW}, {"tRRD", t.TRRD}, {"tXAW", t.TXAW},
 		{"tRTP", t.TRTP}, {"tWR", t.TWR}, {"tXP", t.TXP}, {"tXS", t.TXS},
+		{"tCKE", t.TCKE}, {"tCKESR", t.TCKESR}, {"tXSDLL", t.TXSDLL},
 	} {
 		if it.v < 0 {
 			return fmt.Errorf("dram: %s must be non-negative, got %s", it.name, it.v)
@@ -186,6 +197,7 @@ type PowerParams struct {
 	IDD2N float64 // precharge standby current
 	IDD2P float64 // precharge power-down current (extension)
 	IDD3N float64 // active standby current
+	IDD3P float64 // active power-down current (extension)
 	IDD4R float64 // burst read current
 	IDD4W float64 // burst write current
 	IDD5  float64 // refresh current

@@ -47,6 +47,9 @@ func DDR3_1600_x64() Spec {
 			TWR:    15 * ns,
 			TXP:    6 * ns,
 			TXS:    310 * ns,
+			TCKE:   5 * ns,
+			TCKESR: 6250 * ps,
+			TXSDLL: 640 * ns, // tDLLK = 512 nCK
 		},
 		Power: ddr3Power(),
 	}
@@ -84,10 +87,13 @@ func LPDDR3_1600_x32() Spec {
 			TWR:    15 * ns,
 			TXP:    6 * ns,
 			TXS:    140 * ns,
+			TCKE:   7500 * ps,
+			TCKESR: 15 * ns,
+			TXSDLL: 140 * ns, // no DLL on LPDDR: equals tXS
 		},
 		Power: PowerParams{
 			VDD:  1.2,
-			IDD0: 8, IDD2N: 1.8, IDD2P: 0.8, IDD3N: 8,
+			IDD0: 8, IDD2N: 1.8, IDD2P: 0.8, IDD3N: 8, IDD3P: 1.4,
 			IDD4R: 140, IDD4W: 150, IDD5: 28, IDD6: 0.5,
 		},
 	}
@@ -125,10 +131,13 @@ func WideIO_200_x128() Spec {
 			TWR:    15 * ns,
 			TXP:    6 * ns,
 			TXS:    220 * ns,
+			TCKE:   10 * ns,
+			TCKESR: 15 * ns,
+			TXSDLL: 220 * ns, // SDR interface, no DLL: equals tXS
 		},
 		Power: PowerParams{
 			VDD:  1.2,
-			IDD0: 4, IDD2N: 1.5, IDD2P: 0.6, IDD3N: 6,
+			IDD0: 4, IDD2N: 1.5, IDD2P: 0.6, IDD3N: 6, IDD3P: 1.2,
 			IDD4R: 45, IDD4W: 50, IDD5: 22, IDD6: 0.4,
 		},
 	}
@@ -167,6 +176,9 @@ func DDR3_1333_8x8() Spec {
 			TWR:    15 * ns,
 			TXP:    6 * ns,
 			TXS:    170 * ns,
+			TCKE:   5625 * ps,
+			TCKESR: 7125 * ps,
+			TXSDLL: 768 * ns, // tDLLK = 512 nCK
 		},
 		Power: ddr3Power(),
 	}
@@ -214,10 +226,13 @@ func DDR4_2400_x64() Spec {
 			TWR:    15 * ns,
 			TXP:    6 * ns,
 			TXS:    270 * ns,
+			TCKE:   5 * ns,
+			TCKESR: 5833 * ps,
+			TXSDLL: 640 * ns, // tDLLK = 768 nCK
 		},
 		Power: PowerParams{
 			VDD:  1.2,
-			IDD0: 55, IDD2N: 34, IDD2P: 16, IDD3N: 44,
+			IDD0: 55, IDD2N: 34, IDD2P: 16, IDD3N: 44, IDD3P: 32,
 			IDD4R: 150, IDD4W: 125, IDD5: 190, IDD6: 14,
 		},
 	}
@@ -254,10 +269,13 @@ func GDDR5_4000_x32() Spec {
 			TWR:    12 * ns,
 			TXP:    5 * ns,
 			TXS:    75 * ns,
+			TCKE:   4 * ns,
+			TCKESR: 5 * ns,
+			TXSDLL: 128 * ns,
 		},
 		Power: PowerParams{
 			VDD:  1.5,
-			IDD0: 70, IDD2N: 32, IDD2P: 18, IDD3N: 55,
+			IDD0: 70, IDD2N: 32, IDD2P: 18, IDD3N: 55, IDD3P: 38,
 			IDD4R: 230, IDD4W: 240, IDD5: 150, IDD6: 20,
 		},
 	}
@@ -294,10 +312,13 @@ func LPDDR2_1066_x32() Spec {
 			TWR:    15 * ns,
 			TXP:    6 * ns,
 			TXS:    140 * ns,
+			TCKE:   7500 * ps,
+			TCKESR: 15 * ns,
+			TXSDLL: 140 * ns, // no DLL on LPDDR: equals tXS
 		},
 		Power: PowerParams{
 			VDD:  1.2,
-			IDD0: 9, IDD2N: 2.2, IDD2P: 1, IDD3N: 9,
+			IDD0: 9, IDD2N: 2.2, IDD2P: 1, IDD3N: 9, IDD3P: 1.6,
 			IDD4R: 150, IDD4W: 160, IDD5: 30, IDD6: 0.6,
 		},
 	}
@@ -336,10 +357,13 @@ func HMCVault() Spec {
 			TWR:    12 * ns,
 			TXP:    5 * ns,
 			TXS:    90 * ns,
+			TCKE:   4 * ns,
+			TCKESR: 5 * ns,
+			TXSDLL: 90 * ns, // stacked DRAM, no DLL: equals tXS
 		},
 		Power: PowerParams{
 			VDD:  1.2,
-			IDD0: 10, IDD2N: 2, IDD2P: 0.9, IDD3N: 10,
+			IDD0: 10, IDD2N: 2, IDD2P: 0.9, IDD3N: 10, IDD3P: 1.8,
 			IDD4R: 120, IDD4W: 130, IDD5: 25, IDD6: 0.6,
 		},
 	}
@@ -350,7 +374,7 @@ func HMCVault() Spec {
 func ddr3Power() PowerParams {
 	return PowerParams{
 		VDD:  1.5,
-		IDD0: 95, IDD2N: 42, IDD2P: 12, IDD3N: 45,
+		IDD0: 95, IDD2N: 42, IDD2P: 12, IDD3N: 45, IDD3P: 35,
 		IDD4R: 180, IDD4W: 185, IDD5: 215, IDD6: 12,
 	}
 }

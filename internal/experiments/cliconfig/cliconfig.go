@@ -134,13 +134,15 @@ type Traffic struct {
 	ITTNs       int64
 	Stride      uint64
 	Banks       int
+	BurstOn     int
+	BurstOffNs  int64
 	Seed        int64
 }
 
 // AddTraffic registers the traffic flags with the runner's defaults.
 func AddTraffic(fs *flag.FlagSet, defRequests uint64) *Traffic {
 	t := &Traffic{}
-	fs.StringVar(&t.Pattern, "pattern", "linear", "traffic: linear, random, dramaware")
+	fs.StringVar(&t.Pattern, "pattern", "linear", "traffic: linear, random, dramaware, bursty")
 	fs.IntVar(&t.Reads, "reads", 100, "read percentage (0-100)")
 	fs.Uint64Var(&t.Requests, "requests", defRequests, "number of requests")
 	fs.Uint64Var(&t.Bytes, "bytes", 64, "request size in bytes")
@@ -148,6 +150,8 @@ func AddTraffic(fs *flag.FlagSet, defRequests uint64) *Traffic {
 	fs.Int64Var(&t.ITTNs, "itt", 0, "inter-transaction time in ns (0 = saturate)")
 	fs.Uint64Var(&t.Stride, "stride", 4, "dramaware: stride in bursts")
 	fs.IntVar(&t.Banks, "banks", 4, "dramaware: banks targeted")
+	fs.IntVar(&t.BurstOn, "burst-on", 16, "bursty: requests per on-period")
+	fs.Int64Var(&t.BurstOffNs, "burst-off-ns", 2000, "bursty: mean idle gap between bursts in ns")
 	fs.Int64Var(&t.Seed, "seed", 1, "pattern seed")
 	return t
 }
@@ -184,6 +188,17 @@ func (t *Traffic) BuildPattern(spec dram.Spec, mapping dram.Mapping, channels in
 		p := &trafficgen.DRAMAware{
 			Decoder: dec, StrideBursts: t.Stride, Banks: t.Banks,
 			ReadPercent: t.Reads, Seed: t.Seed,
+		}
+		if err := p.Validate(); err != nil {
+			return nil, err
+		}
+		return p, nil
+	case "bursty":
+		p := &trafficgen.Bursty{
+			Start: 0, End: 1 << 28, Align: t.Bytes,
+			ReadPercent: t.Reads, Seed: t.Seed,
+			BurstLen: t.BurstOn,
+			OffTime:  sim.Tick(t.BurstOffNs) * sim.Nanosecond,
 		}
 		if err := p.Validate(); err != nil {
 			return nil, err

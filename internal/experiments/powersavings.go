@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dram"
+	"repro/internal/power"
+	"repro/internal/sim"
+	"repro/internal/system"
+	"repro/internal/trafficgen"
+)
+
+// PowerSavingsRow is one bursty traffic shape run under three power
+// configurations: no low-power states, power-down only, and power-down with
+// self-refresh (the comparison of Jagtap et al.'s DRAM low-power study:
+// savings grow with the idle-gap length as deeper states amortize their
+// entry/exit cost).
+type PowerSavingsRow struct {
+	Case      string
+	ActiveMW  float64 // low-power states disabled
+	PDMW      float64 // power-down only
+	PDSRMW    float64 // power-down + self-refresh
+	PDSavePct float64 // vs ActiveMW
+	SRSavePct float64 // vs ActiveMW
+	// PDResidency and SRResidency are the fraction of rank time spent in
+	// power-down / self-refresh during the PD+SR run.
+	PDResidency float64
+	SRResidency float64
+}
+
+// PowerSavingsResult is the full bursty-traffic savings table.
+type PowerSavingsResult struct {
+	Rows []PowerSavingsRow
+}
+
+// RunPowerSavings sweeps bursty traffic shapes — fixed-length request bursts
+// separated by growing idle gaps — and reports the DRAM power under each
+// low-power configuration. The power-down idle threshold is short (it pays
+// off within tens of nanoseconds of idleness); the self-refresh threshold
+// scales with the gap so the deep state only engages when the gap can absorb
+// its tXS/tXSDLL exit cost.
+func RunPowerSavings(requests uint64) (*PowerSavingsResult, error) {
+	spec := dram.DDR3_1600_x64()
+	cases := []struct {
+		name     string
+		burstLen int
+		offNs    int64
+	}{
+		{"burst16/off1us", 16, 1_000},
+		{"burst16/off5us", 16, 5_000},
+		{"burst64/off20us", 64, 20_000},
+		{"burst16/off100us", 16, 100_000},
+	}
+	res := &PowerSavingsResult{}
+	for _, pc := range cases {
+		pdIdle := 200 * sim.Nanosecond
+		srIdle := sim.Tick(pc.offNs) * sim.Nanosecond / 4
+		if srIdle <= pdIdle {
+			srIdle = pdIdle + 50*sim.Nanosecond
+		}
+		run := func(tune func(*core.Config)) (power.Activity, error) {
+			rig, err := system.NewTrafficRig(system.RigConfig{
+				Kind: system.EventBased, Spec: spec, Mapping: dram.RoRaBaCoCh,
+				Gen: trafficgen.Config{
+					RequestBytes:   spec.Org.BurstBytes(),
+					MaxOutstanding: 32,
+					Count:          requests,
+				},
+				Pattern: &trafficgen.Bursty{
+					Start: 0, End: 1 << 28, Align: spec.Org.BurstBytes(),
+					ReadPercent: 67, Seed: 7,
+					BurstLen: pc.burstLen,
+					OffTime:  sim.Tick(pc.offNs) * sim.Nanosecond,
+				},
+				TuneEvent: tune,
+			})
+			if err != nil {
+				return power.Activity{}, err
+			}
+			if !rig.Run(10 * sim.Second) {
+				return power.Activity{}, fmt.Errorf("experiments: savings case %q did not complete", pc.name)
+			}
+			return rig.Ctrl.PowerStats(), nil
+		}
+		active, err := run(nil)
+		if err != nil {
+			return nil, err
+		}
+		pdAct, err := run(func(c *core.Config) { c.PowerDownIdle = pdIdle })
+		if err != nil {
+			return nil, err
+		}
+		bothAct, err := run(func(c *core.Config) {
+			c.PowerDownIdle = pdIdle
+			c.SelfRefreshIdle = srIdle
+		})
+		if err != nil {
+			return nil, err
+		}
+		activeMW := power.Compute(spec, active).TotalMW()
+		pdMW := power.Compute(spec, pdAct).TotalMW()
+		bothMW := power.Compute(spec, bothAct).TotalMW()
+		row := PowerSavingsRow{
+			Case: pc.name, ActiveMW: activeMW, PDMW: pdMW, PDSRMW: bothMW,
+			PDSavePct: (activeMW - pdMW) / activeMW * 100,
+			SRSavePct: (activeMW - bothMW) / activeMW * 100,
+		}
+		if bothAct.Elapsed > 0 {
+			row.PDResidency = float64(bothAct.PowerDownTime) / float64(bothAct.Elapsed)
+			row.SRResidency = float64(bothAct.SelfRefreshTime) / float64(bothAct.Elapsed)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -40,6 +41,12 @@ type TraceSummary struct {
 	Refusals   int // cat=queue refuse instants
 	Drains     int // write-drain episodes
 	Quanta     int // shard quantum-flush markers
+	PowerSpans int // cat=power spans (PD + SR intervals)
+	// PDTicks and SRTicks total the power-down (both flavors) and
+	// self-refresh span durations in kernel ticks, summed across ranks and
+	// processes — reconciled against the controllers' residency counters.
+	PDTicks    int64
+	SRTicks    int64
 	Processes  []string
 	Terminated bool // the "{}]" terminator was present (clean Close)
 }
@@ -112,6 +119,17 @@ func parseTrace(raw []byte) (*TraceSummary, []TraceEvent, error) {
 			sum.Precharges++
 		case ev.Cat == "refresh":
 			sum.Refreshes++
+		case ev.Cat == "power" && ev.Ph == "X":
+			sum.PowerSpans++
+			d, err := fixedTicks(ev.Dur)
+			if err != nil {
+				return nil, nil, fmt.Errorf("obs: bad power span duration %q: %w", ev.Dur, err)
+			}
+			if strings.HasPrefix(ev.Name, "PD") {
+				sum.PDTicks += d
+			} else {
+				sum.SRTicks += d
+			}
 		case ev.Cat == "queue" && strings.HasPrefix(ev.Name, "refuse."):
 			sum.Refusals++
 		case ev.Cat == "drain":
@@ -126,6 +144,31 @@ func parseTrace(raw []byte) (*TraceSummary, []TraceEvent, error) {
 	}
 	sort.Strings(sum.Processes)
 	return sum, events, nil
+}
+
+// fixedTicks inverts appendTS: "<µs>.<6-digit fraction>" back to kernel
+// ticks. The trace's fixed-point formatting makes this exact, which is what
+// lets residency reconciliation demand equality instead of tolerance.
+func fixedTicks(n json.Number) (int64, error) {
+	s := string(n)
+	dot := strings.IndexByte(s, '.')
+	if dot < 0 {
+		whole, err := strconv.ParseInt(s, 10, 64)
+		return whole * traceTimeDiv, err
+	}
+	whole, err := strconv.ParseInt(s[:dot], 10, 64)
+	if err != nil {
+		return 0, err
+	}
+	frac := s[dot+1:]
+	if len(frac) != 6 {
+		return 0, fmt.Errorf("want 6 fraction digits, got %q", frac)
+	}
+	f, err := strconv.ParseInt(frac, 10, 64)
+	if err != nil {
+		return 0, err
+	}
+	return whole*traceTimeDiv + f, nil
 }
 
 // checkEvent enforces the required keys per phase type.

@@ -22,6 +22,10 @@ type Sample struct {
 	RowHitRate     float64
 	BanksOpen      []bool // row-open state per bank, rank-major
 	Draining       bool   // bus currently in write-drain mode
+	// Per-rank CKE state (nil from controllers without low-power modelling):
+	// at most one of the two is true for a given rank.
+	RankPowerDown   []bool
+	RankSelfRefresh []bool
 }
 
 // SampleSource is implemented by controllers that can be sampled. Both
@@ -53,6 +57,8 @@ type sampledSource struct {
 	rowHit     *stats.Average
 	draining   *stats.Average
 	banksOpen  []*stats.Average // residency per bank, index-aligned with Sample.BanksOpen
+	rankPD     []*stats.Average // power-down residency per rank
+	rankSR     []*stats.Average // self-refresh residency per rank
 }
 
 // SampledSource names one controller to sample; Name prefixes its metrics
@@ -84,10 +90,19 @@ func NewSamplerProbe(k *sim.Kernel, reg *stats.Registry, interval sim.Tick, sour
 			rowHit:     r.NewAverage("rowHitRate", "sampled row-hit rate"),
 			draining:   r.NewAverage("drainResidency", "fraction of samples in write-drain mode"),
 		}
-		for i := range s.Src.ObsSample().BanksOpen {
+		probe := s.Src.ObsSample()
+		for i := range probe.BanksOpen {
 			ss.banksOpen = append(ss.banksOpen,
 				r.NewAverage(fmt.Sprintf("bank%d.openResidency", i),
 					"fraction of samples with a row open in this bank"))
+		}
+		for i := range probe.RankPowerDown {
+			ss.rankPD = append(ss.rankPD,
+				r.NewAverage(fmt.Sprintf("rank%d.pdResidency", i),
+					"fraction of samples with this rank in power-down"))
+			ss.rankSR = append(ss.rankSR,
+				r.NewAverage(fmt.Sprintf("rank%d.srResidency", i),
+					"fraction of samples with this rank in self-refresh"))
 		}
 		p.sources = append(p.sources, ss)
 	}
@@ -111,6 +126,16 @@ func (p *SamplerProbe) take(now sim.Tick) {
 		for i, open := range sm.BanksOpen {
 			if i < len(s.banksOpen) {
 				s.banksOpen[i].Sample(b2f(open))
+			}
+		}
+		for i, low := range sm.RankPowerDown {
+			if i < len(s.rankPD) {
+				s.rankPD[i].Sample(b2f(low))
+			}
+		}
+		for i, low := range sm.RankSelfRefresh {
+			if i < len(s.rankSR) {
+				s.rankSR[i].Sample(b2f(low))
 			}
 		}
 	}

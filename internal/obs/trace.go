@@ -8,6 +8,7 @@ import (
 	"strconv"
 
 	"repro/internal/mem"
+	"repro/internal/power"
 	"repro/internal/sim"
 )
 
@@ -64,6 +65,19 @@ type pendingDrain struct {
 	queueLen int
 }
 
+// powerKey identifies a rank's power-state track within one source.
+type powerKey struct {
+	src  string
+	rank int
+}
+
+// pendingPower is a low-power interval (PDE/SRE seen, exit pending). The
+// span name is fixed at entry: "PD(pre)", "PD(act)" or "SR".
+type pendingPower struct {
+	at   sim.Tick
+	name string
+}
+
 // Tracer converts obs events into Chrome trace-event lines, buffering them
 // until a TraceSink drains it. In sharded runs attach one Tracer per shard
 // hub (plus one on the frontend hub) and give them distinct pid bases; the
@@ -75,9 +89,10 @@ type Tracer struct {
 	tids    map[string]int // "pid|track" -> tid
 	nextTid map[int]int    // pid -> next tid
 	spans   map[spanKey]*openSpan
-	drains  map[string]pendingDrain // src -> open drain episode
-	nextID  uint64                  // async span ids, trace-wide per tracer
-	buf     []byte                  // pending trace lines
+	drains  map[string]pendingDrain   // src -> open drain episode
+	powers  map[powerKey]pendingPower // src+rank -> open low-power interval
+	nextID  uint64                    // async span ids, trace-wide per tracer
+	buf     []byte                    // pending trace lines
 }
 
 // NewTracer returns a tracer whose process ids start above pidBase. Give
@@ -91,6 +106,7 @@ func NewTracer(pidBase int) *Tracer {
 		nextTid: make(map[int]int),
 		spans:   make(map[spanKey]*openSpan),
 		drains:  make(map[string]pendingDrain),
+		powers:  make(map[powerKey]pendingPower),
 	}
 }
 
@@ -169,7 +185,36 @@ func (t *Tracer) HandleEvent(ev Event) {
 		t.close()
 	case DRAMCommand:
 		kind := e.Cmd.Kind.String()
-		if kind != "ACT" && kind != "PRE" {
+		switch kind {
+		case "PDE", "SRE":
+			// Low-power intervals render as spans on the rank's power track,
+			// opened here and closed by the matching PDX/SRX.
+			name := "SR"
+			if kind == "PDE" {
+				name = "PD(pre)"
+				if e.Cmd.Bank == power.PDActive {
+					name = "PD(act)"
+				}
+			}
+			t.powers[powerKey{e.Src, e.Cmd.Rank}] = pendingPower{at: e.Cmd.At, name: name}
+			return
+		case "PDX", "SRX":
+			key := powerKey{e.Src, e.Cmd.Rank}
+			p, ok := t.powers[key]
+			if !ok {
+				return
+			}
+			delete(t.powers, key)
+			pid := t.pid(e.Src)
+			tid := t.tid(pid, fmt.Sprintf("power r%d", e.Cmd.Rank))
+			t.head(p.name, "power", "X", pid, tid, p.at)
+			t.buf = append(t.buf, `,"dur":`...)
+			t.buf = appendTS(t.buf, e.Cmd.At-p.at)
+			t.close()
+			return
+		case "ACT", "PRE":
+			// Instants on the bank track, below.
+		default:
 			// RD/WR render as bank-track spans via BurstScheduled; REF as a
 			// refresh-track span via RefreshStart.
 			return
@@ -281,6 +326,13 @@ type tracerDrainState struct {
 	QueueLen int
 }
 
+type tracerPowerState struct {
+	Src  string
+	Rank int
+	At   sim.Tick
+	Name string
+}
+
 type tracerState struct {
 	NextPid int
 	NextID  uint64
@@ -288,6 +340,7 @@ type tracerState struct {
 	Tids    []tracerTidState
 	Spans   []tracerSpanState
 	Drains  []tracerDrainState
+	Powers  []tracerPowerState
 }
 
 // saveState captures the tracer's checkpoint image. The pending buffer must
@@ -321,6 +374,15 @@ func (t *Tracer) saveState(pt mem.PacketTable) (tracerState, error) {
 		st.Drains = append(st.Drains, tracerDrainState{Src: src, At: d.at, QueueLen: d.queueLen})
 	}
 	sort.Slice(st.Drains, func(i, j int) bool { return st.Drains[i].Src < st.Drains[j].Src })
+	for key, p := range t.powers {
+		st.Powers = append(st.Powers, tracerPowerState{Src: key.src, Rank: key.rank, At: p.at, Name: p.name})
+	}
+	sort.Slice(st.Powers, func(i, j int) bool {
+		if st.Powers[i].Src != st.Powers[j].Src {
+			return st.Powers[i].Src < st.Powers[j].Src
+		}
+		return st.Powers[i].Rank < st.Powers[j].Rank
+	})
 	return st, nil
 }
 
@@ -362,6 +424,10 @@ func (t *Tracer) restoreState(pl mem.PacketLookup, st tracerState) error {
 	t.drains = make(map[string]pendingDrain, len(st.Drains))
 	for _, d := range st.Drains {
 		t.drains[d.Src] = pendingDrain{at: d.At, queueLen: d.QueueLen}
+	}
+	t.powers = make(map[powerKey]pendingPower, len(st.Powers))
+	for _, p := range st.Powers {
+		t.powers[powerKey{p.Src, p.Rank}] = pendingPower{at: p.At, name: p.Name}
 	}
 	return nil
 }

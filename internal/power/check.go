@@ -61,6 +61,16 @@ func CheckTiming(spec dram.Spec, cmds []Command) []Violation {
 		hasWrData  bool
 		lastRdData sim.Tick
 		hasRdData  bool
+		// Independent CKE reconstruction (power-down / self-refresh).
+		ckeLow    bool
+		ckeMode   CommandKind // CmdPDE or CmdSRE while ckeLow
+		ckeLowAt  sim.Tick
+		lastPDX   sim.Tick
+		hasPDX    bool
+		lastSRX   sim.Tick
+		hasSRX    bool
+		lastRefed sim.Tick // last REF or SRX: the rank was refreshed then
+		hasRefed  bool
 	}
 	ranks := make([]*rankState, org.RanksPerChannel)
 	for i := range ranks {
@@ -75,11 +85,102 @@ func CheckTiming(spec dram.Spec, cmds []Command) []Violation {
 	var busBusy bool
 
 	for _, c := range sorted {
-		if c.Rank < 0 || c.Rank >= len(ranks) || c.Bank < 0 || c.Bank >= org.BanksPerRank {
+		if c.Rank < 0 || c.Rank >= len(ranks) {
 			fail("coordinate-range", c, 0)
 			continue
 		}
 		rk := ranks[c.Rank]
+
+		if c.Kind.IsPowerState() {
+			// Rank-scoped CKE transitions; Bank carries only the PDE flavor.
+			switch c.Kind {
+			case CmdPDE, CmdSRE:
+				if rk.ckeLow {
+					fail("CKE-already-low", c, 0)
+					continue
+				}
+				// An entry is itself a command on the bus: it must respect
+				// the exit latency of the previous low-power interval.
+				if rk.hasPDX && t.TXP > 0 && c.At < rk.lastPDX+t.TXP {
+					fail("tXP", c, rk.lastPDX+t.TXP-c.At)
+				}
+				if rk.hasSRX && t.TXS > 0 && c.At < rk.lastSRX+t.TXS {
+					fail("tXS", c, rk.lastSRX+t.TXS-c.At)
+				}
+				open := 0
+				for i := range rk.banks {
+					if rk.banks[i].open {
+						open++
+					}
+				}
+				if c.Kind == CmdSRE {
+					// JEDEC: all banks must be precharged at self-refresh
+					// entry.
+					if open > 0 {
+						fail("SRE-on-open-bank", c, 0)
+					}
+				} else {
+					// The announced flavor must match reconstructed bank
+					// state: precharge power-down with a row open (or the
+					// reverse) means the controller billed the wrong IDD.
+					flavor := PDPrecharge
+					if open > 0 {
+						flavor = PDActive
+					}
+					if c.Bank != flavor {
+						fail("PDE-flavor", c, 0)
+					}
+				}
+				rk.ckeLow, rk.ckeMode, rk.ckeLowAt = true, c.Kind, c.At
+			case CmdPDX:
+				if !rk.ckeLow || rk.ckeMode != CmdPDE {
+					fail("PDX-without-PDE", c, 0)
+				} else {
+					if t.TCKE > 0 && c.At < rk.ckeLowAt+t.TCKE {
+						fail("tCKE", c, rk.ckeLowAt+t.TCKE-c.At)
+					}
+					rk.ckeLow = false
+				}
+				rk.lastPDX, rk.hasPDX = c.At, true
+			case CmdSRX:
+				if !rk.ckeLow || rk.ckeMode != CmdSRE {
+					fail("SRX-without-SRE", c, 0)
+				} else {
+					if t.TCKESR > 0 && c.At < rk.ckeLowAt+t.TCKESR {
+						fail("tCKESR", c, rk.ckeLowAt+t.TCKESR-c.At)
+					}
+					rk.ckeLow = false
+				}
+				rk.lastSRX, rk.hasSRX = c.At, true
+				// The DRAM refreshed itself while in self-refresh; the
+				// external refresh clock restarts here.
+				rk.lastRefed, rk.hasRefed = c.At, true
+			}
+			continue
+		}
+
+		if c.Bank < 0 || c.Bank >= org.BanksPerRank {
+			fail("coordinate-range", c, 0)
+			continue
+		}
+		// CKE gates: nothing may issue to a rank while its CKE is low, and
+		// the first commands after a wake pay the exit latencies (tXP after
+		// PDX; tXS after SRX, tXSDLL for reads, which need the DLL back).
+		if rk.ckeLow {
+			fail("command-while-CKE-low", c, 0)
+		}
+		if rk.hasPDX && t.TXP > 0 && c.At < rk.lastPDX+t.TXP {
+			fail("tXP", c, rk.lastPDX+t.TXP-c.At)
+		}
+		if rk.hasSRX {
+			need, rule := t.TXS, "tXS"
+			if c.Kind == CmdRD && t.TXSDLL > need {
+				need, rule = t.TXSDLL, "tXSDLL"
+			}
+			if need > 0 && c.At < rk.lastSRX+need {
+				fail(rule, c, rk.lastSRX+need-c.At)
+			}
+		}
 		b := &rk.banks[c.Bank]
 		switch c.Kind {
 		case CmdACT:
@@ -177,6 +278,15 @@ func CheckTiming(spec dram.Spec, cmds []Command) []Violation {
 				fail("REF-on-open-bank", c, 0)
 				rk.banks[c.Bank].open = false
 			}
+			// Refresh-interval accounting across self-refresh: JEDEC allows
+			// postponing at most 8 refreshes, so consecutive refresh points
+			// (REF commands, or SRX — the device refreshed itself until
+			// then) must be no more than 9 x tREFI apart. Deficit here is
+			// how *late* the refresh came.
+			if rk.hasRefed && t.TREFI > 0 && c.At > rk.lastRefed+9*t.TREFI {
+				fail("refresh-interval", c, c.At-(rk.lastRefed+9*t.TREFI))
+			}
+			rk.lastRefed, rk.hasRefed = c.At, true
 		}
 	}
 	return violations

@@ -101,6 +101,110 @@ func TestCheckTimingCatchesViolations(t *testing.T) {
 	}
 }
 
+func TestCheckTimingCleanLowPowerTrace(t *testing.T) {
+	spec := ddr3()
+	tm := spec.Timing
+	pde := sim.Tick(0)
+	pdx := pde + tm.TCKE
+	act := pdx + tm.TXP
+	rd := act + tm.TRCD
+	pre := act + tm.TRAS
+	sre := pre + tm.TRP
+	srx := sre + tm.TCKESR
+	act2 := srx + tm.TXS
+	rd2 := srx + tm.TXSDLL
+	if rd2 < act2+tm.TRCD {
+		rd2 = act2 + tm.TRCD
+	}
+	cmds := []Command{
+		{Kind: CmdPDE, Bank: PDPrecharge, At: pde},
+		{Kind: CmdPDX, At: pdx},
+		{Kind: CmdACT, Bank: 0, At: act},
+		{Kind: CmdRD, Bank: 0, At: rd},
+		{Kind: CmdPRE, Bank: 0, At: pre},
+		{Kind: CmdSRE, At: sre},
+		{Kind: CmdSRX, At: srx},
+		{Kind: CmdACT, Bank: 0, At: act2},
+		{Kind: CmdRD, Bank: 0, At: rd2},
+	}
+	if v := CheckTiming(spec, cmds); len(v) != 0 {
+		t.Fatalf("clean low-power trace flagged: %v", v)
+	}
+}
+
+func TestCheckTimingCatchesCKEViolations(t *testing.T) {
+	spec := ddr3()
+	tm := spec.Timing
+	cases := []struct {
+		rule string
+		cmds []Command
+	}{
+		{"tCKE", []Command{
+			{Kind: CmdPDE, Bank: PDPrecharge, At: 0},
+			{Kind: CmdPDX, At: tm.TCKE - 1},
+		}},
+		{"tCKESR", []Command{
+			{Kind: CmdSRE, At: 0},
+			{Kind: CmdSRX, At: tm.TCKESR - 1},
+		}},
+		{"tXP", []Command{
+			{Kind: CmdPDE, Bank: PDPrecharge, At: 0},
+			{Kind: CmdPDX, At: tm.TCKE},
+			{Kind: CmdACT, Bank: 0, At: tm.TCKE + tm.TXP - 1},
+		}},
+		{"tXS", []Command{
+			{Kind: CmdSRE, At: 0},
+			{Kind: CmdSRX, At: tm.TCKESR},
+			{Kind: CmdACT, Bank: 0, At: tm.TCKESR + tm.TXS - 1},
+		}},
+		{"tXSDLL", []Command{
+			// The ACT clears tXS; the read needs the DLL re-locked too.
+			{Kind: CmdSRE, At: 0},
+			{Kind: CmdSRX, At: tm.TCKESR},
+			{Kind: CmdACT, Bank: 0, At: tm.TCKESR + tm.TXS},
+			{Kind: CmdRD, Bank: 0, At: tm.TCKESR + tm.TXS + tm.TRCD},
+		}},
+		{"command-while-CKE-low", []Command{
+			{Kind: CmdPDE, Bank: PDPrecharge, At: 0},
+			{Kind: CmdACT, Bank: 0, At: tm.TCKE},
+		}},
+		{"CKE-already-low", []Command{
+			{Kind: CmdPDE, Bank: PDPrecharge, At: 0},
+			{Kind: CmdSRE, At: tm.TCKE},
+		}},
+		{"PDX-without-PDE", []Command{
+			{Kind: CmdPDX, At: 0},
+		}},
+		{"SRX-without-SRE", []Command{
+			{Kind: CmdSRX, At: 0},
+		}},
+		{"SRE-on-open-bank", []Command{
+			{Kind: CmdACT, Bank: 0, At: 0},
+			{Kind: CmdSRE, At: tm.TRAS},
+		}},
+		{"PDE-flavor", []Command{
+			{Kind: CmdACT, Bank: 0, At: 0},
+			{Kind: CmdPDE, Bank: PDPrecharge, At: tm.TRAS},
+		}},
+		{"refresh-interval", []Command{
+			{Kind: CmdREF, Bank: 0, At: 0},
+			{Kind: CmdREF, Bank: 0, At: 9*tm.TREFI + 1},
+		}},
+	}
+	for _, c := range cases {
+		vs := CheckTiming(spec, c.cmds)
+		found := false
+		for _, v := range vs {
+			if v.Rule == c.rule {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s violation not detected (got %v)", c.rule, vs)
+		}
+	}
+}
+
 func TestViolationString(t *testing.T) {
 	v := Violation{Rule: "tRCD", Cmd: Command{Kind: CmdRD, Bank: 2, At: 100}, Deficit: 50}
 	if v.String() == "" {

@@ -25,7 +25,26 @@ const (
 	CmdRD
 	CmdWR
 	CmdREF
+	// Power-state transitions (extension): CKE-low entries and exits of the
+	// per-rank power-down / self-refresh state machine. These are
+	// rank-scoped; Bank is unused except on CmdPDE, where it carries the
+	// power-down flavor (PDPrecharge or PDActive).
+	CmdPDE
+	CmdPDX
+	CmdSRE
+	CmdSRX
 )
+
+// Power-down flavors, carried in CmdPDE's Bank field.
+const (
+	PDPrecharge = 0 // all banks precharged: deepest power-down (IDD2P)
+	PDActive    = 1 // rows left open: active power-down (IDD3P)
+)
+
+// IsPowerState reports whether k is a rank-scoped power-state transition.
+func (k CommandKind) IsPowerState() bool {
+	return k == CmdPDE || k == CmdPDX || k == CmdSRE || k == CmdSRX
+}
 
 // String names the command.
 func (k CommandKind) String() string {
@@ -40,6 +59,14 @@ func (k CommandKind) String() string {
 		return "WR"
 	case CmdREF:
 		return "REF"
+	case CmdPDE:
+		return "PDE"
+	case CmdPDX:
+		return "PDX"
+	case CmdSRE:
+		return "SRE"
+	case CmdSRX:
+		return "SRX"
 	}
 	return fmt.Sprintf("CommandKind(%d)", int(k))
 }
@@ -114,11 +141,16 @@ func AnalyzeCommands(spec dram.Spec, cmds []Command, elapsed sim.Tick) Breakdown
 
 	// Reconstruct, per rank, the time during which at least one bank is
 	// active: ACT opens a bank, PRE closes it tRP later (the bank is still
-	// drawing active current while precharging).
+	// drawing active current while precharging). CKE-low intervals (PDE/PDX,
+	// SRE/SRX) are tracked separately and pause the active clock, so the
+	// IDD3N, IDD3P, IDD2P and IDD6 windows stay disjoint.
 	openSince := map[bankKey]sim.Tick{}
 	openCount := map[int]int{}
 	activeSince := map[int]sim.Tick{}
-	var activeTime sim.Tick
+	ckeLowAt := map[int]sim.Tick{}
+	ckeKind := map[int]CommandKind{}
+	pdFlavor := map[int]int{}
+	var activeTime, prePDTime, actPDTime, srTime sim.Tick
 	acts, rds, wrs, refs := 0, 0, 0, 0
 
 	closeBank := func(k bankKey, at sim.Tick) {
@@ -163,19 +195,83 @@ func AnalyzeCommands(spec dram.Spec, cmds []Command, elapsed sim.Tick) Breakdown
 					closeBank(k, c.At)
 				}
 			}
+		case CmdPDE, CmdSRE:
+			ckeLowAt[c.Rank] = c.At
+			ckeKind[c.Rank] = c.Kind
+			pdFlavor[c.Rank] = c.Bank
+			if openCount[c.Rank] > 0 {
+				// Active power-down: the open rows stop drawing IDD3N. Parking
+				// the resume point at the window end makes a close sweep that
+				// lands mid-power-down contribute nothing.
+				if d := c.At - activeSince[c.Rank]; d > 0 {
+					activeTime += d
+				}
+				activeSince[c.Rank] = elapsed
+			}
+		case CmdPDX, CmdSRX:
+			if at, low := ckeLowAt[c.Rank]; low {
+				d := c.At - at
+				if d < 0 {
+					d = 0
+				}
+				switch {
+				case ckeKind[c.Rank] == CmdSRE:
+					srTime += d
+				case pdFlavor[c.Rank] == PDActive:
+					actPDTime += d
+				default:
+					prePDTime += d
+				}
+				delete(ckeLowAt, c.Rank)
+			}
+			if openCount[c.Rank] > 0 {
+				activeSince[c.Rank] = c.At
+			}
 		}
 	}
-	// Close any still-open banks at the window end, again in sorted order.
+	// Close any still-open banks at the window end, again in sorted order;
+	// CKE-low ranks close in rank order for the same determinism reason.
 	for _, k := range sortedOpenBanks(openSince) {
 		closeBank(k, elapsed)
 	}
+	for r := 0; r < spec.Org.RanksPerChannel; r++ {
+		at, low := ckeLowAt[r]
+		if !low {
+			continue
+		}
+		d := elapsed - at
+		if d < 0 {
+			d = 0
+		}
+		switch {
+		case ckeKind[r] == CmdSRE:
+			srTime += d
+		case pdFlavor[r] == PDActive:
+			actPDTime += d
+		default:
+			prePDTime += d
+		}
+	}
 
 	elapsedSec := elapsed.Seconds()
-	activeFrac := float64(activeTime) / float64(elapsed)
-	if activeFrac > 1 {
-		activeFrac = 1
+	// Background current per state: IDD6 in self-refresh, IDD2P/IDD3P in
+	// precharge/active power-down, IDD3N with a bank active, IDD2N otherwise.
+	// The windows are disjoint by construction; the clamps only guard
+	// against degenerate traces.
+	frac := func(t sim.Tick) float64 {
+		f := float64(t) / float64(elapsed)
+		if f > 1 {
+			f = 1
+		}
+		return f
 	}
-	bg := p.VDD * (p.IDD3N*activeFrac + p.IDD2N*(1-activeFrac))
+	fSR, fPDpre, fPDact, fAct := frac(srTime), frac(prePDTime), frac(actPDTime), frac(activeTime)
+	rest := 1 - fSR - fPDpre - fPDact - fAct
+	if rest < 0 {
+		rest = 0
+	}
+	bg := p.VDD * (p.IDD6*fSR + p.IDD2P*fPDpre + p.IDD3P*fPDact +
+		p.IDD3N*fAct + p.IDD2N*rest)
 
 	// Same saturation as Compute: with many banks pipelining their row
 	// cycles (closed-page stride traffic), acts*tRC can exceed the elapsed

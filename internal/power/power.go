@@ -31,12 +31,23 @@ type Activity struct {
 	// PrechargeAllTime is the cumulative time during which every bank was
 	// precharged.
 	PrechargeAllTime sim.Tick
-	// PowerDownTime is the cumulative time spent in power-down (extension;
-	// 0 when the feature is disabled). Billed at IDD2P.
+	// PowerDownTime is the mean per-rank time spent in power-down, both
+	// flavors (extension; 0 when the feature is disabled). The precharge
+	// share is billed at IDD2P, the active share at IDD3P.
 	PowerDownTime sim.Tick
-	// SelfRefreshTime is the cumulative time spent in self-refresh
+	// ActPowerDownTime is the active-power-down share of PowerDownTime
+	// (rows left open, CKE low): billed at IDD3P instead of IDD2P.
+	ActPowerDownTime sim.Tick
+	// SelfRefreshTime is the mean per-rank time spent in self-refresh
 	// (extension). Billed at IDD6; no external refresh energy accrues.
 	SelfRefreshTime sim.Tick
+	// PrePDTime, ActPDTime and SRTime are the exact per-rank residencies
+	// behind the means above (index = rank). The scalar fields keep the
+	// power equations rank-agnostic; these feed residency reporting and
+	// trace reconciliation, where averaging would hide per-rank error.
+	PrePDTime []sim.Tick
+	ActPDTime []sim.Tick
+	SRTime    []sim.Tick
 }
 
 // Breakdown is the computed power split, all in milliwatts for the whole
@@ -74,9 +85,10 @@ func Compute(spec dram.Spec, a Activity) Breakdown {
 		devices = 1
 	}
 
-	// Background power: IDD6 in self-refresh, IDD2P while powered down,
-	// IDD2N while all banks are precharged, IDD3N otherwise. The low-power
-	// intervals are treated as subsets of the precharged-or-idle time.
+	// Background power: IDD6 in self-refresh, IDD2P in precharge power-down
+	// and IDD3P in active power-down, IDD2N while all banks are precharged,
+	// IDD3N otherwise. The low-power intervals are treated as subsets of
+	// the precharged-or-idle time.
 	fracSR := float64(a.SelfRefreshTime) / float64(a.Elapsed)
 	if fracSR > 1 {
 		fracSR = 1
@@ -85,6 +97,11 @@ func Compute(spec dram.Spec, a Activity) Breakdown {
 	if fracPD > 1-fracSR {
 		fracPD = 1 - fracSR
 	}
+	fracPDact := float64(a.ActPowerDownTime) / float64(a.Elapsed)
+	if fracPDact > fracPD {
+		fracPDact = fracPD
+	}
+	fracPDpre := fracPD - fracPDact
 	fracPre := float64(a.PrechargeAllTime) / float64(a.Elapsed)
 	if fracPre > 1 {
 		fracPre = 1
@@ -92,8 +109,8 @@ func Compute(spec dram.Spec, a Activity) Breakdown {
 	if fracPre > 1-fracPD-fracSR {
 		fracPre = 1 - fracPD - fracSR
 	}
-	bg := p.VDD * (p.IDD6*fracSR + p.IDD2P*fracPD + p.IDD2N*fracPre +
-		p.IDD3N*(1-fracSR-fracPD-fracPre))
+	bg := p.VDD * (p.IDD6*fracSR + p.IDD2P*fracPDpre + p.IDD3P*fracPDact +
+		p.IDD2N*fracPre + p.IDD3N*(1-fracSR-fracPD-fracPre))
 
 	// Activate/precharge power: each ACT/PRE pair draws IDD0 minus the
 	// background current it would have drawn anyway, for tRC = tRAS + tRP.

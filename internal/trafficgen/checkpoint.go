@@ -28,10 +28,14 @@ type PatternState struct {
 	Step uint64 `json:"step,omitempty"`
 	// Offset is the stride position (Strided).
 	Offset uint64 `json:"offset,omitempty"`
-	// RNGDraws counts address-RNG consultations (Random).
+	// RNGDraws counts address-RNG consultations (Random, Bursty).
 	RNGDraws uint64 `json:"rngDraws,omitempty"`
 	// MixDraws counts read/write-mix RNG consultations.
 	MixDraws uint64 `json:"mixDraws,omitempty"`
+	// ShapeDraws counts gap-RNG consultations and InBurst the position in
+	// the current on-period (Bursty).
+	ShapeDraws uint64 `json:"shapeDraws,omitempty"`
+	InBurst    int    `json:"inBurst,omitempty"`
 }
 
 // StatefulPattern is implemented by patterns that can checkpoint themselves.
@@ -113,6 +117,41 @@ func (d *DRAMAware) RestorePattern(st PatternState) error {
 	d.mix = &readWriteMix{rng: rand.New(rand.NewSource(d.Seed)), percent: d.ReadPercent}
 	d.mix.discard(st.MixDraws)
 	d.bank, d.row, d.step = st.Bank, st.Row, st.Step
+	return nil
+}
+
+// PatternState implements StatefulPattern.
+func (b *Bursty) PatternState() PatternState {
+	st := PatternState{Init: b.rng != nil, RNGDraws: b.draws, ShapeDraws: b.shapeDraws, InBurst: b.inBurst}
+	if b.mix != nil {
+		st.MixDraws = b.mix.draws
+	}
+	return st
+}
+
+// RestorePattern implements StatefulPattern.
+func (b *Bursty) RestorePattern(st PatternState) error {
+	if !st.Init {
+		b.rng, b.shape, b.mix = nil, nil, nil
+		b.draws, b.shapeDraws, b.inBurst = 0, 0, 0
+		return nil
+	}
+	if err := b.Validate(); err != nil {
+		return fmt.Errorf("trafficgen: bursty pattern restore: %w", err)
+	}
+	b.rng, b.shape, b.mix = nil, nil, nil
+	b.init()
+	span := uint64(b.End-b.Start) / b.Align
+	for i := uint64(0); i < st.RNGDraws; i++ {
+		b.rng.Int63n(int64(span))
+	}
+	b.draws = st.RNGDraws
+	for i := uint64(0); i < st.ShapeDraws; i++ {
+		b.shape.Int63n(int64(b.OffTime))
+	}
+	b.shapeDraws = st.ShapeDraws
+	b.mix.discard(st.MixDraws)
+	b.inBurst = st.InBurst
 	return nil
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/dram"
 	"repro/internal/mem"
+	"repro/internal/sim"
 )
 
 // Linear produces a sequential, wrapping address stream in [Start, End),
@@ -131,6 +132,78 @@ func (d *DRAMAware) Next() (mem.Addr, bool) {
 		}
 	}
 	return addr, d.mix.isRead()
+}
+
+// Bursty produces on/off traffic: bursts of BurstLen back-to-back random
+// requests separated by idle gaps centred on OffTime (the workload shape of
+// Jagtap et al.'s power-state studies — long enough gaps make power-down and
+// self-refresh pay, and the burst edges exercise the entry/exit machinery).
+// Addresses behave like Random; the gap after each burst is drawn from a
+// dedicated shape RNG as OffTime/2 + uniform[0, OffTime), so the mean gap is
+// OffTime and every draw is replayable from (seed, draw count).
+type Bursty struct {
+	Start, End mem.Addr
+	Align      uint64
+	// ReadPercent is the share of reads (0-100).
+	ReadPercent int
+	// BurstLen is the number of requests per on-period.
+	BurstLen int
+	// OffTime is the mean idle gap between bursts (0 degenerates to Random).
+	OffTime sim.Tick
+	Seed    int64
+
+	rng        *rand.Rand // addresses
+	shape      *rand.Rand // gap jitter
+	mix        *readWriteMix
+	draws      uint64 // address draws
+	shapeDraws uint64 // gap draws
+	inBurst    int    // requests issued in the current on-period
+}
+
+// Validate checks the pattern's shape.
+func (b *Bursty) Validate() error {
+	switch {
+	case b.Align == 0 || b.End <= b.Start:
+		return fmt.Errorf("trafficgen: bursty pattern needs a positive aligned range")
+	case b.BurstLen <= 0:
+		return fmt.Errorf("trafficgen: bursty burst length must be positive")
+	case b.OffTime < 0:
+		return fmt.Errorf("trafficgen: negative bursty off-time")
+	}
+	return nil
+}
+
+func (b *Bursty) init() {
+	if b.rng == nil {
+		b.rng = rand.New(rand.NewSource(b.Seed))
+		b.shape = rand.New(rand.NewSource(b.Seed + 2))
+		b.mix = &readWriteMix{rng: rand.New(rand.NewSource(b.Seed + 1)), percent: b.ReadPercent}
+	}
+}
+
+// Next implements Pattern.
+func (b *Bursty) Next() (mem.Addr, bool) {
+	b.init()
+	span := uint64(b.End-b.Start) / b.Align
+	b.draws++
+	addr := b.Start + mem.Addr(uint64(b.rng.Int63n(int64(span)))*b.Align)
+	b.inBurst++
+	return addr, b.mix.isRead()
+}
+
+// Gap implements GapPattern: zero within a burst, the off-period after its
+// last request.
+func (b *Bursty) Gap() sim.Tick {
+	b.init()
+	if b.inBurst < b.BurstLen {
+		return 0
+	}
+	b.inBurst = 0
+	if b.OffTime <= 0 {
+		return 0
+	}
+	b.shapeDraws++
+	return b.OffTime/2 + sim.Tick(b.shape.Int63n(int64(b.OffTime)))
 }
 
 // Strided produces a fixed-stride stream (useful for cache and bank-conflict

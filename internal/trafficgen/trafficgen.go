@@ -21,6 +21,14 @@ type Pattern interface {
 	Next() (addr mem.Addr, isRead bool)
 }
 
+// GapPattern is optionally implemented by patterns that shape time as well
+// as addresses: Gap is consulted once after each Next and its result is
+// added to the generator's inter-transaction spacing. The bursty pattern
+// inserts its off-periods this way.
+type GapPattern interface {
+	Gap() sim.Tick
+}
+
 // Config shapes a generator independent of its address pattern.
 type Config struct {
 	// RequestBytes is the size of each request (typically the cache-line
@@ -144,6 +152,11 @@ func (g *Generator) issueLoop() {
 		g.outstanding++
 		g.bytesRequested.Add(float64(g.cfg.RequestBytes))
 		g.nextAllowed = now + g.cfg.InterTransaction
+		if gp, ok := g.pattern.(GapPattern); ok {
+			// Time-shaping patterns stretch the spacing after a request —
+			// the loop condition then parks the generator until the gap ends.
+			g.nextAllowed += gp.Gap()
+		}
 		if !g.port.SendTimingReq(pkt) {
 			g.blocked = pkt
 			g.retriesWaited.Inc()

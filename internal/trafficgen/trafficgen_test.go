@@ -60,6 +60,71 @@ func TestMixRatio(t *testing.T) {
 	}
 }
 
+// The bursty pattern issues BurstLen back-to-back requests, then a gap in
+// [OffTime/2, 3*OffTime/2) — and a mid-burst checkpoint replays to an
+// identical continuation.
+func TestBurstyPattern(t *testing.T) {
+	mk := func() *Bursty {
+		return &Bursty{Start: 0, End: 1 << 16, Align: 64, ReadPercent: 50,
+			BurstLen: 4, OffTime: 500 * sim.Nanosecond, Seed: 11}
+	}
+	b := mk()
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 64; i++ {
+		a, _ := b.Next()
+		if a >= 1<<16 || uint64(a)%64 != 0 {
+			t.Fatalf("address %#x out of bounds or unaligned", uint64(a))
+		}
+		gap := b.Gap()
+		if (i+1)%4 == 0 {
+			if gap < 250*sim.Nanosecond || gap >= 750*sim.Nanosecond {
+				t.Fatalf("gap %s outside [OffTime/2, 3*OffTime/2)", gap)
+			}
+		} else if gap != 0 {
+			t.Fatalf("gap %s inside a burst", gap)
+		}
+	}
+
+	for _, bad := range []*Bursty{
+		{Start: 0, End: 0, Align: 64, BurstLen: 4},
+		{Start: 0, End: 1 << 16, Align: 0, BurstLen: 4},
+		{Start: 0, End: 1 << 16, Align: 64, BurstLen: 0},
+		{Start: 0, End: 1 << 16, Align: 64, BurstLen: 4, OffTime: -1},
+	} {
+		if bad.Validate() == nil {
+			t.Fatalf("invalid bursty pattern %+v accepted", bad)
+		}
+	}
+
+	// Checkpoint replay from mid-burst: a fresh pattern restored from the
+	// saved draw counts must continue exactly like the uninterrupted one.
+	type step struct {
+		addr mem.Addr
+		read bool
+		gap  sim.Tick
+	}
+	advance := func(p *Bursty) step {
+		a, r := p.Next()
+		return step{a, r, p.Gap()}
+	}
+	ref, live := mk(), mk()
+	for i := 0; i < 23; i++ { // 23 = mid-burst (position 3 of 4)
+		advance(ref)
+		advance(live)
+	}
+	resumed := mk()
+	if err := resumed.RestorePattern(live.PatternState()); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		if want, got := advance(ref), advance(resumed); want != got {
+			t.Fatalf("step %d diverged after restore: want %+v got %+v", i, want, got)
+		}
+	}
+}
+
 func TestDRAMAwareValidate(t *testing.T) {
 	dec, _ := dram.NewDecoder(dram.DDR3_1600_x64().Org, dram.RoRaBaCoCh, 1)
 	good := &DRAMAware{Decoder: dec, StrideBursts: 4, Banks: 4}
