@@ -1,38 +1,75 @@
 #!/usr/bin/env bash
-# Lint gate + analyzer self-check.
+# Lint gate + analyzer self-check. Usage: lint_selfcheck.sh [tests|clean|fixtures]
+# with no argument running all three parts in order. CI runs the parts as
+# separate named steps; locally, the no-argument form is the full gate.
 #
-# Part 1: the repository itself must be clean under the default simlint
-# policy (exit 0, no output).
+# tests:    the analysis framework's own tests (goldens, suppression
+#           semantics, analyzer interaction, escape-analysis agreement).
 #
-# Part 2: each analyzer must still find exactly what its golden file says it
-# finds in the fixture packages under internal/analysis/testdata/src. This
-# runs the driver end-to-end (not just the unit tests), so a broken driver
-# that silently reports nothing fails CI instead of passing it.
+# clean:    the repository itself must be clean under the default simlint
+#           policy (exit 0, no output). -json keeps the output
+#           machine-readable so the GitHub Actions problem matcher
+#           (.github/simlint-matcher.json) annotates any finding in the PR.
+#
+# fixtures: the driver, run end-to-end over every fixture package in ONE
+#           invocation, must find exactly what the consolidated JSON golden
+#           says. One consolidated run (instead of one `go run` per fixture)
+#           keeps the gate fast and additionally pins a whole-program
+#           property: loading all fixtures into a single Program must not let
+#           one fixture's fingerprint vocabulary or call graph bleed coverage
+#           into another's findings — the consolidated output must stay
+#           exactly the union of the per-fixture goldens that the unit tests
+#           check in isolation.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== simlint: repository must be clean under the default policy =="
-go run ./cmd/simlint ./...
-echo "clean"
+part="${1:-all}"
 
-fail=0
-for fixture in detmap simtime ckptfields eventpool suppress; do
-    echo "== simlint self-check: $fixture =="
-    golden="internal/analysis/testdata/golden/$fixture.golden"
+run_tests() {
+    echo "== simlint framework tests =="
+    go test ./internal/analysis/
+}
+
+run_clean() {
+    echo "== simlint: repository must be clean under the default policy =="
+    go run ./cmd/simlint -json ./...
+    echo "clean"
+}
+
+run_fixtures() {
+    echo "== simlint self-check: consolidated fixture run vs JSON golden =="
+    local fixtures=()
+    for f in internal/analysis/testdata/src/*/; do
+        fixtures+=("./${f%/}")
+    done
+    local golden="internal/analysis/testdata/golden/selfcheck.json"
     set +e
-    got=$(go run ./cmd/simlint -all "./internal/analysis/testdata/src/$fixture")
+    local got status
+    got=$(go run ./cmd/simlint -all -json "${fixtures[@]}")
     status=$?
     set -e
     if [ "$status" -ne 1 ]; then
-        echo "FAIL: simlint exited $status on fixture $fixture (expected 1: findings present)"
-        fail=1
-        continue
+        echo "FAIL: simlint exited $status on the fixture set (expected 1: findings present)"
+        exit 1
     fi
     if ! diff -u "$golden" <(printf '%s\n' "$got"); then
-        echo "FAIL: fixture $fixture findings differ from $golden"
-        fail=1
-    else
-        echo "ok ($(wc -l < "$golden") findings)"
+        echo "FAIL: consolidated fixture findings differ from $golden"
+        exit 1
     fi
-done
-exit "$fail"
+    echo "ok ($(wc -l < "$golden") findings)"
+}
+
+case "$part" in
+tests) run_tests ;;
+clean) run_clean ;;
+fixtures) run_fixtures ;;
+all)
+    run_tests
+    run_clean
+    run_fixtures
+    ;;
+*)
+    echo "usage: $0 [tests|clean|fixtures]" >&2
+    exit 2
+    ;;
+esac

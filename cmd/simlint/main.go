@@ -9,6 +9,10 @@
 //	go run ./cmd/simlint -list            # show the analyzer set
 //	go run ./cmd/simlint -all <pattern>   # ignore the per-package policy (CI self-check
 //	                                      # runs this over the fixture packages)
+//	go run ./cmd/simlint -json ./...      # one JSON object per finding, one per line
+//	                                      # (fed to the CI problem matcher and the
+//	                                      # self-check golden diff)
+//	go run ./cmd/simlint -timing ./...    # per-analyzer wall clock on stderr
 //
 // The default policy (analysis.DefaultConfig) applies the sim-core rules only
 // where simulated time is authoritative and exempts wall-clock code — the
@@ -19,6 +23,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"time"
 
 	"repro/internal/analysis"
 )
@@ -26,6 +32,8 @@ import (
 func main() {
 	all := flag.Bool("all", false, "run every analyzer on every package, ignoring the per-package policy")
 	list := flag.Bool("list", false, "list registered analyzers and exit")
+	jsonOut := flag.Bool("json", false, "emit findings as JSON Lines (file, line, analyzer, message)")
+	timing := flag.Bool("timing", false, "report load and per-analyzer wall clock on stderr")
 	flag.Parse()
 
 	analyzers := analysis.Analyzers()
@@ -50,17 +58,34 @@ func main() {
 		}
 	}
 
+	loadStart := time.Now()
 	pkgs, err := analysis.Load(".", patterns...)
+	loadTime := time.Since(loadStart)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 
-	findings := analysis.Run(pkgs, analyzers, cfg)
+	findings, timings := analysis.RunWithTimings(pkgs, analyzers, cfg)
+	if *timing {
+		fmt.Fprintf(os.Stderr, "%-12s %v\n", "load", loadTime.Round(time.Microsecond))
+		names := make([]string, 0, len(timings))
+		for name := range timings {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Fprintf(os.Stderr, "%-12s %v\n", name, timings[name].Round(time.Microsecond))
+		}
+	}
 	if len(findings) == 0 {
 		return
 	}
 	cwd, _ := os.Getwd()
-	fmt.Print(analysis.Format(findings, cwd))
+	if *jsonOut {
+		fmt.Print(analysis.FormatJSON(findings, cwd))
+	} else {
+		fmt.Print(analysis.Format(findings, cwd))
+	}
 	os.Exit(1)
 }

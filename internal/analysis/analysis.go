@@ -18,6 +18,7 @@
 package analysis
 
 import (
+	"encoding/json"
 	"fmt"
 	"go/ast"
 	"go/token"
@@ -25,9 +26,14 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 )
 
-// Analyzer is one named check over a type-checked package.
+// Analyzer is one named check. Package-local analyzers set Run and see one
+// type-checked package at a time; whole-program analyzers set RunProgram and
+// see every loaded package through a shared Program index (call graph,
+// directives, cross-package declarations). Exactly one of the two must be
+// set.
 type Analyzer struct {
 	// Name identifies the analyzer in findings, configuration, and
 	// //lint:allow directives. Lowercase, no spaces.
@@ -36,6 +42,10 @@ type Analyzer struct {
 	Doc string
 	// Run inspects pass.Pkg and reports findings via pass.Reportf.
 	Run func(*Pass)
+	// RunProgram inspects the whole loaded program at once. Findings are
+	// attributed to the package owning the reported position, where the
+	// per-package policy and //lint:allow suppression apply as usual.
+	RunProgram func(*ProgramPass)
 }
 
 // Pass carries one analyzer's view of one package.
@@ -70,30 +80,89 @@ func (f Finding) String() string {
 
 // Analyzers returns the registered analyzer set, in reporting order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{Detmap, Simtime, Ckptfields, Eventpool}
+	return []*Analyzer{
+		Detmap, Simtime, Ckptfields, Eventpool,
+		Tickunits, Hotalloc, Shardiso, Fpcover, Probeonce,
+	}
 }
 
 // Run applies every analyzer to every package (subject to cfg; nil means "all
 // analyzers everywhere"), filters suppressed findings, and returns the
 // remainder sorted by (file, line, analyzer, message). Suppression directives
-// that are themselves malformed surface as findings from the pseudo-analyzer
-// "lint".
+// that are themselves malformed — and well-formed directives that no longer
+// suppress anything — surface as findings from the pseudo-analyzer "lint".
 func Run(pkgs []*Package, analyzers []*Analyzer, cfg *Config) []Finding {
+	findings, _ := run(pkgs, analyzers, cfg)
+	return findings
+}
+
+// RunWithTimings is Run plus per-analyzer wall-clock, for `simlint -timing`.
+// (The analysis framework is host tooling, not sim core: measuring wall time
+// here is deliberate and outside the simtime policy's scope.)
+func RunWithTimings(pkgs []*Package, analyzers []*Analyzer, cfg *Config) ([]Finding, map[string]time.Duration) {
+	return run(pkgs, analyzers, cfg)
+}
+
+func run(pkgs []*Package, analyzers []*Analyzer, cfg *Config) ([]Finding, map[string]time.Duration) {
 	known := make(map[string]bool, len(analyzers)+1)
 	for _, a := range analyzers {
 		known[a.Name] = true
 	}
+	// "lint" is the pseudo-analyzer for directive hygiene findings; making it
+	// known lets `//lint:allow lint <reason>` keep a deliberately dormant
+	// directive (e.g. one that only fires on another GOARCH).
+	known["lint"] = true
+	timings := map[string]time.Duration{}
+
+	// Whole-program analyzers run once; their findings are bucketed into the
+	// owning package so policy scoping and suppression apply identically to
+	// both analyzer kinds.
+	progFindings := map[*Package][]Finding{}
+	var programAnalyzers []*Analyzer
+	for _, a := range analyzers {
+		if a.RunProgram != nil {
+			programAnalyzers = append(programAnalyzers, a)
+		}
+	}
+	if len(programAnalyzers) > 0 && len(pkgs) > 0 {
+		prog := BuildProgram(pkgs)
+		for _, a := range programAnalyzers {
+			start := time.Now()
+			var raw []Finding
+			a.RunProgram(&ProgramPass{Analyzer: a, Prog: prog, findings: &raw})
+			timings[a.Name] += time.Since(start)
+			for _, f := range raw {
+				owner := prog.fileOwner[f.Pos.Filename]
+				if owner == nil || (cfg != nil && !cfg.Enabled(a.Name, owner.Path)) {
+					continue
+				}
+				progFindings[owner] = append(progFindings[owner], f)
+			}
+		}
+	}
+
 	var out []Finding
 	for _, pkg := range pkgs {
-		var raw []Finding
+		raw := progFindings[pkg]
 		for _, a := range analyzers {
+			if a.Run == nil {
+				continue
+			}
 			if cfg != nil && !cfg.Enabled(a.Name, pkg.Path) {
 				continue
 			}
+			start := time.Now()
 			pass := &Pass{Analyzer: a, Fset: pkg.Fset, Pkg: pkg, findings: &raw}
 			a.Run(pass)
+			timings[a.Name] += time.Since(start)
 		}
-		out = append(out, applySuppressions(pkg, raw, known)...)
+		enabled := func(analyzer string) bool {
+			if cfg == nil {
+				return true
+			}
+			return cfg.Enabled(analyzer, pkg.Path)
+		}
+		out = append(out, applySuppressions(pkg, raw, known, enabled)...)
 	}
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
@@ -108,21 +177,52 @@ func Run(pkgs []*Package, analyzers []*Analyzer, cfg *Config) []Finding {
 		}
 		return a.Message < b.Message
 	})
-	return out
+	return out, timings
 }
 
-// Format renders findings one per line, with filenames relative to baseDir
-// when possible (so golden files and CI output are machine-independent).
+// relName renders filename relative to baseDir when it lies under it (so
+// golden files and CI output are machine-independent), with forward slashes.
+func relName(filename, baseDir string) string {
+	if baseDir != "" {
+		if rel, err := filepath.Rel(baseDir, filename); err == nil && !strings.HasPrefix(rel, "..") {
+			return filepath.ToSlash(rel)
+		}
+	}
+	return filename
+}
+
+// Format renders findings one per line as "file:line: [analyzer] message".
 func Format(findings []Finding, baseDir string) string {
 	var sb strings.Builder
 	for _, f := range findings {
-		name := f.Pos.Filename
-		if baseDir != "" {
-			if rel, err := filepath.Rel(baseDir, name); err == nil && !strings.HasPrefix(rel, "..") {
-				name = filepath.ToSlash(rel)
-			}
-		}
-		fmt.Fprintf(&sb, "%s:%d: [%s] %s\n", name, f.Pos.Line, f.Analyzer, f.Message)
+		fmt.Fprintf(&sb, "%s:%d: [%s] %s\n", relName(f.Pos.Filename, baseDir), f.Pos.Line, f.Analyzer, f.Message)
+	}
+	return sb.String()
+}
+
+// FormatJSON renders findings as JSON Lines: one object per finding with
+// fields file, line, analyzer, message. One object per output line (rather
+// than a single array) keeps the stream greppable, diffable against a golden
+// line-by-line, and matchable by the GitHub Actions problem matcher, whose
+// regexes anchor per log line.
+func FormatJSON(findings []Finding, baseDir string) string {
+	type rec struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Analyzer string `json:"analyzer"`
+		Message  string `json:"message"`
+	}
+	var sb strings.Builder
+	enc := json.NewEncoder(&sb)
+	enc.SetEscapeHTML(false) // messages quote Go source; keep < and > readable
+	for _, f := range findings {
+		// Encode cannot fail on this shape; it appends a trailing newline.
+		_ = enc.Encode(rec{
+			File:     relName(f.Pos.Filename, baseDir),
+			Line:     f.Pos.Line,
+			Analyzer: f.Analyzer,
+			Message:  f.Message,
+		})
 	}
 	return sb.String()
 }

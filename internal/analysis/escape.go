@@ -1,0 +1,123 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// Escape-analysis overlay. Hotalloc is a syntactic model of what the gc
+// compiler heap-allocates; the compiler's own escape analysis
+// (`go build -gcflags=-m`) is the ground truth. TestHotEscapeAgreement keeps
+// the two honest against each other: every "escapes to heap" / "moved to
+// heap" diagnostic inside a hot function's span must fall on a line the
+// analyzer also tolerates — an exempt region (nil-hub probe guard, panic
+// argument) or a line carrying an explicit //lint:allow hotalloc. A
+// diagnostic outside those is either an allocation hotalloc failed to model
+// (analyzer gap) or a fresh regression the AllocsPerRun gates would catch
+// only once their traffic happens to exercise it.
+
+// EscapeDiag is one heap diagnostic parsed from `go build -gcflags=-m`.
+type EscapeDiag struct {
+	File string // path as the compiler printed it (relative to the build dir)
+	Line int
+	Msg  string
+}
+
+// ParseEscapeOutput extracts the heap diagnostics from -m output, dropping
+// the inlining chatter and the non-allocating verdicts ("does not escape").
+func ParseEscapeOutput(out string) []EscapeDiag {
+	var diags []EscapeDiag
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.Contains(line, "escapes to heap") && !strings.Contains(line, "moved to heap") {
+			continue
+		}
+		// file.go:12:34: msg
+		parts := strings.SplitN(line, ":", 4)
+		if len(parts) != 4 {
+			continue
+		}
+		ln, err := strconv.Atoi(parts[1])
+		if err != nil {
+			continue
+		}
+		diags = append(diags, EscapeDiag{
+			File: parts[0],
+			Line: ln,
+			Msg:  strings.TrimSpace(parts[3]),
+		})
+	}
+	return diags
+}
+
+// HotSpan is the file extent of one function on the hot path, with the lines
+// where the hotalloc analyzer tolerates allocation.
+type HotSpan struct {
+	Name       string // display name, e.g. core.(*Controller).RecvTimingReq
+	Root       string // the //hot:path root it was reached from (== Name for roots)
+	File       string
+	Start, End int          // 1-based line range of the declaration
+	Exempt     map[int]bool // lines inside exempt regions (guards, panic args)
+}
+
+// HotSpans returns a span for every function the hotalloc BFS visits:
+// the //hot:path roots plus every module-local callee reached through
+// non-exempt regions, in deterministic BFS order.
+func HotSpans(prog *Program) []HotSpan {
+	var spans []HotSpan
+	for _, it := range hotReach(prog) {
+		fi := prog.Funcs[it.fn]
+		if fi == nil {
+			continue
+		}
+		start := prog.Fset.Position(it.fn.Pos())
+		end := prog.Fset.Position(fi.Decl.End())
+		spans = append(spans, HotSpan{
+			Name:   FuncDisplayName(it.fn),
+			Root:   FuncDisplayName(it.root),
+			File:   start.Filename,
+			Start:  start.Line,
+			End:    end.Line,
+			Exempt: exemptLines(fi.Pkg, fi.Decl, prog.Fset),
+		})
+	}
+	return spans
+}
+
+// exemptLines marks every line of fd that hotalloc's region walk skips:
+// nil-hub guard bodies, the tail of a block after an `if hub == nil
+// { return }` early exit, and panic arguments.
+func exemptLines(pkg *Package, fd *ast.FuncDecl, fset *token.FileSet) map[int]bool {
+	out := map[int]bool{}
+	mark := func(from, to token.Pos) {
+		for l := fset.Position(from).Line; l <= fset.Position(to).Line; l++ {
+			out[l] = true
+		}
+	}
+	info := pkg.Info
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.IfStmt:
+			if hubNilCond(info, st.Cond, token.NEQ) {
+				mark(st.Body.Pos(), st.Body.End())
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(st.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+					mark(st.Pos(), st.End())
+				}
+			}
+		case *ast.BlockStmt:
+			for _, s := range st.List {
+				ifs, ok := s.(*ast.IfStmt)
+				if ok && ifs.Else == nil && hubNilCond(info, ifs.Cond, token.EQL) && endsInReturn(ifs.Body) {
+					mark(ifs.End(), st.End())
+				}
+			}
+		}
+		return true
+	})
+	return out
+}

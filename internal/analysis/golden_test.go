@@ -43,7 +43,10 @@ func loadFixture(t *testing.T, name string) []*analysis.Package {
 // the checked-in golden file.
 func TestGolden(t *testing.T) {
 	root := moduleRoot(t)
-	for _, name := range []string{"detmap", "simtime", "ckptfields", "eventpool", "suppress"} {
+	for _, name := range []string{
+		"detmap", "simtime", "ckptfields", "eventpool", "suppress",
+		"tickunits", "hotalloc", "shardiso", "fpcover", "probeonce", "interact",
+	} {
 		t.Run(name, func(t *testing.T) {
 			pkgs := loadFixture(t, name)
 			findings := analysis.Run(pkgs, analysis.Analyzers(), nil)
@@ -106,15 +109,88 @@ func TestSuppression(t *testing.T) {
 	wantPair(22, "needs a reason")
 	wantPair(27, "unknown analyzer")
 
-	// WrongAnalyzer (line 32): directive names detmap, so simtime survives.
-	var wrongSurvives bool
-	for _, f := range byLine[32] {
-		if f.Analyzer == "simtime" {
+	// WrongAnalyzer (line 33): directive names detmap, so simtime survives —
+	// and the directive, suppressing nothing, is reported stale.
+	var wrongSurvives, stale bool
+	for _, f := range byLine[33] {
+		switch f.Analyzer {
+		case "simtime":
 			wrongSurvives = true
+		case "lint":
+			stale = strings.Contains(f.Message, "no longer suppresses any finding")
 		}
 	}
 	if !wrongSurvives {
-		t.Errorf("line 32: //lint:allow detmap must not suppress a simtime finding; got %v", byLine[32])
+		t.Errorf("line 33: //lint:allow detmap must not suppress a simtime finding; got %v", byLine[33])
+	}
+	if !stale {
+		t.Errorf("line 33: unused //lint:allow detmap must be reported stale; got %v", byLine[33])
+	}
+
+	// DeliberatelyDormant (lines 40-41): the dormant eventpool directive's
+	// stale finding is silenced by the //lint:allow lint escape hatch, and the
+	// lint directive itself is exempt from staleness.
+	for _, line := range []int{40, 41} {
+		if fs := byLine[line]; len(fs) != 0 {
+			t.Errorf("line %d: escape-hatched dormant directive still reported: %v", line, fs)
+		}
+	}
+}
+
+// TestInteract pins the cross-analyzer contract on the interact fixture:
+// every registered analyzer fires at least once, the global finding order is
+// deterministic (file, line, analyzer, message — and stable across runs),
+// and a //lint:allow scoped to one analyzer leaves the other analyzer's
+// finding on the same line intact.
+func TestInteract(t *testing.T) {
+	pkgs := loadFixture(t, "interact")
+	findings := analysis.Run(pkgs, analysis.Analyzers(), nil)
+
+	fired := map[string]bool{}
+	for _, f := range findings {
+		fired[f.Analyzer] = true
+	}
+	for _, a := range analysis.Analyzers() {
+		if !fired[a.Name] {
+			t.Errorf("interact fixture did not trip analyzer %q", a.Name)
+		}
+	}
+
+	// Deterministic order: sorted by (file, line, analyzer, message), and a
+	// second run over a fresh load produces the identical sequence.
+	for i := 1; i < len(findings); i++ {
+		a, b := findings[i-1], findings[i]
+		if a.Pos.Filename > b.Pos.Filename ||
+			(a.Pos.Filename == b.Pos.Filename && a.Pos.Line > b.Pos.Line) ||
+			(a.Pos.Filename == b.Pos.Filename && a.Pos.Line == b.Pos.Line && a.Analyzer > b.Analyzer) {
+			t.Errorf("findings out of order at %d: %v before %v", i, a, b)
+		}
+	}
+	again := analysis.Run(loadFixture(t, "interact"), analysis.Analyzers(), nil)
+	if len(again) != len(findings) {
+		t.Fatalf("re-run produced %d findings, first run %d", len(again), len(findings))
+	}
+	for i := range findings {
+		if findings[i].String() != again[i].String() {
+			t.Errorf("finding %d differs across runs: %q vs %q", i, findings[i], again[i])
+		}
+	}
+
+	// Scoped suppression: the line in Scoped carries both a tickunits and a
+	// simtime finding; the directive names tickunits only.
+	var scopedLine int
+	for _, f := range findings {
+		if f.Analyzer == "simtime" && f.Pos.Line > 55 && f.Pos.Line < 65 {
+			scopedLine = f.Pos.Line
+		}
+	}
+	if scopedLine == 0 {
+		t.Fatal("interact fixture: no simtime finding in Scoped")
+	}
+	for _, f := range findings {
+		if f.Pos.Line == scopedLine && f.Analyzer == "tickunits" {
+			t.Errorf("line %d: //lint:allow tickunits did not suppress the tickunits finding", scopedLine)
+		}
 	}
 }
 
@@ -149,5 +225,44 @@ func TestRealTreeClean(t *testing.T) {
 	findings := analysis.Run(pkgs, analysis.Analyzers(), cfg)
 	if len(findings) != 0 {
 		t.Errorf("tree is not lint-clean under the default policy:\n%s", analysis.Format(findings, root))
+	}
+}
+
+// TestSelfcheckGolden pins the consolidated fixture run that
+// ci/lint_selfcheck.sh performs end-to-end: all fixture packages loaded into
+// ONE program, findings rendered as JSON Lines, compared byte-for-byte
+// against selfcheck.json. Beyond covering FormatJSON, this checks a
+// whole-program isolation property the per-fixture goldens cannot: one
+// fixture's fingerprint vocabulary or call graph must not bleed coverage
+// into another fixture's findings, so the consolidated output stays exactly
+// the union of the individual goldens.
+func TestSelfcheckGolden(t *testing.T) {
+	root := moduleRoot(t)
+	fixtureDir := filepath.Join(root, "internal", "analysis", "testdata", "src")
+	entries, err := os.ReadDir(fixtureDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var patterns []string
+	for _, e := range entries {
+		if e.IsDir() {
+			patterns = append(patterns, "./internal/analysis/testdata/src/"+e.Name())
+		}
+	}
+	pkgs, err := analysis.Load(root, patterns...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != len(patterns) {
+		t.Fatalf("loaded %d packages for %d fixtures", len(pkgs), len(patterns))
+	}
+	got := analysis.FormatJSON(analysis.Run(pkgs, analysis.Analyzers(), nil), root)
+	goldenPath := filepath.Join(root, "internal", "analysis", "testdata", "golden", "selfcheck.json")
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Errorf("consolidated findings differ from %s\n--- got ---\n%s--- want ---\n%s", goldenPath, got, want)
 	}
 }

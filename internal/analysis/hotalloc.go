@@ -1,0 +1,518 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Hotalloc keeps the //hot:path functions allocation-free. PR 7 bought the zero-alloc
+// request cycle with pools, SoA bank state and pop-by-copy queues, and gates
+// it dynamically with testing.AllocsPerRun; but the dynamic gate only sees
+// the paths the gate's traffic exercises, and only after the regression is
+// merged. Hotalloc is the static half of the contract: a function annotated
+// //hot:path — and everything it transitively calls inside the module — must not
+// contain constructs the compiler lowers to heap allocation.
+//
+// Flagged constructs: &T{...} and new/make, append to a slice the package
+// does not capacity-manage (no make-with-cap or x = x[:n] reslice anywhere),
+// closures that capture variables, non-pointer values boxed into interface
+// parameters, string formatting/concatenation/conversion, map writes, `go`,
+// and method-value captures.
+//
+// Exemptions, matching the conditions under which the AllocsPerRun gates
+// run: statements guarded by the obs nil-hub fast path (`if hub != nil {…}`
+// blocks and everything after an `if hub == nil { return }` early exit)
+// never execute in a zero-alloc run and may allocate freely — that is the
+// whole point of the Probes.OrNil design; and arguments to panic are
+// failure-path diagnostics. The static check is cross-verified against the
+// compiler's own escape analysis (`go build -gcflags=-m`) by
+// TestHotEscapeAgreement, so the analyzer and gc agree about what the
+// exempted regions are.
+//
+// False-positive policy: a construct the compiler provably keeps on the
+// stack but the analyzer flags (a non-escaping &T{} fed to an inlined
+// callee) gets //lint:allow hotalloc with the escape-analysis line cited as
+// the reason.
+var Hotalloc = &Analyzer{
+	Name:       "hotalloc",
+	Doc:        "forbid allocating constructs in //hot:path functions and their module-local callees",
+	RunProgram: runHotalloc,
+}
+
+// isObsHub reports whether t is (a pointer to) the named type Hub from a
+// package ending in "internal/obs".
+func isObsHub(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Name() != "Hub" || named.Obj().Pkg() == nil {
+		return false
+	}
+	return strings.HasSuffix(named.Obj().Pkg().Path(), "internal/obs")
+}
+
+// hubNilCond reports whether cond contains `h <op> nil` for a hub-typed h,
+// searching through && / || chains.
+func hubNilCond(info *types.Info, cond ast.Expr, op token.Token) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		b, ok := n.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		if b.Op != op {
+			return true
+		}
+		x, y := ast.Unparen(b.X), ast.Unparen(b.Y)
+		for _, pair := range [][2]ast.Expr{{x, y}, {y, x}} {
+			if id, ok := pair[1].(*ast.Ident); ok && id.Name == "nil" {
+				if t := info.TypeOf(pair[0]); t != nil && isObsHub(t) {
+					found = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// hotRegion is the non-exempt portion of one function body: the walk visits
+// every node except nil-hub-guarded blocks and panic arguments.
+type hotRegion struct {
+	pkg  *Package
+	body *ast.BlockStmt
+}
+
+// visit walks the function's non-exempt nodes, calling fn with the node
+// stack. Exempt subtrees (probe-guard bodies, statements after an
+// `if hub == nil { return }`, panic arguments) are skipped entirely.
+func (r hotRegion) visit(fn func(n ast.Node, stack []ast.Node) bool) {
+	info := r.pkg.Info
+	var walkStmts func(list []ast.Stmt, stack []ast.Node)
+	var walkNode func(n ast.Node, stack []ast.Node)
+
+	walkNode = func(n ast.Node, stack []ast.Node) {
+		WithStack(n, func(m ast.Node, sub []ast.Node) bool {
+			full := append(stack, sub...)
+			switch st := m.(type) {
+			case *ast.IfStmt:
+				if hubNilCond(info, st.Cond, token.NEQ) {
+					// `if hub != nil { emit... }`: the body is the enabled
+					// path; only Init/Cond/Else stay hot.
+					if st.Init != nil {
+						walkNode(st.Init, full)
+					}
+					walkNode(st.Cond, full)
+					if st.Else != nil {
+						walkNode(st.Else, full)
+					}
+					return false
+				}
+			case *ast.CallExpr:
+				if id, ok := ast.Unparen(st.Fun).(*ast.Ident); ok && id.Name == "panic" {
+					if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+						return false // failure-path diagnostics may allocate
+					}
+				}
+			case *ast.BlockStmt:
+				// Handle statement lists ourselves so the early-return hub
+				// guard can truncate them.
+				if m != n {
+					walkStmts(st.List, full)
+					return false
+				}
+			}
+			return fn(m, full)
+		})
+	}
+
+	walkStmts = func(list []ast.Stmt, stack []ast.Node) {
+		for _, st := range list {
+			if ifs, ok := st.(*ast.IfStmt); ok && ifs.Else == nil &&
+				hubNilCond(info, ifs.Cond, token.EQL) && endsInReturn(ifs.Body) {
+				// `if hub == nil { return }`: everything after this guard is
+				// the probes-enabled path of a probe-only helper.
+				return
+			}
+			walkNode(st, stack)
+		}
+	}
+
+	walkStmts(r.body.List, []ast.Node{r.body})
+}
+
+// endsInReturn reports whether the block's last statement is a return.
+func endsInReturn(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	_, ok := b.List[len(b.List)-1].(*ast.ReturnStmt)
+	return ok
+}
+
+// capacityManaged collects, per package, the slice objects the package
+// visibly manages capacity for: assigned make with an explicit capacity, or
+// re-sliced in place (x = x[:n] — the pop-by-copy and reset idioms). Appends
+// to these stay within capacity in steady state.
+func capacityManaged(pkg *Package) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	obj := func(e ast.Expr) types.Object {
+		switch v := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			if o := pkg.Info.Uses[v]; o != nil {
+				return o
+			}
+			return pkg.Info.Defs[v]
+		case *ast.SelectorExpr:
+			if sel := pkg.Info.Selections[v]; sel != nil {
+				return sel.Obj()
+			}
+			return pkg.Info.Uses[v.Sel]
+		}
+		return nil
+	}
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.AssignStmt:
+				if len(st.Lhs) != len(st.Rhs) {
+					return true
+				}
+				for i, rhs := range st.Rhs {
+					target := obj(st.Lhs[i])
+					if target == nil {
+						continue
+					}
+					switch r := ast.Unparen(rhs).(type) {
+					case *ast.CallExpr:
+						if id, ok := ast.Unparen(r.Fun).(*ast.Ident); ok && id.Name == "make" && len(r.Args) == 3 {
+							if _, isBuiltin := pkg.Info.Uses[id].(*types.Builtin); isBuiltin {
+								out[target] = true
+							}
+						}
+					case *ast.SliceExpr:
+						// x = x[:n] (pop-by-copy, reset) and x := y[:0]
+						// (in-place filter) both reuse existing backing.
+						out[target] = true
+					}
+				}
+			case *ast.KeyValueExpr:
+				// Composite-literal initialization: field: make([]T, n, c).
+				if call, ok := ast.Unparen(st.Value).(*ast.CallExpr); ok && len(call.Args) == 3 {
+					if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "make" {
+						if _, isBuiltin := pkg.Info.Uses[id].(*types.Builtin); isBuiltin {
+							if key, ok := st.Key.(*ast.Ident); ok {
+								if o := pkg.Info.Uses[key]; o != nil {
+									out[o] = true
+								}
+							}
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// pointerShaped reports whether converting a value of type t into an
+// interface stores the value directly in the data word (no allocation).
+func pointerShaped(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature, *types.Interface:
+		return true
+	}
+	return false
+}
+
+// hotItem is one function on the hot path: a //hot:path root, or a
+// module-local callee with the root it was first reached from.
+type hotItem struct {
+	fn   *types.Func
+	root *types.Func
+}
+
+// hotReach runs the hotalloc reachability BFS: //hot:path roots expanded
+// through call edges collected from non-exempt regions only — a call that
+// happens solely under a probe guard is not on the zero-alloc path. The
+// returned order is the deterministic BFS dequeue order. TestHotEscapeAgreement
+// reuses this walk so the analyzer and the escape-analysis overlay agree
+// about which functions are on the hot path.
+func hotReach(prog *Program) []hotItem {
+	roots := prog.DirectiveFuncs("hot:path")
+	visited := map[*types.Func]bool{}
+	var queue []hotItem
+	for _, r := range roots {
+		visited[r] = true
+		queue = append(queue, hotItem{fn: r, root: r})
+	}
+	for i := 0; i < len(queue); i++ {
+		it := queue[i]
+		fi := prog.Funcs[it.fn]
+		if fi == nil {
+			continue
+		}
+		info := fi.Pkg.Info
+		region := hotRegion{pkg: fi.Pkg, body: fi.Decl.Body}
+		region.visit(func(n ast.Node, stack []ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := prog.canon(funcFor(info, call)) // cross-package callees resolve to import-loaded objects
+			if callee == nil || visited[callee] {
+				return true
+			}
+			if _, local := prog.Funcs[callee]; !local {
+				return true
+			}
+			visited[callee] = true
+			root := it.root
+			if _, isHot := FuncDirective(prog.Funcs[callee].Decl, "hot:path"); isHot {
+				root = callee
+			}
+			queue = append(queue, hotItem{fn: callee, root: root})
+			return true
+		})
+	}
+	return queue
+}
+
+func runHotalloc(pass *ProgramPass) {
+	prog := pass.Prog
+
+	capManaged := map[*Package]map[types.Object]bool{}
+	capFor := func(pkg *Package) map[types.Object]bool {
+		if m, ok := capManaged[pkg]; ok {
+			return m
+		}
+		m := capacityManaged(pkg)
+		capManaged[pkg] = m
+		return m
+	}
+
+	for _, it := range hotReach(prog) {
+		fi := prog.Funcs[it.fn]
+		if fi == nil {
+			continue
+		}
+		region := hotRegion{pkg: fi.Pkg, body: fi.Decl.Body}
+		where := ""
+		if it.fn != it.root {
+			where = " (reached from //hot:path " + FuncDisplayName(it.root) + ")"
+		}
+		checkHotBody(pass, fi.Pkg, region, capFor(fi.Pkg), FuncDisplayName(it.fn), where)
+	}
+}
+
+// checkHotBody reports every allocating construct in the region.
+func checkHotBody(pass *ProgramPass, pkg *Package, region hotRegion, capOK map[types.Object]bool, name, where string) {
+	info := pkg.Info
+	report := func(pos token.Pos, what string) {
+		pass.Reportf(pos, "%s in hot function %s%s; hot paths must not allocate", what, name, where)
+	}
+	region.visit(func(n ast.Node, stack []ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.UnaryExpr:
+			if e.Op == token.AND {
+				if _, ok := ast.Unparen(e.X).(*ast.CompositeLit); ok {
+					report(e.Pos(), "&composite literal escapes to the heap")
+					return false
+				}
+			}
+		case *ast.GoStmt:
+			report(e.Pos(), "go statement spawns a goroutine")
+		case *ast.FuncLit:
+			if capturesOutside(info, e) {
+				report(e.Pos(), "closure captures variables")
+			}
+			return false // judge the literal as its own (cold) context
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok {
+				if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+					switch id.Name {
+					case "new":
+						report(e.Pos(), "new(...)")
+					case "make":
+						report(e.Pos(), "make(...)")
+					case "append":
+						if len(e.Args) > 0 && !appendAllowed(info, e.Args[0], capOK) {
+							report(e.Pos(), "append to a slice without visible capacity management")
+						}
+					}
+					return true
+				}
+			}
+			if f := funcFor(info, e); f != nil {
+				if f.Pkg() != nil && f.Pkg().Path() == "fmt" {
+					report(e.Pos(), "fmt."+f.Name()+" formats (allocates)")
+					return true
+				}
+				checkBoxing(info, e, f, report)
+			}
+			// Conversions: string <-> []byte/[]rune copy.
+			if tv, ok := info.Types[e.Fun]; ok && tv.IsType() && len(e.Args) == 1 {
+				if isStringByteConv(info, tv.Type, e.Args[0]) {
+					report(e.Pos(), "string/[]byte conversion copies")
+				}
+			}
+		case *ast.BinaryExpr:
+			if e.Op == token.ADD {
+				if t := info.TypeOf(e.X); t != nil {
+					if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+						if tv, ok := info.Types[e]; !ok || tv.Value == nil {
+							report(e.Pos(), "string concatenation")
+						}
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range e.Lhs {
+				if ix, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
+					if t := info.TypeOf(ix.X); t != nil {
+						if _, isMap := t.Underlying().(*types.Map); isMap {
+							report(e.Pos(), "map write may grow the map")
+						}
+					}
+				}
+			}
+		case *ast.SelectorExpr:
+			// Method value (x.M used as a value, not called) allocates a
+			// bound-method closure.
+			if sel := info.Selections[e]; sel != nil && sel.Kind() == types.MethodVal {
+				if len(stack) >= 2 {
+					if call, ok := stack[len(stack)-2].(*ast.CallExpr); ok && call.Fun == ast.Expr(e) {
+						return true
+					}
+				}
+				report(e.Pos(), "method value captures its receiver")
+			}
+		}
+		return true
+	})
+}
+
+// capturesOutside reports whether the literal references a variable declared
+// outside itself (a capture, which heap-allocates the closure).
+func capturesOutside(info *types.Info, lit *ast.FuncLit) bool {
+	captured := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if captured {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		// Package-level variables are not captures.
+		if v.Parent() != nil && v.Parent().Parent() == types.Universe {
+			return true
+		}
+		if v.Pos() < lit.Pos() || v.Pos() > lit.End() {
+			captured = true
+			return false
+		}
+		return true
+	})
+	return captured
+}
+
+// appendAllowed reports whether the append target is a capacity-managed
+// slice (or a map/func-typed... no: only slices reach here).
+func appendAllowed(info *types.Info, target ast.Expr, capOK map[types.Object]bool) bool {
+	switch v := ast.Unparen(target).(type) {
+	case *ast.Ident:
+		if o := info.Uses[v]; o != nil {
+			return capOK[o]
+		}
+		if o := info.Defs[v]; o != nil {
+			return capOK[o]
+		}
+	case *ast.SelectorExpr:
+		if sel := info.Selections[v]; sel != nil {
+			return capOK[sel.Obj()]
+		}
+		if o := info.Uses[v.Sel]; o != nil {
+			return capOK[o]
+		}
+	case *ast.SliceExpr:
+		// append(x[:0], ...) reuses x's storage.
+		return true
+	}
+	return false
+}
+
+// checkBoxing flags non-pointer-shaped arguments passed to interface-typed
+// parameters (runtime convT* allocation).
+func checkBoxing(info *types.Info, call *ast.CallExpr, f *types.Func, report func(token.Pos, string)) {
+	sig, ok := f.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis != token.NoPos {
+				continue // s... passes the slice through
+			}
+			pt = params.At(params.Len() - 1).Type()
+			if sl, ok := pt.(*types.Slice); ok {
+				pt = sl.Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if _, isIface := pt.Underlying().(*types.Interface); !isIface {
+			continue
+		}
+		at := info.TypeOf(arg)
+		if at == nil || pointerShaped(at) {
+			continue
+		}
+		if tv, ok := info.Types[arg]; ok && tv.Value != nil {
+			continue // constants may be boxed from read-only statics
+		}
+		report(arg.Pos(), "value boxed into interface parameter of "+f.Name())
+	}
+}
+
+// isStringByteConv reports whether converting arg to target copies string
+// bytes ([]byte(s), string(bs), []rune(s)).
+func isStringByteConv(info *types.Info, target types.Type, arg ast.Expr) bool {
+	at := info.TypeOf(arg)
+	if at == nil {
+		return false
+	}
+	if tv, ok := info.Types[arg]; ok && tv.Value != nil {
+		return false // constant conversions happen at compile time
+	}
+	isStr := func(t types.Type) bool {
+		b, ok := t.Underlying().(*types.Basic)
+		return ok && b.Info()&types.IsString != 0
+	}
+	isBytes := func(t types.Type) bool {
+		s, ok := t.Underlying().(*types.Slice)
+		if !ok {
+			return false
+		}
+		b, ok := s.Elem().Underlying().(*types.Basic)
+		return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune || b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+	}
+	return (isStr(target) && isBytes(at)) || (isBytes(target) && isStr(at))
+}

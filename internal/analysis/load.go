@@ -13,6 +13,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"strings"
+	"sync"
 )
 
 // The loader resolves package patterns and import dependencies through the go
@@ -52,29 +53,66 @@ func goList(dir, format string, args []string) ([]string, error) {
 	return lines, nil
 }
 
+// loadCache memoizes Load results for the life of the process, keyed by
+// (absolute dir, patterns). The golden-file tests and the self-check script
+// load the same fixture trees over and over; a cache hit skips both the go
+// command and the type-checker. Packages are treated as immutable after
+// loading (analyzers only read them), so sharing the slice is safe. The cache
+// deliberately ignores on-disk edits made after the first load — simlint is a
+// one-shot process, and the tests that share a cache entry all want the same
+// snapshot.
+var loadCache sync.Map // key string -> *loadEntry
+
+type loadEntry struct {
+	once sync.Once
+	pkgs []*Package
+	err  error
+}
+
 // Load resolves patterns (as the go command understands them, e.g. "./..." or
 // an explicit directory — explicit paths may name testdata packages, which
 // "..." deliberately skips) relative to dir, and returns the matched packages
 // parsed and type-checked. Test files are not loaded: the invariants simlint
-// enforces are about the simulator, not its harnesses.
+// enforces are about the simulator, not its harnesses. Results are memoized
+// per (dir, patterns) for the life of the process.
 func Load(dir string, patterns ...string) ([]*Package, error) {
-	targets, err := goList(dir, `{{.ImportPath}}{{"\t"}}{{.Dir}}{{"\t"}}{{range .GoFiles}}{{.}} {{end}}`, patterns)
-	if err != nil {
-		return nil, err
+	key := dir
+	if abs, err := filepath.Abs(dir); err == nil {
+		key = abs
 	}
+	key += "\x00" + strings.Join(patterns, "\x00")
+	e, _ := loadCache.LoadOrStore(key, &loadEntry{})
+	entry := e.(*loadEntry)
+	entry.once.Do(func() {
+		entry.pkgs, entry.err = load(dir, patterns)
+	})
+	return entry.pkgs, entry.err
+}
 
-	// Export data for every dependency (and the targets themselves, which is
-	// harmless). -export compiles what is stale, so this is the slow step on
-	// a cold cache and near-free afterwards.
-	depLines, err := goList(dir, `{{.ImportPath}}{{"\t"}}{{.Export}}`, append([]string{"-deps", "-export"}, patterns...))
+// load is the uncached path: one `go list -deps -export` invocation yields
+// the target set ({{.DepOnly}} is false exactly for packages the patterns
+// named), the source file lists, and the export data for every dependency in
+// a single go-command run. -export compiles what is stale, so this is the
+// slow step on a cold build cache and near-free afterwards.
+func load(dir string, patterns []string) ([]*Package, error) {
+	lines, err := goList(dir,
+		`{{.ImportPath}}{{"\t"}}{{.DepOnly}}{{"\t"}}{{.Export}}{{"\t"}}{{.Dir}}{{"\t"}}{{range .GoFiles}}{{.}} {{end}}`,
+		append([]string{"-deps", "-export"}, patterns...))
 	if err != nil {
 		return nil, err
 	}
-	exports := make(map[string]string, len(depLines))
-	for _, l := range depLines {
-		path, file, ok := strings.Cut(l, "\t")
-		if ok && file != "" {
-			exports[path] = file
+	exports := make(map[string]string, len(lines))
+	var targets []string
+	for _, l := range lines {
+		parts := strings.SplitN(l, "\t", 5)
+		if len(parts) != 5 {
+			return nil, fmt.Errorf("analysis: unexpected go list line %q", l)
+		}
+		if parts[2] != "" {
+			exports[parts[0]] = parts[2]
+		}
+		if parts[1] == "false" {
+			targets = append(targets, l)
 		}
 	}
 	lookup := func(path string) (io.ReadCloser, error) {
@@ -89,11 +127,8 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 	imp := importer.ForCompiler(fset, "gc", lookup)
 	var pkgs []*Package
 	for _, line := range targets {
-		parts := strings.SplitN(line, "\t", 3)
-		if len(parts) != 3 {
-			return nil, fmt.Errorf("analysis: unexpected go list line %q", line)
-		}
-		path, pkgDir, fileList := parts[0], parts[1], strings.Fields(parts[2])
+		parts := strings.SplitN(line, "\t", 5)
+		path, pkgDir, fileList := parts[0], parts[3], strings.Fields(parts[4])
 		if len(fileList) == 0 {
 			continue
 		}

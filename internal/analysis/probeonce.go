@@ -1,0 +1,176 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Probeonce enforces the observability tax contract from PR 6: with no hub
+// attached, probes must cost (nearly) nothing. The mechanism is the nil-hub
+// fast path — emission sites keep a possibly-nil *obs.Hub (Probes.OrNil())
+// and guard every Emit behind a nil check, so the disabled case is one
+// predictable branch and, critically, the event payload is never even
+// constructed. Two ways the contract erodes in review-sized increments:
+//
+//  1. A new emission site calls hub.Emit(...) without the guard. It works
+//     (an attached hub is non-nil in every test that looks at probes), and
+//     quietly charges every disabled run the full payload-construction and
+//     interface-boxing cost.
+//  2. The guard is present but the payload is built above it — ev is
+//     assigned the composite literal first, then `if hub != nil {
+//     hub.Emit(ev) }`. The branch is free; the construction no longer is.
+//
+// Rule 1: every call to Emit on an obs.Hub-typed value must sit inside an
+// `if hub != nil { ... }` body (the check may be one leg of an && chain, as
+// in the rig's `if r.frontHub != nil && (reqs > 0 || resps > 0)`), or after
+// an `if hub == nil { return }` early exit in the same function (the
+// emitCommand style for probe-only helpers).
+//
+// Rule 2: a bare-identifier argument to a guarded Emit must be declared
+// inside the guarded region. Identifiers nested inside a composite literal
+// built at the call site are fine — they are values the function computed
+// for its own purposes; the literal itself is what must stay in the guard.
+//
+// False-positive policy: methods on Hub itself (internal dispatch) are
+// exempt. A helper whose only caller already holds the guard should take the
+// payload after its caller's guard instead of re-checking; if the structure
+// is genuinely right, //lint:allow probeonce with the call chain as reason.
+var Probeonce = &Analyzer{
+	Name: "probeonce",
+	Doc:  "require obs emissions to sit behind the nil-hub fast path, payload included",
+	Run:  runProbeonce,
+}
+
+// isHubEmit reports whether call is `<expr of type *obs.Hub>.Emit(...)`.
+func isHubEmit(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Emit" {
+		return false
+	}
+	t := info.TypeOf(sel.X)
+	return t != nil && isObsHub(t)
+}
+
+// hubMethod reports whether fd is a method declared on obs.Hub itself.
+func hubMethod(info *types.Info, fd *ast.FuncDecl) bool {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return false
+	}
+	t := info.TypeOf(fd.Recv.List[0].Type)
+	return t != nil && isObsHub(t)
+}
+
+func runProbeonce(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || hubMethod(info, fd) {
+				continue
+			}
+			checkProbeFunc(pass, info, fd)
+		}
+	}
+}
+
+// checkProbeFunc scans one function for Emit calls, tracking the guarded
+// region each sits in (if any).
+func checkProbeFunc(pass *Pass, info *types.Info, fd *ast.FuncDecl) {
+	// earlyGuardEnd is set once an `if hub == nil { return }` statement has
+	// been passed at the top level of a block: every position after it is
+	// guarded, and payload declarations before it are "outside".
+	type guard struct {
+		start, end token.Pos // guarded region; payload decls must fall inside
+	}
+
+	var walkStmts func(list []ast.Stmt, g *guard)
+	var walkNode func(n ast.Node, g *guard)
+
+	checkEmit := func(call *ast.CallExpr, g *guard) {
+		if g == nil {
+			pass.Reportf(call.Pos(),
+				"obs emission is not behind the nil-hub fast path; guard it with `if hub != nil { ... }` so disabled probes cost nothing")
+			return
+		}
+		for _, arg := range call.Args {
+			id, ok := ast.Unparen(arg).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			v, ok := info.Uses[id].(*types.Var)
+			if !ok || v.IsField() {
+				continue
+			}
+			// Only locals of this function matter; package-level state is
+			// not per-emission work.
+			if v.Pos() < fd.Pos() || v.Pos() > fd.End() {
+				continue
+			}
+			if v.Pos() < g.start || v.Pos() > g.end {
+				pass.Reportf(arg.Pos(),
+					"probe payload %s is built outside the nil-hub guard; construct it inside the guard so disabled probes cost nothing", id.Name)
+			}
+		}
+	}
+
+	walkNode = func(n ast.Node, g *guard) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch st := m.(type) {
+			case *ast.IfStmt:
+				if hubNilCond(info, st.Cond, token.NEQ) {
+					if st.Init != nil {
+						walkNode(st.Init, g)
+					}
+					walkNode(st.Cond, g)
+					walkStmts(st.Body.List, &guard{start: st.Body.Pos(), end: st.Body.End()})
+					if st.Else != nil {
+						walkNode(st.Else, g)
+					}
+					return false
+				}
+				// Generic if: walk parts but handle blocks via walkStmts so
+				// nested early-return guards work.
+				if st.Init != nil {
+					walkNode(st.Init, g)
+				}
+				walkNode(st.Cond, g)
+				walkStmts(st.Body.List, g)
+				if st.Else != nil {
+					walkNode(st.Else, g)
+				}
+				return false
+			case *ast.BlockStmt:
+				if m != n {
+					walkStmts(st.List, g)
+					return false
+				}
+			case *ast.CallExpr:
+				if isHubEmit(info, st) {
+					checkEmit(st, g)
+				}
+			case *ast.FuncLit:
+				// A literal is its own function for guard purposes; its body
+				// starts unguarded unless it re-checks.
+				walkStmts(st.Body.List, nil)
+				return false
+			}
+			return true
+		})
+	}
+
+	walkStmts = func(list []ast.Stmt, g *guard) {
+		cur := g
+		for _, st := range list {
+			if ifs, ok := st.(*ast.IfStmt); ok && ifs.Else == nil &&
+				hubNilCond(info, ifs.Cond, token.EQL) && endsInReturn(ifs.Body) {
+				// Everything after this early exit runs only with a hub.
+				cur = &guard{start: ifs.End(), end: fd.End()}
+				continue
+			}
+			walkNode(st, cur)
+		}
+	}
+
+	walkStmts(fd.Body.List, nil)
+}

@@ -3,6 +3,7 @@ package analysis
 import (
 	"go/ast"
 	"go/token"
+	"sort"
 	"strings"
 )
 
@@ -13,6 +14,15 @@ import (
 // the kind of unreviewable exception this pass exists to prevent, so a
 // reasonless or malformed directive is itself reported, under the
 // pseudo-analyzer name "lint", and cannot be suppressed.
+//
+// Directives rot in the other direction too: the code they excused gets
+// refactored away and the stale comment keeps blessing whatever lands on
+// that line next. So a well-formed directive whose analyzer ran on the
+// package but suppressed nothing is also reported under "lint". The escape
+// hatch for deliberately dormant directives (a finding that only fires on
+// another platform, say) is `//lint:allow lint <reason>` on or above the
+// directive's line; "lint" directives are themselves exempt from staleness,
+// which keeps the rule well-founded.
 
 const allowPrefix = "//lint:allow"
 
@@ -21,12 +31,13 @@ type allowDirective struct {
 	line     int
 	analyzer string
 	reason   string
+	used     bool
 }
 
 // parseAllows extracts every //lint:allow directive in the package, reporting
 // malformed ones (no analyzer, no reason, unknown analyzer name) as findings.
-func parseAllows(pkg *Package, known map[string]bool) (map[string][]allowDirective, []Finding) {
-	byFile := make(map[string][]allowDirective)
+func parseAllows(pkg *Package, known map[string]bool) (map[string][]*allowDirective, []Finding) {
+	byFile := make(map[string][]*allowDirective)
 	var bad []Finding
 	report := func(pos token.Pos, msg string) {
 		bad = append(bad, Finding{Pos: pkg.Fset.Position(pos), Analyzer: "lint", Message: msg})
@@ -56,7 +67,7 @@ func parseAllows(pkg *Package, known map[string]bool) (map[string][]allowDirecti
 					continue
 				}
 				pos := pkg.Fset.Position(c.Pos())
-				byFile[pos.Filename] = append(byFile[pos.Filename], allowDirective{
+				byFile[pos.Filename] = append(byFile[pos.Filename], &allowDirective{
 					line:     pos.Line,
 					analyzer: name,
 					reason:   strings.Join(fields[1:], " "),
@@ -70,49 +81,76 @@ func parseAllows(pkg *Package, known map[string]bool) (map[string][]allowDirecti
 // strconvQuote is a tiny local quote to keep the import list short.
 func strconvQuote(s string) string { return `"` + s + `"` }
 
-// applySuppressions drops findings covered by a well-formed allow directive
-// and appends findings for malformed directives.
-func applySuppressions(pkg *Package, raw []Finding, known map[string]bool) []Finding {
+// applySuppressions drops findings covered by a well-formed allow directive,
+// appends findings for malformed directives, and reports live directives
+// that suppressed nothing (staleness). enabled tells whether a given
+// analyzer actually ran on this package under the active policy — a
+// directive for an analyzer the policy disabled here is dormant by
+// configuration, not stale.
+func applySuppressions(pkg *Package, raw []Finding, known map[string]bool, enabled func(string) bool) []Finding {
 	allows, bad := parseAllows(pkg, known)
 	var out []Finding
 	for _, f := range raw {
-		if !suppressed(f, allows[f.Pos.Filename]) {
-			out = append(out, f)
+		if d := suppressor(f, allows[f.Pos.Filename]); d != nil {
+			d.used = true
+			continue
 		}
+		out = append(out, f)
+	}
+	// Staleness pass: every unused non-"lint" directive whose analyzer ran.
+	var stale []Finding
+	for file, dirs := range allows {
+		for _, d := range dirs {
+			if d.used || d.analyzer == "lint" || !enabled(d.analyzer) {
+				continue
+			}
+			stale = append(stale, Finding{
+				Pos:      token.Position{Filename: file, Line: d.line},
+				Analyzer: "lint",
+				Message: "//lint:allow " + d.analyzer +
+					" no longer suppresses any finding; delete it (or keep it deliberately with //lint:allow lint <reason>)",
+			})
+		}
+	}
+	sort.Slice(stale, func(i, j int) bool {
+		if stale[i].Pos.Filename != stale[j].Pos.Filename {
+			return stale[i].Pos.Filename < stale[j].Pos.Filename
+		}
+		return stale[i].Pos.Line < stale[j].Pos.Line
+	})
+	// Stale findings are suppressible by "lint" directives; malformed-
+	// directive findings stay unsuppressable.
+	for _, f := range stale {
+		if d := suppressor(f, allows[f.Pos.Filename]); d != nil {
+			d.used = true
+			continue
+		}
+		out = append(out, f)
 	}
 	return append(out, bad...)
 }
 
-// suppressed reports whether a directive in the finding's file covers it: the
-// analyzer matches and the directive sits on the finding's line or the line
-// above.
-func suppressed(f Finding, dirs []allowDirective) bool {
+// suppressor returns the directive in the finding's file covering it, if
+// any: the analyzer matches and the directive sits on the finding's line or
+// the line above.
+func suppressor(f Finding, dirs []*allowDirective) *allowDirective {
 	for _, d := range dirs {
 		if d.analyzer == f.Analyzer && (d.line == f.Pos.Line || d.line == f.Pos.Line-1) {
-			return true
+			return d
 		}
 	}
-	return false
+	return nil
 }
 
-// fieldSkipReason returns the //ckpt:skip reason attached to a struct field,
-// with ok reporting whether any //ckpt:skip directive is present (the reason
-// may still be empty, which ckptfields reports).
+// fieldDirectiveReason returns the reason attached to a struct field's
+// `//<name> <reason>` directive (e.g. //ckpt:skip, //fp:skip), with ok
+// reporting whether the directive is present at all (the reason may still be
+// empty, which the analyzers report).
+func fieldDirectiveReason(field *ast.Field, name string) (reason string, ok bool) {
+	return commentDirective(name, field.Doc, field.Comment)
+}
+
+// fieldSkipReason returns the //ckpt:skip reason attached to a struct field.
 func fieldSkipReason(field *ast.Field) (reason string, ok bool) {
-	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
-		if cg == nil {
-			continue
-		}
-		for _, c := range cg.List {
-			if !strings.HasPrefix(c.Text, "//ckpt:skip") {
-				continue
-			}
-			rest := strings.TrimPrefix(c.Text, "//ckpt:skip")
-			if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
-				continue
-			}
-			return strings.TrimSpace(rest), true
-		}
-	}
-	return "", false
+	return fieldDirectiveReason(field, "ckpt:skip")
 }

@@ -1,0 +1,88 @@
+// Package fpcover is a fixture for the fpcover analyzer: every named field
+// of an //fp:check struct must be fingerprint-covered (mentioned directly,
+// fed by a fingerprinted name, or statically fixed) or carry //fp:skip.
+package fpcover
+
+// Config is the fixture's knob set.
+//
+//fp:check
+type Config struct {
+	// RowPolicy is covered: "rowpolicy" appears in the fingerprint string.
+	RowPolicy string
+	// BurstLength is covered by assignment flow: its value comes from
+	// burstBeats, which the fingerprint mentions.
+	BurstLength int
+	// Workers is deliberately outside the fingerprint.
+	Workers int //fp:skip sharding must not change results, so identity must not depend on it
+	// DebugName has a skip directive with no reason: a finding.
+	DebugName string //fp:skip
+	// QueueDepth is assigned from an unfingerprinted source: a finding.
+	QueueDepth int
+	// Fixed is covered: its only assignment is a compile-time constant.
+	Fixed bool
+	// Retry is covered: its only assignment is a composite literal built
+	// purely from constants, which is as statically fixed as a scalar.
+	Retry RetryPolicy
+	// Depth is a finding: its value arrives through a qualifier chain
+	// (flags.tuning.depth) whose leaf is unfingerprinted — the mentioned
+	// sibling "tuning" must not cover it.
+	Depth int
+	// Phantom is never assigned anywhere the analyzer can see: a finding.
+	Phantom int
+}
+
+// RetryPolicy is a struct-valued knob.
+type RetryPolicy struct {
+	Limit   int
+	Backoff int
+}
+
+// flagSet mimics a CLI flag struct: tuning.beats feeds the fingerprint,
+// tuning.depth does not.
+type flagSet struct {
+	tuning struct {
+		beats int
+		depth int
+	}
+}
+
+var burstBeats = 8
+
+// fingerprint is picked up by name, and itoa joins the mention closure as
+// its transitive callee. "tuning" enters the mention set (string word and
+// qualifier of f.tuning.beats) — Depth below checks that a qualifier match
+// alone does not count as coverage.
+func fingerprint(c *Config, f *flagSet) string {
+	return "rowpolicy=" + c.RowPolicy + ",beats=" + itoa(burstBeats) +
+		",tuning.beats=" + itoa(f.tuning.beats)
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+func build(f *flagSet) *Config {
+	c := &Config{
+		Fixed: true,
+		Retry: RetryPolicy{Limit: 4, Backoff: 2},
+	}
+	c.BurstLength = burstBeats * 2
+	c.QueueDepth = depthDefault()
+	c.Depth = f.tuning.depth
+	return c
+}
+
+func depthDefault() int { return 32 }
+
+var _ = build
+var _ = fingerprint

@@ -1,0 +1,104 @@
+// Package hotalloc is a fixture for the hotalloc analyzer: //hot:path
+// functions and their module-local callees must not allocate, except under
+// the nil-hub probe guard and in panic diagnostics.
+package hotalloc
+
+import (
+	"fmt"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+type ev struct {
+	at sim.Tick
+}
+
+func (ev) ObsSrc() string      { return "fixture" }
+func (e ev) ObsTime() sim.Tick { return e.at }
+
+type slot struct {
+	v int
+}
+
+type ring struct {
+	buf   []int
+	pool  []int
+	table map[int]int
+	hub   *obs.Hub
+}
+
+// newRing is cold setup code: allocations here are fine.
+func newRing() *ring {
+	return &ring{
+		pool:  make([]int, 0, 64),
+		table: map[int]int{},
+	}
+}
+
+func sink(v interface{}) {}
+
+// Bad exercises the flagged constructs one per line.
+//
+//hot:path fixture scan loop
+func (r *ring) Bad(n int, name string) *slot {
+	s := &slot{v: n}
+	p := new(slot)
+	m := make([]int, 8)
+	r.buf = append(r.buf, n)
+	f := func() int { return n }
+	sink(n)
+	msg := fmt.Sprintf("%d", n)
+	lbl := name + "!"
+	bs := []byte(name)
+	r.table[n] = n
+	go r.fill(n)
+	mv := r.fill
+	_ = s
+	_ = p
+	_ = m
+	_ = f
+	_ = msg
+	_ = lbl
+	_ = bs
+	_ = mv
+	return s
+}
+
+// fill is not annotated, but it is reached from //hot:path Bad above (via
+// the go statement's call), so its map write is reported too.
+func (r *ring) fill(n int) {
+	r.table[n] = n
+}
+
+// Good exercises the allowed constructs and exemptions.
+//
+//hot:path fixture steady-state path
+func (r *ring) Good(n int, now sim.Tick) {
+	r.pool = append(r.pool, n) // capacity-managed in newRing
+	r.buf2(n)
+	if r.hub != nil {
+		r.hub.Emit(ev{at: now}) // probe guard: boxing and literal are exempt
+	}
+	if n < 0 {
+		panic(fmt.Sprintf("negative %d", n)) // failure-path diagnostics
+	}
+}
+
+// buf2 reuses storage via the append-to-reslice idiom.
+func (r *ring) buf2(n int) {
+	r.pool = append(r.pool[:0], n)
+}
+
+// emitStats is the probe-only-helper style: after the early return, only
+// probe-enabled runs execute, so the emission may allocate.
+//
+//hot:path fixture probe helper
+func (r *ring) emitStats(now sim.Tick) {
+	if r.hub == nil {
+		return
+	}
+	r.hub.Emit(ev{at: now})
+}
+
+var _ = newRing

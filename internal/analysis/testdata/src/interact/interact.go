@@ -1,0 +1,141 @@
+// Package interact is the cross-analyzer fixture: one package that trips
+// every registered analyzer at least once, pinning (a) the deterministic
+// global finding order — sorted by file, line, analyzer, message — and
+// (b) per-analyzer suppression scoping: a //lint:allow for one analyzer on a
+// line where two analyzers fire silences only its own.
+package interact
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// --- detmap + simtime ---
+
+// Report writes rows in map order, then stamps them with the host clock.
+func Report(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+	fmt.Fprintf(w, "at %d\n", time.Now().UnixNano())
+}
+
+// --- ckptfields ---
+
+// comp persists a but forgot missed.
+type comp struct {
+	a      int
+	missed int
+}
+
+func (c *comp) CheckpointSave() (any, error) {
+	return c.a, nil
+}
+
+func (c *comp) CheckpointRestore(data []byte) error {
+	c.a = len(data)
+	return nil
+}
+
+// --- eventpool ---
+
+type holder struct {
+	seq uint64
+}
+
+// Retain stores a pooled event's seq past its firing.
+func Retain(h *holder, k *sim.Kernel) {
+	h.seq = k.Call("evt", k.Now(), func() {})
+}
+
+// --- tickunits + simtime on one line, with scoped suppression ---
+
+// Scoped produces a tickunits finding and a simtime finding on the same
+// line; the directive names only tickunits, so simtime must survive.
+func Scoped(delayNs int64) sim.Tick {
+	//lint:allow tickunits interact fixture: suppression is scoped per analyzer
+	return sim.Tick(time.Now().UnixNano() + delayNs)
+}
+
+// Convert is the unsuppressed tickunits finding.
+func Convert(idleNs int64) sim.Tick {
+	return sim.Tick(idleNs)
+}
+
+// --- hotalloc ---
+
+// Hot appends to a slice nobody capacity-manages.
+//
+//hot:path interact fixture
+func Hot(vals []int, n int) []int {
+	return append(vals, n)
+}
+
+// --- shardiso ---
+
+type pipe struct {
+	q []int
+}
+
+// Flush drains the pipe between quanta.
+//
+//shard:barrier only the single-threaded section may drain
+func (p *pipe) Flush() {
+	p.q = p.q[:0]
+}
+
+// Arm hands the kernel a callback that reaches the barrier function.
+func Arm(k *sim.Kernel, p *pipe) {
+	k.CallIn("drain", 1, func() {
+		p.Flush()
+	})
+}
+
+// --- fpcover ---
+
+// knobs is fingerprinted incompletely.
+//
+//fp:check
+type knobs struct {
+	Fanout int
+	Burst  int
+}
+
+var defaultBurst = 8
+
+func fingerprintKnobs(k *knobs) string {
+	return fmt.Sprintf("fanout=%d", k.Fanout)
+}
+
+func buildKnobs() *knobs {
+	k := &knobs{Fanout: 4}
+	k.Burst = defaultBurst
+	return k
+}
+
+// --- probeonce ---
+
+type tick struct {
+	at sim.Tick
+}
+
+func (tick) ObsSrc() string      { return "interact" }
+func (t tick) ObsTime() sim.Tick { return t.at }
+
+type probe struct {
+	hub *obs.Hub
+}
+
+// Unguarded emits without the nil-hub fast path.
+func (p *probe) Unguarded(now sim.Tick) {
+	p.hub.Emit(tick{at: now})
+}
+
+// Use keeps the unexported pieces alive for the type checker.
+func Use() (any, any, any) {
+	return &comp{}, buildKnobs(), fingerprintKnobs(&knobs{})
+}

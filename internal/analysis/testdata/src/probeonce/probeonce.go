@@ -1,0 +1,58 @@
+// Package probeonce is a fixture for the probeonce analyzer: every obs
+// emission must sit behind the nil-hub fast path, and the payload must be
+// constructed inside the guard.
+package probeonce
+
+import (
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+type ev struct {
+	at sim.Tick
+}
+
+func (ev) ObsSrc() string      { return "fixture" }
+func (e ev) ObsTime() sim.Tick { return e.at }
+
+type comp struct {
+	hub *obs.Hub
+}
+
+// BadUnguarded emits with no nil check at all.
+func (c *comp) BadUnguarded(now sim.Tick) {
+	c.hub.Emit(ev{at: now})
+}
+
+// BadPayloadOutside guards the branch but builds the payload above it,
+// charging disabled runs the construction cost.
+func (c *comp) BadPayloadOutside(now sim.Tick) {
+	payload := ev{at: now}
+	if c.hub != nil {
+		c.hub.Emit(payload)
+	}
+}
+
+// GoodGuarded is the canonical emission site.
+func (c *comp) GoodGuarded(now sim.Tick) {
+	if c.hub != nil {
+		c.hub.Emit(ev{at: now})
+	}
+}
+
+// GoodCompound: the nil check may be one leg of a compound condition.
+func (c *comp) GoodCompound(now sim.Tick, interesting bool) {
+	if c.hub != nil && interesting {
+		c.hub.Emit(ev{at: now})
+	}
+}
+
+// GoodEarlyReturn: the probe-only-helper style; everything after the early
+// exit runs only with a hub attached, payload construction included.
+func (c *comp) GoodEarlyReturn(now sim.Tick) {
+	if c.hub == nil {
+		return
+	}
+	payload := ev{at: now}
+	c.hub.Emit(payload)
+}

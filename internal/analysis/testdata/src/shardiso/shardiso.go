@@ -1,0 +1,78 @@
+// Package shardiso is a fixture for the shardiso analyzer: //shard:barrier
+// functions may only run in the single-threaded section between quanta, so
+// reaching one from a kernel callback or a port handler is a finding.
+package shardiso
+
+import "repro/internal/sim"
+
+type link struct {
+	queued []int
+}
+
+// Flush drains the pipe; the rig calls it with every worker parked.
+//
+//shard:barrier only the single-threaded section between quanta may drain
+func (l *link) Flush() {
+	l.drain()
+}
+
+// drainAll is a second barrier-only entry point.
+//
+//shard:barrier cross-shard delivery must not race a running quantum
+func (l *link) drainAll() {
+	l.drain()
+}
+
+// drain is barrier-side plumbing: only reachable through Flush/drainAll, and
+// edges out of a barrier function do not extend the shard-side frontier.
+func (l *link) drain() {
+	l.queued = l.queued[:0]
+}
+
+// pump is shard-side: it is referenced from a kernel callback below, and it
+// reaches Flush — the finding.
+func (l *link) pump() {
+	l.Flush()
+}
+
+// schedule hands pump to the kernel, making it a shard-side root.
+func schedule(k *sim.Kernel, l *link) {
+	k.Call("pump", k.Now(), func() {
+		l.pump()
+	})
+}
+
+// reset is barrier-only and referenced straight from a kernel callback
+// below — the direct form of the finding, with no intermediate function.
+//
+//shard:barrier rearming touches cross-shard queues
+func (l *link) reset() {
+	l.queued = l.queued[:0]
+}
+
+// armDirect passes a callback that calls the barrier function itself.
+func armDirect(k *sim.Kernel, l *link) {
+	k.CallIn("reset", 1, func() {
+		l.reset()
+	})
+}
+
+type port struct {
+	l *link
+}
+
+// RecvTimingReq is a port handler (shard-side by name) reaching drainAll.
+func (p *port) RecvTimingReq(x int) bool {
+	p.l.drainAll()
+	return true
+}
+
+// barrierSection models the rig's legal call site: not a kernel callback,
+// not a handler, so calling Flush here is fine.
+func barrierSection(l *link) {
+	l.Flush()
+}
+
+var _ = schedule
+var _ = armDirect
+var _ = barrierSection

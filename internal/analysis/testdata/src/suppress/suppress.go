@@ -27,7 +27,17 @@ func UnknownAnalyzer() int64 {
 	return time.Now().UnixNano() //lint:allow detcap typo in the analyzer name
 }
 
-// WrongAnalyzer is NOT suppressed: the directive allows a different analyzer.
+// WrongAnalyzer is NOT suppressed: the directive allows a different
+// analyzer — and since that directive suppresses nothing, it is also stale.
 func WrongAnalyzer() int64 {
 	return time.Now().UnixNano() //lint:allow detmap wrong analyzer on purpose
+}
+
+// DeliberatelyDormant keeps a directive that currently suppresses nothing:
+// the stale-directive finding it would produce is itself suppressed by the
+// //lint:allow lint escape hatch on the line above.
+func DeliberatelyDormant() uint64 {
+	//lint:allow lint the eventpool directive below is kept deliberately for this fixture
+	//lint:allow eventpool dormant on purpose: nothing on this line stores a seq
+	return 0
 }

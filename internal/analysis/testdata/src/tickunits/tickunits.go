@@ -1,0 +1,43 @@
+// Package tickunits is a fixture for the tickunits analyzer: nanosecond
+// counts (Ns-suffixed by convention) must be scaled by sim.Nanosecond when
+// they cross into kernel ticks, and sim.Tick values must not carry ns names.
+package tickunits
+
+import "repro/internal/sim"
+
+// BadConvert reinterprets a nanosecond count as picosecond ticks.
+func BadConvert(idleNs int64) sim.Tick {
+	return sim.Tick(idleNs)
+}
+
+// BadLiteralScale scales by a bare literal instead of the named unit.
+func BadLiteralScale(refreshNs int64) sim.Tick {
+	return sim.Tick(refreshNs * 1000)
+}
+
+// BadName declares a sim.Tick under a nanosecond-flavored name.
+func BadName() sim.Tick {
+	var windowNs sim.Tick = 5
+	return windowNs
+}
+
+// GoodScaled crosses the boundary the documented way.
+func GoodScaled(idleNs int64) sim.Tick {
+	return sim.Tick(idleNs) * sim.Nanosecond
+}
+
+// GoodReversedAndDivided: the unit factor may sit anywhere in the same
+// arithmetic expression, before or after division.
+func GoodReversedAndDivided(quantumNs int64) sim.Tick {
+	return sim.Nanosecond * sim.Tick(quantumNs) / 4
+}
+
+// GoodMicro: any of the sim unit constants satisfies the scale rule.
+func GoodMicro(warmupUs int64) sim.Tick {
+	return sim.Tick(warmupUs) * sim.Microsecond
+}
+
+// GoodPlainNs: arithmetic that stays in nanoseconds is fine.
+func GoodPlainNs(aNs, bNs int64) int64 {
+	return aNs + bNs
+}

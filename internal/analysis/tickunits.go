@@ -1,0 +1,180 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Tickunits enforces the typed-unit discipline at the ns/tick boundary. The
+// kernel measures time in integer picosecond ticks (sim.Tick); configuration
+// surfaces — CLI flags, JSON specs, trafficgen knobs — carry nanosecond
+// counts in plain integers, named with an Ns suffix by repository
+// convention (powerDownNs, ITTNs, burstOffNs). The only legal crossing is
+// the explicit scale: sim.Tick(xNs) * sim.Nanosecond. A bare sim.Tick(xNs)
+// compiles fine and silently reinterprets nanoseconds as picoseconds — the
+// classic off-by-a-thousand flavor of the off-by-tCK bug class, which no
+// test catches until a 200ns idle threshold fires after 200ps and every
+// power-state statistic is garbage.
+//
+// Two rules:
+//
+//  1. A conversion to sim.Tick whose operand mentions an Ns-named value must
+//     be scaled by one of the sim package's unit constants (Nanosecond,
+//     Microsecond, Millisecond, Second) within the same arithmetic
+//     expression.
+//  2. A declaration of type sim.Tick must not itself carry an Ns-flavored
+//     name: ticks are not nanoseconds, and a sim.Tick named idleNs invites
+//     exactly the comparison rule 1 exists to prevent.
+//
+// False-positive policy: the Ns naming convention is load-bearing — a
+// nanosecond count stored under a tick-flavored name evades the check, so
+// the convention itself is enforced by rule 2 in the direction that is
+// checkable. Division and further arithmetic after the scale are fine (the
+// whole binary-expression tree is searched for the unit factor).
+var Tickunits = &Analyzer{
+	Name: "tickunits",
+	Doc:  "require ns-named values to be scaled by sim.Nanosecond when converted to kernel ticks",
+	Run:  runTickunits,
+}
+
+// isNsName reports whether name follows the nanosecond-count convention.
+func isNsName(name string) bool {
+	return name == "ns" || strings.HasSuffix(name, "Ns") || strings.HasSuffix(name, "_ns")
+}
+
+// isSimTick reports whether t is the named type Tick from a package ending
+// in "internal/sim" (suffix-matched so fixtures resolve too).
+func isSimTick(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Name() != "Tick" || named.Obj().Pkg() == nil {
+		return false
+	}
+	return strings.HasSuffix(named.Obj().Pkg().Path(), "internal/sim")
+}
+
+// isSimUnitConst reports whether expr resolves to one of the sim package's
+// duration constants (Nanosecond and coarser; Picosecond is the raw tick and
+// scales nothing).
+func isSimUnitConst(info *types.Info, expr ast.Expr) bool {
+	var obj types.Object
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		obj = info.Uses[e]
+	case *ast.SelectorExpr:
+		obj = info.Uses[e.Sel]
+	default:
+		return false
+	}
+	c, ok := obj.(*types.Const)
+	if !ok || c.Pkg() == nil || !strings.HasSuffix(c.Pkg().Path(), "internal/sim") {
+		return false
+	}
+	switch c.Name() {
+	case "Nanosecond", "Microsecond", "Millisecond", "Second":
+		return true
+	}
+	return false
+}
+
+// nsIdentIn returns the first Ns-named identifier mentioned in expr, or "".
+func nsIdentIn(info *types.Info, expr ast.Expr) string {
+	found := ""
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if found != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok || !isNsName(id.Name) {
+			return true
+		}
+		// Only value references count; a type or package named ns would not
+		// carry a nanosecond count.
+		if obj := info.Uses[id]; obj != nil {
+			if _, isVar := obj.(*types.Var); !isVar {
+				return true
+			}
+		}
+		found = id.Name
+		return false
+	})
+	return found
+}
+
+func runTickunits(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		// Rule 2: sim.Tick declarations with ns-flavored names.
+		ast.Inspect(file, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			v, ok := info.Defs[id].(*types.Var)
+			if !ok || !isNsName(id.Name) || !isSimTick(v.Type()) {
+				return true
+			}
+			pass.Reportf(id.Pos(), "%s is typed sim.Tick but named like a nanosecond count; ticks are picoseconds — rename it or keep the value in ns until the sim.Tick(...)*sim.Nanosecond boundary", id.Name)
+			return true
+		})
+
+		// Rule 1: conversions of ns-named values to sim.Tick must be scaled.
+		WithStack(file, func(n ast.Node, stack []ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				return true
+			}
+			tv, ok := info.Types[call.Fun]
+			if !ok || !tv.IsType() || !isSimTick(tv.Type) {
+				return true
+			}
+			nsName := nsIdentIn(info, call.Args[0])
+			if nsName == "" {
+				return true
+			}
+			if scaledByUnit(info, call, stack) {
+				return true
+			}
+			pass.Reportf(call.Pos(), "sim.Tick(%s) reinterprets a nanosecond count as picosecond ticks; multiply by sim.Nanosecond", nsName)
+			return true
+		})
+	}
+}
+
+// scaledByUnit reports whether the conversion at the top of stack sits
+// inside an arithmetic expression that multiplies by a sim unit constant.
+// The search walks up through parens and +-*/ binary nodes and then scans
+// that maximal arithmetic tree for a `* unit` factor, so forms like
+// sim.Tick(x)*sim.Nanosecond/4 and sim.Nanosecond*sim.Tick(x) both pass.
+func scaledByUnit(info *types.Info, conv *ast.CallExpr, stack []ast.Node) bool {
+	top := ast.Node(conv)
+	for i := len(stack) - 2; i >= 0; i-- {
+		switch p := stack[i].(type) {
+		case *ast.ParenExpr:
+			top = p
+			continue
+		case *ast.BinaryExpr:
+			switch p.Op {
+			case token.MUL, token.QUO, token.ADD, token.SUB:
+				top = p
+				continue
+			}
+		}
+		break
+	}
+	scaled := false
+	ast.Inspect(top, func(n ast.Node) bool {
+		if scaled {
+			return false
+		}
+		if b, ok := n.(*ast.BinaryExpr); ok && b.Op == token.MUL {
+			if isSimUnitConst(info, b.X) || isSimUnitConst(info, b.Y) {
+				scaled = true
+				return false
+			}
+		}
+		return true
+	})
+	return scaled
+}

@@ -93,6 +93,8 @@ func (p PagePolicy) String() string {
 
 // Config carries every controller parameter from the paper's Table I plus
 // the memory spec it drives.
+//
+//fp:check
 type Config struct {
 	// Spec is the DRAM organisation, timing and power description.
 	Spec dram.Spec
@@ -114,6 +116,7 @@ type Config struct {
 	WriteLowThresh float64
 	// MinWritesPerSwitch is the minimum number of writes drained before
 	// switching back to reads (amortises the turnaround penalty).
+	//fp:skip swept only by the latency and write-ablation experiments, which run to completion without checkpoint sessions
 	MinWritesPerSwitch int
 	// Scheduling selects FCFS or FR-FCFS.
 	Scheduling SchedulingPolicy
@@ -143,17 +146,21 @@ type Config struct {
 	// snapshots it via OrNil, so an empty hub costs nothing at run time.
 	// Probe configuration is an observation concern and is deliberately
 	// excluded from checkpoint fingerprints.
+	//fp:skip probes only observe; the constructor snapshots the hub via OrNil and results never depend on it
 	Probes *obs.Hub
 	// Refresh selects all-bank (paper) or per-bank (extension) refresh.
+	//fp:skip set only by the refresh ablation, which never creates a session; a checkpointing caller must fold it in
 	Refresh RefreshPolicy
 	// XORBankHash spreads same-bank strides across banks by XORing the
 	// bank index with low row bits (extension; gem5 offers the same hash).
+	//fp:skip set only by the hash ablation, which never creates a session; a checkpointing caller must fold it in
 	XORBankHash bool
 	// QoSPriority optionally maps a requestor ID to a priority level
 	// (higher is more important). When set, the scheduler serves the
 	// highest-priority level present in a queue and applies FR-FCFS within
 	// it — the paper's §II-C hook for "Quality-of-Service requirements of
 	// the requesting CPUs and I/O devices". Nil disables QoS.
+	//fp:skip function-valued, so there is nothing stable to hash; a checkpointing caller must encode its QoS policy in the fingerprint
 	QoSPriority func(requestorID int) int
 	// Faults configures deterministic fault injection on read bursts
 	// (extension: RAS modelling). The zero value injects nothing and the

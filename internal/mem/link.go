@@ -70,6 +70,8 @@ func (p *pipe) offer(pkt *Packet, at sim.Tick) {
 // flush publishes the outbox to the destination shard and arms delivery,
 // returning the number of packets published. Barrier-section only: it
 // touches both sides' state and schedules on the destination kernel.
+//
+//shard:barrier touches both shards' state and the destination kernel
 func (p *pipe) flush() int {
 	n := len(p.outbox)
 	if n == 0 {
@@ -201,6 +203,8 @@ func (l *ShardLink) Latency() sim.Tick { return l.latency }
 // requests and responses crossed — the observability layer reports them as
 // quantum-barrier events without mem needing to know about probes.
 // Barrier-section only.
+//
+//shard:barrier the rig calls this with every worker parked
 func (l *ShardLink) Flush() (requests, responses int) {
 	return l.req.flush(), l.resp.flush()
 }

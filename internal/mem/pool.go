@@ -29,6 +29,8 @@ type PacketPool struct {
 }
 
 // Get returns a zeroed packet, reusing a released one when available.
+//
+//hot:path per-request packet reuse; gated by the pool alloc test
 func (pl *PacketPool) Get() *Packet {
 	if n := len(pl.free); n > 0 {
 		p := pl.free[n-1]
@@ -37,12 +39,15 @@ func (pl *PacketPool) Get() *Packet {
 		*p = Packet{}
 		return p
 	}
+	//lint:allow hotalloc pool growth on exhaustion; steady state pops the free list
 	return &Packet{}
 }
 
 // Put releases a packet back to the pool. The caller must hold the only
 // live reference; the packet's fields (including Meta and Poisoned) are
 // cleared so a stale flag can never leak into the next transaction.
+//
+//hot:path release side of the packet cycle
 func (pl *PacketPool) Put(p *Packet) {
 	if p == nil {
 		return

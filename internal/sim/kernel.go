@@ -180,6 +180,8 @@ func (k *Kernel) Pending() int { return k.pending }
 // double-scheduling an event) is a programming error and panics, exactly as
 // gem5 asserts on it: silent time travel corrupts every timing the model
 // produces.
+//
+//hot:path gated by TestScheduleSteadyStateZeroAlloc
 func (k *Kernel) Schedule(e *Event, when Tick) {
 	if e.scheduled {
 		panic(fmt.Sprintf("sim: event %q already scheduled for %s", e.name, e.when))
@@ -201,6 +203,8 @@ func (k *Kernel) ScheduleIn(e *Event, delay Tick) { k.Schedule(e, k.now+delay) }
 // Deschedule removes a scheduled event from the queue. Descheduling an
 // unscheduled event panics. The queue entry is left behind as a tombstone
 // and reclaimed lazily.
+//
+//hot:path tombstones, no queue surgery
 func (k *Kernel) Deschedule(e *Event) {
 	if !e.scheduled {
 		panic(fmt.Sprintf("sim: event %q not scheduled", e.name))
@@ -217,6 +221,8 @@ func (k *Kernel) Deschedule(e *Event) {
 
 // Reschedule moves a scheduled event to a new tick, or schedules it if it is
 // not currently pending.
+//
+//hot:path deschedule+schedule pair
 func (k *Kernel) Reschedule(e *Event, when Tick) {
 	if e.scheduled {
 		k.Deschedule(e)
@@ -229,6 +235,8 @@ func (k *Kernel) Reschedule(e *Event, when Tick) {
 // kicks) reuses fired events instead of allocating. The name is used in
 // diagnostics only. It returns the scheduling's sequence number, which
 // checkpointing components record to reproduce same-tick ordering on restore.
+//
+//hot:path pooled one-shots; gated by TestCallSteadyStateZeroAlloc
 func (k *Kernel) Call(name string, when Tick, fn func()) uint64 {
 	var e *Event
 	if n := len(k.free); n > 0 {
@@ -236,6 +244,7 @@ func (k *Kernel) Call(name string, when Tick, fn func()) uint64 {
 		k.free[n-1] = nil
 		k.free = k.free[:n-1]
 	} else {
+		//lint:allow hotalloc pool growth on exhaustion; steady state pops the free list
 		e = &Event{pooled: true}
 	}
 	e.name = name
@@ -299,13 +308,16 @@ func (k *Kernel) enqueue(ent qentry) {
 		// Keep the cursor bucket sorted: binary-insert after the consumed
 		// prefix (an event scheduled "now" during execution must not land
 		// before entries that already fired).
+		//lint:allow hotalloc sort.Search and the predicate both inline; no closure is materialized (go build -gcflags=-m)
 		i := k.curIdx + sort.Search(len(*slot)-k.curIdx, func(i int) bool {
 			return ent.before((*slot)[k.curIdx+i])
 		})
+		//lint:allow hotalloc bucket backing arrays are warm after the first ring wrap (TestScheduleSteadyStateZeroAlloc)
 		*slot = append(*slot, qentry{})
 		copy((*slot)[i+1:], (*slot)[i:])
 		(*slot)[i] = ent
 	} else {
+		//lint:allow hotalloc bucket backing arrays are warm after the first ring wrap (TestScheduleSteadyStateZeroAlloc)
 		*slot = append(*slot, ent)
 	}
 	k.inWindow++
@@ -446,6 +458,8 @@ func (k *Kernel) head() qentry {
 }
 
 // step fires the event under the cursor. Only valid after settle() == true.
+//
+//hot:path the fire loop itself
 func (k *Kernel) step() {
 	ent := k.head()
 	k.curIdx++

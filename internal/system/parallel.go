@@ -51,6 +51,8 @@ import (
 // schedule without goroutine overhead.
 
 // ShardedConfig shapes a ShardedRig.
+//
+//fp:check
 type ShardedConfig struct {
 	Kind       Kind
 	Spec       dram.Spec
@@ -64,9 +66,11 @@ type ShardedConfig struct {
 	// Workers is the number of worker goroutines stepping shards between
 	// barriers. 0 or 1 steps every shard on the calling goroutine; either
 	// way the schedule, and so every statistic, is identical.
+	//fp:skip worker-count independence is the contract: excluding it is what lets a checkpoint taken under -parallel 4 resume under -parallel 1
 	Workers int
 	// Lookahead is the one-way channel-link latency and the barrier
 	// quantum. 0 defaults to the crossbar latency (or 1ns if that is 0).
+	//fp:skip nothing sets it today (every rig takes the crossbar-latency default); like AdaptiveQuanta it shifts the barrier schedule, so the first caller to set it must fingerprint it
 	Lookahead sim.Tick
 	// AdaptiveQuanta widens the barrier quantum when the system is idle: a
 	// value Q > 1 lets Step advance up to Q*Lookahead per barrier, bounded
@@ -77,21 +81,29 @@ type ShardedConfig struct {
 	// numbers), so AdaptiveQuanta belongs in any checkpoint fingerprint.
 	AdaptiveQuanta int
 	// TuneEvent and TuneCycle optionally adjust the matched controller
-	// configurations, as in RigConfig.
+	// configurations, as in RigConfig. Function-valued, so the fingerprint
+	// cannot see through them: a caller that tunes and checkpoints must fold
+	// the tuned knobs into its fingerprint itself (dramctrl's sharded runner
+	// does exactly that for the power-state idle times).
+	//fp:skip function-valued; callers fold the knobs they tune into their own fingerprint
 	TuneEvent func(*core.Config)
+	//fp:skip function-valued; callers fold the knobs they tune into their own fingerprint
 	TuneCycle func(*cyclesim.Config)
 	// FrontProbes feeds observability events from the frontend shard (the
 	// crossbar, plus the rig's quantum-barrier events). Probes attached here
 	// run on the frontend kernel's goroutine only.
+	//fp:skip probes only observe; results never depend on them
 	FrontProbes *obs.Hub
 	// ShardProbes optionally gives each channel shard its own hub (length
 	// must be 0 or Channels). Per-shard probes run on that shard's worker
 	// goroutine during quanta, so each must touch only its own state; merge
 	// results in OnQuantum, which runs in the single-threaded barrier.
+	//fp:skip probes only observe; results never depend on them
 	ShardProbes []*obs.Hub
 	// OnQuantum, when set, runs in the single-threaded barrier section at
 	// the end of every Step — the place to drain per-shard probe buffers in
 	// deterministic shard order (e.g. obs.TraceSink.Flush).
+	//fp:skip observation drain hook; it reads simulation state but never writes it
 	OnQuantum func()
 }
 

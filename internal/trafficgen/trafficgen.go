@@ -30,6 +30,8 @@ type GapPattern interface {
 }
 
 // Config shapes a generator independent of its address pattern.
+//
+//fp:check
 type Config struct {
 	// RequestBytes is the size of each request (typically the cache-line
 	// or DRAM burst size).
@@ -42,6 +44,7 @@ type Config struct {
 	// Count is the total number of requests to issue (0 = unlimited).
 	Count uint64
 	// RequestorID tags packets for routing and attribution.
+	//fp:skip derived from the generator's position at construction, not a free knob; identical configs always produce identical ids
 	RequestorID int
 }
 
