@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Multi-standard smoke test: for each supported interface family the
+# representative preset must (a) pass the per-standard validate smoke —
+# a short run whose recorded command stream the device-aware protocol
+# checker finds clean, (b) drive the protocol oracle violation-free under
+# randomized traffic, with the stream recorded and replayed through the
+# -cmd-trace file format with the same verdict, deterministically, and
+# (c) complete a dramctrl run with non-zero bandwidth. DDR5's recorded
+# stream must contain same-bank refreshes (REFSB), the headline quirk of
+# its refresh discipline.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+
+go build -o "$workdir/dramctrl" ./cmd/dramctrl
+go build -o "$workdir/protocheck" ./cmd/protocheck
+go build -o "$workdir/validate" ./cmd/validate
+
+for std in ddr3 ddr4 ddr5 lpddr5; do
+    echo "== $std: validate per-standard smoke"
+    "$workdir/validate" -standard "$std" >/dev/null
+
+    echo "== $std: protocol oracle, recorded and replayed"
+    "$workdir/protocheck" -standard "$std" -pattern random -reads 67 \
+        -requests 20000 -seed 7 -cmd-trace "$workdir/$std.txt" >/dev/null
+    "$workdir/protocheck" -standard "$std" \
+        -cmd-trace-in "$workdir/$std.txt" >/dev/null
+
+    echo "== $std: recording is deterministic"
+    "$workdir/protocheck" -standard "$std" -pattern random -reads 67 \
+        -requests 20000 -seed 7 -cmd-trace "$workdir/$std-2.txt" >/dev/null
+    cmp "$workdir/$std.txt" "$workdir/$std-2.txt"
+
+    echo "== $std: dramctrl run reports bandwidth"
+    "$workdir/dramctrl" -standard "$std" -pattern random -reads 67 \
+        -requests 20000 -seed 7 >"$workdir/$std.log"
+    grep -q "bandwidth" "$workdir/$std.log" || {
+        echo "FAIL: $std dramctrl run reported no bandwidth" >&2
+        cat "$workdir/$std.log" >&2
+        exit 1
+    }
+done
+
+echo "== ddr5: recorded stream contains same-bank refreshes"
+grep -q "REFSB" "$workdir/ddr5.txt" || {
+    echo "FAIL: DDR5 command stream has no REFSB entry" >&2
+    exit 1
+}
+
+echo "== ddr3: -standard resolves to the default preset (bit-compat guard)"
+"$workdir/dramctrl" -spec DDR3-1600-x64 -pattern random -reads 67 \
+    -requests 20000 -seed 7 >"$workdir/ddr3-byname.log"
+cmp "$workdir/ddr3.log" "$workdir/ddr3-byname.log"
+
+echo "PASS: standards smoke"

@@ -48,6 +48,7 @@ func main() {
 	requests := cliconfig.AddRequests(flag.CommandLine, 4000, "requests per measurement point")
 	ablation := flag.String("ablation", "", "run a design ablation instead: pagepolicy, mapping, scheduler, writedrain, xaw, refresh, xorhash, prefetch, all")
 	jsonOut := flag.String("json", "", "write the sweep result as JSON to this file (atomic temp+rename)")
+	standard := cliconfig.AddStandard(flag.CommandLine)
 	shard := cliconfig.AddShard(flag.CommandLine)
 	flag.Parse()
 	channels, parallel := &shard.Channels, &shard.Workers
@@ -81,6 +82,22 @@ func main() {
 		os.Exit(1)
 	}
 	spec.Stop = stop
+	if err := cliconfig.ResolveStandard(*standard, &spec.Spec); err != nil {
+		fmt.Fprintln(os.Stderr, "bwsweep:", err)
+		os.Exit(1)
+	}
+	if *standard != "" {
+		// The figure's stride axis was sized for DDR3's 128 bursts per row;
+		// clamp it to the overriding device's row geometry.
+		maxStride := uint64(spec.Spec.Org.RowBufferBytes) / uint64(spec.Spec.Org.BurstBytes())
+		kept := spec.Strides[:0]
+		for _, s := range spec.Strides {
+			if s <= maxStride {
+				kept = append(kept, s)
+			}
+		}
+		spec.Strides = kept
+	}
 
 	var res *experiments.SweepResult
 	var err error

@@ -161,12 +161,12 @@ type cfgFromFlags struct {
 // so a checkpoint is never resumed under a different configuration. The
 // observability flags are deliberately absent: probes only observe, so a
 // traced resume of an untraced segment schedule is still the same schedule.
-func (f cfgFromFlags) fingerprint() string {
+func (f cfgFromFlags) fingerprint(spec dram.Spec) string {
 	t := f.traf
-	return fmt.Sprintf("dramctrl spec=%s model=%s mapping=%s page=%s sched=%s pattern=%s "+
+	return fmt.Sprintf("dramctrl spec=%s standard=%s model=%s mapping=%s page=%s sched=%s pattern=%s "+
 		"reads=%d requests=%d bytes=%d outstanding=%d itt=%d stride=%d banks=%d burston=%d burstoff=%d seed=%d "+
 		"powerdown=%d selfrefresh=%d faults=%d/%g/%g/%g ecc=%d retry=%d",
-		f.spec.Name, f.pol.Model, f.pol.Mapping, f.pol.Page, f.pol.Sched, t.Pattern,
+		spec.Name, spec.Standard(), f.pol.Model, f.pol.Mapping, f.pol.Page, f.pol.Sched, t.Pattern,
 		t.Reads, t.Requests, t.Bytes, t.Outstanding, t.ITTNs, t.Stride, t.Banks, t.BurstOn, t.BurstOffNs, t.Seed,
 		f.powerDownNs, f.selfRefreshNs,
 		f.faults.Seed, f.faults.CorrectablePerBurst, f.faults.UncorrectablePerBurst, f.faults.TransientPerBurst,
@@ -270,7 +270,7 @@ func buildSingle(f cfgFromFlags) (*singleRig, error) {
 	k := sim.NewKernel()
 	reg := stats.NewRegistry("dramctrl")
 	r := &singleRig{f: f, spec: spec, mapping: mapping, k: k, reg: reg, deadline: 100 * sim.Second}
-	r.mgr = checkpoint.NewManager(f.fingerprint())
+	r.mgr = checkpoint.NewManager(f.fingerprint(spec))
 	r.mgr.Register("kernel", checkpoint.WrapKernel(k))
 
 	// The observation hub must exist before the controller: the models

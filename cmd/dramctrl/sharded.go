@@ -42,12 +42,12 @@ type shardedFlags struct {
 // resumed under another. The observability flags are absent too — probes
 // only observe — but a traced resume does need tracing enabled again (the
 // trace sink is a strict checkpoint component).
-func (f shardedFlags) fingerprint() string {
+func (f shardedFlags) fingerprint(spec dram.Spec) string {
 	t := f.traf
-	return fmt.Sprintf("dramctrl-sharded spec=%s model=%s mapping=%s page=%s pattern=%s "+
+	return fmt.Sprintf("dramctrl-sharded spec=%s standard=%s model=%s mapping=%s page=%s pattern=%s "+
 		"reads=%d requests=%d bytes=%d outstanding=%d itt=%d stride=%d banks=%d burston=%d burstoff=%d seed=%d "+
 		"powerdown=%d selfrefresh=%d channels=%d quanta=%d",
-		f.spec.Name, f.pol.Model, f.pol.Mapping, f.pol.Page, t.Pattern,
+		spec.Name, spec.Standard(), f.pol.Model, f.pol.Mapping, f.pol.Page, t.Pattern,
 		t.Reads, t.Requests, t.Bytes, t.Outstanding, t.ITTNs, t.Stride, t.Banks, t.BurstOn, t.BurstOffNs, t.Seed,
 		f.powerDownNs, f.selfRefreshNs, f.shard.Channels, f.shard.Quanta)
 }
@@ -204,7 +204,7 @@ func runSharded(f shardedFlags) error {
 			return nil, err
 		}
 		rig = r
-		sess, err := r.NewSession(f.fingerprint(), 100*sim.Second)
+		sess, err := r.NewSession(f.fingerprint(spec), 100*sim.Second)
 		if err != nil {
 			return nil, err
 		}

@@ -19,6 +19,7 @@ func main() {
 	figure := flag.Int("figure", 6, "paper figure to regenerate (6 or 7)")
 	requests := cliconfig.AddRequests(flag.CommandLine, 20000, "read+write requests to issue")
 	bins := flag.Float64("bin", 25, "histogram bin width for display (ns)")
+	standard := cliconfig.AddStandard(flag.CommandLine)
 	flag.Parse()
 
 	var spec experiments.LatencySpec
@@ -29,6 +30,11 @@ func main() {
 		spec = experiments.Fig7Spec(*requests)
 	default:
 		fmt.Fprintf(os.Stderr, "latdist: figure %d not a latency distribution (want 6 or 7)\n", *figure)
+		os.Exit(1)
+	}
+
+	if err := cliconfig.ResolveStandard(*standard, &spec.Spec); err != nil {
+		fmt.Fprintln(os.Stderr, "latdist:", err)
 		os.Exit(1)
 	}
 

@@ -22,6 +22,7 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/dram"
 	"repro/internal/experiments"
 	"repro/internal/experiments/cliconfig"
 )
@@ -48,9 +49,19 @@ func main() {
 	parallel := flag.Int("parallel", 0, "also measure the sharded rig with up to N workers (0 = skip)")
 	quanta := flag.Int("lookahead-quanta", 8, "adaptive lookahead widening for the sharded measurement (1 = fixed quantum)")
 	jsonOut := flag.String("json", "", "write all measurements as JSON to this file")
+	standard := cliconfig.AddStandard(flag.CommandLine)
 	flag.Parse()
 
-	res, err := experiments.RunSpeedup(*requests)
+	var dev *dram.Spec
+	if *standard != "" {
+		sp, err := dram.ByStandard(*standard)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "speedup:", err)
+			os.Exit(1)
+		}
+		dev = &sp
+	}
+	res, err := experiments.RunSpeedupOn(*requests, dev)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "speedup:", err)
 		os.Exit(1)

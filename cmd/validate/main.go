@@ -7,6 +7,8 @@
 //	go run ./cmd/validate -faults  # fault-injection / RAS checks only
 //	go run ./cmd/validate -trace run.json        # + observability self-check
 //	go run ./cmd/validate -trace-check run.json  # validate an existing trace
+//	go run ./cmd/validate -standard ddr5         # one standard's protocol smoke
+//	go run ./cmd/validate -standard all          # every supported standard
 package main
 
 import (
@@ -37,6 +39,7 @@ func main() {
 	faultsOnly := flag.Bool("faults", false, "run only the fault-injection / RAS checks")
 	traceOut := flag.String("trace", "", "also run the observability self-check, writing its Perfetto trace here")
 	traceCheck := flag.String("trace-check", "", "validate an existing Chrome trace file and exit")
+	standard := flag.String("standard", "", "run only the protocol smoke for one memory standard keyword, or \"all\"")
 	flag.Parse()
 
 	if *traceCheck != "" {
@@ -64,6 +67,12 @@ func main() {
 	var checks []check
 	add := func(name string, pass bool, detail string, args ...any) {
 		checks = append(checks, check{name: name, pass: pass, detail: fmt.Sprintf(detail, args...)})
+	}
+
+	if *standard != "" {
+		standardChecks(add, *standard, memOps)
+		report(checks)
+		return
 	}
 
 	if *faultsOnly {
@@ -173,6 +182,91 @@ func main() {
 		traceChecks(add, *traceOut, memOps)
 	}
 	report(checks)
+}
+
+// standardChecks runs the multi-standard protocol smoke: each requested
+// family's representative preset drives a short random run with the command
+// stream recorded, and the device-aware protocol checker must find the
+// stream clean — including the standard's own rules (bank-group spacings,
+// same-bank refresh blackout, all-bank precharge time).
+func standardChecks(add func(string, bool, string, ...any), std string, requests uint64) {
+	stds := []string{std}
+	if std == "all" {
+		stds = dram.Standards()
+	}
+	for _, s := range stds {
+		spec, err := dram.ByStandard(s)
+		if err != nil {
+			add("Standard "+s, false, "error: %v", err)
+			continue
+		}
+		trace, bw, err := runStandardSmoke(spec, requests)
+		if err != nil {
+			add("Standard "+s, false, "error: %v", err)
+			continue
+		}
+		vs := power.CheckTiming(spec, trace.Commands())
+		detail := fmt.Sprintf("%s: %d commands protocol clean, %.2f GB/s", spec.Name, trace.Len(), bw/1e9)
+		if len(vs) > 0 {
+			detail = fmt.Sprintf("%s: %d violations, first: %s", spec.Name, len(vs), vs[0])
+		}
+		add("Standard "+s, len(vs) == 0 && bw > 0, "%s", detail)
+		if spec.Refresh == dram.RefSameBank {
+			refsb := 0
+			for _, c := range trace.Commands() {
+				if c.Kind == power.CmdREFSB {
+					refsb++
+				}
+			}
+			add("Standard "+s+" REFsb", refsb > 0, "%d same-bank refreshes in the trace", refsb)
+		}
+	}
+}
+
+// runStandardSmoke drives a short random-traffic run against the spec with
+// the command probe attached and returns the recorded command trace and the
+// achieved bandwidth.
+func runStandardSmoke(spec dram.Spec, requests uint64) (*power.CommandTrace, float64, error) {
+	var trace power.CommandTrace
+	hub := obs.NewHub()
+	hub.Attach(obs.CommandFunc(trace.Record))
+
+	k := sim.NewKernel()
+	reg := stats.NewRegistry("validate")
+	cfg := core.DefaultConfig(spec)
+	cfg.Probes = hub
+	ctrl, err := core.NewController(k, cfg, reg, "mc")
+	if err != nil {
+		return nil, 0, err
+	}
+	gen, err := trafficgen.New(k, trafficgen.Config{
+		RequestBytes:   64,
+		MaxOutstanding: 32,
+		Count:          requests,
+	}, &trafficgen.Random{
+		Start: 0, End: 1 << 26, Align: 64, ReadPercent: 67, Seed: 7,
+	}, reg, "gen")
+	if err != nil {
+		return nil, 0, err
+	}
+	mem.Connect(gen.Port(), ctrl.Port())
+	gen.Start()
+	for k.Now() < 100*sim.Second {
+		if _, err := k.RunUntilErr(k.Now() + 10*sim.Microsecond); err != nil {
+			return nil, 0, err
+		}
+		if gen.Done() {
+			if !ctrl.Quiescent() {
+				ctrl.Drain()
+				continue
+			}
+			break
+		}
+	}
+	if !gen.Done() {
+		return nil, 0, fmt.Errorf("%s smoke did not complete by %s", spec.Name, k.Now())
+	}
+	return &trace, ctrl.Bandwidth(), nil
 }
 
 // traceChecks runs the observability self-check: a small traced run through

@@ -23,8 +23,14 @@ func main() {
 	registry := stats.NewRegistry("quickstart")
 
 	// The memory: a DDR3-1600 x64 channel (the paper's Table IV part) under
-	// the paper's Table III controller configuration.
-	spec := dram.DDR3_1600_x64()
+	// the paper's Table III controller configuration. Presets come from the
+	// registry — dram.ByName for an exact part, dram.ByStandard("ddr5") for
+	// a family's representative — and any dram.Spec is a dram.Device, so the
+	// controller accepts it directly.
+	spec, err := dram.ByName("DDR3-1600-x64")
+	if err != nil {
+		log.Fatal(err)
+	}
 	ctrl, err := core.NewController(kernel, core.DefaultConfig(spec), registry, "mc")
 	if err != nil {
 		log.Fatal(err)

@@ -56,7 +56,13 @@ func main() {
 
 	kernel := sim.NewKernel()
 	registry := stats.NewRegistry("trace")
-	ctrl, err := core.NewController(kernel, core.DefaultConfig(dram.DDR3_1600_x64()), registry, "mc")
+	// The device comes from the preset registry; swap the name (or use
+	// dram.ByStandard) to replay the same trace against another standard.
+	spec, err := dram.ByName("DDR3-1600-x64")
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctrl, err := core.NewController(kernel, core.DefaultConfig(spec), registry, "mc")
 	if err != nil {
 		log.Fatal(err)
 	}

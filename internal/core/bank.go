@@ -44,8 +44,21 @@ type rank struct {
 	// bytes-per-activate statistic.
 	bytesAccessed []uint64
 
-	// lastActAt is the most recent activate, enforcing tRRD.
+	// lastActAt is the most recent activate, enforcing tRRD (tRRD_S on
+	// bank-grouped devices, where it spaces any pair of activates).
 	lastActAt sim.Tick
+	// actGroupAt is the most recent activate per bank group, enforcing
+	// tRRD_L; nil on flat devices, which pay no group constraints at all.
+	actGroupAt []sim.Tick
+	// colGroupAt is the earliest tick for the next column command per bank
+	// group (last column command plus tCCD_L); nil on flat devices. Note the
+	// convention differs from actGroupAt: column state stores allowed-at
+	// like colAllowedAt, activate state stores last-command like lastActAt.
+	colGroupAt []sim.Tick
+	// colAnyAt is the earliest tick for the next column command anywhere in
+	// the rank (last column command plus tCCD_S); unused on flat devices,
+	// where the data bus already spaces column commands by tBURST.
+	colAnyAt sim.Tick
 	// actWindow holds the ticks of the last ActivationLimit activates,
 	// enforcing tXAW.
 	actWindow []sim.Tick
@@ -88,7 +101,7 @@ type rank struct {
 // it still predates the simulation start; it marks "has not happened yet".
 const neverTick = -sim.Second
 
-func newRank(org dram.Organization) *rank {
+func newRank(org dram.Organization, topo dram.Topology) *rank {
 	n := org.BanksPerRank
 	r := &rank{
 		openRow:       make([]int64, n),
@@ -102,6 +115,13 @@ func newRank(org dram.Organization) *rank {
 	}
 	for i := range r.openRow {
 		r.openRow[i] = rowClosed
+	}
+	if topo.Grouped() {
+		r.actGroupAt = make([]sim.Tick, topo.Groups)
+		r.colGroupAt = make([]sim.Tick, topo.Groups)
+		for g := range r.actGroupAt {
+			r.actGroupAt[g] = neverTick
+		}
 	}
 	return r
 }

@@ -84,12 +84,18 @@ type bankState struct {
 // two idle-timer events — a checkpoint taken mid-power-down or mid-self-
 // refresh resumes inside that state with residency accounting intact.
 type rankState struct {
-	Banks           []bankState `json:"banks"`
-	LastActAt       sim.Tick    `json:"lastActAt"`
-	ActWindow       []sim.Tick  `json:"actWindow,omitempty"`
-	RdAllowedAt     sim.Tick    `json:"rdAllowedAt"`
-	WrAllowedAt     sim.Tick    `json:"wrAllowedAt"`
-	NextRefreshBank int         `json:"nextRefreshBank,omitempty"`
+	Banks     []bankState `json:"banks"`
+	LastActAt sim.Tick    `json:"lastActAt"`
+	ActWindow []sim.Tick  `json:"actWindow,omitempty"`
+	// ActGroupAt/ColGroupAt/ColAnyAt carry the bank-group timing state of
+	// grouped devices (DDR4 onward); all omitted on flat devices, keeping
+	// their images byte-identical to pre-bank-group checkpoints.
+	ActGroupAt      []sim.Tick `json:"actGroupAt,omitempty"`
+	ColGroupAt      []sim.Tick `json:"colGroupAt,omitempty"`
+	ColAnyAt        sim.Tick   `json:"colAnyAt,omitempty"`
+	RdAllowedAt     sim.Tick   `json:"rdAllowedAt"`
+	WrAllowedAt     sim.Tick   `json:"wrAllowedAt"`
+	NextRefreshBank int        `json:"nextRefreshBank,omitempty"`
 
 	Cke       int      `json:"cke,omitempty"`
 	CkeSince  sim.Tick `json:"ckeSince"`
@@ -244,6 +250,9 @@ func (c *Controller) CheckpointSave(pt mem.PacketTable) (any, error) {
 		rs := rankState{
 			LastActAt:       rk.lastActAt,
 			ActWindow:       append([]sim.Tick(nil), rk.actWindow...),
+			ActGroupAt:      append([]sim.Tick(nil), rk.actGroupAt...),
+			ColGroupAt:      append([]sim.Tick(nil), rk.colGroupAt...),
+			ColAnyAt:        rk.colAnyAt,
 			RdAllowedAt:     rk.rdAllowedAt,
 			WrAllowedAt:     rk.wrAllowedAt,
 			NextRefreshBank: rk.nextRefreshBank,
@@ -369,6 +378,13 @@ func (c *Controller) CheckpointRestore(pl mem.PacketLookup, rs sim.Restorer, dat
 		}
 		rk.lastActAt = rkst.LastActAt
 		rk.actWindow = append(rk.actWindow[:0], rkst.ActWindow...)
+		if len(rkst.ActGroupAt) != len(rk.actGroupAt) || len(rkst.ColGroupAt) != len(rk.colGroupAt) {
+			return fmt.Errorf("core: %s: rank %d has %d bank groups in checkpoint, %d in config",
+				c.name, ri, len(rkst.ActGroupAt), len(rk.actGroupAt))
+		}
+		copy(rk.actGroupAt, rkst.ActGroupAt)
+		copy(rk.colGroupAt, rkst.ColGroupAt)
+		rk.colAnyAt = rkst.ColAnyAt
 		rk.rdAllowedAt = rkst.RdAllowedAt
 		rk.wrAllowedAt = rkst.WrAllowedAt
 		rk.nextRefreshBank = rkst.NextRefreshBank

@@ -96,8 +96,10 @@ func (p PagePolicy) String() string {
 //
 //fp:check
 type Config struct {
-	// Spec is the DRAM organisation, timing and power description.
-	Spec dram.Spec
+	// Device is the DRAM device model: organisation, timing tables,
+	// bank-group topology and refresh discipline (see dram.Device). Any
+	// dram.Spec — including every preset — satisfies the interface.
+	Device dram.Device
 	// Mapping is the address decoding scheme.
 	Mapping dram.Mapping
 	// Channels is the number of interleaved channels in the system; the
@@ -176,11 +178,11 @@ type Config struct {
 }
 
 // DefaultConfig returns the paper's Table III controller configuration for
-// the given memory spec: 20-entry queues, 70%/50% watermarks, FR-FCFS,
+// the given device: 20-entry queues, 70%/50% watermarks, FR-FCFS,
 // open-page, RoRaBaCoCh.
-func DefaultConfig(spec dram.Spec) Config {
+func DefaultConfig(spec dram.Device) Config {
 	return Config{
-		Spec:               spec,
+		Device:             spec,
 		Mapping:            dram.RoRaBaCoCh,
 		Channels:           1,
 		ReadBufferSize:     20,
@@ -203,10 +205,13 @@ func DefaultConfig(spec dram.Spec) Config {
 
 // Validate checks the configuration for internal consistency.
 func (c Config) Validate() error {
-	if err := c.Spec.Validate(); err != nil {
+	if c.Device == nil {
+		return fmt.Errorf("core: config has no device model")
+	}
+	if err := c.Device.Validate(); err != nil {
 		return err
 	}
-	if _, err := dram.NewDecoder(c.Spec.Org, c.Mapping, c.Channels); err != nil {
+	if _, err := dram.NewDecoder(c.Device.Describe().Org, c.Mapping, c.Channels); err != nil {
 		return err
 	}
 	switch {

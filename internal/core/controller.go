@@ -38,10 +38,21 @@ type Controller struct {
 	k          *sim.Kernel
 	dec        dram.Decoder      //ckpt:skip derived from cfg.Spec by the constructor
 	port       *mem.ResponsePort //ckpt:skip wiring, rebuilt by the constructor
-	// tim and org cache cfg.Spec fields: they are read on every scheduling
-	// decision and copying the structs there is measurable.
-	tim dram.Timing       //ckpt:skip cached copy of cfg.Spec.Timing
-	org dram.Organization //ckpt:skip cached copy of cfg.Spec.Org
+	// tim and org cache the device's timing and organisation: they are read
+	// on every scheduling decision and interface calls (or struct copies)
+	// there are measurable.
+	tim dram.Timing       //ckpt:skip cached copy of cfg.Device.Describe().Timing
+	org dram.Organization //ckpt:skip cached copy of cfg.Device.Describe().Org
+	// topo and the timing answers below cache the device's bank-group and
+	// refresh interface answers; grouped hoists topo.Grouped() for the hot
+	// paths, where flat devices (DDR3) must pay nothing for the machinery.
+	topo    dram.Topology    //ckpt:skip derived from cfg.Device by the constructor
+	grouped bool             //ckpt:skip derived from topo by the constructor
+	trrdL   sim.Tick         //ckpt:skip cached cfg.Device.ActToAct(sameGroup)
+	tccdL   sim.Tick         //ckpt:skip cached cfg.Device.ColToCol(sameGroup)
+	tccdS   sim.Tick         //ckpt:skip cached cfg.Device.ColToCol(cross-group)
+	tRPab   sim.Tick         //ckpt:skip cached cfg.Device.PrechargeAll()
+	refSpec dram.RefreshSpec //ckpt:skip cached cfg.Device.RefreshMode()
 
 	readQueue  []*dramPacket
 	writeQueue []*dramPacket
@@ -145,7 +156,8 @@ func NewController(k *sim.Kernel, cfg Config, reg *stats.Registry, name string) 
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	dec, err := dram.NewDecoder(cfg.Spec.Org, cfg.Mapping, cfg.Channels)
+	spec := cfg.Device.Describe()
+	dec, err := dram.NewDecoder(spec.Org, cfg.Mapping, cfg.Channels)
 	if err != nil {
 		return nil, err
 	}
@@ -159,9 +171,16 @@ func NewController(k *sim.Kernel, cfg Config, reg *stats.Registry, name string) 
 		inWriteQueue: make(map[mem.Addr]int),
 		hub:          cfg.Probes.OrNil(),
 		startTick:    k.Now(),
-		tim:          cfg.Spec.Timing,
-		org:          cfg.Spec.Org,
+		tim:          spec.Timing,
+		org:          spec.Org,
+		topo:         cfg.Device.Topology(),
+		trrdL:        cfg.Device.ActToAct(true),
+		tccdL:        cfg.Device.ColToCol(true),
+		tccdS:        cfg.Device.ColToCol(false),
+		tRPab:        cfg.Device.PrechargeAll(),
+		refSpec:      cfg.Device.RefreshMode(),
 	}
+	c.grouped = c.topo.Grouped()
 	if cfg.Faults.Enabled() {
 		inj, err := faults.NewInjector(cfg.Faults)
 		if err != nil {
@@ -170,10 +189,10 @@ func NewController(k *sim.Kernel, cfg Config, reg *stats.Registry, name string) 
 		c.inj = inj
 	}
 	c.port = mem.NewResponsePort(name+".port", c, k)
-	c.ranks = make([]*rank, cfg.Spec.Org.RanksPerChannel)
+	c.ranks = make([]*rank, spec.Org.RanksPerChannel)
 	c.refreshDue = make([]sim.Tick, len(c.ranks))
 	for i := range c.ranks {
-		c.ranks[i] = newRank(cfg.Spec.Org)
+		c.ranks[i] = newRank(spec.Org, c.topo)
 	}
 	c.allPrechargedSince = k.Now()
 	c.nextReqEvent = sim.NewEvent(name+".nextReq", c.processNextReqEvent)
@@ -196,10 +215,7 @@ func NewController(k *sim.Kernel, cfg Config, reg *stats.Registry, name string) 
 		i := i
 		// Stagger rank refreshes across the interval so multi-rank systems
 		// never stall every rank at once.
-		interval := cfg.Spec.Timing.TREFI
-		if cfg.Refresh == RefreshPerBank {
-			interval /= sim.Tick(cfg.Spec.Org.BanksPerRank)
-		}
+		interval := c.refreshInterval()
 		due := k.Now() + interval + interval*sim.Tick(i)/sim.Tick(len(c.ranks))
 		c.refreshDue[i] = due
 		ev := sim.NewEvent(fmt.Sprintf("%s.refresh%d", name, i), func() { c.processRefresh(i) })
@@ -294,7 +310,7 @@ func (c *Controller) RecvRespRetry() {
 // burstRange iterates the burst-aligned pieces of a request, calling fn with
 // each piece's burst address and the byte range it covers.
 func (c *Controller) burstRange(pkt *mem.Packet, fn func(burstAddr, lo mem.Addr, size uint64)) int {
-	burst := c.cfg.Spec.Org.BurstBytes()
+	burst := c.org.BurstBytes()
 	count := 0
 	addr := pkt.Addr
 	remaining := pkt.Size
@@ -718,7 +734,10 @@ func (c *Controller) rawIssueAt(p *dramPacket) sim.Tick {
 	if rk.openRow[bi] != int64(p.coord.Row) {
 		actAt := maxTick(now, rk.actAllowedAt[bi],
 			rk.lastActAt+t.TRRD,
-			rk.earliestActByWindow(c.cfg.Spec.Org.ActivationLimit, t.TXAW))
+			rk.earliestActByWindow(c.org.ActivationLimit, t.TXAW))
+		if c.grouped {
+			actAt = maxTick(actAt, rk.actGroupAt[c.topo.GroupOf(bi)]+c.trrdL)
+		}
 		if rk.openRow[bi] != rowClosed {
 			actAt = maxTick(actAt, maxTick(now, rk.preAllowedAt[bi])+t.TRP)
 		}
@@ -728,7 +747,11 @@ func (c *Controller) rawIssueAt(p *dramPacket) sim.Tick {
 	if !p.isRead {
 		dirAllowed = rk.wrAllowedAt
 	}
-	return maxTick(now, colReady, dirAllowed)
+	at := maxTick(now, colReady, dirAllowed)
+	if c.grouped {
+		at = maxTick(at, rk.colGroupAt[c.topo.GroupOf(bi)], rk.colAnyAt)
+	}
+	return at
 }
 
 // clampToBus applies the same data-bus serialisation doDRAMAccess charges:
@@ -780,6 +803,9 @@ func (c *Controller) doDRAMAccess(p *dramPacket) {
 		actAt := maxTick(now, rk.actAllowedAt[bi],
 			rk.lastActAt+t.TRRD,
 			rk.earliestActByWindow(org.ActivationLimit, t.TXAW))
+		if c.grouped {
+			actAt = maxTick(actAt, rk.actGroupAt[c.topo.GroupOf(bi)]+c.trrdL)
+		}
 		c.activateBank(ri, rk, bi, actAt, row)
 	}
 
@@ -788,10 +814,22 @@ func (c *Controller) doDRAMAccess(p *dramPacket) {
 		dirAllowed = rk.wrAllowedAt
 	}
 	cmdAt := maxTick(now, rk.colAllowedAt[bi], dirAllowed)
+	if c.grouped {
+		cmdAt = maxTick(cmdAt, rk.colGroupAt[c.topo.GroupOf(bi)], rk.colAnyAt)
+	}
 	// The command may overlap in-flight data; only the data transfer itself
 	// serialises on the bus.
 	if cmdAt+t.TCL < c.busBusyUntil {
 		cmdAt = c.busBusyUntil - t.TCL
+	}
+	if c.grouped {
+		// Book the group spacing for the *next* column command: tCCD_L
+		// within this group, tCCD_S to any other (usually tBURST, which the
+		// bus serialisation above already enforces — but not when writes
+		// follow reads with a shorter turnaround).
+		g := c.topo.GroupOf(bi)
+		rk.colGroupAt[g] = maxTick(rk.colGroupAt[g], cmdAt+c.tccdL)
+		rk.colAnyAt = maxTick(rk.colAnyAt, cmdAt+c.tccdS)
 	}
 	dataEnd := cmdAt + t.TCL + t.TBURST
 	c.busBusyUntil = dataEnd
@@ -905,7 +943,11 @@ func (c *Controller) activateBank(ri int, rk *rank, bi int, actAt sim.Tick, row 
 	rk.preAllowedAt[bi] = maxTick(rk.preAllowedAt[bi], actAt+t.TRAS)
 	rk.rowAccesses[bi] = 0
 	rk.bytesAccessed[bi] = 0
-	rk.recordAct(actAt, c.cfg.Spec.Org.ActivationLimit)
+	rk.recordAct(actAt, c.org.ActivationLimit)
+	if c.grouped {
+		g := c.topo.GroupOf(bi)
+		rk.actGroupAt[g] = maxTick(rk.actGroupAt[g], actAt)
+	}
 	rk.busyUntil = maxTick(rk.busyUntil, actAt)
 	c.st.activations.Inc()
 	if c.hub != nil {
@@ -943,10 +985,37 @@ func (c *Controller) prechargeBank(ri int, rk *rank, bi int, preAt sim.Tick) {
 	}
 }
 
+// refreshInterval returns the cadence of the active refresh engine: tREFI
+// for all-bank, tREFI/banks for per-bank (one bank per command), and
+// tREFI/banks-per-group for DDR5 same-bank (one bank of every group per
+// command). The engine itself is picked by refreshEngine.
+func (c *Controller) refreshInterval() sim.Tick {
+	interval := c.tim.TREFI
+	switch c.refreshEngine() {
+	case dram.RefPerBank:
+		interval /= sim.Tick(c.org.BanksPerRank)
+	case dram.RefSameBank:
+		interval /= sim.Tick(c.topo.BanksPerGroup)
+	}
+	return interval
+}
+
+// refreshEngine resolves the refresh discipline actually run: the Config's
+// per-bank override wins (the refresh ablation sweeps it), otherwise the
+// device's native discipline decides — DDR5 parts refresh same-bank, LPDDR
+// specs may declare per-bank, everything else refreshes all-bank.
+func (c *Controller) refreshEngine() dram.RefreshKind {
+	if c.cfg.Refresh == RefreshPerBank {
+		return dram.RefPerBank
+	}
+	return c.refSpec.Kind
+}
+
 // processRefresh issues a refresh for a rank (paper §II-B: refreshes cause
-// the big latency spikes, so they are modelled). The all-bank policy blocks
-// the whole rank for tRFC; the per-bank extension refreshes one bank for a
-// shortened window, at a proportionally higher cadence.
+// the big latency spikes, so they are modelled). The all-bank discipline
+// blocks the whole rank for tRFC; per-bank refreshes one bank for a
+// shortened window at a proportionally higher cadence; same-bank (DDR5)
+// blocks one bank of every group for tRFCsb.
 func (c *Controller) processRefresh(rankIdx int) {
 	t := &c.tim
 	now := c.k.Now()
@@ -966,12 +1035,13 @@ func (c *Controller) processRefresh(rankIdx int) {
 		c.wakeRank(rankIdx)
 	}
 
-	var interval sim.Tick
-	if c.cfg.Refresh == RefreshPerBank {
-		interval = t.TREFI / sim.Tick(rk.numBanks())
+	interval := c.refreshInterval()
+	switch c.refreshEngine() {
+	case dram.RefPerBank:
 		c.refreshOneBank(rankIdx, rk)
-	} else {
-		interval = t.TREFI
+	case dram.RefSameBank:
+		c.refreshSameBank(rankIdx, rk)
+	default:
 		c.refreshAllBanks(rankIdx, rk)
 	}
 	c.st.refreshes.Inc()
@@ -988,19 +1058,28 @@ func (c *Controller) processRefresh(rankIdx int) {
 	c.scheduleLowPowerChecks()
 }
 
-// refreshAllBanks closes every bank and blocks the rank for tRFC.
+// refreshAllBanks closes every bank and blocks the rank for tRFC. On
+// devices distinguishing all-bank from per-bank precharge (LPDDR tRPab),
+// closing two or more rows at once is a precharge-all and pays the longer
+// tRPab before the REF may start.
 func (c *Controller) refreshAllBanks(rankIdx int, rk *rank) {
 	t := &c.tim
 	now := c.k.Now()
 	start := now
+	preCount, lastPre := 0, sim.Tick(0)
 	for i := 0; i < rk.numBanks(); i++ {
 		if rk.openRow[i] != rowClosed {
 			preAt := maxTick(now, rk.preAllowedAt[i])
 			c.prechargeBank(rankIdx, rk, i, preAt)
 			start = maxTick(start, preAt+t.TRP)
+			preCount++
+			lastPre = maxTick(lastPre, preAt)
 		} else {
 			start = maxTick(start, rk.actAllowedAt[i])
 		}
+	}
+	if preCount >= 2 && c.tRPab > t.TRP {
+		start = maxTick(start, lastPre+c.tRPab)
 	}
 	done := start + t.TRFC
 	for i := 0; i < rk.numBanks(); i++ {
@@ -1015,15 +1094,10 @@ func (c *Controller) refreshAllBanks(rankIdx int, rk *rank) {
 	}
 }
 
-// tRFCpbNum/tRFCpbDen scale tRFC down for per-bank refresh (LPDDR3-style:
-// roughly 60% of the all-bank window).
-const (
-	tRFCpbNum = 3
-	tRFCpbDen = 5
-)
-
 // refreshOneBank closes and refreshes only the next bank in round-robin
-// order; the rest of the rank keeps serving.
+// order; the rest of the rank keeps serving. The shortened per-bank window
+// is dram.TRFCpbNum/TRFCpbDen of tRFC (shared with power.CheckTiming so the
+// referee can never disagree with the model).
 func (c *Controller) refreshOneBank(rankIdx int, rk *rank) {
 	t := &c.tim
 	now := c.k.Now()
@@ -1036,7 +1110,7 @@ func (c *Controller) refreshOneBank(rankIdx int, rk *rank) {
 	} else {
 		start = maxTick(start, rk.actAllowedAt[bi])
 	}
-	done := start + t.TRFC*tRFCpbNum/tRFCpbDen
+	done := start + t.TRFC*dram.TRFCpbNum/dram.TRFCpbDen
 	rk.actAllowedAt[bi] = maxTick(rk.actAllowedAt[bi], done)
 	rk.refreshUntil[bi] = maxTick(rk.refreshUntil[bi], done)
 	rk.busyUntil = maxTick(rk.busyUntil, done)
@@ -1046,4 +1120,40 @@ func (c *Controller) refreshOneBank(rankIdx int, rk *rank) {
 		c.hub.Emit(obs.RefreshEnd{Src: c.name, At: done, Rank: rankIdx, Bank: bi})
 	}
 	rk.nextRefreshBank = (bi + 1) % rk.numBanks()
+}
+
+// refreshSameBank issues a DDR5 REFsb: one bank of every group — the set
+// sharing in-group index s, i.e. banks [s*Groups, (s+1)*Groups) under the
+// bank-mod-Groups mapping — is closed and blacked out for tRFCsb, while the
+// other banks keep serving. The rotating index s rides the same round-robin
+// counter per-bank refresh uses, over [0, BanksPerGroup).
+func (c *Controller) refreshSameBank(rankIdx int, rk *rank) {
+	t := &c.tim
+	now := c.k.Now()
+	s := rk.nextRefreshBank % c.topo.BanksPerGroup
+	lo, hi := s*c.topo.Groups, (s+1)*c.topo.Groups
+	start := now
+	for bi := lo; bi < hi; bi++ {
+		if rk.openRow[bi] != rowClosed {
+			preAt := maxTick(now, rk.preAllowedAt[bi])
+			c.prechargeBank(rankIdx, rk, bi, preAt)
+			start = maxTick(start, preAt+t.TRP)
+		} else {
+			start = maxTick(start, rk.actAllowedAt[bi])
+		}
+	}
+	done := start + c.refSpec.Blackout
+	for bi := lo; bi < hi; bi++ {
+		rk.actAllowedAt[bi] = maxTick(rk.actAllowedAt[bi], done)
+		rk.refreshUntil[bi] = maxTick(rk.refreshUntil[bi], done)
+	}
+	rk.busyUntil = maxTick(rk.busyUntil, done)
+	c.emitCommand(power.CmdREFSB, rankIdx, s, start)
+	if c.hub != nil {
+		for bi := lo; bi < hi; bi++ {
+			c.hub.Emit(obs.RefreshStart{Src: c.name, At: start, Rank: rankIdx, Bank: bi, Until: done})
+			c.hub.Emit(obs.RefreshEnd{Src: c.name, At: done, Rank: rankIdx, Bank: bi})
+		}
+	}
+	rk.nextRefreshBank = (s + 1) % c.topo.BanksPerGroup
 }

@@ -133,7 +133,7 @@ func TestPolicyStrings(t *testing.T) {
 // static latencies — the fundamental timing identity of the model.
 func TestSingleReadLatency(t *testing.T) {
 	h := newHarness(t, nil)
-	tm := h.c.cfg.Spec.Timing
+	tm := h.c.tim
 	h.at(0, func() { h.send(mem.NewRead(0, 64, 0, 0)) })
 	h.run(sim.Microsecond)
 	if len(h.responses) != 1 {
@@ -151,7 +151,7 @@ func TestStaticLatencies(t *testing.T) {
 		c.FrontendLatency = 10 * sim.Nanosecond
 		c.BackendLatency = 20 * sim.Nanosecond
 	})
-	tm := h.c.cfg.Spec.Timing
+	tm := h.c.tim
 	h.at(0, func() { h.send(mem.NewRead(0, 64, 0, 0)) })
 	h.run(sim.Microsecond)
 	want := tm.TRCD + tm.TCL + tm.TBURST + 30*sim.Nanosecond
@@ -164,7 +164,7 @@ func TestStaticLatencies(t *testing.T) {
 // the first back-to-back on the bus.
 func TestRowHitPipelining(t *testing.T) {
 	h := newHarness(t, nil)
-	tm := h.c.cfg.Spec.Timing
+	tm := h.c.tim
 	h.at(0, func() {
 		h.send(mem.NewRead(0, 64, 0, 0))
 		h.send(mem.NewRead(64, 64, 0, 0))
@@ -384,8 +384,8 @@ func TestClosedAdaptivePagePolicy(t *testing.T) {
 // Open-adaptive closes the row early when only a conflict is queued.
 func TestOpenAdaptivePagePolicy(t *testing.T) {
 	h := newHarness(t, func(c *Config) { c.Page = OpenAdaptive })
-	rowBytes := h.c.cfg.Spec.Org.RowBufferBytes
-	banks := uint64(h.c.cfg.Spec.Org.BanksPerRank)
+	rowBytes := h.c.org.RowBufferBytes
+	banks := uint64(h.c.org.BanksPerRank)
 	// Same bank, different row (RoRaBaCoCh: banks stride is a full row set).
 	conflictAddr := mem.Addr(rowBytes * banks)
 	h.at(0, func() {
@@ -463,7 +463,7 @@ func TestWritesHeldBelowLowWatermark(t *testing.T) {
 // FR-FCFS prefers a row hit over an older conflicting request.
 func TestFRFCFSPrefersRowHit(t *testing.T) {
 	h := newHarness(t, func(c *Config) { c.ReadBufferSize = 8 })
-	org := h.c.cfg.Spec.Org
+	org := h.c.org
 	conflict := mem.Addr(org.RowBufferBytes * uint64(org.BanksPerRank)) // row 1, bank 0
 	var order []mem.Addr
 	hh := h
@@ -508,8 +508,8 @@ func TestActivationWindow(t *testing.T) {
 		c.Page = Closed
 		c.Mapping = dram.RoCoRaBaCh // sequential bursts walk banks
 	})
-	tm := h.c.cfg.Spec.Timing
-	limit := h.c.cfg.Spec.Org.ActivationLimit // 4 for DDR3
+	tm := h.c.tim
+	limit := h.c.org.ActivationLimit // 4 for DDR3
 	h.at(0, func() {
 		for i := 0; i < limit+1; i++ {
 			h.send(mem.NewRead(mem.Addr(i*64), 64, 0, 0))
@@ -527,7 +527,9 @@ func TestActivationWindow(t *testing.T) {
 	h2 := newHarness(t, func(c *Config) {
 		c.Page = Closed
 		c.Mapping = dram.RoCoRaBaCh
-		c.Spec.Org.ActivationLimit = 0
+		spec := c.Device.Describe()
+		spec.Org.ActivationLimit = 0
+		c.Device = spec
 	})
 	h2.at(0, func() {
 		for i := 0; i < limit+1; i++ {
@@ -543,7 +545,7 @@ func TestActivationWindow(t *testing.T) {
 // tRRD separates activates to different banks.
 func TestTRRDSeparatesActivates(t *testing.T) {
 	h := newHarness(t, func(c *Config) { c.Mapping = dram.RoCoRaBaCh })
-	tm := h.c.cfg.Spec.Timing
+	tm := h.c.tim
 	h.at(0, func() {
 		h.send(mem.NewRead(0, 64, 0, 0))  // bank 0
 		h.send(mem.NewRead(64, 64, 0, 0)) // bank 1
@@ -561,7 +563,7 @@ func TestTRRDSeparatesActivates(t *testing.T) {
 // Refresh fires roughly every tREFI.
 func TestRefreshCadence(t *testing.T) {
 	h := newHarness(t, nil)
-	tm := h.c.cfg.Spec.Timing
+	tm := h.c.tim
 	h.k.RunUntil(10 * tm.TREFI)
 	got := h.c.st.refreshes.Value()
 	if got < 9 || got > 11 {
@@ -572,7 +574,7 @@ func TestRefreshCadence(t *testing.T) {
 // A read arriving during refresh is delayed by the refresh.
 func TestRefreshBlocksAccess(t *testing.T) {
 	h := newHarness(t, nil)
-	tm := h.c.cfg.Spec.Timing
+	tm := h.c.tim
 	// Send a read just after the first refresh begins.
 	start := tm.TREFI + sim.Nanosecond
 	h.at(start, func() { h.send(mem.NewRead(0, 64, 0, 0)) })
@@ -594,7 +596,7 @@ func TestWriteToReadTurnaround(t *testing.T) {
 		c.WriteLowThresh = 0
 		c.MinWritesPerSwitch = 1
 	})
-	tm := h.c.cfg.Spec.Timing
+	tm := h.c.tim
 	// The write drains immediately (no reads, low mark 0); the read arrives
 	// while the write is in flight and must respect tWTR.
 	h.at(0, func() { h.send(mem.NewWrite(0, 64, 0, 0)) })
@@ -783,7 +785,7 @@ func TestInsertRespOrdering(t *testing.T) {
 }
 
 func TestBankWindowHelpers(t *testing.T) {
-	r := newRank(dram.DDR3_1600_x64().Org)
+	r := newRank(dram.DDR3_1600_x64().Org, dram.DDR3_1600_x64().Topology())
 	if r.earliestActByWindow(4, 40*sim.Nanosecond) != 0 {
 		t.Fatal("empty window should not constrain")
 	}
@@ -808,7 +810,7 @@ func TestXORBankHashThroughput(t *testing.T) {
 			c.XORBankHash = hash
 			c.ReadBufferSize = 32
 		})
-		org := h.c.cfg.Spec.Org
+		org := h.c.org
 		stride := org.RowBufferBytes * uint64(org.Banks()) // same bank, next row
 		h.at(0, func() {
 			for i := 0; i < 16; i++ {

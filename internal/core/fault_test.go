@@ -17,7 +17,7 @@ func TestECCCorrectionLatencyAndScrub(t *testing.T) {
 		c.Faults = faults.Config{Seed: 7, CorrectablePerBurst: 1.0}
 		c.ECCCorrectionLatency = 16 * sim.Nanosecond
 	})
-	tm := h.c.cfg.Spec.Timing
+	tm := h.c.tim
 	h.at(0, func() { h.send(mem.NewRead(0, 64, 0, 0)) })
 	h.run(sim.Microsecond)
 	if len(h.responses) != 1 {
@@ -84,7 +84,7 @@ func TestTransientReplayThenRowRetirement(t *testing.T) {
 		c.Faults = faults.Config{Seed: 7, TransientPerBurst: 1.0}
 		c.FaultRetryLimit = 3
 	})
-	tm := h.c.cfg.Spec.Timing
+	tm := h.c.tim
 	h.at(0, func() { h.send(mem.NewRead(0, 64, 0, 0)) })
 	h.run(50 * sim.Microsecond)
 	if len(h.responses) != 1 {
@@ -126,7 +126,7 @@ func TestStuckRowFaults(t *testing.T) {
 			StuckRows: []faults.StuckRow{{Rank: 0, Bank: 0, Row: 0, Kind: faults.Uncorrectable}},
 		}
 	})
-	org := h.c.cfg.Spec.Org
+	org := h.c.org
 	otherRow := mem.Addr(org.RowBufferBytes * uint64(org.Banks())) // row 1, bank 0
 	h.at(0, func() {
 		h.send(mem.NewRead(0, 64, 0, 0)) // stuck row

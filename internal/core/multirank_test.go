@@ -33,7 +33,7 @@ func newRankHarness(t *testing.T, mutate func(*Config)) *harness {
 // rankAddr returns an address decoding to the given rank/bank/row.
 func rankAddr(t *testing.T, cfg Config, rank, bank int, row uint64) mem.Addr {
 	t.Helper()
-	dec, err := dram.NewDecoder(cfg.Spec.Org, cfg.Mapping, cfg.Channels)
+	dec, err := dram.NewDecoder(cfg.Device.Describe().Org, cfg.Mapping, cfg.Channels)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,9 +82,9 @@ func TestActivationWindowPerRank(t *testing.T) {
 				}
 				// Distinct banks within each rank avoid same-bank tRC
 				// serialisation; the XAW window is the binding constraint.
-				bank := (i / 2) % h.c.cfg.Spec.Org.BanksPerRank
+				bank := (i / 2) % h.c.org.BanksPerRank
 				if !useBothRanks {
-					bank = i % h.c.cfg.Spec.Org.BanksPerRank
+					bank = i % h.c.org.BanksPerRank
 				}
 				h.send(mem.NewRead(rankAddr(t, h.c.cfg, rank, bank, uint64(i)), 64, 0, 0))
 			}
@@ -105,7 +105,7 @@ func TestActivationWindowPerRank(t *testing.T) {
 // Refresh is per rank: both ranks refresh at the tREFI cadence.
 func TestRefreshPerRank(t *testing.T) {
 	h := newRankHarness(t, nil)
-	tm := h.c.cfg.Spec.Timing
+	tm := h.c.tim
 	h.k.RunUntil(5 * tm.TREFI)
 	got := h.c.st.refreshes.Value()
 	if got < 8 || got > 12 { // 2 ranks x ~5 refreshes

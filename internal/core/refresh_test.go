@@ -15,10 +15,10 @@ import (
 // Per-bank refresh fires banks-per-rank times more often.
 func TestPerBankRefreshCadence(t *testing.T) {
 	h := newHarness(t, func(c *Config) { c.Refresh = RefreshPerBank })
-	tm := h.c.cfg.Spec.Timing
+	tm := h.c.tim
 	h.k.RunUntil(10 * tm.TREFI)
 	got := h.c.st.refreshes.Value()
-	want := 10.0 * float64(h.c.cfg.Spec.Org.BanksPerRank)
+	want := 10.0 * float64(h.c.org.BanksPerRank)
 	if got < want*0.9 || got > want*1.1 {
 		t.Fatalf("per-bank refreshes = %v, want ~%v", got, want)
 	}
@@ -29,7 +29,7 @@ func TestPerBankRefreshCadence(t *testing.T) {
 func TestPerBankRefreshSoftensLatencySpike(t *testing.T) {
 	run := func(policy RefreshPolicy) sim.Tick {
 		h := newHarness(t, func(c *Config) { c.Refresh = policy })
-		tm := h.c.cfg.Spec.Timing
+		tm := h.c.tim
 		// Spaced random-bank reads across several refresh intervals.
 		n := int(3 * tm.TREFI / (100 * sim.Nanosecond))
 		for i := 0; i < n; i++ {
@@ -84,7 +84,7 @@ func TestRefreshStaggerAcrossRanks(t *testing.T) {
 	if _, err := NewController(k, cfg, reg, "mc"); err != nil {
 		t.Fatal(err)
 	}
-	k.RunUntil(5 * cfg.Spec.Timing.TREFI)
+	k.RunUntil(5 * cfg.Device.Describe().Timing.TREFI)
 	if total < 8 {
 		t.Fatalf("too few refreshes observed: %d", total)
 	}
@@ -107,7 +107,7 @@ func TestScrubRespectsRefreshTiming(t *testing.T) {
 	cfg.Refresh = RefreshAllBank
 	cfg.ReadBufferSize = 64
 	cfg.Faults = faults.Config{Seed: 11, CorrectablePerBurst: 1.0}
-	tm := cfg.Spec.Timing
+	tm := cfg.Device.Describe().Timing
 
 	type window struct{ start, end sim.Tick }
 	refWindows := map[int][]window{}

@@ -37,7 +37,7 @@ func (c *Controller) PowerStats() power.Activity {
 		actPDSum += actPD[ri]
 		srSum += sr[ri]
 	}
-	burst := float64(c.cfg.Spec.Org.BurstBytes())
+	burst := float64(c.org.BurstBytes())
 	return power.Activity{
 		Elapsed:          now - c.startTick,
 		Activations:      uint64(c.st.activations.Value()),
@@ -61,8 +61,8 @@ func (c *Controller) BusUtilisation() float64 {
 	if now <= c.startTick {
 		return 0
 	}
-	bursts := (c.st.bytesRead.Value() + c.st.bytesWritten.Value()) / float64(c.cfg.Spec.Org.BurstBytes())
-	busy := bursts * float64(c.cfg.Spec.Timing.TBURST)
+	bursts := (c.st.bytesRead.Value() + c.st.bytesWritten.Value()) / float64(c.org.BurstBytes())
+	busy := bursts * float64(c.tim.TBURST)
 	return busy / float64(now-c.startTick)
 }
 
@@ -78,7 +78,7 @@ func (c *Controller) Bandwidth() float64 {
 // RowHitRate returns the fraction of DRAM bursts that hit an open row.
 func (c *Controller) RowHitRate() float64 {
 	hits := c.st.readRowHits.Value() + c.st.writeRowHits.Value()
-	accesses := (c.st.bytesRead.Value() + c.st.bytesWritten.Value()) / float64(c.cfg.Spec.Org.BurstBytes())
+	accesses := (c.st.bytesRead.Value() + c.st.bytesWritten.Value()) / float64(c.org.BurstBytes())
 	if accesses == 0 {
 		return 0
 	}

@@ -16,7 +16,7 @@ func TestSelfRefreshEntry(t *testing.T) {
 		c.PowerDownIdle = 100 * sim.Nanosecond
 		c.SelfRefreshIdle = 500 * sim.Nanosecond
 	})
-	tm := h.c.cfg.Spec.Timing
+	tm := h.c.tim
 	h.k.RunUntil(10 * tm.TREFI)
 	if h.c.ranks[0].cke != ckeSelfRefresh {
 		t.Fatal("idle controller did not enter self-refresh")
@@ -66,7 +66,7 @@ func TestSelfRefreshExitLatency(t *testing.T) {
 // After an exit, external refresh resumes at the normal cadence.
 func TestSelfRefreshResumesExternalRefresh(t *testing.T) {
 	h := newHarness(t, func(c *Config) { c.SelfRefreshIdle = 200 * sim.Nanosecond })
-	tm := h.c.cfg.Spec.Timing
+	tm := h.c.tim
 	// Long sleep, then wake with a read and keep lightly busy so the
 	// channel stays out of self-refresh.
 	wake := 5 * tm.TREFI
@@ -93,7 +93,7 @@ func TestSelfRefreshPower(t *testing.T) {
 		h := newHarness(t, mut)
 		h.at(0, func() { h.send(mem.NewRead(0, 64, 0, 0)) })
 		h.k.RunUntil(100 * sim.Microsecond)
-		return power.Compute(h.c.cfg.Spec, h.c.PowerStats()).TotalMW()
+		return power.Compute(h.c.cfg.Device.Describe(), h.c.PowerStats()).TotalMW()
 	}
 	active := run(nil)
 	pd := run(func(c *Config) { c.PowerDownIdle = 200 * sim.Nanosecond })

@@ -56,7 +56,11 @@ const (
 
 // Config parameterises the cycle-based controller.
 type Config struct {
-	Spec     dram.Spec
+	// Device is the DRAM device model (see dram.Device); any dram.Spec
+	// satisfies the interface. The cycle-based baseline consumes only the
+	// flat parameter set via Describe — DRAMSim2 predates bank groups, and
+	// keeping the baseline flat preserves the §III comparison.
+	Device   dram.Device
 	Mapping  dram.Mapping
 	Channels int
 	// TransQueueSize is the unified transaction queue capacity in bursts.
@@ -74,10 +78,10 @@ type Config struct {
 	Probes *obs.Hub
 }
 
-// DefaultConfig mirrors DRAMSim2's defaults for the given spec.
-func DefaultConfig(spec dram.Spec) Config {
+// DefaultConfig mirrors DRAMSim2's defaults for the given device.
+func DefaultConfig(spec dram.Device) Config {
 	return Config{
-		Spec:           spec,
+		Device:         spec,
 		Mapping:        dram.RoRaBaCoCh,
 		Channels:       1,
 		TransQueueSize: 40,
@@ -88,10 +92,13 @@ func DefaultConfig(spec dram.Spec) Config {
 
 // Validate checks the configuration.
 func (c Config) Validate() error {
-	if err := c.Spec.Validate(); err != nil {
+	if c.Device == nil {
+		return fmt.Errorf("cyclesim: config has no device model")
+	}
+	if err := c.Device.Validate(); err != nil {
 		return err
 	}
-	if _, err := dram.NewDecoder(c.Spec.Org, c.Mapping, c.Channels); err != nil {
+	if _, err := dram.NewDecoder(c.Device.Describe().Org, c.Mapping, c.Channels); err != nil {
 		return err
 	}
 	if c.TransQueueSize <= 0 {
@@ -160,11 +167,12 @@ type Controller struct {
 	name string
 	cfg  Config //ckpt:skip static configuration, guarded by the manager fingerprint
 	k    *sim.Kernel
-	dec  dram.Decoder      //ckpt:skip derived from cfg.Spec by the constructor
+	dec  dram.Decoder      //ckpt:skip derived from cfg.Device by the constructor
+	spec dram.Spec         //ckpt:skip the device's parameter set, cached by the constructor
 	port *mem.ResponsePort //ckpt:skip wiring, rebuilt by the constructor
 
-	tck    sim.Tick     //ckpt:skip derived from cfg.Spec clock by the constructor
-	cycles timingCycles //ckpt:skip timing constants derived from cfg.Spec
+	tck    sim.Tick     //ckpt:skip derived from cfg.Device clock by the constructor
+	cycles timingCycles //ckpt:skip timing constants derived from cfg.Device
 
 	queue   []*txn
 	resp    []respWait
@@ -230,7 +238,8 @@ func NewController(k *sim.Kernel, cfg Config, reg *stats.Registry, name string) 
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	dec, err := dram.NewDecoder(cfg.Spec.Org, cfg.Mapping, cfg.Channels)
+	spec := cfg.Device.Describe()
+	dec, err := dram.NewDecoder(spec.Org, cfg.Mapping, cfg.Channels)
 	if err != nil {
 		return nil, err
 	}
@@ -239,14 +248,15 @@ func NewController(k *sim.Kernel, cfg Config, reg *stats.Registry, name string) 
 		cfg:    cfg,
 		k:      k,
 		dec:    dec,
-		tck:    cfg.Spec.Timing.TCK,
-		cycles: toCycles(cfg.Spec.Timing),
+		spec:   spec,
+		tck:    spec.Timing.TCK,
+		cycles: toCycles(spec.Timing),
 		hub:    cfg.Probes.OrNil(),
 	}
 	c.port = mem.NewResponsePort(name+".port", c, k)
-	c.ranks = make([]*crank, cfg.Spec.Org.RanksPerChannel)
+	c.ranks = make([]*crank, spec.Org.RanksPerChannel)
 	for i := range c.ranks {
-		r := &crank{banks: make([]cbank, cfg.Spec.Org.BanksPerRank), lastAct: -1 << 40}
+		r := &crank{banks: make([]cbank, spec.Org.BanksPerRank), lastAct: -1 << 40}
 		for b := range r.banks {
 			r.banks[b].openRow = rowClosed
 		}
@@ -316,7 +326,7 @@ func (c *Controller) RecvTimingReq(pkt *mem.Packet) bool {
 		c.hub.Emit(obs.QueueAdmit{Src: c.name, At: c.k.Now(), Queue: queue, Depth: len(c.queue)})
 	}
 	parent := &parentReq{pkt: pkt, remaining: count}
-	burst := c.cfg.Spec.Org.BurstBytes()
+	burst := c.spec.Org.BurstBytes()
 	addr := pkt.Addr.AlignDown(burst)
 	for i := 0; i < count; i++ {
 		c.queue = append(c.queue, &txn{
@@ -345,7 +355,7 @@ func (c *Controller) RecvRespRetry() {
 }
 
 func (c *Controller) burstCount(pkt *mem.Packet) int {
-	burst := c.cfg.Spec.Org.BurstBytes()
+	burst := c.spec.Org.BurstBytes()
 	first := pkt.Addr.AlignDown(burst)
 	last := (pkt.Addr + mem.Addr(pkt.Size) - 1).AlignDown(burst)
 	return int((last-first)/mem.Addr(burst)) + 1

@@ -110,7 +110,7 @@ func TestPolicyStrings(t *testing.T) {
 // tRCD + tCL + tBURST (cycle quantisation adds at most a few tCK).
 func TestSingleReadLatency(t *testing.T) {
 	h := newHarness(t, nil)
-	tm := h.c.cfg.Spec.Timing
+	tm := h.c.spec.Timing
 	h.at(0, func() { h.send(mem.NewRead(0, 64, 0, 0)) })
 	h.run(10 * sim.Microsecond)
 	if len(h.responses) != 1 {
@@ -131,7 +131,7 @@ func TestImmediateWriteAck(t *testing.T) {
 	if len(h.responses) != 1 || h.responses[0].Cmd != mem.WriteResp {
 		t.Fatalf("responses = %v", h.responses)
 	}
-	if h.respTicks[0] > 2*h.c.cfg.Spec.Timing.TCK {
+	if h.respTicks[0] > 2*h.c.spec.Timing.TCK {
 		t.Fatalf("write ack at %s, want within two cycles", h.respTicks[0])
 	}
 	// The write still drains to the DRAM.
@@ -214,7 +214,7 @@ func TestQueueFullRetry(t *testing.T) {
 // Refresh happens roughly every tREFI and delays colliding reads.
 func TestRefresh(t *testing.T) {
 	h := newHarness(t, nil)
-	tm := h.c.cfg.Spec.Timing
+	tm := h.c.spec.Timing
 	h.k.RunUntil(10 * tm.TREFI)
 	got := h.c.st.refreshes.Value()
 	if got < 9 || got > 11 {
@@ -279,7 +279,7 @@ func TestReportingHelpers(t *testing.T) {
 // FCFS serves strictly in order even when a younger row hit is ready.
 func TestFCFSOrder(t *testing.T) {
 	h := newHarness(t, func(c *Config) { c.Scheduling = FCFS })
-	org := h.c.cfg.Spec.Org
+	org := h.c.spec.Org
 	conflict := mem.Addr(org.RowBufferBytes * uint64(org.BanksPerRank))
 	h.at(0, func() { h.send(mem.NewRead(0, 64, 0, 0)) })
 	h.at(sim.Nanosecond, func() {
@@ -298,7 +298,7 @@ func TestFCFSOrder(t *testing.T) {
 // FR-FCFS prefers the ready row hit.
 func TestFRFCFSPrefersHit(t *testing.T) {
 	h := newHarness(t, nil)
-	org := h.c.cfg.Spec.Org
+	org := h.c.spec.Org
 	conflict := mem.Addr(org.RowBufferBytes * uint64(org.BanksPerRank))
 	h.at(0, func() { h.send(mem.NewRead(0, 64, 0, 0)) })
 	h.at(sim.Nanosecond, func() {

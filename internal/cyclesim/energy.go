@@ -45,9 +45,9 @@ func (c *Controller) maintain(cycle int64) {
 	}
 	c.lastMaintained = cycle
 
-	p := c.cfg.Spec.Power
+	p := c.spec.Power
 	tckSec := c.tck.Seconds()
-	devices := float64(c.cfg.Spec.Org.DevicesPerRank)
+	devices := float64(c.spec.Org.DevicesPerRank)
 	if devices == 0 {
 		devices = 1
 	}
@@ -103,9 +103,9 @@ func (c *Controller) maintain(cycle int64) {
 // noteActivate integrates the incremental activate/precharge energy for one
 // ACT/PRE pair (Micron: (IDD0 - IDD3N) over tRC).
 func (c *Controller) noteActivate() {
-	p := c.cfg.Spec.Power
-	t := c.cfg.Spec.Timing
-	devices := float64(c.cfg.Spec.Org.DevicesPerRank)
+	p := c.spec.Power
+	t := c.spec.Timing
+	devices := float64(c.spec.Org.DevicesPerRank)
 	if devices == 0 {
 		devices = 1
 	}
@@ -115,9 +115,9 @@ func (c *Controller) noteActivate() {
 
 // noteBurst integrates the incremental burst energy for one data transfer.
 func (c *Controller) noteBurst(isRead bool) {
-	p := c.cfg.Spec.Power
-	t := c.cfg.Spec.Timing
-	devices := float64(c.cfg.Spec.Org.DevicesPerRank)
+	p := c.spec.Power
+	t := c.spec.Timing
+	devices := float64(c.spec.Org.DevicesPerRank)
 	if devices == 0 {
 		devices = 1
 	}

@@ -19,7 +19,7 @@ func (c *Controller) ObsSample() obs.Sample {
 			writes++
 		}
 	}
-	banks := make([]bool, 0, len(c.ranks)*c.cfg.Spec.Org.BanksPerRank)
+	banks := make([]bool, 0, len(c.ranks)*c.spec.Org.BanksPerRank)
 	for _, rk := range c.ranks {
 		for i := range rk.banks {
 			banks = append(banks, rk.banks[i].openRow != rowClosed)
@@ -61,7 +61,7 @@ func (c *Controller) BusUtilisation() float64 {
 		return 0
 	}
 	bursts := c.st.readBursts.Value() + c.st.writeBursts.Value()
-	busy := bursts * float64(c.cfg.Spec.Timing.TBURST)
+	busy := bursts * float64(c.spec.Timing.TBURST)
 	return busy / float64(now)
 }
 

@@ -152,7 +152,7 @@ func (c *Controller) canActivate(rk *crank, b *cbank, cycle int64) bool {
 	if cycle < b.nextAct || cycle < rk.lastAct+c.cycles.tRRD {
 		return false
 	}
-	limit := c.cfg.Spec.Org.ActivationLimit
+	limit := c.spec.Org.ActivationLimit
 	if limit > 0 && len(rk.actWindow) >= limit {
 		oldest := rk.actWindow[len(rk.actWindow)-limit]
 		if cycle < oldest+c.cycles.tXAW {
@@ -176,7 +176,7 @@ func (c *Controller) activateBank(rk *crank, b *cbank, rankIdx, bankIdx int, row
 		b.nextPre = pre
 	}
 	rk.lastAct = cycle
-	if limit := c.cfg.Spec.Org.ActivationLimit; limit > 0 {
+	if limit := c.spec.Org.ActivationLimit; limit > 0 {
 		rk.actWindow = append(rk.actWindow, cycle)
 		if len(rk.actWindow) > limit {
 			rk.actWindow = rk.actWindow[len(rk.actWindow)-limit:]
@@ -238,7 +238,7 @@ func (c *Controller) issueColumn(rk *crank, b *cbank, t *txn, i int, cycle int64
 	}
 
 	c.noteBurst(t.isRead)
-	burstBytes := float64(c.cfg.Spec.Org.BurstBytes())
+	burstBytes := float64(c.spec.Org.BurstBytes())
 	if t.isRead {
 		c.st.readBursts.Inc()
 		c.st.bytesRead.Add(burstBytes)

@@ -1,0 +1,56 @@
+// Package dram describes DRAM devices from the controller's point of view:
+// the organisation (bus width, burst length, banks, bank groups, ranks,
+// row-buffer size) and the subset of timing constraints the paper identifies
+// as the ones that matter for system-level behaviour (§II-B). The controller
+// never models the DRAM itself — only the state transitions these parameters
+// imply.
+//
+// # The Device contract
+//
+// Consumers (internal/core, internal/cyclesim, internal/power.CheckTiming)
+// program against the Device interface, not against a concrete standard.
+// A Device answers five questions:
+//
+//   - What is it? Describe returns the full parameter Spec (organisation,
+//     timing table, power currents) and Standard names the interface family
+//     ("DDR3", "DDR5", ...). Standard is fingerprinted into checkpoints, so
+//     two devices of different standards can never silently resume each
+//     other's state.
+//   - How are banks arranged? Topology exposes ranks, bank groups and banks
+//     per group. Banks are numbered so that GroupOf(b) = b mod Groups; a
+//     device without bank groups reports Groups == 1 and every constraint
+//     below collapses to its flat form.
+//   - Which commands can it accept? Commands lists the mnemonic command set
+//     (ACT, PRE, RD, WR, REF, the CKE commands, and REFSB for devices with
+//     same-bank refresh). The list is descriptive — schedulers use it for
+//     reporting and oracles for rule selection, not for dispatch.
+//   - How close together may commands be? ActToAct and ColToCol return the
+//     minimum spacing between two activates / two column commands, which on
+//     bank-grouped standards (DDR4/DDR5/LPDDR5) depends on whether the two
+//     commands target the same group (tRRD_L/tRRD_S, tCCD_L/tCCD_S). A zero
+//     return means "no constraint beyond the flat ones" (tRRD, the data
+//     bus). PrechargeAll returns the all-bank precharge time (LPDDR tRPab),
+//     falling back to the per-bank tRP.
+//   - How must it be refreshed? RefreshMode returns the native refresh
+//     discipline: the kind (all-bank, per-bank, or DDR5 same-bank), the
+//     average interval tREFI, the blackout per refresh command, and how many
+//     refreshes may be postponed under load (JEDEC allows eight).
+//
+// Spec itself implements Device, so a plain parameter set — including every
+// preset in this package — is already a device model; new standards are
+// added by filling in a Spec (see the DDR4/DDR5/LPDDR5 presets) or, for
+// behaviour no parameter expresses, by implementing Device directly.
+//
+// Implementations must be pure: every method must return the same answer for
+// the same receiver forever, because controllers cache the answers at
+// construction time and checkpoint fingerprints assume they never change.
+// Mutating a Spec after handing it to a controller is a bug; build a new one
+// instead.
+//
+// # Presets
+//
+// Presets returns the built-in catalogue and ByName looks one up
+// case-insensitively; ByStandard maps a lower-case family keyword ("ddr4") to
+// that family's representative preset. Command-line tools expose these as
+// -spec and -standard via internal/experiments/cliconfig.
+package dram

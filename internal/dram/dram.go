@@ -1,8 +1,3 @@
-// Package dram describes DRAM devices from the controller's point of view:
-// the organisation (bus width, burst length, banks, ranks, row-buffer size)
-// and the subset of timing constraints the paper identifies as the ones that
-// matter for system-level behaviour (§II-B). The controller never models the
-// DRAM itself — only the state transitions these parameters imply.
 package dram
 
 import (
@@ -12,8 +7,10 @@ import (
 )
 
 // Timing holds the modelled DRAM timing constraints. All values are in
-// ticks (picoseconds). Notable timings the paper deliberately leaves out —
-// rank-to-rank switching and bank-group effects — are absent here too.
+// ticks (picoseconds). Rank-to-rank switching, which the paper deliberately
+// leaves out, is absent here too; bank-group effects (tRRD_L, tCCD_L/S) are
+// modelled for the standards that have them and left zero everywhere else,
+// in which case every constraint collapses to its flat pre-DDR4 form.
 type Timing struct {
 	// TCK is the memory clock period (used by the cycle-based baseline and
 	// for quantising stats; the event-based model itself does not tick).
@@ -63,6 +60,22 @@ type Timing struct {
 	// DLL re-locked — reads — while tXS covers the rest (extension; for
 	// interfaces without a DLL it equals tXS).
 	TXSDLL sim.Tick
+	// TRRDL is the activate-to-activate delay between banks of the same
+	// bank group (tRRD_L, DDR4 onward); 0 means no distinction and TRRD
+	// governs every pair. TRRD then plays the tRRD_S role.
+	TRRDL sim.Tick
+	// TCCDL is the column-to-column command spacing within one bank group
+	// (tCCD_L); 0 means the data bus (TBURST) is the only column spacing.
+	TCCDL sim.Tick
+	// TCCDS is the column-to-column spacing across bank groups (tCCD_S);
+	// usually equal to TBURST, 0 means unconstrained beyond the bus.
+	TCCDS sim.Tick
+	// TRPAB is the all-bank precharge time (LPDDR tRPab, longer than the
+	// per-bank TRP); 0 means precharge-all costs TRP like any precharge.
+	TRPAB sim.Tick
+	// TRFCSB is the same-bank refresh blackout (DDR5 tRFCsb); 0 unless the
+	// device supports REFsb.
+	TRFCSB sim.Tick
 }
 
 // Organization describes the physical structure of one memory channel as the
@@ -79,6 +92,10 @@ type Organization struct {
 	RanksPerChannel int
 	// BanksPerRank is the number of banks per rank.
 	BanksPerRank int
+	// BankGroups is the number of bank groups per rank (DDR4 onward);
+	// 0 or 1 means a flat bank space with no group timing distinctions.
+	// Banks map to groups by bank mod BankGroups (see Topology.GroupOf).
+	BankGroups int
 	// RowBufferBytes is the row (page) size per bank across the rank.
 	RowBufferBytes uint64
 	// RowsPerBank is the number of rows in each bank.
@@ -126,6 +143,13 @@ func (o Organization) Validate() error {
 		return fmt.Errorf("dram: row buffer %d not a multiple of burst %d", o.RowBufferBytes, o.BurstBytes())
 	case o.ActivationLimit < 0:
 		return fmt.Errorf("dram: negative activation limit")
+	case o.BankGroups < 0:
+		return fmt.Errorf("dram: negative bank groups")
+	}
+	if g := o.BankGroups; g > 1 {
+		if !isPow2(uint64(g)) || g > o.BanksPerRank || o.BanksPerRank%g != 0 {
+			return fmt.Errorf("dram: bank groups (%d) must be a power of two dividing banks (%d)", g, o.BanksPerRank)
+		}
 	}
 	return nil
 }
@@ -148,6 +172,8 @@ func (t Timing) Validate() error {
 		{"tWTR", t.TWTR}, {"tRTW", t.TRTW}, {"tRRD", t.TRRD}, {"tXAW", t.TXAW},
 		{"tRTP", t.TRTP}, {"tWR", t.TWR}, {"tXP", t.TXP}, {"tXS", t.TXS},
 		{"tCKE", t.TCKE}, {"tCKESR", t.TCKESR}, {"tXSDLL", t.TXSDLL},
+		{"tRRD_L", t.TRRDL}, {"tCCD_L", t.TCCDL}, {"tCCD_S", t.TCCDS},
+		{"tRPab", t.TRPAB}, {"tRFCsb", t.TRFCSB},
 	} {
 		if it.v < 0 {
 			return fmt.Errorf("dram: %s must be non-negative, got %s", it.name, it.v)
@@ -156,27 +182,58 @@ func (t Timing) Validate() error {
 	if t.TRAS < t.TRCD {
 		return fmt.Errorf("dram: tRAS (%s) < tRCD (%s)", t.TRAS, t.TRCD)
 	}
+	if t.TRRDL > 0 && t.TRRDL < t.TRRD {
+		return fmt.Errorf("dram: tRRD_L (%s) < tRRD_S (%s)", t.TRRDL, t.TRRD)
+	}
+	if t.TCCDL > 0 && t.TCCDL < t.TCCDS {
+		return fmt.Errorf("dram: tCCD_L (%s) < tCCD_S (%s)", t.TCCDL, t.TCCDS)
+	}
+	if t.TRPAB > 0 && t.TRPAB < t.TRP {
+		return fmt.Errorf("dram: tRPab (%s) < tRPpb (%s)", t.TRPAB, t.TRP)
+	}
 	return nil
 }
 
 func isPow2(v uint64) bool { return v != 0 && v&(v-1) == 0 }
 
 // Spec bundles an organisation with its timings and a name, forming a
-// complete description of one memory interface generation.
+// complete description of one memory interface generation. Spec implements
+// the Device interface (see device.go), so a filled-in Spec is a complete
+// device model.
 type Spec struct {
-	Name   string
+	Name string
+	// Family names the interface standard ("DDR3", "DDR5", ...); it backs
+	// Device.Standard and is fingerprinted into checkpoints. Empty reads as
+	// "custom".
+	Family string
 	Org    Organization
 	Timing Timing
 	Power  PowerParams
+	// Refresh is the device's native refresh discipline (DDR5 parts refresh
+	// same-bank natively); the zero value is the classic all-bank REF.
+	Refresh RefreshKind
 }
 
-// Validate checks both halves of the spec.
+// Validate checks both halves of the spec and the refresh discipline's
+// prerequisites.
 func (s Spec) Validate() error {
 	if err := s.Org.Validate(); err != nil {
 		return fmt.Errorf("%s: %w", s.Name, err)
 	}
 	if err := s.Timing.Validate(); err != nil {
 		return fmt.Errorf("%s: %w", s.Name, err)
+	}
+	switch s.Refresh {
+	case RefAllBank, RefPerBank:
+	case RefSameBank:
+		if s.Org.BankGroups <= 1 {
+			return fmt.Errorf("%s: same-bank refresh needs bank groups", s.Name)
+		}
+		if s.Timing.TRFCSB <= 0 {
+			return fmt.Errorf("%s: same-bank refresh needs tRFCsb", s.Name)
+		}
+	default:
+		return fmt.Errorf("%s: unknown refresh kind %d", s.Name, s.Refresh)
 	}
 	return nil
 }

@@ -19,7 +19,8 @@ const (
 // 12.8 GB/s peak.
 func DDR3_1600_x64() Spec {
 	return Spec{
-		Name: "DDR3-1600-x64",
+		Name:   "DDR3-1600-x64",
+		Family: "DDR3",
 		Org: Organization{
 			BusWidthBits:    64,
 			BurstLength:     8,
@@ -59,7 +60,8 @@ func DDR3_1600_x64() Spec {
 // channels reach 12.8 GB/s.
 func LPDDR3_1600_x32() Spec {
 	return Spec{
-		Name: "LPDDR3-1600-x32",
+		Name:   "LPDDR3-1600-x32",
+		Family: "LPDDR3",
 		Org: Organization{
 			BusWidthBits:    32,
 			BurstLength:     8,
@@ -103,7 +105,8 @@ func LPDDR3_1600_x32() Spec {
 // SDR channels reach 12.8 GB/s.
 func WideIO_200_x128() Spec {
 	return Spec{
-		Name: "WideIO-200-x128",
+		Name:   "WideIO-200-x128",
+		Family: "WideIO",
 		Org: Organization{
 			BusWidthBits:    128,
 			BurstLength:     4,
@@ -148,7 +151,8 @@ func WideIO_200_x128() Spec {
 // row buffer is 8 devices x 1 KByte.
 func DDR3_1333_8x8() Spec {
 	return Spec{
-		Name: "DDR3-1333-8x8",
+		Name:   "DDR3-1333-8x8",
+		Family: "DDR3",
 		Org: Organization{
 			BusWidthBits:    64,
 			BurstLength:     8,
@@ -198,7 +202,8 @@ func DDR3_1600_x64_2R() Spec {
 // flexibility claim: only parameters change.
 func DDR4_2400_x64() Spec {
 	return Spec{
-		Name: "DDR4-2400-x64",
+		Name:   "DDR4-2400-x64",
+		Family: "DDR4",
 		Org: Organization{
 			BusWidthBits:    64,
 			BurstLength:     8,
@@ -241,7 +246,8 @@ func DDR4_2400_x64() Spec {
 // GDDR5_4000_x32 is a graphics-memory extension preset.
 func GDDR5_4000_x32() Spec {
 	return Spec{
-		Name: "GDDR5-4000-x32",
+		Name:   "GDDR5-4000-x32",
+		Family: "GDDR5",
 		Org: Organization{
 			BusWidthBits:    32,
 			BurstLength:     8,
@@ -284,7 +290,8 @@ func GDDR5_4000_x32() Spec {
 // LPDDR2_1066_x32 is a mobile extension preset.
 func LPDDR2_1066_x32() Spec {
 	return Spec{
-		Name: "LPDDR2-1066-x32",
+		Name:   "LPDDR2-1066-x32",
+		Family: "LPDDR2",
 		Org: Organization{
 			BusWidthBits:    32,
 			BurstLength:     8,
@@ -329,7 +336,8 @@ func LPDDR2_1066_x32() Spec {
 // 16 instances of our controller model".
 func HMCVault() Spec {
 	return Spec{
-		Name: "HMC-vault",
+		Name:   "HMC-vault",
+		Family: "HMC",
 		Org: Organization{
 			BusWidthBits:    32,
 			BurstLength:     8,
@@ -379,11 +387,163 @@ func ddr3Power() PowerParams {
 	}
 }
 
-// AllSpecs returns every built-in preset, for table-driven tests and docs.
-func AllSpecs() []Spec {
-	return []Spec{
-		DDR3_1600_x64(), DDR3_1600_x64_2R(), LPDDR3_1600_x32(),
-		WideIO_200_x128(), DDR3_1333_8x8(), DDR4_2400_x64(),
-		GDDR5_4000_x32(), LPDDR2_1066_x32(), HMCVault(),
+// DDR4_3200_x64 is the representative DDR4 device of the -standard
+// registry: a 64-bit channel of x8 devices at 3200 MT/s with the bank-group
+// structure DDR4 introduced — 16 banks in 4 groups, where back-to-back
+// commands inside one group pay the long tRRD_L/tCCD_L and across groups
+// the short tRRD_S/tCCD_S. Values are representative of a DDR4-3200AA
+// 8 Gbit x8 datasheet.
+func DDR4_3200_x64() Spec {
+	return Spec{
+		Name:   "DDR4-3200-x64",
+		Family: "DDR4",
+		Org: Organization{
+			BusWidthBits:    64,
+			BurstLength:     8,
+			DevicesPerRank:  8,
+			RanksPerChannel: 1,
+			BanksPerRank:    16,
+			BankGroups:      4,
+			RowBufferBytes:  8192,
+			RowsPerBank:     65536,
+			ActivationLimit: 4,
+		},
+		Timing: Timing{
+			TCK:    625 * ps,
+			TRCD:   13750 * ps,
+			TCL:    13750 * ps,
+			TRP:    13750 * ps,
+			TRAS:   32 * ns,
+			TBURST: 2500 * ps,
+			TRFC:   350 * ns, // 8 Gbit tRFC1
+			TREFI:  7800 * ns,
+			TWTR:   7500 * ps,
+			TRTW:   2500 * ps,
+			TRRD:   2500 * ps, // tRRD_S, 4 nCK
+			TRRDL:  4900 * ps, // tRRD_L
+			TCCDS:  2500 * ps, // tCCD_S = 4 nCK = tBURST
+			TCCDL:  5 * ns,    // tCCD_L = 8 nCK
+			TXAW:   21 * ns,
+			TRTP:   7500 * ps,
+			TWR:    15 * ns,
+			TXP:    6 * ns,
+			TXS:    360 * ns, // tRFC + 10 ns
+			TCKE:   5 * ns,
+			TCKESR: 5625 * ps,
+			TXSDLL: 534 * ns, // tDLLK = 854 nCK
+		},
+		Power: PowerParams{
+			VDD:  1.2,
+			IDD0: 60, IDD2N: 36, IDD2P: 17, IDD3N: 48, IDD3P: 34,
+			IDD4R: 160, IDD4W: 132, IDD5: 200, IDD6: 15,
+		},
+	}
+}
+
+// DDR5_4800_x64 is the representative DDR5 device: a 64-bit channel at
+// 4800 MT/s with 32 banks in 8 groups and DDR5's native same-bank refresh —
+// each REFsb blacks out only one bank per group for tRFCsb, issued
+// BanksPerGroup times as often as an all-bank REF, so the rest of the rank
+// keeps serving through refresh. Values are representative of a 16 Gbit
+// DDR5-4800B x8 datasheet.
+func DDR5_4800_x64() Spec {
+	return Spec{
+		Name:   "DDR5-4800-x64",
+		Family: "DDR5",
+		Org: Organization{
+			BusWidthBits:    64,
+			BurstLength:     16,
+			DevicesPerRank:  8,
+			RanksPerChannel: 1,
+			BanksPerRank:    32,
+			BankGroups:      8,
+			RowBufferBytes:  8192,
+			RowsPerBank:     65536,
+			ActivationLimit: 4,
+		},
+		Timing: Timing{
+			TCK:    417 * ps,
+			TRCD:   16 * ns,
+			TCL:    16 * ns,
+			TRP:    16 * ns,
+			TRAS:   32 * ns,
+			TBURST: 3336 * ps, // BL16 = 8 clocks
+			TRFC:   295 * ns,  // 16 Gbit tRFC1, the all-bank fallback
+			TRFCSB: 130 * ns,  // 16 Gbit tRFCsb
+			TREFI:  3900 * ns, // tREFI1
+			TWTR:   10 * ns,   // tWTR_L
+			TRTW:   2500 * ps,
+			TRRD:   3336 * ps,  // tRRD_S, 8 nCK
+			TRRDL:  5 * ns,     // tRRD_L
+			TCCDS:  3336 * ps,  // tCCD_S = 8 nCK = tBURST
+			TCCDL:  5 * ns,     // tCCD_L
+			TXAW:   13340 * ps, // tFAW = 32 nCK
+			TRTP:   7500 * ps,
+			TWR:    30 * ns,
+			TXP:    7500 * ps,
+			TXS:    305 * ns, // tRFC1 + 10 ns
+			TCKE:   3500 * ps,
+			TCKESR: 4170 * ps,
+			TXSDLL: 512 * ns,
+		},
+		Power: PowerParams{
+			VDD:  1.1,
+			IDD0: 65, IDD2N: 40, IDD2P: 20, IDD3N: 52, IDD3P: 38,
+			IDD4R: 170, IDD4W: 140, IDD5: 210, IDD6: 16,
+		},
+		Refresh: RefSameBank,
+	}
+}
+
+// LPDDR5_6400_x32 is the representative LPDDR5 device: one 32-bit channel
+// at 6400 MT/s with the 16n prefetch (BL16), 16 banks in 4 groups, and the
+// LPDDR distinction between per-bank precharge (tRPpb, the Timing.TRP here)
+// and the longer all-bank precharge tRPab that a precharge-all — notably the
+// one before an all-bank refresh — must pay. Values are representative of a
+// 16 Gbit LPDDR5-6400 datasheet.
+func LPDDR5_6400_x32() Spec {
+	return Spec{
+		Name:   "LPDDR5-6400-x32",
+		Family: "LPDDR5",
+		Org: Organization{
+			BusWidthBits:    32,
+			BurstLength:     16, // 16n prefetch
+			DevicesPerRank:  1,
+			RanksPerChannel: 1,
+			BanksPerRank:    16,
+			BankGroups:      4,
+			RowBufferBytes:  2048,
+			RowsPerBank:     65536,
+			ActivationLimit: 4,
+		},
+		Timing: Timing{
+			TCK:    1250 * ps, // CK at 800 MHz; data moves on WCK
+			TRCD:   18 * ns,
+			TCL:    17500 * ps,
+			TRP:    18 * ns, // tRPpb
+			TRPAB:  21 * ns, // tRPab
+			TRAS:   42 * ns,
+			TBURST: 2500 * ps, // 16 beats at 6400 MT/s
+			TRFC:   280 * ns,  // tRFCab
+			TREFI:  3900 * ns,
+			TWTR:   10 * ns,
+			TRTW:   2500 * ps,
+			TRRD:   5 * ns,
+			TCCDS:  2500 * ps, // = tBURST
+			TCCDL:  5 * ns,
+			TXAW:   20 * ns,
+			TRTP:   7500 * ps,
+			TWR:    28 * ns,
+			TXP:    7500 * ps,
+			TXS:    290 * ns,
+			TCKE:   7500 * ps,
+			TCKESR: 15 * ns,
+			TXSDLL: 290 * ns, // no DLL on LPDDR: equals tXS
+		},
+		Power: PowerParams{
+			VDD:  1.05,
+			IDD0: 10, IDD2N: 2.4, IDD2P: 1.1, IDD3N: 10, IDD3P: 1.8,
+			IDD4R: 165, IDD4W: 175, IDD5: 32, IDD6: 0.55,
+		},
 	}
 }

@@ -180,7 +180,9 @@ func ActivationWindowAblation(requests uint64) (*AblationResult, error) {
 		row, err := runAblationPoint(name, requests, dram.RoCoRaBaCh, 100, 1, 8,
 			func(c *core.Config) {
 				c.Page = core.Closed
-				c.Spec.Org.ActivationLimit = limit
+				spec := c.Device.Describe()
+				spec.Org.ActivationLimit = limit
+				c.Device = spec
 			})
 		if err != nil {
 			return nil, err

@@ -25,33 +25,69 @@ import (
 
 // --- Spec group ------------------------------------------------------------
 
-// Spec is the -spec flag group.
+// Spec is the -spec / -standard flag group.
 type Spec struct {
 	Name string
+	// Standard, when set, picks the representative preset of an interface
+	// family ("ddr4", "lpddr5", ...) and overrides -spec.
+	Standard string
 }
 
-// AddSpec registers -spec with the given default.
+// AddSpec registers -spec (with the given default) and -standard.
 func AddSpec(fs *flag.FlagSet, def string) *Spec {
 	s := &Spec{}
 	fs.StringVar(&s.Name, "spec", def, "memory spec name (see -list)")
+	fs.StringVar(&s.Standard, "standard", "",
+		"memory standard ("+strings.Join(dram.Standards(), ", ")+"); picks that family's representative preset and overrides -spec")
 	return s
 }
 
-// Resolve looks the named spec up, case-insensitively.
+// Resolve looks the selected preset up, case-insensitively: the family's
+// representative when -standard was given, the named preset otherwise.
 func (s *Spec) Resolve() (dram.Spec, error) {
-	for _, sp := range dram.AllSpecs() {
-		if strings.EqualFold(sp.Name, s.Name) {
-			return sp, nil
+	if s.Standard != "" {
+		sp, err := dram.ByStandard(s.Standard)
+		if err != nil {
+			return dram.Spec{}, fmt.Errorf("%w (use -list)", err)
 		}
+		return sp, nil
 	}
-	return dram.Spec{}, fmt.Errorf("unknown spec %q (use -list)", s.Name)
+	sp, err := dram.ByName(s.Name)
+	if err != nil {
+		return dram.Spec{}, fmt.Errorf("unknown spec %q (use -list)", s.Name)
+	}
+	return sp, nil
+}
+
+// AddStandard registers a lone -standard flag for tools that run fixed
+// paper experiments (bwsweep, latdist, speedup): the experiment's built-in
+// device stays the default, and a set flag swaps in a family's
+// representative preset.
+func AddStandard(fs *flag.FlagSet) *string {
+	return fs.String("standard", "",
+		"override the experiment's device with a memory standard's representative preset ("+
+			strings.Join(dram.Standards(), ", ")+")")
+}
+
+// ResolveStandard applies an AddStandard flag value to a device slot: the
+// slot is left untouched when the flag was not given.
+func ResolveStandard(std string, slot *dram.Spec) error {
+	if std == "" {
+		return nil
+	}
+	sp, err := dram.ByStandard(std)
+	if err != nil {
+		return err
+	}
+	*slot = sp
+	return nil
 }
 
 // ListSpecs prints the available specs, one per line.
 func ListSpecs(w io.Writer) {
-	for _, s := range dram.AllSpecs() {
-		fmt.Fprintf(w, "%-18s %3d-bit, BL%d, %d banks x %d ranks, %g GB/s peak\n",
-			s.Name, s.Org.BusWidthBits, s.Org.BurstLength,
+	for _, s := range dram.Presets() {
+		fmt.Fprintf(w, "%-18s %-7s %3d-bit, BL%d, %d banks x %d ranks, %g GB/s peak\n",
+			s.Name, s.Standard(), s.Org.BusWidthBits, s.Org.BurstLength,
 			s.Org.BanksPerRank, s.Org.RanksPerChannel, s.PeakBandwidth()/1e9)
 	}
 }

@@ -63,14 +63,21 @@ func speedupCases() []speedupCase {
 // workloads. Requests should be large enough (tens of thousands) for stable
 // wall-clock numbers.
 func RunSpeedup(requests uint64) (*SpeedupResult, error) {
+	return RunSpeedupOn(requests, nil)
+}
+
+// RunSpeedupOn is RunSpeedup with every case's device overridden — the
+// -standard exploration path. A nil device keeps the paper's per-case
+// defaults (DDR3-1333-8x8, HMC vaults for the 16-channel case).
+func RunSpeedupOn(requests uint64, dev *dram.Spec) (*SpeedupResult, error) {
 	res := &SpeedupResult{}
 	var sum float64
 	for _, sc := range speedupCases() {
-		evT, evN, err := runSpeedupCase(sc, system.EventBased, requests)
+		evT, evN, err := runSpeedupCase(sc, system.EventBased, requests, dev)
 		if err != nil {
 			return nil, err
 		}
-		cyT, cyN, err := runSpeedupCase(sc, system.CycleBased, requests)
+		cyT, cyN, err := runSpeedupCase(sc, system.CycleBased, requests, dev)
 		if err != nil {
 			return nil, err
 		}
@@ -88,7 +95,7 @@ func RunSpeedup(requests uint64) (*SpeedupResult, error) {
 	return res, nil
 }
 
-func runSpeedupCase(sc speedupCase, kind system.Kind, requests uint64) (time.Duration, uint64, error) {
+func runSpeedupCase(sc speedupCase, kind system.Kind, requests uint64, dev *dram.Spec) (time.Duration, uint64, error) {
 	// Settle the garbage collector so runs time comparably.
 	runtime.GC()
 
@@ -99,6 +106,9 @@ func runSpeedupCase(sc speedupCase, kind system.Kind, requests uint64) (time.Dur
 	}
 	if sc.channels > 1 {
 		spec = dram.HMCVault()
+	}
+	if dev != nil {
+		spec = *dev
 	}
 	dec, err := dram.NewDecoder(spec.Org, mapping, sc.channels)
 	if err != nil {

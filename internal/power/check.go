@@ -39,14 +39,43 @@ type checkerBank struct {
 	hasPre     bool
 	hasRd      bool
 	hasWr      bool
+	// refUntil is the end of the bank's same-bank refresh blackout (tRFCsb),
+	// the one refresh variant whose blackout the trace identifies
+	// unambiguously (see the CmdREF comment below for why tRFC is not
+	// re-checked).
+	refUntil sim.Tick
 }
 
-// CheckTiming replays a command trace against the spec's constraints and
+// CheckTiming replays a command trace against the device's constraints and
 // returns every violation found (empty = protocol clean). The data bus is
-// also checked for overlapping transfers.
-func CheckTiming(spec dram.Spec, cmds []Command) []Violation {
+// also checked for overlapping transfers. Bank-grouped devices additionally
+// get the tRRD_L, tCCD_L/tCCD_S and tRFCsb referees; devices distinguishing
+// all-bank precharge get the tRPab referee. Any dram.Spec can be passed
+// directly as the device.
+func CheckTiming(dev dram.Device, cmds []Command) []Violation {
+	spec := dev.Describe()
 	t := spec.Timing
 	org := spec.Org
+	topo := dev.Topology()
+	grouped := topo.Grouped()
+	trrdL := dev.ActToAct(true)
+	tccdL := dev.ColToCol(true)
+	tccdS := dev.ColToCol(false)
+	tRPab := dev.PrechargeAll()
+	refSpec := dev.RefreshMode()
+	// Refresh-interval budget: the device's refresh cadence at rank level
+	// (tREFI for all-bank, proportionally shorter for the finer-granularity
+	// disciplines) times the permitted postponement (JEDEC: up to
+	// MaxPostponed refreshes may be deferred, so consecutive refresh points
+	// sit at most MaxPostponed+1 cadences apart).
+	refCadence := refSpec.Interval
+	switch refSpec.Kind {
+	case dram.RefPerBank:
+		refCadence /= sim.Tick(org.BanksPerRank)
+	case dram.RefSameBank:
+		refCadence /= sim.Tick(topo.BanksPerGroup)
+	}
+	refBudget := sim.Tick(refSpec.MaxPostponed+1) * refCadence
 
 	sorted := make([]Command, len(cmds))
 	copy(sorted, cmds)
@@ -61,6 +90,19 @@ func CheckTiming(spec dram.Spec, cmds []Command) []Violation {
 		hasWrData  bool
 		lastRdData sim.Tick
 		hasRdData  bool
+		// Bank-group reconstruction (allowed-at form; zero = unconstrained).
+		// Nil slices on flat devices, which pay no group constraints.
+		actGroupOKAt []sim.Tick // last same-group ACT + tRRD_L
+		colGroupOKAt []sim.Tick // last same-group RD/WR + tCCD_L
+		colAnyOKAt   sim.Tick   // last RD/WR anywhere in the rank + tCCD_S
+		// Precharge-all reconstruction (LPDDR tRPab): two or more PREs of one
+		// rank sharing a tick are a precharge-all batch, and the next REF must
+		// keep tRPab from it. (A refresh episode whose precharges end up at
+		// different ticks still pays tRPab in the controller; the trace alone
+		// cannot tell those PREs from demand precharges, so only the
+		// unambiguous same-tick batch is refereed.)
+		lastPreAt    sim.Tick
+		samePreCount int
 		// Independent CKE reconstruction (power-down / self-refresh).
 		ckeLow    bool
 		ckeMode   CommandKind // CmdPDE or CmdSRE while ckeLow
@@ -74,7 +116,12 @@ func CheckTiming(spec dram.Spec, cmds []Command) []Violation {
 	}
 	ranks := make([]*rankState, org.RanksPerChannel)
 	for i := range ranks {
-		ranks[i] = &rankState{banks: make([]checkerBank, org.BanksPerRank)}
+		rk := &rankState{banks: make([]checkerBank, org.BanksPerRank)}
+		if grouped {
+			rk.actGroupOKAt = make([]sim.Tick, topo.Groups)
+			rk.colGroupOKAt = make([]sim.Tick, topo.Groups)
+		}
+		ranks[i] = rk
 	}
 
 	var violations []Violation
@@ -190,23 +237,40 @@ func CheckTiming(spec dram.Spec, cmds []Command) []Violation {
 			if b.hasPre && c.At < b.preAt+t.TRP {
 				fail("tRP", c, b.preAt+t.TRP-c.At)
 			}
+			if c.At < b.refUntil {
+				fail("tRFCsb", c, b.refUntil-c.At)
+			}
 			if rk.hasAct && c.At < rk.lastActAt+t.TRRD {
 				fail("tRRD", c, rk.lastActAt+t.TRRD-c.At)
 			}
-			if limit := org.ActivationLimit; limit > 0 && t.TXAW > 0 && len(rk.actWindow) >= limit {
-				oldest := rk.actWindow[len(rk.actWindow)-limit]
-				if c.At < oldest+t.TXAW {
-					fail("tXAW", c, oldest+t.TXAW-c.At)
+			if grouped {
+				g := topo.GroupOf(c.Bank)
+				if trrdL > t.TRRD && c.At < rk.actGroupOKAt[g] {
+					fail("tRRD_L", c, rk.actGroupOKAt[g]-c.At)
+				}
+				if next := c.At + trrdL; next > rk.actGroupOKAt[g] {
+					rk.actGroupOKAt[g] = next
+				}
+			}
+			if limit := org.ActivationLimit; limit > 0 {
+				if t.TXAW > 0 && len(rk.actWindow) >= limit {
+					oldest := rk.actWindow[len(rk.actWindow)-limit]
+					if c.At < oldest+t.TXAW {
+						fail("tXAW", c, oldest+t.TXAW-c.At)
+					}
+				}
+				// Keep exactly the window the limit needs: a fixed cap would
+				// silently disable tXAW on devices allowing more than that
+				// many activates per window.
+				rk.actWindow = append(rk.actWindow, c.At)
+				if len(rk.actWindow) > limit {
+					rk.actWindow = rk.actWindow[len(rk.actWindow)-limit:]
 				}
 			}
 			b.open = true
 			b.actAt = c.At
 			rk.lastActAt = c.At
 			rk.hasAct = true
-			rk.actWindow = append(rk.actWindow, c.At)
-			if len(rk.actWindow) > 8 {
-				rk.actWindow = rk.actWindow[len(rk.actWindow)-8:]
-			}
 		case CmdPRE:
 			if !b.open {
 				// Precharging a closed bank is legal (NOP-like) but the
@@ -226,6 +290,11 @@ func CheckTiming(spec dram.Spec, cmds []Command) []Violation {
 			b.open = false
 			b.hasPre = true
 			b.preAt = c.At
+			if c.At == rk.lastPreAt && rk.samePreCount > 0 {
+				rk.samePreCount++
+			} else {
+				rk.lastPreAt, rk.samePreCount = c.At, 1
+			}
 		case CmdRD, CmdWR:
 			if !b.open {
 				fail("column-on-closed-bank", c, 0)
@@ -233,6 +302,21 @@ func CheckTiming(spec dram.Spec, cmds []Command) []Violation {
 			}
 			if c.At < b.actAt+t.TRCD {
 				fail("tRCD", c, b.actAt+t.TRCD-c.At)
+			}
+			if grouped {
+				g := topo.GroupOf(c.Bank)
+				if tccdL > 0 && c.At < rk.colGroupOKAt[g] {
+					fail("tCCD_L", c, rk.colGroupOKAt[g]-c.At)
+				}
+				if tccdS > 0 && c.At < rk.colAnyOKAt {
+					fail("tCCD_S", c, rk.colAnyOKAt-c.At)
+				}
+				if next := c.At + tccdL; next > rk.colGroupOKAt[g] {
+					rk.colGroupOKAt[g] = next
+				}
+				if next := c.At + tccdS; next > rk.colAnyOKAt {
+					rk.colAnyOKAt = next
+				}
 			}
 			dataStart := c.At + t.TCL
 			dataEnd := dataStart + t.TBURST
@@ -278,13 +362,47 @@ func CheckTiming(spec dram.Spec, cmds []Command) []Violation {
 				fail("REF-on-open-bank", c, 0)
 				rk.banks[c.Bank].open = false
 			}
+			// An all-bank refresh right after a same-tick precharge-all batch
+			// must keep the longer tRPab on devices that distinguish it.
+			if tRPab > t.TRP && rk.samePreCount >= 2 && c.At < rk.lastPreAt+tRPab {
+				fail("tRPab", c, rk.lastPreAt+tRPab-c.At)
+			}
 			// Refresh-interval accounting across self-refresh: JEDEC allows
-			// postponing at most 8 refreshes, so consecutive refresh points
-			// (REF commands, or SRX — the device refreshed itself until
-			// then) must be no more than 9 x tREFI apart. Deficit here is
+			// postponing at most MaxPostponed refreshes, so consecutive
+			// refresh points (REF/REFSB commands, or SRX — the device
+			// refreshed itself until then) must be no more than
+			// (MaxPostponed+1) cadences apart, where the cadence is the
+			// device discipline's rank-level refresh period. Deficit here is
 			// how *late* the refresh came.
-			if rk.hasRefed && t.TREFI > 0 && c.At > rk.lastRefed+9*t.TREFI {
-				fail("refresh-interval", c, c.At-(rk.lastRefed+9*t.TREFI))
+			if rk.hasRefed && refBudget > 0 && c.At > rk.lastRefed+refBudget {
+				fail("refresh-interval", c, c.At-(rk.lastRefed+refBudget))
+			}
+			rk.lastRefed, rk.hasRefed = c.At, true
+		case CmdREFSB:
+			// Same-bank refresh: Bank carries the in-group index s, and the
+			// refreshed set — flat banks [s*G, (s+1)*G) under the bank-mod-G
+			// group convention — must be precharged by refresh start and then
+			// stays blacked out for tRFCsb.
+			if !grouped {
+				fail("REFSB-without-bank-groups", c, 0)
+				continue
+			}
+			if c.Bank >= topo.BanksPerGroup {
+				fail("coordinate-range", c, 0)
+				continue
+			}
+			for bi := c.Bank * topo.Groups; bi < (c.Bank+1)*topo.Groups; bi++ {
+				sb := &rk.banks[bi]
+				if sb.open {
+					fail("REFSB-on-open-bank", c, 0)
+					sb.open = false
+				}
+				if until := c.At + refSpec.Blackout; until > sb.refUntil {
+					sb.refUntil = until
+				}
+			}
+			if rk.hasRefed && refBudget > 0 && c.At > rk.lastRefed+refBudget {
+				fail("refresh-interval", c, c.At-(rk.lastRefed+refBudget))
 			}
 			rk.lastRefed, rk.hasRefed = c.At, true
 		}

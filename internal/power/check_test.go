@@ -205,6 +205,158 @@ func TestCheckTimingCatchesCKEViolations(t *testing.T) {
 	}
 }
 
+// hasRule reports whether some violation in vs carries the rule name.
+func hasRule(vs []Violation, rule string) bool {
+	for _, v := range vs {
+		if v.Rule == rule {
+			return true
+		}
+	}
+	return false
+}
+
+// TestCheckTimingCatchesStandardRules exercises the device-specific referee
+// rules the multi-standard checker added: bank-group activate and column
+// spacing (DDR5), same-bank refresh legality and blackout (DDR5), all-bank
+// precharge time (LPDDR5), and the device-derived refresh-interval budget.
+// Each stream is legal under every generic DDR3-era rule and violates exactly
+// the standard-specific one under test.
+func TestCheckTimingCatchesStandardRules(t *testing.T) {
+	ddr5 := dram.DDR5_4800_x64()
+	lp5 := dram.LPDDR5_6400_x32()
+	d5 := ddr5.Timing
+	l5 := lp5.Timing
+	// DDR5-4800-x64: 32 banks in 8 groups, so banks 0 and 8 share group 0
+	// while banks 0 and 1 do not (group = bank mod groups).
+	sameBank := 8
+	// LPDDR5 all-bank refresh budget test values.
+	lpPre := l5.TRRDL + l5.TRAS // wait for both banks' tRAS
+	// DDR5 same-bank cadence: tREFI spread over the banks-per-group slots.
+	d5Budget := 9 * (d5.TREFI / sim.Tick(ddr5.Topology().BanksPerGroup))
+	cases := []struct {
+		rule string
+		dev  dram.Device
+		cmds []Command
+	}{
+		{"tRRD_L", ddr5, []Command{
+			// Spacing clears tRRD_S but not tRRD_L.
+			{Kind: CmdACT, Bank: 0, At: 0},
+			{Kind: CmdACT, Bank: sameBank, At: d5.TRRDL - 1},
+		}},
+		{"tCCD_L", ddr5, []Command{
+			// Reads into one group spaced past tCCD_S (and tBURST) but
+			// inside tCCD_L.
+			{Kind: CmdACT, Bank: 0, At: 0},
+			{Kind: CmdACT, Bank: sameBank, At: d5.TRRDL},
+			{Kind: CmdRD, Bank: 0, At: d5.TRRDL + d5.TRCD},
+			{Kind: CmdRD, Bank: sameBank, At: d5.TRRDL + d5.TRCD + d5.TCCDL - 1},
+		}},
+		{"tCCD_S", ddr5, []Command{
+			// Reads into different groups one tick inside tCCD_S.
+			{Kind: CmdACT, Bank: 0, At: 0},
+			{Kind: CmdACT, Bank: 1, At: d5.TRRD},
+			{Kind: CmdRD, Bank: 0, At: d5.TRRDL + d5.TRCD},
+			{Kind: CmdRD, Bank: 1, At: d5.TRRDL + d5.TRCD + d5.TCCDS - 1},
+		}},
+		{"tRFCsb", ddr5, []Command{
+			// REFSB of in-group index 0 blacks out flat banks 0..7; an ACT
+			// to bank 3 inside tRFCsb is illegal.
+			{Kind: CmdREFSB, Bank: 0, At: 0},
+			{Kind: CmdACT, Bank: 3, At: ddr5.RefreshMode().Blackout - 1},
+		}},
+		{"REFSB-on-open-bank", ddr5, []Command{
+			{Kind: CmdACT, Bank: 0, At: 0},
+			{Kind: CmdREFSB, Bank: 0, At: d5.TRAS},
+		}},
+		{"coordinate-range", ddr5, []Command{
+			// The REFSB bank field is the in-group index s < banks/group.
+			{Kind: CmdREFSB, Bank: ddr5.Topology().BanksPerGroup, At: 0},
+		}},
+		{"REFSB-without-bank-groups", ddr3(), []Command{
+			{Kind: CmdREFSB, Bank: 0, At: 0},
+		}},
+		{"refresh-interval", ddr5, []Command{
+			// Same-bank refresh points must come every tREFI/banks-per-group
+			// on average; nine postponements is the most JEDEC allows.
+			{Kind: CmdREFSB, Bank: 0, At: 0},
+			{Kind: CmdREFSB, Bank: 0, At: d5Budget + 1},
+		}},
+		{"tRPab", lp5, []Command{
+			// A same-tick precharge-all batch followed by REF must respect
+			// the longer all-bank tRPab, not just tRP.
+			{Kind: CmdACT, Bank: 0, At: 0},
+			{Kind: CmdACT, Bank: 1, At: l5.TRRDL},
+			{Kind: CmdPRE, Bank: 0, At: lpPre},
+			{Kind: CmdPRE, Bank: 1, At: lpPre},
+			{Kind: CmdREF, Bank: 0, At: lpPre + l5.TRPAB - 1},
+		}},
+	}
+	for _, c := range cases {
+		if vs := CheckTiming(c.dev, c.cmds); !hasRule(vs, c.rule) {
+			t.Errorf("%s violation not detected (got %v)", c.rule, vs)
+		}
+	}
+}
+
+// TestCheckTimingStandardRulesCleanAtBound re-runs the group-rule streams
+// with the spacing widened to exactly the constraint: the boundary must be
+// legal (the rules are strict-less-than).
+func TestCheckTimingStandardRulesCleanAtBound(t *testing.T) {
+	ddr5 := dram.DDR5_4800_x64()
+	d5 := ddr5.Timing
+	cases := []struct {
+		name string
+		cmds []Command
+	}{
+		{"tRRD_L", []Command{
+			{Kind: CmdACT, Bank: 0, At: 0},
+			{Kind: CmdACT, Bank: 8, At: d5.TRRDL},
+		}},
+		{"tCCD_L", []Command{
+			{Kind: CmdACT, Bank: 0, At: 0},
+			{Kind: CmdACT, Bank: 8, At: d5.TRRDL},
+			{Kind: CmdRD, Bank: 0, At: d5.TRRDL + d5.TRCD},
+			{Kind: CmdRD, Bank: 8, At: d5.TRRDL + d5.TRCD + d5.TCCDL},
+		}},
+		{"tRFCsb", []Command{
+			{Kind: CmdREFSB, Bank: 0, At: 0},
+			{Kind: CmdACT, Bank: 3, At: ddr5.RefreshMode().Blackout},
+		}},
+	}
+	for _, c := range cases {
+		if vs := CheckTiming(ddr5, c.cmds); len(vs) != 0 {
+			t.Errorf("%s: boundary-legal stream flagged: %v", c.name, vs)
+		}
+	}
+}
+
+// TestCheckTimingActivationLimitAboveEight is the regression test for the
+// old fixed 8-entry activation window: with a device whose rolling limit is
+// nine, the checker must referee tXAW over nine activates — the old cap
+// would have dropped the oldest ACT and measured the window from the second
+// one, flagging a legal stream.
+func TestCheckTimingActivationLimitAboveEight(t *testing.T) {
+	spec := ddr3()
+	spec.Org.BanksPerRank = 16
+	spec.Org.ActivationLimit = 9
+	spec.Timing.TXAW = 10 * spec.Timing.TRRD
+	tm := spec.Timing
+	var ramp []Command
+	for i := 0; i < 9; i++ {
+		ramp = append(ramp, Command{Kind: CmdACT, Bank: i, At: sim.Tick(i) * tm.TRRD})
+	}
+	bad := append(append([]Command{}, ramp...),
+		Command{Kind: CmdACT, Bank: 9, At: tm.TXAW - 1})
+	if vs := CheckTiming(spec, bad); !hasRule(vs, "tXAW") {
+		t.Errorf("tenth ACT inside the nine-activate window not flagged (got %v)", vs)
+	}
+	good := append(append([]Command{}, ramp...),
+		Command{Kind: CmdACT, Bank: 9, At: tm.TXAW})
+	if vs := CheckTiming(spec, good); len(vs) != 0 {
+		t.Errorf("tenth ACT exactly one tXAW after the first flagged: %v", vs)
+	}
+}
+
 func TestViolationString(t *testing.T) {
 	v := Violation{Rule: "tRCD", Cmd: Command{Kind: CmdRD, Bank: 2, At: 100}, Deficit: 50}
 	if v.String() == "" {

@@ -33,6 +33,11 @@ const (
 	CmdPDX
 	CmdSRE
 	CmdSRX
+	// CmdREFSB is DDR5 same-bank refresh (extension): one REFsb command
+	// refreshes the bank with in-group index s in every bank group of the
+	// rank at once, blacking them out for tRFCsb while the other in-group
+	// indices keep serving. Bank carries s, not a flat bank number.
+	CmdREFSB
 )
 
 // Power-down flavors, carried in CmdPDE's Bank field.
@@ -67,6 +72,8 @@ func (k CommandKind) String() string {
 		return "SRE"
 	case CmdSRX:
 		return "SRX"
+	case CmdREFSB:
+		return "REFSB"
 	}
 	return fmt.Sprintf("CommandKind(%d)", int(k))
 }
@@ -151,7 +158,7 @@ func AnalyzeCommands(spec dram.Spec, cmds []Command, elapsed sim.Tick) Breakdown
 	ckeKind := map[int]CommandKind{}
 	pdFlavor := map[int]int{}
 	var activeTime, prePDTime, actPDTime, srTime sim.Tick
-	acts, rds, wrs, refs := 0, 0, 0, 0
+	acts, rds, wrs, refs, refsb := 0, 0, 0, 0, 0
 
 	closeBank := func(k bankKey, at sim.Tick) {
 		if _, open := openSince[k]; !open {
@@ -192,6 +199,18 @@ func AnalyzeCommands(spec dram.Spec, cmds []Command, elapsed sim.Tick) Breakdown
 			// across runs, and map order is not.
 			for _, k := range sortedOpenBanks(openSince) {
 				if k.rank == c.Rank {
+					closeBank(k, c.At)
+				}
+			}
+		case CmdREFSB:
+			refsb++
+			// Same-bank refresh closes only the banks with in-group index
+			// c.Bank — flat banks [s*G, (s+1)*G) under the bank%G group
+			// convention; the other in-group indices keep serving.
+			groups := spec.Topology().Groups
+			lo, hi := c.Bank*groups, (c.Bank+1)*groups
+			for _, k := range sortedOpenBanks(openSince) {
+				if k.rank == c.Rank && k.bank >= lo && k.bank < hi {
 					closeBank(k, c.At)
 				}
 			}
@@ -281,7 +300,9 @@ func AnalyzeCommands(spec dram.Spec, cmds []Command, elapsed sim.Tick) Breakdown
 	if actShare > 1 {
 		actShare = 1
 	}
-	refShare := float64(refs) * t.TRFC.Seconds() / elapsedSec
+	// Same-bank refreshes bill their shorter tRFCsb blackout instead of the
+	// all-bank tRFC; both feed the one IDD5 refresh term.
+	refShare := (float64(refs)*t.TRFC.Seconds() + float64(refsb)*t.TRFCSB.Seconds()) / elapsedSec
 	if refShare > 1 {
 		refShare = 1
 	}

@@ -29,7 +29,7 @@ func WriteCommands(w io.Writer, cmds []Command) error {
 
 // parseKind inverts CommandKind.String.
 func parseKind(s string) (CommandKind, error) {
-	for k := CmdACT; k <= CmdSRX; k++ {
+	for k := CmdACT; k <= CmdREFSB; k++ {
 		if k.String() == s {
 			return k, nil
 		}
